@@ -1,0 +1,88 @@
+// Command warp-bench regenerates the experimental tables of the paper's
+// evaluation (§8, Tables 3–8) and prints them in the paper's layout.
+//
+// Usage:
+//
+//	warp-bench                  # all tables at default scale
+//	warp-bench -table 7         # one table
+//	warp-bench -users 100       # Table 3/7 workload size (paper: 100)
+//	warp-bench -users8 5000     # Table 8 workload size (paper: 5000)
+//	warp-bench -scale5 100      # Table 5 workload scale (paper-comparable)
+//
+// Absolute timings depend on this machine; the shapes (who repairs, who
+// conflicts, what fraction re-executes, how repair scales) are the
+// reproduction targets. See EXPERIMENTS.md for a recorded run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warp/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to regenerate (3-8); 0 = all")
+	users := flag.Int("users", 100, "users for Tables 3 and 7 (paper: 100)")
+	users8 := flag.Int("users8", 1000, "users for Table 8 (paper: 5000)")
+	scale5 := flag.Int("scale5", 100, "workload scale for Table 5")
+	visits6 := flag.Int("visits6", 300, "measured visits per configuration for Table 6")
+	flag.Parse()
+
+	run := func(n int) bool { return *table == 0 || *table == n }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "warp-bench:", err)
+		os.Exit(1)
+	}
+
+	if run(3) {
+		rows, err := bench.Table3(*users)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable3(rows))
+	}
+	if run(4) {
+		rows, err := bench.Table4()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable4(rows))
+	}
+	if run(5) {
+		rows, err := bench.Table5(*scale5)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable5(rows))
+	}
+	if run(6) {
+		rows, err := bench.Table6(*visits6)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable6(rows))
+		withExt, withoutExt, err := bench.ExtensionOverhead(200)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Page load time: %v with extension, %v without (§8.5 inline)\n\n", withExt, withoutExt)
+	}
+	if run(7) {
+		rows, err := bench.Table7(*users)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable7(
+			fmt.Sprintf("Table 7: Repair performance, %d-user workload.", *users), rows))
+	}
+	if run(8) {
+		rows, err := bench.Table8(*users8)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(bench.FormatTable7(
+			fmt.Sprintf("Table 8: Repair performance, %d-user workload (paper: 5,000).", *users8), rows))
+	}
+}

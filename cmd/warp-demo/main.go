@@ -1,0 +1,78 @@
+// Command warp-demo runs the six §8.2 attack scenarios end to end on a
+// small multi-user workload and narrates what WARP does for each: the
+// attack, the recovery initiation (retroactive patch or visit undo), and
+// the verified outcome. It is the quickest way to see the whole system
+// work.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"warp/internal/attacks"
+	"warp/internal/webapp/wiki"
+	"warp/internal/workload"
+)
+
+func main() {
+	users := flag.Int("users", 12, "workload size")
+	only := flag.String("scenario", "", "run a single scenario by name")
+	flag.Parse()
+
+	for _, sc := range attacks.Scenarios() {
+		if *only != "" && sc.Name != *only {
+			continue
+		}
+		if err := runScenario(sc, *users); err != nil {
+			fmt.Fprintf(os.Stderr, "warp-demo: %s: %v\n", sc.Name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runScenario(sc *attacks.Scenario, users int) error {
+	fmt.Printf("════ %s ════\n", sc.Name)
+	if v, ok := (&wiki.App{}).VulnerabilityByKind(sc.Name); ok && v.CVE != "—" {
+		fmt.Printf("vulnerability: %s in %s — %s\n", v.CVE, v.File, v.Description)
+		fmt.Printf("fix: %s\n", v.Fix)
+	}
+	res, err := workload.Run(workload.Config{Users: users, Victims: 3, Seed: 99, Scenario: sc})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d users, %d page visits, %d app runs, %d queries; attack executed\n",
+		users, res.PageVisits, res.AppRuns, res.Queries)
+
+	team, _ := res.Env.App.PageContent(res.Env.TargetPage)
+	fmt.Printf("state before repair: team page %d bytes", len(team))
+	if strings.Contains(team, "PWNED") || strings.Contains(team, "mooo") {
+		fmt.Printf(" (CORRUPTED)")
+	}
+	fmt.Printf("\ninitiating %s…\n", sc.InitialRepair)
+
+	rep, err := sc.Repair(res.Env)
+	if err != nil {
+		return err
+	}
+	fmt.Println("repair:", rep.String())
+
+	team, _ = res.Env.App.PageContent(res.Env.TargetPage)
+	clean := !strings.Contains(team, "PWNED") && !strings.Contains(team, "mooo")
+	if got, _ := res.Env.App.PageContent("Main"); strings.Contains(got, "SQLI-ATTACK") {
+		clean = false
+	}
+	if got, _ := res.Env.App.PageContent("Restricted"); strings.Contains(got, "should not") {
+		clean = false
+	}
+	preserved := true
+	for _, u := range res.Env.Others {
+		if !strings.Contains(team, "note from "+u.Name) {
+			preserved = false
+		}
+	}
+	fmt.Printf("verified: attack undone=%v, legitimate work preserved=%v, users needing input=%d\n\n",
+		clean, preserved, rep.UsersWithConflicts())
+	return nil
+}

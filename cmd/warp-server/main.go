@@ -1,0 +1,83 @@
+// Command warp-server runs GoWiki under WARP on a real net/http server,
+// so the system can be driven from an actual browser. Administrative
+// endpoints expose repair:
+//
+//	GET  /warp/status                  — log storage and conflict queue
+//	POST /warp/patch?kind=Stored+XSS   — retroactively apply a Table 2 patch
+//	POST /warp/undo?client=C&visit=N   — undo a past page visit
+//
+// Real browsers have no WARP extension, so requests are logged with
+// server-side identifiers (§7) and browser-level replay degrades to
+// conflict reporting, exactly as §2.3 describes for extensionless clients.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"warp"
+	"warp/internal/httpd"
+	"warp/internal/webapp/wiki"
+)
+
+func main() {
+	addr := flag.String("addr", ":8480", "listen address")
+	flag.Parse()
+
+	sys := warp.New(warp.Config{Seed: 2026})
+	app, err := wiki.Install(sys.Warp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range []struct {
+		name  string
+		admin bool
+	}{{"admin", true}, {"alice", false}, {"bob", false}} {
+		if err := app.CreateUser(u.name, "pw-"+u.name, u.admin); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, p := range []string{"Main", "Sandbox", "TeamPage"} {
+		if err := app.CreatePage(p, "welcome to "+p, false); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", &httpd.Adapter{Handler: sys.HandleRequest})
+	mux.HandleFunc("/warp/status", func(w http.ResponseWriter, r *http.Request) {
+		st := sys.Storage()
+		fmt.Fprintf(w, "page visits logged: %d\nbrowser log: %d B\napp log: %d B\ndb log: %d B\nconflicts queued: %d\n",
+			st.PageVisits, st.BrowserLogBytes, st.AppLogBytes, st.DBLogBytes, len(sys.Conflicts()))
+	})
+	mux.HandleFunc("/warp/patch", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		v, ok := app.VulnerabilityByKind(kind)
+		if !ok || v.File == "" {
+			http.Error(w, "unknown vulnerability kind", http.StatusBadRequest)
+			return
+		}
+		rep, err := sys.RetroPatch(v.File, v.Patch)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "retroactive patch applied:", rep.String())
+	})
+	mux.HandleFunc("/warp/undo", func(w http.ResponseWriter, r *http.Request) {
+		client := r.URL.Query().Get("client")
+		visit, _ := strconv.ParseInt(r.URL.Query().Get("visit"), 10, 64)
+		rep, err := sys.UndoVisit(client, visit, true)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintln(w, "visit undone:", rep.String())
+	})
+
+	log.Printf("GoWiki under WARP listening on %s (users: admin, alice, bob; passwords pw-<name>)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -1,0 +1,66 @@
+// acl-undo demonstrates user-initiated repair (§5.5): an administrator
+// accidentally grants the wrong user access to a protected page, the user
+// exploits it, and the administrator undoes the granting page visit. The
+// user's illegitimate edit is reverted and a conflict is queued for them.
+package main
+
+import (
+	"fmt"
+
+	"warp"
+	"warp/internal/webapp/wiki"
+)
+
+func main() {
+	sys := warp.New(warp.Config{Seed: 11})
+	app, err := wiki.Install(sys.Warp)
+	must(err)
+	must(app.CreateUser("admin", "pw-admin", true))
+	must(app.CreateUser("eve", "pw-eve", false))
+	must(app.CreatePage("Payroll", "salaries: confidential", true))
+
+	admin := sys.NewBrowser()
+	login(admin, "admin")
+
+	fmt.Println("== the mistake ==")
+	form := admin.Open("/acl.php?title=Payroll")
+	must(form.TypeInto("user", "eve")) // meant to type "eva"…
+	grant, err := form.Submit(0)
+	must(err)
+	fmt.Println("admin granted eve access to Payroll (visit", grant.Log.VisitID, ")")
+
+	eve := sys.NewBrowser()
+	login(eve, "eve")
+	p := eve.Open("/edit.php?title=Payroll")
+	must(p.TypeInto("content", "salaries: I SAW EVERYTHING - eve"))
+	_, err = p.Submit(0)
+	must(err)
+	got, _ := app.PageContent("Payroll")
+	fmt.Printf("eve exploited it: %q\n\n", got)
+
+	fmt.Println("== the undo ==")
+	report, err := sys.UndoVisit(admin.ClientID, grant.Log.VisitID, true)
+	must(err)
+	fmt.Println("repair:", report.String())
+
+	got, _ = app.PageContent("Payroll")
+	fmt.Printf("\nPayroll after undo: %q\n", got)
+	fmt.Printf("eve still has access: %v\n", app.HasACL("Payroll", "eve"))
+	for _, c := range sys.ConflictsFor(eve.ClientID) {
+		fmt.Printf("queued conflict for eve: %s (%s)\n", c.Kind, c.Detail)
+	}
+}
+
+func login(b *warp.Browser, user string) {
+	p := b.Open("/login.php")
+	must(p.TypeInto("user", user))
+	must(p.TypeInto("password", "pw-"+user))
+	_, err := p.Submit(0)
+	must(err)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Quickstart: the smallest end-to-end WARP use, against the public API
+// only. It builds a one-file guestbook with an XSS bug, records normal
+// operation (including an attack), then retroactively patches the bug —
+// the attack's effects disappear, the legitimate entry survives.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"warp"
+)
+
+func main() {
+	sys := warp.New(warp.Config{Seed: 1})
+
+	// 1. Schema, with WARP annotations: entries are identified by id and
+	// partitioned by author, so repair touches only affected rows.
+	must(sys.DB.Annotate("entries", warp.TableSpec{
+		RowIDColumn:      "id",
+		PartitionColumns: []string{"author"},
+	}))
+	_, _, err := sys.DB.Exec(`CREATE TABLE entries (id INTEGER PRIMARY KEY, author TEXT, msg TEXT)`)
+	must(err)
+
+	// 2. Application code: a vulnerable guestbook page. Messages are
+	// stored raw (the bug) and rendered into the page.
+	vulnerable := func(c *warp.Ctx) *warp.Response {
+		if msg := c.Req.Param("msg"); msg != "" {
+			id := c.MustQuery("SELECT COALESCE(MAX(id), 0) + 1 FROM entries").FirstValue()
+			c.MustQuery("INSERT INTO entries (id, author, msg) VALUES (?, ?, ?)",
+				id, warp.Text(c.Req.Param("author")), warp.Text(msg)) // BUG: unsanitized
+		}
+		res := c.MustQuery("SELECT author, msg FROM entries ORDER BY id")
+		var b strings.Builder
+		b.WriteString("<html><body><h1>Guestbook</h1><ul>")
+		for _, row := range res.Rows {
+			fmt.Fprintf(&b, "<li>%s: %s</li>", row[0].AsText(), row[1].AsText())
+		}
+		b.WriteString("</ul></body></html>")
+		resp := &warp.Response{Status: 200, Body: b.String(),
+			Headers: map[string]string{"Content-Type": "text/html"}, SetCookies: map[string]string{}}
+		return resp
+	}
+	must(sys.Runtime.Register("guestbook.php", warp.Version{Entry: vulnerable, Note: "vulnerable: stored XSS"}))
+	sys.Runtime.Mount("/", "guestbook.php")
+
+	// 3. Normal operation through WARP-logging browsers.
+	alice := sys.NewBrowser()
+	mallory := sys.NewBrowser()
+	alice.Open("/?author=alice&msg=hello+world")
+	mallory.Open("/?author=mallory&msg=" + "%3Cscript%3Ewarpjs%3A%20get%20%2Fsteal%3C%2Fscript%3E")
+	victim := sys.NewBrowser()
+	victim.Open("/") // the victim's browser would run the injected script
+
+	before, _, _ := sys.DB.Exec("SELECT COUNT(*) FROM entries")
+	fmt.Printf("before repair: %d entries, script stored: %v\n",
+		before.FirstValue().AsInt(), contains(sys, "<script>"))
+
+	// 4. The developers publish a patch: sanitize on save. Retroactively
+	// apply it — WARP re-executes every run of guestbook.php against the
+	// fixed code and repairs everything the attack influenced.
+	fixed := func(c *warp.Ctx) *warp.Response {
+		if msg := c.Req.Param("msg"); msg != "" {
+			clean := strings.NewReplacer("<", "&lt;", ">", "&gt;").Replace(msg)
+			id := c.MustQuery("SELECT COALESCE(MAX(id), 0) + 1 FROM entries").FirstValue()
+			c.MustQuery("INSERT INTO entries (id, author, msg) VALUES (?, ?, ?)",
+				id, warp.Text(c.Req.Param("author")), warp.Text(clean))
+		}
+		res := c.MustQuery("SELECT author, msg FROM entries ORDER BY id")
+		var b strings.Builder
+		b.WriteString("<html><body><h1>Guestbook</h1><ul>")
+		for _, row := range res.Rows {
+			fmt.Fprintf(&b, "<li>%s: %s</li>", row[0].AsText(), row[1].AsText())
+		}
+		b.WriteString("</ul></body></html>")
+		return &warp.Response{Status: 200, Body: b.String(),
+			Headers: map[string]string{"Content-Type": "text/html"}, SetCookies: map[string]string{}}
+	}
+	report, err := sys.RetroPatch("guestbook.php", warp.Version{Entry: fixed, Note: "sanitize on save"})
+	must(err)
+
+	after, _, _ := sys.DB.Exec("SELECT COUNT(*) FROM entries")
+	fmt.Printf("after repair:  %d entries, script stored: %v\n",
+		after.FirstValue().AsInt(), contains(sys, "<script>"))
+	fmt.Println("repair report:", report.String())
+}
+
+func contains(sys *warp.System, needle string) bool {
+	res, _, err := sys.DB.Exec("SELECT msg FROM entries")
+	if err != nil {
+		return false
+	}
+	for _, row := range res.Rows {
+		if strings.Contains(row[0].AsText(), needle) {
+			return true
+		}
+	}
+	return false
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

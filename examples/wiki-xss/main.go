@@ -1,0 +1,82 @@
+// wiki-xss walks through the paper's §1 worst-case scenario end to end on
+// GoWiki: a stored XSS payload reaches a victim's browser, acts with the
+// victim's privileges, the victim keeps working on the corrupted page —
+// and a single retroactive patch disentangles all of it: the attack's
+// effects disappear while the victim's edit is preserved by DOM-level
+// replay with three-way text merge.
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"warp"
+	"warp/internal/webapp/wiki"
+)
+
+func main() {
+	sys := warp.New(warp.Config{Seed: 7})
+	app, err := wiki.Install(sys.Warp)
+	must(err)
+	must(app.CreateUser("alice", "pw-alice", false))
+	must(app.CreateUser("mallory", "pw-mallory", false))
+	must(app.CreatePage("AlicePage", "alice's important notes", false))
+
+	fmt.Println("== 1. the attack ==")
+	mallory := sys.NewBrowser()
+	login(mallory, "mallory")
+	payload := `<script>warpjs: appendedit /edit.php?title=AlicePage content \nPWNED-BY-MALLORY</script>`
+	mallory.Open("/block.php?ip=" + url.QueryEscape(payload))
+	fmt.Println("mallory stored an XSS payload via the vulnerable block tool (CVE-2009-4589)")
+
+	alice := sys.NewBrowser()
+	login(alice, "alice")
+	alice.Open("/blocklog.php")
+	content, _ := app.PageContent("AlicePage")
+	fmt.Printf("alice viewed the block log; the payload ran in her browser.\nAlicePage: %q\n\n", content)
+
+	fmt.Println("== 2. the victim keeps working ==")
+	p := alice.Open("/edit.php?title=AlicePage")
+	field := p.DOM.ByName("content")
+	must2(p.TypeInto("content", field.InnerText()+"\nalice's new paragraph"))
+	_, err = p.Submit(0)
+	must(err)
+	content, _ = app.PageContent("AlicePage")
+	fmt.Printf("alice edited the (corrupted) page:\n%q\n\n", content)
+
+	fmt.Println("== 3. retroactive patching ==")
+	vuln, _ := app.VulnerabilityByKind("Stored XSS")
+	fmt.Printf("applying %s to %s: %s\n", vuln.CVE, vuln.File, vuln.Fix)
+	report, err := sys.RetroPatch(vuln.File, vuln.Patch)
+	must(err)
+	fmt.Println("repair:", report.String())
+
+	fmt.Println("\n== 4. result ==")
+	content, _ = app.PageContent("AlicePage")
+	fmt.Printf("AlicePage: %q\n", content)
+	switch {
+	case strings.Contains(content, "PWNED"):
+		fmt.Println("FAIL: attack residue left behind")
+	case !strings.Contains(content, "alice's new paragraph"):
+		fmt.Println("FAIL: alice's edit lost")
+	default:
+		fmt.Println("attack undone, alice's work preserved, zero user input required")
+	}
+}
+
+func login(b *warp.Browser, user string) {
+	p := b.Open("/login.php")
+	must2(p.TypeInto("user", user))
+	must2(p.TypeInto("password", "pw-"+user))
+	_, err := p.Submit(0)
+	must(err)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must2(err error) { must(err) }

@@ -1,0 +1,245 @@
+package app
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"warp/internal/httpd"
+	"warp/internal/sqldb"
+	"warp/internal/ttdb"
+	"warp/internal/vclock"
+)
+
+func newRuntime(t *testing.T) (*Runtime, *ttdb.DB) {
+	t.Helper()
+	db := ttdb.Open(&vclock.Clock{})
+	if err := db.Annotate("notes", ttdb.TableSpec{RowIDColumn: "id", PartitionColumns: []string{"id"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Exec("CREATE TABLE notes (id INTEGER PRIMARY KEY, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	return NewRuntime(db, 42), db
+}
+
+func TestRunRecordsEverything(t *testing.T) {
+	rt, _ := newRuntime(t)
+	err := rt.Register("save.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		id := c.Req.Param("id")
+		tok := c.Token("save.csrf")
+		c.MustQuery("INSERT INTO notes (id, body) VALUES (?, ?)",
+			sqldb.Int(1), sqldb.Text(id+"/"+tok))
+		return httpd.HTML("saved " + tok)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httpd.NewRequest("POST", "/save.php?id=n1")
+	rec, err := rt.Run("save.php", req, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Resp.Status != 200 || !strings.HasPrefix(rec.Resp.Body, "saved ") {
+		t.Fatalf("resp = %+v", rec.Resp)
+	}
+	if len(rec.Queries) != 1 || rec.Queries[0].Kind != ttdb.KindInsert {
+		t.Fatalf("queries = %+v", rec.Queries)
+	}
+	if len(rec.NonDet) != 1 || rec.NonDet[0].Site != "save.csrf" {
+		t.Fatalf("nondet = %+v", rec.NonDet)
+	}
+	if len(rec.FilesLoaded) != 1 || rec.FilesLoaded[0] != "save.php" {
+		t.Fatalf("files = %v", rec.FilesLoaded)
+	}
+	if rec.ApproxLogBytes() <= 0 || rec.DBLogBytes() <= 0 {
+		t.Fatal("log accounting empty")
+	}
+}
+
+func TestNonDetReplayMatchesBySiteInOrder(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if err := rt.Register("f.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		a := c.Token("site.a")
+		b := c.Token("site.b")
+		a2 := c.Token("site.a")
+		return httpd.HTML(a + "," + b + "," + a2)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	req := httpd.NewRequest("GET", "/f.php")
+	orig, err := rt.Run("f.php", req, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := rt.Run("f.php", req, nil, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Resp.Body != orig.Resp.Body {
+		t.Fatalf("replay diverged: %q vs %q", replay.Resp.Body, orig.Resp.Body)
+	}
+	// A fresh run without the original must differ (tokens are random).
+	fresh, err := rt.Run("f.php", req, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Resp.Body == orig.Resp.Body {
+		t.Fatal("fresh run should generate new tokens")
+	}
+}
+
+func TestNonDetHeuristicMissStillRuns(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if err := rt.Register("f.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		return httpd.HTML(c.Token("only.original"))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := rt.Run("f.php", httpd.NewRequest("GET", "/f.php"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the file so it asks for a *different* site: no original
+	// counterpart exists, yet re-execution proceeds (§3.3: strictly an
+	// optimization).
+	if err := rt.Patch("f.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		return httpd.HTML(c.Token("brand.new.site"))
+	}, Note: "changes nondet site"}); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := rt.Run("f.php", httpd.NewRequest("GET", "/f.php"), nil, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Resp.Status != 200 || replay.Resp.Body == "" {
+		t.Fatalf("heuristic miss broke replay: %+v", replay.Resp)
+	}
+}
+
+func TestIncludeRecordsDependency(t *testing.T) {
+	rt, _ := newRuntime(t)
+	type helpers struct{ Banner func() string }
+	if err := rt.Register("common.php", Version{Lib: helpers{Banner: func() string { return "WIKI" }}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register("page.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		lib, err := c.Include("common.php")
+		if err != nil {
+			panic(err)
+		}
+		h := lib.(helpers)
+		_, _ = c.Include("common.php") // double include recorded once
+		return httpd.HTML(h.Banner())
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rt.Run("page.php", httpd.NewRequest("GET", "/page.php"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.FilesLoaded) != 2 || rec.FilesLoaded[1] != "common.php" {
+		t.Fatalf("files loaded = %v", rec.FilesLoaded)
+	}
+	if rec.Resp.Body != "WIKI" {
+		t.Fatalf("body = %q", rec.Resp.Body)
+	}
+}
+
+func TestPatchChangesBehavior(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if err := rt.Register("echo.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		return httpd.HTML(c.Req.Param("msg")) // vulnerable: no escaping
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	req := httpd.NewRequest("GET", "/echo.php?msg=%3Cscript%3E")
+	rec, _ := rt.Run("echo.php", req, nil, nil)
+	if rec.Resp.Body != "<script>" {
+		t.Fatalf("vulnerable body = %q", rec.Resp.Body)
+	}
+	if err := rt.Patch("echo.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		return httpd.HTML(strings.ReplaceAll(c.Req.Param("msg"), "<", "&lt;"))
+	}, Note: "escape output"}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.FileVersion("echo.php") != 2 {
+		t.Fatalf("version = %d", rt.FileVersion("echo.php"))
+	}
+	rec2, _ := rt.Run("echo.php", req, nil, orig0(rec))
+	if strings.Contains(rec2.Resp.Body, "<script>") {
+		t.Fatalf("patched body still vulnerable: %q", rec2.Resp.Body)
+	}
+}
+
+// orig0 passes the original record through for replay.
+func orig0(r *RunRecord) *RunRecord { return r }
+
+func TestPanicBecomes500(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if err := rt.Register("bad.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		panic("kaboom")
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := rt.Run("bad.php", httpd.NewRequest("GET", "/bad.php"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Failed || rec.Resp.Status != 500 {
+		t.Fatalf("panic handling: %+v", rec.Resp)
+	}
+}
+
+func TestInjectedQueryFunc(t *testing.T) {
+	rt, db := newRuntime(t)
+	if err := rt.Register("q.php", Version{Entry: func(c *Ctx) *httpd.Response {
+		res := c.MustQuery("SELECT COUNT(*) FROM notes")
+		return httpd.HTML(fmt.Sprintf("%d", res.FirstValue().AsInt()))
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	called := 0
+	qf := func(sql string, params []sqldb.Value) (*sqldb.Result, *ttdb.Record, error) {
+		called++
+		return db.Exec(sql, params...)
+	}
+	rec, err := rt.Run("q.php", httpd.NewRequest("GET", "/q.php"), qf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if called != 1 {
+		t.Fatalf("query func called %d times", called)
+	}
+	if rec.Resp.Body != "0" {
+		t.Fatalf("body = %q", rec.Resp.Body)
+	}
+}
+
+func TestRoutes(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if err := rt.Register("index.php", Version{Entry: func(c *Ctx) *httpd.Response { return httpd.HTML("hi") }}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Mount("/index.php", "index.php")
+	rt.Mount("/", "index.php")
+	if f, ok := rt.RouteOf("/"); !ok || f != "index.php" {
+		t.Fatalf("route / = %q %v", f, ok)
+	}
+	if _, ok := rt.RouteOf("/nope"); ok {
+		t.Fatal("unexpected route")
+	}
+}
+
+func TestRegisterDuplicateAndPatchUnknown(t *testing.T) {
+	rt, _ := newRuntime(t)
+	if err := rt.Register("a.php", Version{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register("a.php", Version{}); err == nil {
+		t.Fatal("duplicate register must fail")
+	}
+	if err := rt.Patch("nope.php", Version{}); err == nil {
+		t.Fatal("patch of unknown file must fail")
+	}
+}

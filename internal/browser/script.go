@@ -1,0 +1,125 @@
+package browser
+
+import (
+	"net/url"
+	"strings"
+
+	"warp/internal/dom"
+)
+
+// ScriptPrefix marks a page-embedded script the browser executes. Scripts
+// are the attack vehicle in the paper's scenarios: XSS payloads inject
+// script elements whose code issues HTTP requests with the victim's
+// cookies. The command language ("warpjs") stands in for JavaScript.
+//
+// Commands are semicolon-separated:
+//
+//	get <url>                       — issue a GET request
+//	post <url> <k=v&k2=v2>          — issue a POST request
+//	appendedit <edit-url> <field> <text>
+//	                                — fetch an edit form, append text to
+//	                                  the named textarea, and submit it
+//	                                  (a read-modify-write page edit)
+//	overwriteedit <edit-url> <field> <text>
+//	                                — same, but replace the field contents
+//
+// The placeholder {self} expands to the script's own source wrapped in a
+// script tag, which lets payloads propagate themselves (the worm behavior
+// of §1's example attack).
+const ScriptPrefix = "warpjs:"
+
+// runScripts executes every warpjs script on the page, in document order.
+// It is used both during normal execution and during server-side replay:
+// if repair removed the injected script from the page, re-execution simply
+// finds nothing to run (§5).
+func (p *Page) runScripts() {
+	if p.DOM == nil {
+		return
+	}
+	for _, s := range p.DOM.ElementsByTag("script") {
+		src := strings.TrimSpace(s.InnerText())
+		if !strings.HasPrefix(src, ScriptPrefix) {
+			continue
+		}
+		p.execScript(strings.TrimPrefix(src, ScriptPrefix))
+	}
+}
+
+// execScript runs one script body.
+func (p *Page) execScript(body string) {
+	self := "<script>" + ScriptPrefix + body + "</script>"
+	for _, raw := range strings.Split(body, ";") {
+		cmd := strings.TrimSpace(raw)
+		if cmd == "" {
+			continue
+		}
+		fields := strings.SplitN(cmd, " ", 2)
+		op := fields[0]
+		rest := ""
+		if len(fields) > 1 {
+			rest = strings.TrimSpace(fields[1])
+		}
+		switch op {
+		case "get":
+			p.roundTrip("GET", expandSelf(rest, self), nil)
+		case "post":
+			parts := strings.SplitN(rest, " ", 2)
+			target := parts[0]
+			form := url.Values{}
+			if len(parts) > 1 {
+				if vals, err := url.ParseQuery(expandSelf(parts[1], self)); err == nil {
+					form = vals
+				}
+			}
+			p.roundTrip("POST", target, form)
+		case "appendedit", "overwriteedit":
+			parts := strings.SplitN(rest, " ", 3)
+			if len(parts) != 3 {
+				continue
+			}
+			p.scriptEdit(parts[0], parts[1], expandSelf(parts[2], self), op == "appendedit")
+		}
+	}
+}
+
+// expandSelf substitutes the self-propagation placeholder and translates
+// literal \n escapes, so payloads can be written inline in attributes.
+func expandSelf(s, self string) string {
+	s = strings.ReplaceAll(s, "{self}", self)
+	return strings.ReplaceAll(s, `\n`, "\n")
+}
+
+// scriptEdit performs a read-modify-write edit through an edit form, the
+// way the paper's XSS payload modifies a second Wiki page from the
+// victim's browser: fetch the form, alter the named field, submit.
+func (p *Page) scriptEdit(editURL, field, text string, appendMode bool) {
+	resp, _ := p.roundTrip("GET", editURL, nil)
+	if resp.Status != 200 {
+		return
+	}
+	formDoc := dom.Parse(resp.Body)
+	forms := formDoc.ElementsByTag("form")
+	if len(forms) == 0 {
+		return
+	}
+	form := forms[0]
+	target := form.ByName(field)
+	if target == nil {
+		return
+	}
+	if appendMode {
+		setFieldValue(target, fieldValue(target)+text)
+	} else {
+		setFieldValue(target, text)
+	}
+	method, action, vals := formSubmission(form)
+	if strings.EqualFold(method, "GET") {
+		u := action
+		if enc := vals.Encode(); enc != "" {
+			u = action + "?" + enc
+		}
+		p.roundTrip("GET", u, nil)
+		return
+	}
+	p.roundTrip("POST", action, vals)
+}

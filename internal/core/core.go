@@ -1,0 +1,407 @@
+// Package core wires WARP together (paper Figure 1): the logging HTTP
+// server manager, the application runtime and its repair manager, the
+// time-travel database, the browser log store, and the repair controller.
+//
+// During normal execution every HTTP request flows through HandleRequest,
+// which runs the application, records the run and its queries as actions
+// in the action history graph, and accounts log storage. Browser
+// extensions upload per-visit event logs through UploadVisitLog.
+//
+// Repair (repair.go) is initiated by RetroPatch or UndoVisit and follows
+// the paper's rollback-and-reexecute scheme over the graph.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"warp/internal/app"
+	"warp/internal/browser"
+	"warp/internal/history"
+	"warp/internal/httpd"
+	"warp/internal/ttdb"
+	"warp/internal/vclock"
+)
+
+// Config carries tunables for a WARP deployment.
+type Config struct {
+	// Seed drives all simulated nondeterminism (tokens, client IDs).
+	Seed int64
+	// Replay selects browser re-execution fidelity; nil means full WARP
+	// replay. The degraded configurations reproduce the paper's Table 4.
+	Replay *browser.ReplayConfig
+	// ClientLogQuota bounds the number of visit logs retained per client,
+	// so one client cannot monopolize (or starve) server log space (§5.2).
+	// 0 means the default of 100000.
+	ClientLogQuota int
+	// Trace, when set, receives a line for every repair-controller step —
+	// the debugging view of what rollback-and-reexecute decided and why.
+	Trace func(format string, args ...any)
+}
+
+// Warp is one WARP-managed web application deployment.
+type Warp struct {
+	Clock   *vclock.Clock
+	DB      *ttdb.DB
+	Runtime *app.Runtime
+	Graph   *history.Graph
+
+	cfg Config
+	rng *rand.Rand
+
+	// mu guards the log stores, indexes, queues, and counters below.
+	// suspendMu implements the brief repair cut-over suspension (§4.3):
+	// requests hold it shared; Suspend takes it exclusively.
+	// repairMu serializes repairs.
+	mu        sync.Mutex
+	suspendMu sync.RWMutex
+	repairMu  sync.Mutex
+
+	// Browser log store (§5.2): per-client visit logs under quota.
+	visitLogs  map[string][]*browser.VisitLog
+	visitByID  map[string]map[int64]*browser.VisitLog
+	visitOrder []*browser.VisitLog // all logs in upload order
+
+	// HTTP server manager state: exchange node → app-run action.
+	runByHTTP map[history.NodeID]history.ActionID
+	srvReqSeq int64 // request counter for extensionless clients
+
+	// Partition index: table → partition nodes seen, for conservative
+	// whole-table dirt fan-out during repair.
+	partsByTable map[string]map[history.NodeID]bool
+
+	// Cookie invalidation queue (§5.3) and conflict queue (§5.4).
+	cookieInvalid map[string][]string
+	conflicts     []browser.Conflict
+
+	// Storage accounting (Table 6).
+	browserLogBytes int
+	appLogBytes     int
+	dbLogBytes      int
+}
+
+// New creates a WARP deployment with a fresh clock, database, runtime, and
+// history graph.
+func New(cfg Config) *Warp {
+	if cfg.ClientLogQuota == 0 {
+		cfg.ClientLogQuota = 100000
+	}
+	if cfg.Replay == nil {
+		full := browser.FullReplay
+		cfg.Replay = &full
+	}
+	clock := &vclock.Clock{}
+	db := ttdb.Open(clock)
+	return &Warp{
+		Clock:         clock,
+		DB:            db,
+		Runtime:       app.NewRuntime(db, cfg.Seed),
+		Graph:         history.New(),
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed ^ 0x5741525f)),
+		visitLogs:     make(map[string][]*browser.VisitLog),
+		visitByID:     make(map[string]map[int64]*browser.VisitLog),
+		runByHTTP:     make(map[history.NodeID]history.ActionID),
+		partsByTable:  make(map[string]map[history.NodeID]bool),
+		cookieInvalid: make(map[string][]string),
+	}
+}
+
+// RunPayload is the graph payload for an application-run action.
+type RunPayload struct {
+	Rec *app.RunRecord
+	// FileVersions snapshots the code versions the run used, so repair can
+	// prune runs whose code is unchanged.
+	FileVersions map[string]int
+	// QueryActions are the graph actions for the run's queries.
+	QueryActions []history.ActionID
+	// Superseded marks runs replaced or cancelled during a repair: their
+	// recorded effects no longer describe the repaired timeline.
+	Superseded bool
+	// Repaired marks actions appended by repair itself.
+	Repaired bool
+}
+
+// QueryPayload is the graph payload for a query action.
+type QueryPayload struct {
+	Rec        *ttdb.Record
+	RunAction  history.ActionID
+	Superseded bool
+	Repaired   bool
+}
+
+// httpNodeFor derives the HTTP exchange node for a request, assigning a
+// server-side identifier to requests from extensionless clients (the
+// paper's server-side request IDs, §7). Caller holds w.mu.
+func (w *Warp) httpNodeFor(req *httpd.Request) history.NodeID {
+	if req.ClientID != "" {
+		return history.HTTPNode(req.ClientID, req.VisitID, req.RequestID)
+	}
+	w.srvReqSeq++
+	return history.HTTPNode("srv", 0, w.srvReqSeq)
+}
+
+// httpNodeForReplay derives the exchange node for a replay-path request,
+// which always carries client identifiers.
+func (w *Warp) httpNodeForReplay(req *httpd.Request) history.NodeID {
+	return history.HTTPNode(req.ClientID, req.VisitID, req.RequestID)
+}
+
+// HandleRequest serves one request under normal execution: route, run the
+// application, record the run in the history graph. It is the Apache +
+// WARP-logging-module path of Figure 1. Requests block briefly while a
+// finishing repair cuts over (§4.3) but otherwise run concurrently with
+// repair.
+func (w *Warp) HandleRequest(req *httpd.Request) *httpd.Response {
+	w.suspendMu.RLock()
+	defer w.suspendMu.RUnlock()
+
+	// Cookie invalidation (§5.3): if repair left this client's replayed
+	// cookie diverged, delete the cookie on its next contact.
+	w.mu.Lock()
+	var invalidated []string
+	if names, ok := w.cookieInvalid[req.ClientID]; ok && req.ClientID != "" {
+		for _, n := range names {
+			delete(req.Cookies, n)
+		}
+		invalidated = names
+		delete(w.cookieInvalid, req.ClientID)
+	}
+	w.mu.Unlock()
+
+	file, ok := w.Runtime.RouteOf(req.Path)
+	if !ok {
+		return httpd.NotFound("no route for " + req.Path)
+	}
+	rec, err := w.Runtime.Run(file, req, nil, nil)
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	w.recordRun(rec, nil)
+	resp := rec.Resp
+	for _, n := range invalidated {
+		resp.ClearCookie(n)
+	}
+	return resp
+}
+
+// recordRun appends a run and its queries to the action history graph.
+// When repaired is non-nil the actions are flagged as produced by repair.
+func (w *Warp) recordRun(rec *app.RunRecord, repaired *bool) history.ActionID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	httpNode := w.httpNodeFor(rec.Req)
+	runAct := &history.Action{
+		Kind: history.KindAppRun,
+		Time: rec.Time,
+	}
+	payload := &RunPayload{Rec: rec, FileVersions: make(map[string]int)}
+	if repaired != nil {
+		payload.Repaired = *repaired
+	}
+	runAct.Payload = payload
+	for _, f := range rec.FilesLoaded {
+		payload.FileVersions[f] = w.Runtime.FileVersion(f)
+		runAct.Inputs = append(runAct.Inputs, history.Dep{Node: history.FileNode(f), Time: rec.Time})
+	}
+	runAct.Inputs = append(runAct.Inputs, history.Dep{Node: httpNode, Time: rec.Time})
+	runAct.Outputs = append(runAct.Outputs, history.Dep{Node: httpNode, Time: rec.Time})
+	if rec.Req.ClientID != "" {
+		cookieNode := history.CookieNode(rec.Req.ClientID)
+		if len(rec.Req.Cookies) > 0 {
+			runAct.Inputs = append(runAct.Inputs, history.Dep{Node: cookieNode, Time: rec.Time})
+		}
+		if rec.Resp != nil && (len(rec.Resp.SetCookies) > 0 || len(rec.Resp.ClearCookies) > 0) {
+			runAct.Outputs = append(runAct.Outputs, history.Dep{Node: cookieNode, Time: rec.Time})
+		}
+	}
+	runID := w.Graph.Append(runAct)
+	w.runByHTTP[httpNode] = runID
+
+	for _, q := range rec.Queries {
+		qa := &history.Action{
+			Kind:    history.KindQuery,
+			Time:    q.Time,
+			Payload: &QueryPayload{Rec: q, RunAction: runID, Repaired: payload.Repaired},
+		}
+		for _, p := range q.ReadPartitions {
+			qa.Inputs = append(qa.Inputs, history.Dep{Node: w.partNode(p), Time: q.Time})
+		}
+		for _, p := range q.WritePartitions {
+			qa.Outputs = append(qa.Outputs, history.Dep{Node: w.partNode(p), Time: q.Time})
+		}
+		payload.QueryActions = append(payload.QueryActions, w.Graph.Append(qa))
+	}
+	w.appLogBytes += rec.ApproxLogBytes()
+	w.dbLogBytes += rec.DBLogBytes()
+	return runID
+}
+
+// partNode interns a partition node and indexes it by table.
+func (w *Warp) partNode(p ttdb.Partition) history.NodeID {
+	node := history.PartitionNode(p.String())
+	byTable, ok := w.partsByTable[p.Table]
+	if !ok {
+		byTable = make(map[history.NodeID]bool)
+		w.partsByTable[p.Table] = byTable
+	}
+	byTable[node] = true
+	return node
+}
+
+// UploadVisitLog receives a visit log from a client's browser extension
+// and stores it in the per-client log store under quota (§5.2). The log
+// object is shared with the live browser, which keeps appending events; in
+// the real system uploads are periodic, and the in-process sharing models
+// "upload before repair needs it".
+func (w *Warp) UploadVisitLog(log *browser.VisitLog) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if log.ClientID == "" {
+		return
+	}
+	log.Time = w.Clock.Now()
+	logs := w.visitLogs[log.ClientID]
+	if len(logs) >= w.cfg.ClientLogQuota {
+		// Quota: drop the oldest log for this client, so one client cannot
+		// cause collection of others' entries (§5.2).
+		drop := logs[0]
+		logs = logs[1:]
+		delete(w.visitByID[log.ClientID], drop.VisitID)
+	}
+	w.visitLogs[log.ClientID] = append(logs, log)
+	byID, ok := w.visitByID[log.ClientID]
+	if !ok {
+		byID = make(map[int64]*browser.VisitLog)
+		w.visitByID[log.ClientID] = byID
+	}
+	byID[log.VisitID] = log
+	w.visitOrder = append(w.visitOrder, log)
+	w.browserLogBytes += log.ApproxLogBytes()
+}
+
+// NewBrowser creates a client browser wired to this deployment: its
+// transport is the WARP server and its extension uploads logs here.
+func (w *Warp) NewBrowser() *browser.Browser {
+	w.mu.Lock()
+	rng := rand.New(rand.NewSource(w.rng.Int63()))
+	w.mu.Unlock()
+	return browser.New(w.HandleRequest, w.UploadVisitLog, rng)
+}
+
+// Suspend blocks request processing until Resume: the brief cut-over
+// suspension at the end of repair (§4.3). In-flight requests complete
+// first.
+func (w *Warp) Suspend() { w.suspendMu.Lock() }
+
+// Resume re-enables request processing.
+func (w *Warp) Resume() { w.suspendMu.Unlock() }
+
+// Conflicts returns the queued conflicts awaiting user resolution (§5.4).
+func (w *Warp) Conflicts() []browser.Conflict {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]browser.Conflict{}, w.conflicts...)
+}
+
+// ConflictsFor returns the queued conflicts for one client, the set shown
+// on the user's conflict resolution page when they next log in.
+func (w *Warp) ConflictsFor(clientID string) []browser.Conflict {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []browser.Conflict
+	for _, c := range w.conflicts {
+		if c.Client == clientID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// PendingCookieInvalidation reports whether a client's cookies are queued
+// for deletion (§5.3).
+func (w *Warp) PendingCookieInvalidation(clientID string) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	_, ok := w.cookieInvalid[clientID]
+	return ok
+}
+
+// ResolveConflictByCancel implements the paper's conflict resolution UI
+// (§5.4, §6): the user, shown a queued conflict for one of their page
+// visits, chooses to cancel that visit altogether — all of its HTTP
+// requests are undone in a new repair, and the conflict is dequeued.
+// Canceling one's own conflicted visit is permitted even when it
+// propagates conflicts to other users (§5.5's exception).
+func (w *Warp) ResolveConflictByCancel(clientID string, visitID int64) (*Report, error) {
+	w.mu.Lock()
+	found := false
+	rest := w.conflicts[:0]
+	for _, c := range w.conflicts {
+		if c.Client == clientID && c.VisitID == visitID {
+			found = true
+			continue
+		}
+		rest = append(rest, c)
+	}
+	w.conflicts = rest
+	w.mu.Unlock()
+	if !found {
+		return nil, fmt.Errorf("warp: no queued conflict for %s/%d", clientID, visitID)
+	}
+	// The §5.5 exception: resolving one's own reported conflict may cancel
+	// even if that creates conflicts for others, so this runs with
+	// administrator-strength undo.
+	return w.UndoVisit(clientID, visitID, true)
+}
+
+// StorageStats reports log storage by layer, the Table 6 accounting.
+type StorageStats struct {
+	BrowserLogBytes int
+	AppLogBytes     int
+	DBLogBytes      int
+	DBRowBytes      int
+	PageVisits      int
+}
+
+// Storage returns current storage statistics.
+func (w *Warp) Storage() StorageStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return StorageStats{
+		BrowserLogBytes: w.browserLogBytes,
+		AppLogBytes:     w.appLogBytes,
+		DBLogBytes:      w.dbLogBytes,
+		DBRowBytes:      w.DB.Stats().ApproxBytes,
+		PageVisits:      len(w.visitOrder),
+	}
+}
+
+// GC discards history older than beforeTime from both the database and
+// the graph, moving both horizons together (§4.2).
+func (w *Warp) GC(beforeTime int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.DB.GC(beforeTime); err != nil {
+		return err
+	}
+	w.Graph.GC(beforeTime)
+	return nil
+}
+
+// visitsOfClient returns a client's visit logs in upload order.
+func (w *Warp) visitsOfClient(clientID string) []*browser.VisitLog {
+	return w.visitLogs[clientID]
+}
+
+// childVisits returns the visits created from a parent visit, in order.
+func (w *Warp) childVisits(clientID string, parentVisit int64) []*browser.VisitLog {
+	var out []*browser.VisitLog
+	for _, v := range w.visitLogs[clientID] {
+		if v.ParentVisit == parentVisit {
+			out = append(out, v)
+		}
+	}
+	return out
+}

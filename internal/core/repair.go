@@ -1,0 +1,1134 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"net/url"
+	"sort"
+	"time"
+
+	"warp/internal/app"
+	"warp/internal/browser"
+	"warp/internal/history"
+	"warp/internal/httpd"
+	"warp/internal/sqldb"
+	"warp/internal/ttdb"
+)
+
+// workKind classifies repair work items.
+type workKind uint8
+
+const (
+	workQueryCheck  workKind = iota // re-execute / re-check one query
+	workRunExec                     // re-execute one application run
+	workVisitReplay                 // replay one browser page visit
+)
+
+// workItem is one queued unit of repair work, ordered by original time.
+type workItem struct {
+	kind workKind
+	time int64
+	seq  int64
+
+	action history.ActionID // query / run items
+
+	client string // visit items
+	visit  int64
+	// navOverride carries a replayed parent's re-derived navigation
+	// request for the child visit's main request (it may differ from the
+	// recorded one, e.g. after a text merge).
+	navMethod string
+	navURL    string
+	navForm   url.Values
+	hasNav    bool
+}
+
+type workQueue []*workItem
+
+func (q workQueue) Len() int { return len(q) }
+func (q workQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q workQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *workQueue) Push(x any)   { *q = append(*q, x.(*workItem)) }
+func (q *workQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// servedEntry caches the outcome of re-serving one HTTP exchange during
+// repair, so a visit replay does not re-execute a run the controller
+// already re-executed (§5.3 pruning).
+type servedEntry struct {
+	reqFP uint64
+	resp  *httpd.Response
+}
+
+// session is the state of one repair (the paper's repair controller).
+type session struct {
+	w   *Warp
+	gen int64
+	rep *Report
+	cfg browser.ReplayConfig
+
+	queue workQueue
+	seq   int64
+
+	// dirt maps partitions to the earliest time their contents changed
+	// during this repair.
+	dirt        map[ttdb.Partition]int64
+	pendingKeys map[string]bool
+
+	origRuns    map[history.NodeID]history.ActionID // first-seen (original) run per exchange
+	served      map[history.NodeID]*servedEntry
+	activeVisit map[string]bool
+
+	jarOverride map[string]map[string]string // diverged replay cookie jars
+
+	// navOverrides remembers, per child visit, the parent's latest
+	// re-derived main request (e.g. a merged form), so a later standalone
+	// re-replay of the child does not fall back to the stale recorded one.
+	navOverrides map[string]*workItem
+
+	conflicts []browser.Conflict
+
+	// Distinct work accounting for the Tables 7/8 "re-executed actions"
+	// columns: repeats of the same item (fixpoint passes) count once.
+	doneVisits  map[string]bool
+	doneRuns    map[history.ActionID]bool
+	doneQueries map[history.ActionID]bool
+
+	iterations int
+	maxIter    int
+
+	trace func(format string, args ...any)
+
+	// timing
+	serveNest int
+	tInit     time.Duration
+	tGraph    time.Duration
+	tBrowser  time.Duration
+	tDB       time.Duration
+	tApp      time.Duration
+}
+
+func (w *Warp) newSession(gen int64) *session {
+	rep := &Report{Generation: gen}
+	rep.TotalAppRuns = len(w.Graph.ByKind(history.KindAppRun))
+	rep.TotalQueries = len(w.Graph.ByKind(history.KindQuery))
+	w.mu.Lock()
+	rep.TotalPageVisits = len(w.visitOrder)
+	w.mu.Unlock()
+	w.Graph.ResetLoadStats()
+	return &session{
+		w:            w,
+		gen:          gen,
+		rep:          rep,
+		cfg:          *w.cfg.Replay,
+		dirt:         make(map[ttdb.Partition]int64),
+		pendingKeys:  make(map[string]bool),
+		origRuns:     make(map[history.NodeID]history.ActionID),
+		served:       make(map[history.NodeID]*servedEntry),
+		activeVisit:  make(map[string]bool),
+		jarOverride:  make(map[string]map[string]string),
+		navOverrides: make(map[string]*workItem),
+		doneVisits:   make(map[string]bool),
+		doneRuns:     make(map[history.ActionID]bool),
+		doneQueries:  make(map[history.ActionID]bool),
+		maxIter:      50*(rep.TotalAppRuns+rep.TotalQueries+rep.TotalPageVisits) + 10000,
+		trace:        w.cfg.Trace,
+	}
+}
+
+// markRun counts a distinct run re-execution.
+func (rs *session) markRun(id history.ActionID) {
+	if !rs.doneRuns[id] {
+		rs.doneRuns[id] = true
+		rs.rep.AppRunsReexecuted++
+	}
+}
+
+// markQuery counts a distinct query re-execution.
+func (rs *session) markQuery(id history.ActionID) {
+	if !rs.doneQueries[id] {
+		rs.doneQueries[id] = true
+		rs.rep.QueriesReexecuted++
+	}
+}
+
+// tracef logs one controller step when tracing is enabled.
+func (rs *session) tracef(format string, args ...any) {
+	if rs.trace != nil {
+		rs.trace(format, args...)
+	}
+}
+
+//
+// Queueing
+//
+
+func itemKey(it *workItem) string {
+	switch it.kind {
+	case workVisitReplay:
+		return fmt.Sprintf("v:%s/%d", it.client, it.visit)
+	default:
+		return fmt.Sprintf("a:%d:%d", it.kind, it.action)
+	}
+}
+
+func (rs *session) push(it *workItem) {
+	key := itemKey(it)
+	if rs.pendingKeys[key] && !it.hasNav {
+		return
+	}
+	rs.pendingKeys[key] = true
+	rs.seq++
+	it.seq = rs.seq
+	heap.Push(&rs.queue, it)
+}
+
+func (rs *session) enqueueQuery(a *history.Action) {
+	if p, ok := a.Payload.(*QueryPayload); ok && !p.Superseded {
+		rs.push(&workItem{kind: workQueryCheck, time: a.Time, action: a.ID})
+	}
+}
+
+func (rs *session) enqueueRun(a *history.Action) {
+	if p, ok := a.Payload.(*RunPayload); ok && !p.Superseded {
+		rs.push(&workItem{kind: workRunExec, time: a.Time, action: a.ID})
+	}
+}
+
+func (rs *session) enqueueVisit(log *browser.VisitLog) {
+	key := fmt.Sprintf("v:%s/%d", log.ClientID, log.VisitID)
+	if rs.activeVisit[key] {
+		return
+	}
+	rs.push(&workItem{kind: workVisitReplay, time: log.Time, client: log.ClientID, visit: log.VisitID})
+}
+
+//
+// Dirt tracking and propagation (§4.1: partition-based dependencies)
+//
+
+// addDirt records that partitions changed from a given time on and
+// enqueues every logged query reading or writing them afterwards.
+func (rs *session) addDirt(parts []ttdb.Partition, from int64) {
+	for _, p := range parts {
+		if old, ok := rs.dirt[p]; !ok || from < old {
+			rs.dirt[p] = from
+		}
+		rs.propagate(p, from)
+	}
+}
+
+// propagate finds actions depending on a partition strictly after the
+// causing time. Forward-only propagation is what makes the repair loop
+// terminate: re-executing an action at time t can only ever enqueue work
+// later than t.
+func (rs *session) propagate(p ttdb.Partition, from int64) {
+	t0 := time.Now()
+	var nodes []history.NodeID
+	rs.w.mu.Lock()
+	if p.IsWholeTable() {
+		// Whole-table dirt touches every partition of the table.
+		for n := range rs.w.partsByTable[p.Table] {
+			nodes = append(nodes, n)
+		}
+	} else {
+		nodes = append(nodes,
+			history.PartitionNode(p.String()),
+			history.PartitionNode(ttdb.WholeTable(p.Table).String()))
+	}
+	rs.w.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var acts []*history.Action
+	for _, n := range nodes {
+		acts = append(acts, rs.w.Graph.Readers(n, from+1)...)
+		acts = append(acts, rs.w.Graph.Writers(n, from+1)...)
+	}
+	rs.tGraph += time.Since(t0)
+	for _, a := range acts {
+		if a.Kind == history.KindQuery {
+			rs.enqueueQuery(a)
+		}
+	}
+}
+
+// dirtyAt reports whether any of the partitions was dirtied at or before t
+// (meaning a query reading them at time t could see changed data).
+func (rs *session) dirtyAt(parts []ttdb.Partition, t int64) bool {
+	for _, p := range parts {
+		if p.IsWholeTable() {
+			for dp, dt := range rs.dirt {
+				if dp.Table == p.Table && dt <= t {
+					return true
+				}
+			}
+			continue
+		}
+		if dt, ok := rs.dirt[p]; ok && dt <= t {
+			return true
+		}
+		if dt, ok := rs.dirt[ttdb.WholeTable(p.Table)]; ok && dt <= t {
+			return true
+		}
+	}
+	return false
+}
+
+//
+// Repair entry points
+//
+
+// RetroPatch retroactively applies a security patch (§3.2): it installs
+// the new version of the source file and re-executes every application run
+// that loaded that file, recursively repairing everything affected.
+func (w *Warp) RetroPatch(file string, v app.Version) (*Report, error) {
+	return w.RetroPatchSince(file, v, 0)
+}
+
+// RetroPatchSince is RetroPatch from a given past time (the paper's
+// "time at which this patch should be applied", default the epoch).
+func (w *Warp) RetroPatchSince(file string, v app.Version, since int64) (*Report, error) {
+	return w.repair(func(rs *session) error {
+		t0 := time.Now()
+		if err := w.Runtime.Patch(file, v); err != nil {
+			return err
+		}
+		w.Graph.Append(&history.Action{
+			Kind:    history.KindPatch,
+			Time:    w.Clock.Tick(),
+			Outputs: []history.Dep{{Node: history.FileNode(file), Time: since}},
+			Payload: v.Note,
+		})
+		tg := time.Now()
+		runs := w.Graph.Readers(history.FileNode(file), since)
+		rs.tGraph += time.Since(tg)
+		for _, a := range runs {
+			if a.Kind == history.KindAppRun {
+				rs.enqueueRun(a)
+			}
+		}
+		rs.tInit += time.Since(t0)
+		return nil
+	}, "")
+}
+
+// UndoVisit cancels a past page visit: every HTTP request the visit made
+// is undone, with effects recursively repaired (§5.5). Non-administrators
+// may not cause conflicts for other users; such repairs abort.
+func (w *Warp) UndoVisit(clientID string, visitID int64, admin bool) (*Report, error) {
+	initiator := clientID
+	if admin {
+		initiator = "" // administrators may cancel anything
+	}
+	return w.repair(func(rs *session) error {
+		t0 := time.Now()
+		w.mu.Lock()
+		vlog := w.visitByID[clientID][visitID]
+		w.mu.Unlock()
+		if vlog == nil {
+			return fmt.Errorf("warp: no visit log for %s/%d", clientID, visitID)
+		}
+		for _, tr := range vlog.Requests {
+			rs.cancelExchange(clientID, visitID, tr.RequestID)
+		}
+		rs.tInit += time.Since(t0)
+		return nil
+	}, initiator)
+}
+
+// repair runs a full repair session: fork a generation, seed the queue,
+// process to fixpoint, drain under suspension, and commit (or abort when a
+// non-admin undo caused conflicts for other users).
+func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*Report, error) {
+	w.repairMu.Lock()
+	defer w.repairMu.Unlock()
+
+	tStart := time.Now()
+	gen, err := w.DB.BeginRepair()
+	if err != nil {
+		return nil, err
+	}
+	rs := w.newSession(gen)
+	if err := seed(rs); err != nil {
+		_ = w.DB.AbortRepair()
+		return nil, err
+	}
+	if err := rs.processQueue(); err != nil {
+		_ = w.DB.AbortRepair()
+		return nil, err
+	}
+
+	// Drain (§4.3): briefly suspend normal operation, re-propagate all
+	// dirt so requests logged during repair on repaired partitions are
+	// re-applied, and process to fixpoint.
+	w.Suspend()
+	defer w.Resume()
+	for pass := 0; pass < 8; pass++ {
+		for p, t := range rs.dirt {
+			rs.propagate(p, t)
+		}
+		if len(rs.queue) == 0 {
+			break
+		}
+		if err := rs.processQueue(); err != nil {
+			_ = w.DB.AbortRepair()
+			return nil, err
+		}
+	}
+
+	// Non-admin undo must not spill conflicts onto other users (§5.5).
+	if restrictConflictsTo != "" {
+		for _, c := range rs.conflicts {
+			if c.Client != restrictConflictsTo {
+				if err := w.DB.AbortRepair(); err != nil {
+					return nil, err
+				}
+				rs.rep.Aborted = true
+				rs.rep.Conflicts = rs.conflicts
+				rs.rep.Timing.Total = time.Since(tStart)
+				return rs.rep, fmt.Errorf("warp: undo would conflict for user %s; aborted", c.Client)
+			}
+		}
+	}
+
+	if err := w.DB.FinishRepair(); err != nil {
+		return nil, err
+	}
+
+	// Queue conflicts and cookie invalidations for affected clients.
+	w.mu.Lock()
+	w.conflicts = append(w.conflicts, rs.conflicts...)
+	for client, jar := range rs.jarOverride {
+		var names []string
+		for name := range jar {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		w.cookieInvalid[client] = names
+	}
+	w.mu.Unlock()
+
+	rs.rep.Conflicts = rs.conflicts
+	rs.rep.GraphNodesLoaded = w.Graph.LoadedNodes()
+	rs.rep.Timing.Init = rs.tInit
+	rs.rep.Timing.Graph = rs.tGraph
+	rs.rep.Timing.Browser = rs.tBrowser
+	rs.rep.Timing.DB = rs.tDB
+	rs.rep.Timing.App = rs.tApp
+	rs.rep.Timing.Total = time.Since(tStart)
+	rs.rep.Timing.Ctrl = rs.rep.Timing.Total - rs.tInit - rs.tGraph - rs.tBrowser - rs.tDB - rs.tApp
+	return rs.rep, nil
+}
+
+// processQueue drains the work queue.
+func (rs *session) processQueue() error {
+	for len(rs.queue) > 0 {
+		rs.iterations++
+		if rs.iterations > rs.maxIter {
+			return fmt.Errorf("warp: repair did not converge after %d steps", rs.iterations)
+		}
+		it := heap.Pop(&rs.queue).(*workItem)
+		key := itemKey(it)
+		delete(rs.pendingKeys, key)
+		rs.tracef("pop t=%d kind=%d key=%s nav=%v", it.time, it.kind, key, it.hasNav)
+		var err error
+		switch it.kind {
+		case workQueryCheck:
+			err = rs.processQuery(it)
+		case workRunExec:
+			err = rs.processRun(it)
+		case workVisitReplay:
+			err = rs.processVisit(it)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+//
+// Query re-checking and re-execution (§4)
+//
+
+func (rs *session) processQuery(it *workItem) error {
+	act := rs.w.Graph.Get(it.action)
+	if act == nil {
+		return nil
+	}
+	payload := act.Payload.(*QueryPayload)
+	if payload.Superseded {
+		return nil
+	}
+	// If the owning run is itself queued, its re-execution covers this
+	// query.
+	runKey := fmt.Sprintf("a:%d:%d", workRunExec, payload.RunAction)
+	if rs.pendingKeys[runKey] {
+		return nil
+	}
+	rec := payload.Rec
+
+	oldOutcome := rec.Outcome()
+	rs.tracef("qcheck t=%d kind=%s sql=%.60s", rec.Time, rec.Kind, rec.SQL)
+	t0 := time.Now()
+	_, newRec, err := rs.w.DB.ReExec(rec.SQL, rec.Params, rec.Time, origForReExec(rec))
+	rs.tDB += time.Since(t0)
+	rs.markQuery(act.ID)
+	if err != nil && newRec == nil {
+		return fmt.Errorf("warp: re-executing %q: %w", rec.SQL, err)
+	}
+	if rec.IsWrite() {
+		// Re-applied write: the re-executed record replaces the original
+		// *in place*, so the query action and the owning run record (which
+		// share the pointer) both see the repaired-timeline state, and the
+		// action's identity is stable, which bounds reprocessing. Newly
+		// touched partitions are indexed onto the same action.
+		*rec = *newRec
+		var ins, outs []history.Dep
+		rs.w.mu.Lock()
+		for _, p := range rec.ReadPartitions {
+			ins = append(ins, history.Dep{Node: rs.w.partNode(p), Time: rec.Time})
+		}
+		for _, p := range rec.WritePartitions {
+			outs = append(outs, history.Dep{Node: rs.w.partNode(p), Time: rec.Time})
+		}
+		rs.w.mu.Unlock()
+		rs.w.Graph.AddDeps(act.ID, ins, outs)
+		rs.addDirt(rec.WritePartitions, rec.Time)
+	}
+	if newRec.Outcome() != oldOutcome {
+		// The query's observable result changed: the application run that
+		// issued it may behave differently (§4, §7).
+		if runAct := rs.w.Graph.Get(payload.RunAction); runAct != nil {
+			rs.enqueueRun(runAct)
+		}
+	}
+	return nil
+}
+
+// origForReExec passes the original record for write re-execution (two-
+// phase re-execution needs the original write set); reads re-execute
+// standalone.
+func origForReExec(rec *ttdb.Record) *ttdb.Record {
+	if rec.IsWrite() {
+		return rec
+	}
+	return nil
+}
+
+//
+// Run re-execution (§3.3)
+//
+
+func (rs *session) processRun(it *workItem) error {
+	act := rs.w.Graph.Get(it.action)
+	if act == nil {
+		return nil
+	}
+	payload := act.Payload.(*RunPayload)
+	if payload.Superseded {
+		return nil
+	}
+	_, err := rs.executeRun(act, payload.Rec.Req.Clone())
+	return err
+}
+
+// origRunFor resolves the original-timeline run action for an HTTP
+// exchange node, memoizing the first sighting (before repair overwrites
+// the latest-run map).
+func (rs *session) origRunFor(node history.NodeID) *history.Action {
+	if id, ok := rs.origRuns[node]; ok {
+		return rs.w.Graph.Get(id)
+	}
+	rs.w.mu.Lock()
+	id, ok := rs.w.runByHTTP[node]
+	rs.w.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	rs.origRuns[node] = id
+	return rs.w.Graph.Get(id)
+}
+
+// runClean reports whether a recorded run would re-execute identically:
+// same code versions and no query read from a partition dirtied at or
+// before the query's time.
+func (rs *session) runClean(payload *RunPayload) bool {
+	if payload.Superseded {
+		return false
+	}
+	for f, ver := range payload.FileVersions {
+		if rs.w.Runtime.FileVersion(f) != ver {
+			return false
+		}
+	}
+	for _, q := range payload.Rec.Queries {
+		if rs.dirtyAt(q.ReadPartitions, q.Time) {
+			return false
+		}
+		if q.IsWrite() && rs.dirtyAt(q.WritePartitions, q.Time) {
+			return false
+		}
+	}
+	return true
+}
+
+// executeRun re-executes one application run in the repair generation,
+// re-matching its queries, undoing writes it no longer performs, and
+// cascading to the browser when its response changed. Returns the new
+// response.
+func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*httpd.Response, error) {
+	origPayload := origAct.Payload.(*RunPayload)
+	orig := origPayload.Rec
+	node := rs.w.httpNodeForReplay(req)
+	// Remember the original mapping before it is overwritten.
+	if _, ok := rs.origRuns[node]; !ok {
+		rs.origRuns[node] = origAct.ID
+	}
+
+	file, ok := rs.w.Runtime.RouteOf(req.Path)
+	if !ok {
+		return httpd.NotFound("no route for " + req.Path), nil
+	}
+
+	matcher := newQueryMatcher(orig.Queries)
+	lastTime := origAct.Time
+	qf := func(sql string, params []sqldb.Value) (*sqldb.Result, *ttdb.Record, error) {
+		stmt, err := sqldb.Parse(sql)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Match against the original run's queries by normalized SQL text
+		// (records store the parsed statement's canonical form).
+		origRec := matcher.match(stmt.String())
+		var t int64
+		if origRec != nil {
+			t = origRec.Time
+		} else {
+			// A brand-new query: give it a fresh slot just after the
+			// previous query of this run (the clock strides leave room).
+			lastTime++
+			t = lastTime
+		}
+		t0 := time.Now()
+		res, newRec, err := rs.w.DB.ReExecStmt(stmt, params, t, origRec)
+		rs.tDB += time.Since(t0)
+		if newRec != nil {
+			lastTime = newRec.Time
+			if newRec.IsWrite() {
+				rs.tracef("  run-query write t=%d sql=%.60s", t, sql)
+				rs.addDirt(newRec.WritePartitions, t)
+			}
+		}
+		return res, newRec, err
+	}
+
+	t0 := time.Now()
+	dbBefore := rs.tDB
+	newRec, err := rs.w.Runtime.Run(file, req, qf, orig)
+	rs.tApp += time.Since(t0) - (rs.tDB - dbBefore)
+	if err != nil {
+		return nil, err
+	}
+	rs.markRun(origAct.ID)
+
+	// Undo the effects of original queries the new code no longer issues
+	// (e.g. the attack's writes, §2.2).
+	for _, rec := range matcher.unconsumedWrites() {
+		if err := rs.rollbackWrite(rec); err != nil {
+			return nil, err
+		}
+	}
+
+	// The original run and its queries no longer describe the timeline.
+	origPayload.Superseded = true
+	for _, qid := range origPayload.QueryActions {
+		if qa := rs.w.Graph.Get(qid); qa != nil {
+			qa.Payload.(*QueryPayload).Superseded = true
+		}
+	}
+	repaired := true
+	rs.w.recordRun(newRec, &repaired)
+
+	// Cascade to the browser if the client-visible response changed (§5).
+	if orig.Resp != nil && newRec.Resp != nil && orig.Resp.Fingerprint() != newRec.Resp.Fingerprint() {
+		rs.tracef("run %s %s changed response (visit %s/%d)", req.Method, req.Path, orig.Req.ClientID, orig.Req.VisitID)
+		rs.cascadeToBrowser(orig.Req)
+	}
+	rs.served[node] = &servedEntry{reqFP: req.Fingerprint(), resp: newRec.Resp}
+	return newRec.Resp, nil
+}
+
+// cascadeToBrowser queues the page visit that received a changed response,
+// or queues a conflict when the client has no extension log (§2.3).
+func (rs *session) cascadeToBrowser(req *httpd.Request) {
+	if req.ClientID == "" {
+		rs.conflicts = append(rs.conflicts, browser.Conflict{
+			Kind:   browser.ConflictNoLog,
+			Client: req.ClientID,
+			Detail: fmt.Sprintf("response to %s %s changed but the client has no extension log", req.Method, req.Path),
+		})
+		return
+	}
+	rs.w.mu.Lock()
+	vlog := rs.w.visitByID[req.ClientID][req.VisitID]
+	rs.w.mu.Unlock()
+	if vlog == nil {
+		rs.conflicts = append(rs.conflicts, browser.Conflict{
+			Kind:    browser.ConflictNoLog,
+			Client:  req.ClientID,
+			VisitID: req.VisitID,
+			Detail:  "changed response for a visit with no uploaded log",
+		})
+		return
+	}
+	rs.enqueueVisit(vlog)
+}
+
+// rollbackWrite undoes one recorded write query.
+func (rs *session) rollbackWrite(rec *ttdb.Record) error {
+	if len(rec.WriteRowIDs) == 0 {
+		rs.addDirt(rec.WritePartitions, rec.Time)
+		return nil
+	}
+	rs.tracef("rollback write t=%d table=%s rows=%d sql=%.60s", rec.Time, rec.Table, len(rec.WriteRowIDs), rec.SQL)
+	t0 := time.Now()
+	dirt, err := rs.w.DB.RollbackRows(rec.Table, rec.WriteRowIDs, rec.Time)
+	rs.tDB += time.Since(t0)
+	if err != nil {
+		return err
+	}
+	rs.addDirt(append(dirt, rec.WritePartitions...), rec.Time)
+	return nil
+}
+
+// cancelExchange undoes the application run behind one HTTP exchange.
+func (rs *session) cancelExchange(clientID string, visitID, requestID int64) {
+	rs.tracef("cancel exchange %s/%d/%d", clientID, visitID, requestID)
+	node := history.HTTPNode(clientID, visitID, requestID)
+	act := rs.origRunFor(node)
+	if act == nil {
+		return
+	}
+	payload := act.Payload.(*RunPayload)
+	if payload.Superseded {
+		return
+	}
+	for _, q := range payload.Rec.Queries {
+		if q.IsWrite() {
+			if err := rs.rollbackWrite(q); err != nil {
+				// Rollback beyond the GC horizon is the only failure here;
+				// surface it as a conflict rather than wedging repair.
+				rs.conflicts = append(rs.conflicts, browser.Conflict{
+					Kind: browser.ConflictNoLog, Client: clientID, VisitID: visitID,
+					Detail: fmt.Sprintf("cannot undo %q: %v", q.SQL, err),
+				})
+			}
+		}
+	}
+	payload.Superseded = true
+	for _, qid := range payload.QueryActions {
+		if qa := rs.w.Graph.Get(qid); qa != nil {
+			qa.Payload.(*QueryPayload).Superseded = true
+		}
+	}
+	rs.rep.RunsCancelled++
+}
+
+// cancelVisitTree deep-cancels a visit that no longer happens in the
+// repaired timeline, including the visits it spawned.
+func (rs *session) cancelVisitTree(log *browser.VisitLog) {
+	rs.tracef("cancel visit tree %s/%d url=%s", log.ClientID, log.VisitID, log.URL)
+	for _, tr := range log.Requests {
+		rs.cancelExchange(log.ClientID, log.VisitID, tr.RequestID)
+	}
+	rs.w.mu.Lock()
+	children := append([]*browser.VisitLog{}, rs.w.childVisits(log.ClientID, log.VisitID)...)
+	rs.w.mu.Unlock()
+	for _, c := range children {
+		rs.cancelVisitTree(c)
+	}
+}
+
+//
+// Browser re-execution (§5.3)
+//
+
+// repairTransport serves HTTP requests from replayed browsers: it prunes
+// unchanged requests and re-executes affected runs in the repair
+// generation.
+func (rs *session) repairTransport(req *httpd.Request) *httpd.Response {
+	node := rs.w.httpNodeForReplay(req)
+	if e, ok := rs.served[node]; ok && e.reqFP == req.Fingerprint() {
+		return e.resp
+	}
+	origAct := rs.origRunFor(node)
+	if origAct == nil {
+		// A request with no original counterpart: fresh execution.
+		return rs.freshRun(req)
+	}
+	payload := origAct.Payload.(*RunPayload)
+	if req.Fingerprint() == payload.Rec.Req.Fingerprint() && rs.runClean(payload) {
+		// Identical request, unaffected run: reuse the original response
+		// (§5.3 pruning).
+		return payload.Rec.Resp
+	}
+	resp, err := rs.executeRun(origAct, req)
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return resp
+}
+
+// freshRun executes a request that never happened in the original
+// timeline (e.g. a patched page newly navigating somewhere).
+func (rs *session) freshRun(req *httpd.Request) *httpd.Response {
+	file, ok := rs.w.Runtime.RouteOf(req.Path)
+	if !ok {
+		return httpd.NotFound("no route for " + req.Path)
+	}
+	lastTime := rs.w.Clock.Now()
+	qf := func(sql string, params []sqldb.Value) (*sqldb.Result, *ttdb.Record, error) {
+		lastTime++
+		t0 := time.Now()
+		res, rec, err := rs.w.DB.ReExec(sql, params, lastTime, nil)
+		rs.tDB += time.Since(t0)
+		if rec != nil && rec.IsWrite() {
+			rs.addDirt(rec.WritePartitions, rec.Time)
+		}
+		return res, rec, err
+	}
+	t0 := time.Now()
+	dbBefore := rs.tDB
+	rec, err := rs.w.Runtime.Run(file, req, qf, nil)
+	rs.tApp += time.Since(t0) - (rs.tDB - dbBefore)
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	rs.seq++
+	rs.markRun(history.ActionID(-rs.seq)) // fresh runs get synthetic ids
+	repaired := true
+	rs.w.recordRun(rec, &repaired)
+	node := rs.w.httpNodeForReplay(req)
+	rs.served[node] = &servedEntry{reqFP: req.Fingerprint(), resp: rec.Resp}
+	return rec.Resp
+}
+
+func (rs *session) processVisit(it *workItem) error {
+	rs.w.mu.Lock()
+	vlog := rs.w.visitByID[it.client][it.visit]
+	rs.w.mu.Unlock()
+	if vlog == nil {
+		return nil
+	}
+	key := fmt.Sprintf("v:%s/%d", it.client, it.visit)
+	rs.activeVisit[key] = true
+	defer delete(rs.activeVisit, key)
+	if !rs.doneVisits[key] {
+		rs.doneVisits[key] = true
+		rs.rep.PageVisitsReplayed++
+	}
+
+	// The clone's cookie jar: the diverged replay jar if the client's
+	// timeline forked earlier, else the jar recorded at visit start (§5.3).
+	jar := rs.jarOverride[it.client]
+	if jar == nil {
+		jar = cloneJar(vlog.Cookies)
+	} else {
+		jar = cloneJar(jar)
+	}
+
+	// The original main response body, for the UI-conflict hook.
+	origBody := ""
+	if len(vlog.Requests) > 0 {
+		if act := rs.origRunFor(history.HTTPNode(it.client, it.visit, vlog.Requests[0].RequestID)); act != nil {
+			if resp := act.Payload.(*RunPayload).Rec.Resp; resp != nil {
+				origBody = resp.Body
+			}
+		}
+	}
+
+	// A parent's replay may have re-derived this visit's main request
+	// (e.g. with three-way-merged form content); a stored override from an
+	// earlier replay of the parent also applies to standalone re-replays.
+	if !it.hasNav {
+		if ov, ok := rs.navOverrides[key]; ok {
+			it = &workItem{
+				kind: it.kind, time: it.time, client: it.client, visit: it.visit,
+				navMethod: ov.navMethod, navURL: ov.navURL, navForm: ov.navForm, hasNav: true,
+			}
+		}
+	}
+	var mainResp *httpd.Response
+	if it.hasNav {
+		req := rs.buildRequest(it.navMethod, it.navURL, it.navForm, it.client, it.visit, mainRequestID(vlog), jar)
+		mainResp = rs.repairTransport(req)
+		applyCookies(jar, mainResp)
+		for i := 0; i < 4 && mainResp.Status == 303 && mainResp.Headers["Location"] != ""; i++ {
+			req = rs.buildRequest("GET", mainResp.Headers["Location"], url.Values{}, it.client, it.visit, 0, jar)
+			mainResp = rs.repairTransport(req)
+			applyCookies(jar, mainResp)
+		}
+	}
+
+	t0 := time.Now()
+	dbBefore, appBefore := rs.tDB, rs.tApp
+	out := browser.ReplayVisit(vlog, mainResp, origBody, jar, rs.repairTransport, rs.cfg)
+	// Attribute nested serve time to DB/App, the rest to the browser.
+	rs.tBrowser += time.Since(t0) - (rs.tDB - dbBefore) - (rs.tApp - appBefore)
+
+	rs.tracef("replayed visit %s/%d url=%s navs=%d conflicts=%d unmatched=%d", it.client, it.visit, vlog.URL, len(out.Navigations), len(out.Conflicts), len(out.UnmatchedOriginals))
+	rs.conflicts = append(rs.conflicts, out.Conflicts...)
+	if !rs.cfg.HasLog {
+		// Without the extension WARP cannot verify or undo browser-side
+		// activity; the conflict above is all it can report (§2.3).
+		return nil
+	}
+
+	// Original requests the replay did not re-issue are undone: this is
+	// how an XSS payload's HTTP requests disappear (§2.2).
+	for _, tr := range out.UnmatchedOriginals {
+		rs.cancelExchange(it.client, it.visit, tr.RequestID)
+	}
+
+	// Match navigations to the original child visits.
+	rs.w.mu.Lock()
+	children := append([]*browser.VisitLog{}, rs.w.childVisits(it.client, it.visit)...)
+	rs.w.mu.Unlock()
+	usedChild := make(map[int64]bool)
+	for _, nav := range out.Navigations {
+		child := matchChild(children, usedChild, nav)
+		if child == nil {
+			// A navigation that never happened originally: execute it fresh.
+			req := rs.buildRequest(nav.Method, nav.URL, nav.Form, it.client, rs.freshVisitID(), 1, out.CookiesAfter)
+			resp := rs.repairTransport(req)
+			applyCookies(out.CookiesAfter, resp)
+			continue
+		}
+		usedChild[child.VisitID] = true
+		req := rs.buildRequest(nav.Method, nav.URL, nav.Form, it.client, child.VisitID, mainRequestID(child), out.CookiesAfter)
+		origAct := rs.origRunFor(rs.w.httpNodeForReplay(req))
+		prunable := false
+		if origAct != nil {
+			p := origAct.Payload.(*RunPayload)
+			prunable = req.Fingerprint() == p.Rec.Req.Fingerprint() && rs.runClean(p) &&
+				jarEqual(child.Cookies, out.CookiesAfter)
+		}
+		if prunable {
+			rs.tracef("  nav %s %s -> child %d pruned", nav.Method, nav.URL, child.VisitID)
+			continue
+		}
+		rs.tracef("  nav %s %s -> child %d enqueued", nav.Method, nav.URL, child.VisitID)
+		item := &workItem{
+			kind: workVisitReplay, time: child.Time,
+			client: it.client, visit: child.VisitID,
+			navMethod: nav.Method, navURL: nav.URL, navForm: nav.Form, hasNav: true,
+		}
+		rs.navOverrides[fmt.Sprintf("v:%s/%d", it.client, child.VisitID)] = item
+		rs.push(item)
+	}
+	// Original children the replay no longer navigated to never happen in
+	// the repaired timeline: undo their whole subtrees.
+	for _, child := range children {
+		if !usedChild[child.VisitID] {
+			rs.cancelVisitTree(child)
+		}
+	}
+
+	// Cookie divergence: if the replayed jar no longer matches the
+	// original timeline, the client's later visits re-execute with the
+	// new cookies (§5.3, and the CSRF recovery path of §8.2).
+	rs.trackCookieDivergence(it.client, it.visit, out.CookiesAfter)
+	return nil
+}
+
+// trackCookieDivergence compares the replayed jar against the recorded jar
+// of the client's next visit and queues that visit when they differ. At
+// the end of the client's timeline the comparison is against the jar the
+// original execution ended with; a diverged final jar is queued for
+// cookie invalidation (§5.3).
+func (rs *session) trackCookieDivergence(client string, visitID int64, after map[string]string) {
+	rs.w.mu.Lock()
+	logs := rs.w.visitsOfClient(client)
+	var cur, next *browser.VisitLog
+	for _, v := range logs {
+		if v.VisitID == visitID {
+			cur = v
+		}
+		if v.VisitID > visitID {
+			next = v
+			break
+		}
+	}
+	rs.w.mu.Unlock()
+	if next == nil {
+		if cur != nil && jarEqual(rs.origJarAfter(cur), after) {
+			delete(rs.jarOverride, client)
+		} else {
+			rs.jarOverride[client] = after
+		}
+		return
+	}
+	if jarEqual(next.Cookies, after) {
+		delete(rs.jarOverride, client)
+		return
+	}
+	rs.tracef("cookie divergence for %s after visit %d; queueing visit %d", client, visitID, next.VisitID)
+	rs.jarOverride[client] = after
+	rs.enqueueVisit(next)
+}
+
+// origJarAfter reconstructs the cookie jar the client held after a visit
+// in the original timeline, from the visit's starting jar and its
+// responses' cookie changes.
+func (rs *session) origJarAfter(vlog *browser.VisitLog) map[string]string {
+	jar := cloneJar(vlog.Cookies)
+	for _, tr := range vlog.Requests {
+		act := rs.origRunFor(history.HTTPNode(vlog.ClientID, vlog.VisitID, tr.RequestID))
+		if act == nil {
+			continue
+		}
+		if resp := act.Payload.(*RunPayload).Rec.Resp; resp != nil {
+			applyCookies(jar, resp)
+		}
+	}
+	return jar
+}
+
+// buildRequest assembles a replay-path HTTP request.
+func (rs *session) buildRequest(method, rawURL string, form url.Values, client string, visit, reqID int64, jar map[string]string) *httpd.Request {
+	req := httpd.NewRequest(method, rawURL)
+	if form != nil {
+		req.Form = form
+	}
+	for k, v := range jar {
+		req.Cookies[k] = v
+	}
+	req.ClientID = client
+	req.VisitID = visit
+	req.RequestID = reqID
+	return req
+}
+
+// freshVisitID allocates IDs for navigations that create brand-new visits
+// during repair.
+func (rs *session) freshVisitID() int64 {
+	rs.seq++
+	return 1<<40 + rs.seq
+}
+
+// mainRequestID returns the request ID of a visit's main request.
+func mainRequestID(v *browser.VisitLog) int64 {
+	if len(v.Requests) > 0 {
+		return v.Requests[0].RequestID
+	}
+	return 1
+}
+
+// matchChild finds the first unconsumed child visit matching a navigation
+// by method and path.
+func matchChild(children []*browser.VisitLog, used map[int64]bool, nav browser.Navigation) *browser.VisitLog {
+	navPath, _ := httpd.SplitURL(nav.URL)
+	for _, c := range children {
+		if used[c.VisitID] {
+			continue
+		}
+		cPath, _ := httpd.SplitURL(c.URL)
+		if c.Method == nav.Method && cPath == navPath && c.IsFrame == nav.IsFrame {
+			return c
+		}
+	}
+	// Fall back to the first unconsumed child of the same frame-ness.
+	for _, c := range children {
+		if !used[c.VisitID] && c.IsFrame == nav.IsFrame {
+			return c
+		}
+	}
+	return nil
+}
+
+func cloneJar(in map[string]string) map[string]string {
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func jarEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func applyCookies(jar map[string]string, resp *httpd.Response) {
+	for k, v := range resp.SetCookies {
+		jar[k] = v
+	}
+	for _, k := range resp.ClearCookies {
+		delete(jar, k)
+	}
+}
+
+//
+// Query matching for run re-execution
+//
+
+// queryMatcher pairs queries issued by a re-executed run with the original
+// run's queries, by SQL text, in order (§3.3's in-order matching applied
+// to queries).
+type queryMatcher struct {
+	bySQL map[string][]*ttdb.Record
+	used  map[*ttdb.Record]bool
+}
+
+func newQueryMatcher(orig []*ttdb.Record) *queryMatcher {
+	m := &queryMatcher{bySQL: make(map[string][]*ttdb.Record), used: make(map[*ttdb.Record]bool)}
+	for _, q := range orig {
+		m.bySQL[q.SQL] = append(m.bySQL[q.SQL], q)
+	}
+	return m
+}
+
+// match consumes and returns the next original query with the same SQL
+// text, or nil.
+func (m *queryMatcher) match(sql string) *ttdb.Record {
+	list := m.bySQL[sql]
+	for _, q := range list {
+		if !m.used[q] {
+			m.used[q] = true
+			return q
+		}
+	}
+	return nil
+}
+
+// unconsumedWrites returns original write queries the new execution did
+// not re-issue.
+func (m *queryMatcher) unconsumedWrites() []*ttdb.Record {
+	var out []*ttdb.Record
+	for _, list := range m.bySQL {
+		for _, q := range list {
+			if !m.used[q] && q.IsWrite() {
+				out = append(out, q)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}

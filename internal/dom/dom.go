@@ -1,0 +1,336 @@
+// Package dom provides the HTML document model used by WARP's browser
+// simulator: an HTML parser for the markup the web applications emit, a
+// mutable DOM tree, and the XPath subset WARP's browser extension uses to
+// name event targets during DOM-level record and replay (paper §5.2).
+package dom
+
+import (
+	"sort"
+	"strings"
+)
+
+// NodeType distinguishes element and text nodes.
+type NodeType uint8
+
+// Node types.
+const (
+	ElementNode NodeType = iota
+	TextNode
+)
+
+// Attr is one HTML attribute. Order is preserved.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Node is one DOM node. The zero value is not useful; use NewElement,
+// NewText, or Parse.
+type Node struct {
+	Type     NodeType
+	Tag      string // lower-case element name; "#document" for the root
+	Text     string // text nodes only
+	Attrs    []Attr
+	Children []*Node
+	Parent   *Node
+}
+
+// NewElement returns a detached element node.
+func NewElement(tag string, attrs ...Attr) *Node {
+	return &Node{Type: ElementNode, Tag: strings.ToLower(tag), Attrs: attrs}
+}
+
+// NewText returns a detached text node.
+func NewText(text string) *Node {
+	return &Node{Type: TextNode, Text: text}
+}
+
+// NewDocument returns an empty document root.
+func NewDocument() *Node {
+	return &Node{Type: ElementNode, Tag: "#document"}
+}
+
+// Attr returns the value of an attribute and whether it is present.
+func (n *Node) Attr(key string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the attribute value or a default.
+func (n *Node) AttrOr(key, def string) string {
+	if v, ok := n.Attr(key); ok {
+		return v
+	}
+	return def
+}
+
+// SetAttr sets or replaces an attribute.
+func (n *Node) SetAttr(key, val string) {
+	for i, a := range n.Attrs {
+		if a.Key == key {
+			n.Attrs[i].Val = val
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Key: key, Val: val})
+}
+
+// AppendChild attaches child as the last child of n.
+func (n *Node) AppendChild(child *Node) *Node {
+	child.Parent = n
+	n.Children = append(n.Children, child)
+	return child
+}
+
+// Remove detaches n from its parent. Detaching a parentless node is a
+// no-op.
+func (n *Node) Remove() {
+	p := n.Parent
+	if p == nil {
+		return
+	}
+	for i, c := range p.Children {
+		if c == n {
+			p.Children = append(p.Children[:i], p.Children[i+1:]...)
+			break
+		}
+	}
+	n.Parent = nil
+}
+
+// SetText replaces n's children with a single text node. For form controls
+// like textarea this is the field value.
+func (n *Node) SetText(text string) {
+	for _, c := range n.Children {
+		c.Parent = nil
+	}
+	n.Children = nil
+	n.AppendChild(NewText(text))
+}
+
+// InnerText concatenates all descendant text.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.innerText(&b)
+	return b.String()
+}
+
+func (n *Node) innerText(b *strings.Builder) {
+	if n.Type == TextNode {
+		b.WriteString(n.Text)
+		return
+	}
+	for _, c := range n.Children {
+		c.innerText(b)
+	}
+}
+
+// Walk visits n and every descendant in document order. Returning false
+// from visit stops the walk.
+func (n *Node) Walk(visit func(*Node) bool) bool {
+	if !visit(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// ElementsByTag returns all descendant elements with the given tag, in
+// document order.
+func (n *Node) ElementsByTag(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// ByID returns the first descendant element whose id attribute matches, or
+// nil.
+func (n *Node) ByID(id string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode {
+			if v, ok := c.Attr("id"); ok && v == id {
+				found = c
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ByName returns the first descendant element whose name attribute
+// matches, or nil.
+func (n *Node) ByName(name string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode {
+			if v, ok := c.Attr("name"); ok && v == name {
+				found = c
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// FormValues collects the submittable fields of a form element: input
+// (name/value), textarea (name/inner text), and select (name/option with
+// selected attribute, falling back to the first option). Keys are returned
+// sorted for determinism.
+func (n *Node) FormValues() map[string]string {
+	out := make(map[string]string)
+	n.Walk(func(c *Node) bool {
+		if c.Type != ElementNode {
+			return true
+		}
+		name, ok := c.Attr("name")
+		if !ok || name == "" {
+			return true
+		}
+		switch c.Tag {
+		case "input":
+			typ := strings.ToLower(c.AttrOr("type", "text"))
+			if typ == "checkbox" || typ == "radio" {
+				if _, checked := c.Attr("checked"); !checked {
+					return true
+				}
+			}
+			if typ == "submit" || typ == "button" {
+				return true
+			}
+			out[name] = c.AttrOr("value", "")
+		case "textarea":
+			out[name] = c.InnerText()
+		case "select":
+			opts := c.ElementsByTag("option")
+			val := ""
+			for i, o := range opts {
+				if _, sel := o.Attr("selected"); sel || i == 0 {
+					val = o.AttrOr("value", o.InnerText())
+					if sel {
+						break
+					}
+				}
+			}
+			out[name] = val
+		}
+		return true
+	})
+	return out
+}
+
+// SortedKeys returns the sorted keys of a string map (determinism helper
+// for callers serializing form values).
+func SortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy is
+// detached.
+func (n *Node) Clone() *Node {
+	c := &Node{Type: n.Type, Tag: n.Tag, Text: n.Text}
+	c.Attrs = append([]Attr{}, n.Attrs...)
+	for _, child := range n.Children {
+		cc := child.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// voidElements have no closing tag.
+var voidElements = map[string]bool{
+	"br": true, "hr": true, "img": true, "input": true, "meta": true,
+	"link": true, "base": true, "area": true, "col": true, "embed": true,
+	"source": true, "track": true, "wbr": true,
+}
+
+// rawTextElements hold raw (unparsed) character data.
+var rawTextElements = map[string]bool{"script": true, "style": true, "textarea": true, "title": true}
+
+// Render serializes the subtree to HTML.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch {
+	case n.Type == TextNode:
+		if n.Parent != nil && rawTextElements[n.Parent.Tag] && n.Parent.Tag != "textarea" && n.Parent.Tag != "title" {
+			b.WriteString(n.Text) // script/style render raw
+		} else {
+			b.WriteString(Escape(n.Text))
+		}
+	case n.Tag == "#document":
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	default:
+		b.WriteString("<")
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteString(" ")
+			b.WriteString(a.Key)
+			b.WriteString(`="`)
+			b.WriteString(EscapeAttr(a.Val))
+			b.WriteString(`"`)
+		}
+		if voidElements[n.Tag] {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteString(">")
+		for _, c := range n.Children {
+			c.render(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteString(">")
+	}
+}
+
+// Escape HTML-escapes text content. It is also the htmlspecialchars
+// equivalent the patched applications use to sanitize output (paper
+// Table 2 fixes).
+func Escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes text for use inside a double-quoted attribute.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Unescape reverses Escape/EscapeAttr for the entities the parser knows.
+func Unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&amp;", "&")
+	return r.Replace(s)
+}

@@ -1,0 +1,225 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleDocument(t *testing.T) {
+	doc := Parse(`<html><head><title>T</title></head><body><p id="x">hello <b>world</b></p></body></html>`)
+	html := doc.ElementsByTag("html")
+	if len(html) != 1 {
+		t.Fatalf("html elements = %d", len(html))
+	}
+	p := doc.ByID("x")
+	if p == nil || p.Tag != "p" {
+		t.Fatalf("ByID: %+v", p)
+	}
+	if got := p.InnerText(); got != "hello world" {
+		t.Fatalf("inner text = %q", got)
+	}
+	title := doc.ElementsByTag("title")[0]
+	if title.InnerText() != "T" {
+		t.Fatalf("title = %q", title.InnerText())
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	doc := Parse(`<input type="text" name='user' value="a&amp;b" disabled>`)
+	in := doc.ElementsByTag("input")[0]
+	if v := in.AttrOr("type", ""); v != "text" {
+		t.Fatalf("type = %q", v)
+	}
+	if v := in.AttrOr("name", ""); v != "user" {
+		t.Fatalf("name = %q", v)
+	}
+	if v := in.AttrOr("value", ""); v != "a&b" {
+		t.Fatalf("entity in attr: %q", v)
+	}
+	if _, ok := in.Attr("disabled"); !ok {
+		t.Fatal("bare attribute missing")
+	}
+}
+
+func TestParseScriptRawText(t *testing.T) {
+	doc := Parse(`<body><script>if (a < b && c > d) { fire(); }</script></body>`)
+	s := doc.ElementsByTag("script")[0]
+	if got := s.InnerText(); !strings.Contains(got, "a < b && c > d") {
+		t.Fatalf("script body mangled: %q", got)
+	}
+	// Script bodies round-trip unescaped.
+	if r := doc.Render(); !strings.Contains(r, "a < b && c > d") {
+		t.Fatalf("render mangled script: %q", r)
+	}
+}
+
+func TestParseTextareaEntities(t *testing.T) {
+	doc := Parse(`<textarea name="content">&lt;evil&gt; text</textarea>`)
+	ta := doc.ElementsByTag("textarea")[0]
+	if got := ta.InnerText(); got != "<evil> text" {
+		t.Fatalf("textarea content = %q", got)
+	}
+	// Rendering re-escapes.
+	if r := doc.Render(); !strings.Contains(r, "&lt;evil&gt;") {
+		t.Fatalf("render must escape textarea: %q", r)
+	}
+}
+
+func TestParseMismatchedAndUnclosed(t *testing.T) {
+	doc := Parse(`<div><p>one<p>two</div><span>tail`)
+	if n := len(doc.ElementsByTag("p")); n != 2 {
+		t.Fatalf("p count = %d", n)
+	}
+	if n := len(doc.ElementsByTag("span")); n != 1 {
+		t.Fatalf("span count = %d", n)
+	}
+	// Stray close tag is dropped.
+	doc2 := Parse(`<div>hello</b></div>`)
+	if doc2.ElementsByTag("div")[0].InnerText() != "hello" {
+		t.Fatal("stray close tag corrupted tree")
+	}
+}
+
+func TestParseCommentsAndDoctype(t *testing.T) {
+	doc := Parse(`<!DOCTYPE html><!-- secret --><p>visible</p>`)
+	if got := doc.InnerText(); got != "visible" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	src := `<html><body><div class="main"><a href="/wiki?p=Main">Main</a><br/><form action="/edit" method="post"><input type="text" name="title" value="x"/><textarea name="body">line1
+line2 &amp; more</textarea></form></div></body></html>`
+	doc := Parse(src)
+	rendered := doc.Render()
+	doc2 := Parse(rendered)
+	if doc2.Render() != rendered {
+		t.Fatalf("render not a fixed point:\n1: %s\n2: %s", rendered, doc2.Render())
+	}
+	// Semantics preserved.
+	ta := doc2.ElementsByTag("textarea")[0]
+	if got := ta.InnerText(); got != "line1\nline2 & more" {
+		t.Fatalf("textarea after round trip: %q", got)
+	}
+}
+
+func TestFormValues(t *testing.T) {
+	doc := Parse(`<form>
+		<input type="text" name="user" value="alice"/>
+		<input type="hidden" name="token" value="tok123"/>
+		<input type="checkbox" name="opt" value="on" checked/>
+		<input type="checkbox" name="unchecked" value="on"/>
+		<input type="submit" name="go" value="Go"/>
+		<textarea name="body">text here</textarea>
+		<select name="lang"><option value="en" selected>English</option><option value="de">German</option></select>
+	</form>`)
+	form := doc.ElementsByTag("form")[0]
+	vals := form.FormValues()
+	want := map[string]string{
+		"user": "alice", "token": "tok123", "opt": "on", "body": "text here", "lang": "en",
+	}
+	for k, v := range want {
+		if vals[k] != v {
+			t.Errorf("form[%q] = %q, want %q", k, vals[k], v)
+		}
+	}
+	if _, ok := vals["unchecked"]; ok {
+		t.Error("unchecked checkbox must not submit")
+	}
+	if _, ok := vals["go"]; ok {
+		t.Error("submit button must not submit as value")
+	}
+}
+
+func TestXPathRoundTrip(t *testing.T) {
+	doc := Parse(`<html><body><div><p>a</p><p>b</p><form><input name="x"/><textarea name="y"></textarea></form></div><div><p>c</p></div></body></html>`)
+	var targets []*Node
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode && n.Tag != "#document" {
+			targets = append(targets, n)
+		}
+		return true
+	})
+	if len(targets) < 8 {
+		t.Fatalf("few targets: %d", len(targets))
+	}
+	for _, n := range targets {
+		path := PathOf(n)
+		if path == "" {
+			t.Fatalf("no path for %s", n.Tag)
+		}
+		if got := Resolve(doc, path); got != n {
+			t.Fatalf("resolve(%q) = %v, want original %s", path, got, n.Tag)
+		}
+	}
+	// Second p in first div has index 2.
+	p2 := doc.ElementsByTag("p")[1]
+	if path := PathOf(p2); !strings.Contains(path, "p[2]") {
+		t.Fatalf("positional index missing: %q", path)
+	}
+}
+
+func TestXPathResolveOnChangedPage(t *testing.T) {
+	// The page changed (different text, removed script) but the form kept
+	// its structural position: the path still resolves — the property
+	// DOM-level replay relies on (§5).
+	orig := Parse(`<html><body><div id="content">old text<script>evil()</script></div><form><textarea name="body">v1</textarea></form></body></html>`)
+	ta := orig.ElementsByTag("textarea")[0]
+	path := PathOf(ta)
+
+	repaired := Parse(`<html><body><div id="content">new clean text</div><form><textarea name="body">v2</textarea></form></body></html>`)
+	got := Resolve(repaired, path)
+	if got == nil || got.Tag != "textarea" {
+		t.Fatalf("replay target lost after page change: %v", got)
+	}
+	// A page missing the form does not resolve: replay must flag a
+	// conflict.
+	gutted := Parse(`<html><body><p>page deleted</p></body></html>`)
+	if Resolve(gutted, path) != nil {
+		t.Fatal("path must not resolve on gutted page")
+	}
+}
+
+func TestCloneIsDeepAndDetached(t *testing.T) {
+	doc := Parse(`<div><p id="a">x</p></div>`)
+	clone := doc.Clone()
+	clone.ByID("a").SetText("changed")
+	if doc.ByID("a").InnerText() != "x" {
+		t.Fatal("clone shares children")
+	}
+	if clone.Parent != nil {
+		t.Fatal("clone must be detached")
+	}
+}
+
+func TestEscapeUnescape(t *testing.T) {
+	cases := []string{"", "plain", `<script>alert("x&y")</script>`, "a&amp;b", "quote'apos"}
+	for _, s := range cases {
+		if got := Unescape(Escape(s)); got != s {
+			t.Errorf("Unescape(Escape(%q)) = %q", s, got)
+		}
+		if got := Unescape(EscapeAttr(s)); got != s {
+			t.Errorf("Unescape(EscapeAttr(%q)) = %q", s, got)
+		}
+	}
+	if Escape("<b>") != "&lt;b&gt;" {
+		t.Fatal("Escape broken")
+	}
+}
+
+func TestRemoveAndSetAttr(t *testing.T) {
+	doc := Parse(`<div><span id="s">x</span></div>`)
+	s := doc.ByID("s")
+	s.SetAttr("class", "hot")
+	s.SetAttr("class", "cold")
+	if v, _ := s.Attr("class"); v != "cold" {
+		t.Fatalf("SetAttr replace: %q", v)
+	}
+	s.Remove()
+	if doc.ByID("s") != nil {
+		t.Fatal("Remove failed")
+	}
+	if len(doc.ElementsByTag("div")[0].Children) != 0 {
+		t.Fatal("parent keeps removed child")
+	}
+}

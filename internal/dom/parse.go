@@ -1,0 +1,200 @@
+package dom
+
+import (
+	"strings"
+)
+
+// Parse parses HTML text into a document tree. The parser is forgiving in
+// the ways WARP needs: unknown tags are kept, mismatched close tags close
+// up to the nearest matching ancestor (or are dropped), and unclosed
+// elements close at end of input. Script, style, textarea, and title
+// contents are treated as raw text.
+func Parse(src string) *Node {
+	p := &htmlParser{src: src}
+	doc := NewDocument()
+	p.parseInto(doc)
+	return doc
+}
+
+type htmlParser struct {
+	src string
+	pos int
+}
+
+func (p *htmlParser) parseInto(root *Node) {
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+	for p.pos < len(p.src) {
+		lt := strings.IndexByte(p.src[p.pos:], '<')
+		if lt < 0 {
+			appendText(top(), p.src[p.pos:])
+			return
+		}
+		if lt > 0 {
+			appendText(top(), p.src[p.pos:p.pos+lt])
+			p.pos += lt
+		}
+		// p.src[p.pos] == '<'
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			end := strings.Index(p.src[p.pos+4:], "-->")
+			if end < 0 {
+				return // unterminated comment swallows the rest
+			}
+			p.pos += 4 + end + 3
+		case strings.HasPrefix(p.src[p.pos:], "<!"):
+			// DOCTYPE or other declaration: skip to '>'.
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return
+			}
+			p.pos += end + 1
+		case strings.HasPrefix(p.src[p.pos:], "</"):
+			end := strings.IndexByte(p.src[p.pos:], '>')
+			if end < 0 {
+				return
+			}
+			name := strings.ToLower(strings.TrimSpace(p.src[p.pos+2 : p.pos+end]))
+			p.pos += end + 1
+			// Close up to the matching ancestor, if any.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == name {
+					stack = stack[:i]
+					break
+				}
+			}
+		default:
+			node, selfClose, ok := p.parseOpenTag()
+			if !ok {
+				// Literal '<' that does not open a tag.
+				appendText(top(), "<")
+				p.pos++
+				continue
+			}
+			top().AppendChild(node)
+			if selfClose || voidElements[node.Tag] {
+				continue
+			}
+			if rawTextElements[node.Tag] {
+				p.parseRawText(node)
+				continue
+			}
+			stack = append(stack, node)
+		}
+	}
+}
+
+// parseOpenTag parses "<tag attr=... >" starting at p.pos (which points at
+// '<'). It reports whether a valid tag was found; on success p.pos is
+// advanced past '>'.
+func (p *htmlParser) parseOpenTag() (*Node, bool, bool) {
+	i := p.pos + 1
+	start := i
+	for i < len(p.src) && isTagNameByte(p.src[i]) {
+		i++
+	}
+	if i == start {
+		return nil, false, false
+	}
+	name := strings.ToLower(p.src[start:i])
+	node := NewElement(name)
+	// Attributes.
+	for {
+		for i < len(p.src) && isSpaceByte(p.src[i]) {
+			i++
+		}
+		if i >= len(p.src) {
+			return nil, false, false
+		}
+		if p.src[i] == '>' {
+			p.pos = i + 1
+			return node, false, true
+		}
+		if strings.HasPrefix(p.src[i:], "/>") {
+			p.pos = i + 2
+			return node, true, true
+		}
+		// Attribute name.
+		aStart := i
+		for i < len(p.src) && p.src[i] != '=' && p.src[i] != '>' && p.src[i] != '/' && !isSpaceByte(p.src[i]) {
+			i++
+		}
+		if i == aStart {
+			// Stray character; skip it defensively.
+			i++
+			continue
+		}
+		key := strings.ToLower(p.src[aStart:i])
+		val := ""
+		if i < len(p.src) && p.src[i] == '=' {
+			i++
+			if i < len(p.src) && (p.src[i] == '"' || p.src[i] == '\'') {
+				q := p.src[i]
+				i++
+				vStart := i
+				for i < len(p.src) && p.src[i] != q {
+					i++
+				}
+				val = Unescape(p.src[vStart:i])
+				if i < len(p.src) {
+					i++ // closing quote
+				}
+			} else {
+				vStart := i
+				for i < len(p.src) && !isSpaceByte(p.src[i]) && p.src[i] != '>' {
+					i++
+				}
+				val = Unescape(p.src[vStart:i])
+			}
+		}
+		node.Attrs = append(node.Attrs, Attr{Key: key, Val: val})
+	}
+}
+
+// parseRawText consumes raw character data until the element's close tag.
+func (p *htmlParser) parseRawText(node *Node) {
+	closeTag := "</" + node.Tag
+	rest := p.src[p.pos:]
+	idx := strings.Index(strings.ToLower(rest), closeTag)
+	if idx < 0 {
+		if rest != "" {
+			node.AppendChild(NewText(rawUnescape(node.Tag, rest)))
+		}
+		p.pos = len(p.src)
+		return
+	}
+	if idx > 0 {
+		node.AppendChild(NewText(rawUnescape(node.Tag, rest[:idx])))
+	}
+	gt := strings.IndexByte(rest[idx:], '>')
+	if gt < 0 {
+		p.pos = len(p.src)
+		return
+	}
+	p.pos += idx + gt + 1
+}
+
+// rawUnescape unescapes entities for raw elements that are still
+// HTML-escaped on render (textarea, title); script and style bodies are
+// verbatim.
+func rawUnescape(tag, s string) string {
+	if tag == "textarea" || tag == "title" {
+		return Unescape(s)
+	}
+	return s
+}
+
+func appendText(parent *Node, text string) {
+	if text == "" {
+		return
+	}
+	parent.AppendChild(NewText(Unescape(text)))
+}
+
+func isTagNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r'
+}

@@ -1,0 +1,89 @@
+package dom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PathOf returns the XPath of an element, in the positional form WARP's
+// browser extension records for event targets (§5.2):
+// /html[1]/body[1]/form[1]/textarea[1]. Indexes are 1-based positions among
+// same-tag element siblings. Returns "" for text nodes and detached roots.
+func PathOf(n *Node) string {
+	if n == nil || n.Type != ElementNode || n.Tag == "#document" {
+		return ""
+	}
+	var segs []string
+	for cur := n; cur != nil && cur.Tag != "#document"; cur = cur.Parent {
+		if cur.Type != ElementNode {
+			return ""
+		}
+		idx := 1
+		if cur.Parent != nil {
+			for _, sib := range cur.Parent.Children {
+				if sib == cur {
+					break
+				}
+				if sib.Type == ElementNode && sib.Tag == cur.Tag {
+					idx++
+				}
+			}
+		}
+		segs = append(segs, fmt.Sprintf("%s[%d]", cur.Tag, idx))
+	}
+	// Reverse.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return "/" + strings.Join(segs, "/")
+}
+
+// Resolve finds the element named by an XPath produced by PathOf, or nil
+// when the path does not resolve in this document. Resolution tolerance is
+// what makes DOM-level replay robust to small page changes (§5): the target
+// is found as long as its tag-indexed path is unchanged, even if text and
+// unrelated subtrees differ.
+func Resolve(doc *Node, path string) *Node {
+	if path == "" || path[0] != '/' {
+		return nil
+	}
+	cur := doc
+	for _, seg := range strings.Split(path[1:], "/") {
+		tag, idx, ok := parseSegment(seg)
+		if !ok {
+			return nil
+		}
+		var next *Node
+		count := 0
+		for _, c := range cur.Children {
+			if c.Type == ElementNode && c.Tag == tag {
+				count++
+				if count == idx {
+					next = c
+					break
+				}
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+	}
+	return cur
+}
+
+func parseSegment(seg string) (string, int, bool) {
+	open := strings.IndexByte(seg, '[')
+	if open < 0 {
+		return strings.ToLower(seg), 1, seg != ""
+	}
+	if !strings.HasSuffix(seg, "]") {
+		return "", 0, false
+	}
+	idx, err := strconv.Atoi(seg[open+1 : len(seg)-1])
+	if err != nil || idx < 1 {
+		return "", 0, false
+	}
+	return strings.ToLower(seg[:open]), idx, true
+}

@@ -1,0 +1,317 @@
+// Package history implements WARP's action history graph, the data
+// structure WARP borrows from Retro (paper §2.1, Figure 1).
+//
+// A node represents the history of some part of the system over time — a
+// source code file, a database partition, an HTTP exchange, a browser page
+// visit, a client's cookie. An action represents a unit of (re-)executable
+// work — an application run, a database query, a browser page execution, a
+// retroactive patch — with input and output dependencies on nodes at
+// specific times.
+//
+// During normal execution the repair managers append actions; during repair
+// the controller walks the graph to find what must be re-executed. The
+// graph maintains per-node time-sorted indexes so the controller can load
+// only the parts of the graph an attack actually touched (the paper's
+// incremental loading, §8.5).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID names a node. IDs are structured strings, built by the helper
+// constructors below.
+type NodeID string
+
+// FileNode returns the node for an application source file.
+func FileNode(name string) NodeID { return NodeID("file:" + name) }
+
+// PartitionNode returns the node for a database partition. Partition is
+// the string form of a ttdb.Partition.
+func PartitionNode(partition string) NodeID { return NodeID("part:" + partition) }
+
+// HTTPNode returns the node for one HTTP exchange, identified by the
+// browser-assigned ⟨client, visit, request⟩ tuple (§5.1).
+func HTTPNode(clientID string, visitID, requestID int64) NodeID {
+	return NodeID(fmt.Sprintf("http:%s/%d/%d", clientID, visitID, requestID))
+}
+
+// VisitNode returns the node for a browser page visit.
+func VisitNode(clientID string, visitID int64) NodeID {
+	return NodeID(fmt.Sprintf("visit:%s/%d", clientID, visitID))
+}
+
+// CookieNode returns the node for a client's cookie state.
+func CookieNode(clientID string) NodeID { return NodeID("cookie:" + clientID) }
+
+// ActionID identifies an action in the graph.
+type ActionID int64
+
+// Kind classifies actions.
+type Kind uint8
+
+// Action kinds.
+const (
+	KindAppRun    Kind = iota // one run of application code (a "PHP execution")
+	KindQuery                 // one SQL query issued by a run
+	KindPageVisit             // one browser page execution
+	KindPatch                 // a retroactive patch application
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindAppRun:
+		return "app-run"
+	case KindQuery:
+		return "query"
+	case KindPageVisit:
+		return "page-visit"
+	case KindPatch:
+		return "patch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Dep is a dependency edge endpoint: a node at a time.
+type Dep struct {
+	Node NodeID
+	Time int64
+}
+
+// Action is one unit of recorded, re-executable work.
+type Action struct {
+	ID      ActionID
+	Kind    Kind
+	Time    int64 // when the action started (logical clock)
+	Inputs  []Dep
+	Outputs []Dep
+	// Payload carries the kind-specific record (an app-run record, a query
+	// record, a page-visit record). The repair managers interpret it.
+	Payload any
+}
+
+// Graph is the action history graph. It is safe for concurrent use.
+type Graph struct {
+	mu      sync.RWMutex
+	actions map[ActionID]*Action
+	order   []ActionID // in append (≈ time) order
+	nextID  ActionID
+
+	// Per-node indexes: actions that read from / wrote to a node, in
+	// append order.
+	readers map[NodeID][]ActionID
+	writers map[NodeID][]ActionID
+
+	// loadedNodes counts distinct nodes touched by repair-time lookups,
+	// approximating the paper's incremental graph loading cost metric.
+	loadedNodes map[NodeID]bool
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		actions:     make(map[ActionID]*Action),
+		readers:     make(map[NodeID][]ActionID),
+		writers:     make(map[NodeID][]ActionID),
+		loadedNodes: make(map[NodeID]bool),
+		nextID:      1,
+	}
+}
+
+// Append records a new action and returns its assigned ID.
+func (g *Graph) Append(a *Action) ActionID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a.ID = g.nextID
+	g.nextID++
+	g.actions[a.ID] = a
+	g.order = append(g.order, a.ID)
+	for _, d := range a.Inputs {
+		g.readers[d.Node] = append(g.readers[d.Node], a.ID)
+	}
+	for _, d := range a.Outputs {
+		g.writers[d.Node] = append(g.writers[d.Node], a.ID)
+	}
+	return a.ID
+}
+
+// Get returns an action by ID, or nil if unknown (e.g. collected).
+func (g *Graph) Get(id ActionID) *Action {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.actions[id]
+}
+
+// AddDeps extends an existing action with additional dependencies,
+// indexing them. Repair uses this when a re-executed query's record
+// replaces the original in place but touches new partitions.
+func (g *Graph) AddDeps(id ActionID, inputs, outputs []Dep) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	a := g.actions[id]
+	if a == nil {
+		return
+	}
+	have := make(map[Dep]bool, len(a.Inputs)+len(a.Outputs))
+	for _, d := range a.Inputs {
+		have[d] = true
+	}
+	for _, d := range inputs {
+		if !have[d] {
+			a.Inputs = append(a.Inputs, d)
+			g.readers[d.Node] = append(g.readers[d.Node], id)
+		}
+	}
+	have = make(map[Dep]bool, len(a.Outputs))
+	for _, d := range a.Outputs {
+		have[d] = true
+	}
+	for _, d := range outputs {
+		if !have[d] {
+			a.Outputs = append(a.Outputs, d)
+			g.writers[d.Node] = append(g.writers[d.Node], id)
+		}
+	}
+}
+
+// Len returns the number of live actions.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.actions)
+}
+
+// Readers returns the actions with an input dependency on node at or after
+// fromTime, in time order.
+func (g *Graph) Readers(node NodeID, fromTime int64) []*Action {
+	return g.lookup(g.readers, node, fromTime)
+}
+
+// Writers returns the actions with an output dependency on node at or
+// after fromTime, in time order.
+func (g *Graph) Writers(node NodeID, fromTime int64) []*Action {
+	return g.lookup(g.writers, node, fromTime)
+}
+
+func (g *Graph) lookup(index map[NodeID][]ActionID, node NodeID, fromTime int64) []*Action {
+	g.mu.Lock()
+	g.loadedNodes[node] = true
+	ids := index[node]
+	out := make([]*Action, 0, len(ids))
+	for _, id := range ids {
+		a := g.actions[id]
+		if a != nil && a.Time >= fromTime {
+			out = append(out, a)
+		}
+	}
+	g.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// ByKind returns all live actions of a kind, in time order. Used by
+// repair initialization (e.g. find every app run that loaded a file) and by
+// tests.
+func (g *Graph) ByKind(k Kind) []*Action {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*Action
+	for _, id := range g.order {
+		a := g.actions[id]
+		if a != nil && a.Kind == k {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// All returns every live action in append order.
+func (g *Graph) All() []*Action {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Action, 0, len(g.order))
+	for _, id := range g.order {
+		if a := g.actions[id]; a != nil {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// LoadedNodes reports how many distinct nodes repair-time lookups have
+// touched, the incremental-loading metric of §8.5.
+func (g *Graph) LoadedNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.loadedNodes)
+}
+
+// ResetLoadStats clears the loaded-node accounting (e.g. between repairs).
+func (g *Graph) ResetLoadStats() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.loadedNodes = make(map[NodeID]bool)
+}
+
+// GC removes actions older than beforeTime, in sync with the time-travel
+// database's version GC (§4.2): repair needs both the old row versions and
+// the graph entries, so both horizons move together.
+func (g *Graph) GC(beforeTime int64) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	removed := 0
+	keep := g.order[:0]
+	for _, id := range g.order {
+		a := g.actions[id]
+		if a == nil {
+			continue
+		}
+		if a.Time < beforeTime {
+			delete(g.actions, id)
+			removed++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	g.order = keep
+	if removed > 0 {
+		// Rebuild indexes without the dead actions.
+		g.readers = make(map[NodeID][]ActionID)
+		g.writers = make(map[NodeID][]ActionID)
+		for _, id := range g.order {
+			a := g.actions[id]
+			for _, d := range a.Inputs {
+				g.readers[d.Node] = append(g.readers[d.Node], a.ID)
+			}
+			for _, d := range a.Outputs {
+				g.writers[d.Node] = append(g.writers[d.Node], a.ID)
+			}
+		}
+	}
+	return removed
+}
+
+// ApproxBytes estimates the log size of the graph, for Table 6 storage
+// accounting. sizer is consulted for each payload; it may be nil.
+func (g *Graph) ApproxBytes(sizer func(payload any) int) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, a := range g.actions {
+		n += 16 // id + time
+		for _, d := range a.Inputs {
+			n += len(d.Node) + 8
+		}
+		for _, d := range a.Outputs {
+			n += len(d.Node) + 8
+		}
+		if sizer != nil {
+			n += sizer(a.Payload)
+		}
+	}
+	return n
+}

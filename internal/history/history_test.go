@@ -1,0 +1,178 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestAppendAndLookup(t *testing.T) {
+	g := New()
+	file := FileNode("edit.php")
+	part := PartitionNode("pages/title=tMain")
+
+	a1 := &Action{Kind: KindAppRun, Time: 10, Inputs: []Dep{{Node: file, Time: 10}}, Outputs: []Dep{{Node: part, Time: 11}}}
+	a2 := &Action{Kind: KindQuery, Time: 12, Inputs: []Dep{{Node: part, Time: 12}}}
+	a3 := &Action{Kind: KindAppRun, Time: 20, Inputs: []Dep{{Node: file, Time: 20}}}
+	id1 := g.Append(a1)
+	g.Append(a2)
+	g.Append(a3)
+
+	if g.Len() != 3 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	if got := g.Get(id1); got != a1 {
+		t.Fatal("Get returned wrong action")
+	}
+
+	readers := g.Readers(file, 0)
+	if len(readers) != 2 || readers[0] != a1 || readers[1] != a3 {
+		t.Fatalf("readers of file = %v", readers)
+	}
+	readers = g.Readers(file, 15)
+	if len(readers) != 1 || readers[0] != a3 {
+		t.Fatalf("readers from t=15 = %v", readers)
+	}
+	writers := g.Writers(part, 0)
+	if len(writers) != 1 || writers[0] != a1 {
+		t.Fatalf("writers of part = %v", writers)
+	}
+}
+
+func TestByKindAndOrder(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		kind := KindAppRun
+		if i%2 == 1 {
+			kind = KindQuery
+		}
+		g.Append(&Action{Kind: kind, Time: int64(i)})
+	}
+	runs := g.ByKind(KindAppRun)
+	if len(runs) != 5 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for i := 1; i < len(runs); i++ {
+		if runs[i].Time < runs[i-1].Time {
+			t.Fatal("ByKind must preserve time order")
+		}
+	}
+}
+
+func TestReadersSortedByTime(t *testing.T) {
+	g := New()
+	n := NodeID("part:x")
+	// Append out of time order; lookups must still return time order.
+	g.Append(&Action{Kind: KindQuery, Time: 30, Inputs: []Dep{{Node: n, Time: 30}}})
+	g.Append(&Action{Kind: KindQuery, Time: 10, Inputs: []Dep{{Node: n, Time: 10}}})
+	g.Append(&Action{Kind: KindQuery, Time: 20, Inputs: []Dep{{Node: n, Time: 20}}})
+	rs := g.Readers(n, 0)
+	if len(rs) != 3 || rs[0].Time != 10 || rs[1].Time != 20 || rs[2].Time != 30 {
+		t.Fatalf("order = %v", []int64{rs[0].Time, rs[1].Time, rs[2].Time})
+	}
+}
+
+func TestGC(t *testing.T) {
+	g := New()
+	n := NodeID("part:x")
+	for i := 0; i < 100; i++ {
+		g.Append(&Action{Kind: KindQuery, Time: int64(i), Inputs: []Dep{{Node: n, Time: int64(i)}}})
+	}
+	removed := g.GC(50)
+	if removed != 50 {
+		t.Fatalf("removed = %d", removed)
+	}
+	if g.Len() != 50 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	rs := g.Readers(n, 0)
+	if len(rs) != 50 || rs[0].Time != 50 {
+		t.Fatalf("post-GC readers: %d from %d", len(rs), rs[0].Time)
+	}
+	// Collected actions are gone from Get.
+	if g.Get(1) != nil {
+		t.Fatal("collected action still reachable")
+	}
+}
+
+func TestLoadedNodesAccounting(t *testing.T) {
+	g := New()
+	g.Append(&Action{Kind: KindQuery, Time: 1, Inputs: []Dep{{Node: "part:a", Time: 1}}})
+	g.ResetLoadStats()
+	g.Readers("part:a", 0)
+	g.Readers("part:a", 0) // same node: still one
+	g.Readers("part:b", 0) // miss still counts as a load probe
+	if got := g.LoadedNodes(); got != 2 {
+		t.Fatalf("loaded nodes = %d, want 2", got)
+	}
+}
+
+func TestApproxBytes(t *testing.T) {
+	g := New()
+	g.Append(&Action{Kind: KindQuery, Time: 1, Inputs: []Dep{{Node: "part:abc", Time: 1}}, Payload: "x"})
+	n := g.ApproxBytes(func(p any) int { return len(p.(string)) })
+	if n <= 0 {
+		t.Fatalf("bytes = %d", n)
+	}
+	if g.ApproxBytes(nil) <= 0 {
+		t.Fatal("nil sizer must still count structure")
+	}
+}
+
+// TestPropertyIndexConsistency: after random appends and GCs, every
+// reader/writer lookup returns exactly the live actions that declared the
+// dependency, in time order.
+func TestPropertyIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := New()
+	type expect struct {
+		node NodeID
+		time int64
+		id   ActionID
+	}
+	var reads, writes []expect
+	gcHorizon := int64(0)
+	tick := int64(0)
+	for step := 0; step < 500; step++ {
+		if rng.Intn(20) == 0 {
+			gcHorizon = tick - int64(rng.Intn(50))
+			g.GC(gcHorizon)
+			continue
+		}
+		tick++
+		node := NodeID(fmt.Sprintf("part:n%d", rng.Intn(8)))
+		a := &Action{Kind: KindQuery, Time: tick}
+		if rng.Intn(2) == 0 {
+			a.Inputs = []Dep{{Node: node, Time: tick}}
+		} else {
+			a.Outputs = []Dep{{Node: node, Time: tick}}
+		}
+		id := g.Append(a)
+		if len(a.Inputs) > 0 {
+			reads = append(reads, expect{node, tick, id})
+		} else {
+			writes = append(writes, expect{node, tick, id})
+		}
+	}
+	check := func(lookup func(NodeID, int64) []*Action, exp []expect) {
+		byNode := map[NodeID][]expect{}
+		for _, e := range exp {
+			if e.time >= gcHorizon {
+				byNode[e.node] = append(byNode[e.node], e)
+			}
+		}
+		for node, want := range byNode {
+			got := lookup(node, 0)
+			if len(got) != len(want) {
+				t.Fatalf("node %s: %d results, want %d", node, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].id {
+					t.Fatalf("node %s: result %d = action %d, want %d", node, i, got[i].ID, want[i].id)
+				}
+			}
+		}
+	}
+	check(g.Readers, reads)
+	check(g.Writers, writes)
+}

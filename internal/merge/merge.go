@@ -1,0 +1,303 @@
+// Package merge implements three-way text merging, the mechanism WARP's
+// re-execution browser extension uses to replay a user's keyboard input
+// into a text field whose contents changed during repair (paper §5.3).
+//
+// The canonical call is Merge(base, repaired, edited): base is the text the
+// field originally held, repaired is what the field holds on the repaired
+// page, and edited is what the user originally turned base into. The result
+// re-applies the user's edit on top of the repaired text. A conflict is
+// reported when the repair and the user changed overlapping regions — the
+// situation where WARP must queue a conflict for the user (§5.4).
+package merge
+
+import "strings"
+
+// Merge performs a line-based three-way merge. It returns the merged text
+// and whether the merge was clean. On conflict the returned text contains
+// the base text and must not be used; callers should treat the field as
+// conflicted.
+func Merge(base, a, b string) (string, bool) {
+	mergedLines, ok := MergeLines(splitLines(base), splitLines(a), splitLines(b))
+	if !ok {
+		return base, false
+	}
+	return strings.Join(mergedLines, "\n"), true
+}
+
+// MergeLines is Merge over pre-split lines.
+func MergeLines(base, a, b []string) ([]string, bool) {
+	hunks := diff3(base, a, b)
+	var out []string
+	for _, h := range hunks {
+		switch h.kind {
+		case hunkStable:
+			out = append(out, base[h.baseLo:h.baseHi]...)
+		case hunkTakeA:
+			out = append(out, a[h.aLo:h.aHi]...)
+		case hunkTakeB:
+			out = append(out, b[h.bLo:h.bHi]...)
+		case hunkConflict:
+			// Both sides changed the same region differently.
+			if equalSlices(a[h.aLo:h.aHi], b[h.bLo:h.bHi]) {
+				out = append(out, a[h.aLo:h.aHi]...)
+				continue
+			}
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+func splitLines(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+func equalSlices(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type hunkKind uint8
+
+const (
+	hunkStable hunkKind = iota
+	hunkTakeA
+	hunkTakeB
+	hunkConflict
+)
+
+type hunk struct {
+	kind           hunkKind
+	baseLo, baseHi int
+	aLo, aHi       int
+	bLo, bHi       int
+}
+
+// span is one changed region between base and a derivative: base[lo:hi]
+// was replaced by derived[dlo:dhi]. Insertions have lo == hi.
+type span struct {
+	lo, hi   int
+	dlo, dhi int
+}
+
+// hunksOf extracts the changed regions from an LCS alignment.
+func hunksOf(align []int, nDerived int) []span {
+	n := len(align)
+	var out []span
+	i, j := 0, 0
+	for {
+		for i < n && align[i] == j {
+			i++
+			j++
+		}
+		if i >= n && j >= nDerived {
+			return out
+		}
+		lo, dlo := i, j
+		for i < n && align[i] < 0 {
+			i++
+		}
+		hi := i
+		dhi := nDerived
+		if i < n {
+			dhi = align[i]
+		}
+		out = append(out, span{lo: lo, hi: hi, dlo: dlo, dhi: dhi})
+		j = dhi
+		if i >= n {
+			return out
+		}
+	}
+}
+
+// spansConflict reports whether two base ranges interfere. Ranges that
+// merely touch at an endpoint do not interfere (a deletion next to an
+// insertion merges, as in the paper's append-only attack scenario, §8.3);
+// two insertions at the same point do.
+func spansConflict(alo, ahi, blo, bhi int) bool {
+	if alo == ahi && blo == bhi {
+		return alo == blo
+	}
+	if alo == ahi {
+		return blo < alo && alo < bhi
+	}
+	if blo == bhi {
+		return alo < blo && blo < ahi
+	}
+	return maxInt(alo, blo) < minInt(ahi, bhi)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// diff3 computes the merge hunks: stable base regions interleaved with
+// groups of changes. Changes from the two sides that interfere on the
+// same base region form a conflict group; one-sided groups take that
+// side's text.
+func diff3(base, a, b []string) []hunk {
+	ha := hunksOf(lcsAlign(base, a), len(a))
+	hb := hunksOf(lcsAlign(base, b), len(b))
+
+	var out []hunk
+	basePos := 0
+	i, j := 0, 0
+	emitStable := func(hi int) {
+		if basePos < hi {
+			out = append(out, hunk{kind: hunkStable, baseLo: basePos, baseHi: hi})
+		}
+		basePos = hi
+	}
+	for i < len(ha) || j < len(hb) {
+		// Seed the group with whichever hunk starts first. On a tie, an
+		// insertion (empty base range) seeds first so it is emitted before
+		// the other side's change rather than regressing behind it; two
+		// insertions at the same point conflict via absorption either way.
+		var glo, ghi int
+		var seedA bool
+		switch {
+		case i >= len(ha):
+			seedA = false
+		case j >= len(hb):
+			seedA = true
+		case ha[i].lo != hb[j].lo:
+			seedA = ha[i].lo < hb[j].lo
+		case ha[i].lo == ha[i].hi:
+			seedA = true
+		case hb[j].lo == hb[j].hi:
+			seedA = false
+		default:
+			seedA = true // both non-empty at same point: they conflict anyway
+		}
+		if seedA {
+			glo, ghi = ha[i].lo, ha[i].hi
+		} else {
+			glo, ghi = hb[j].lo, hb[j].hi
+		}
+		firstA, firstB := i, j
+		if seedA {
+			i++
+		} else {
+			j++
+		}
+		// Absorb every hunk that interferes with the group.
+		for {
+			grew := false
+			if i < len(ha) && spansConflict(glo, ghi, ha[i].lo, ha[i].hi) {
+				ghi = maxInt(ghi, ha[i].hi)
+				i++
+				grew = true
+			}
+			if j < len(hb) && spansConflict(glo, ghi, hb[j].lo, hb[j].hi) {
+				ghi = maxInt(ghi, hb[j].hi)
+				j++
+				grew = true
+			}
+			if !grew {
+				break
+			}
+		}
+		hasA := i > firstA
+		hasB := j > firstB
+		aLo, aHi := derivedRange(ha[firstA:i], glo, ghi)
+		bLo, bHi := derivedRange(hb[firstB:j], glo, ghi)
+		h := hunk{baseLo: glo, baseHi: ghi, aLo: aLo, aHi: aHi, bLo: bLo, bHi: bHi}
+		switch {
+		case hasA && hasB:
+			if equalSlices(a[aLo:aHi], b[bLo:bHi]) {
+				h.kind = hunkTakeA
+			} else {
+				h.kind = hunkConflict
+			}
+		case hasA:
+			h.kind = hunkTakeA
+		default:
+			h.kind = hunkTakeB
+		}
+		emitStable(glo)
+		out = append(out, h)
+		basePos = ghi
+	}
+	emitStable(len(base))
+	return out
+}
+
+// derivedRange maps the group's base range onto one derivative using that
+// side's hunks within the group. Lines outside the side's hunks map 1:1.
+func derivedRange(hunks []span, glo, ghi int) (int, int) {
+	if len(hunks) == 0 {
+		// The side did not change this region; its text equals base, but
+		// the caller needs derived coordinates only when the side changed,
+		// so a zero range is fine.
+		return 0, 0
+	}
+	first, last := hunks[0], hunks[len(hunks)-1]
+	lo := first.dlo - (first.lo - glo)
+	hi := last.dhi + (ghi - last.hi)
+	return lo, hi
+}
+
+// lcsAlign returns, for each index i of base, the index in derived that
+// base[i] aligns to under a longest-common-subsequence alignment, or -1
+// when base[i] has no match. The returned mapping is strictly increasing
+// over matched entries.
+func lcsAlign(base, derived []string) []int {
+	n, m := len(base), len(derived)
+	align := make([]int, n)
+	for i := range align {
+		align[i] = -1
+	}
+	if n == 0 || m == 0 {
+		return align
+	}
+	// Standard O(n·m) LCS table.
+	dp := make([][]int32, n+1)
+	for i := range dp {
+		dp[i] = make([]int32, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if base[i] == derived[j] {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case base[i] == derived[j]:
+			align[i] = j
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return align
+}

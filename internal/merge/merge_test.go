@@ -1,0 +1,177 @@
+package merge
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMergeIdentity(t *testing.T) {
+	base := "alpha\nbeta\ngamma"
+	// Nobody changed anything.
+	got, ok := Merge(base, base, base)
+	if !ok || got != base {
+		t.Fatalf("identity merge: %q ok=%v", got, ok)
+	}
+}
+
+func TestMergeOneSided(t *testing.T) {
+	base := "a\nb\nc"
+	mine := "a\nB\nc"
+	// Only one side changed: result is that side (both orders).
+	if got, ok := Merge(base, mine, base); !ok || got != mine {
+		t.Fatalf("merge(base, mine, base) = %q ok=%v", got, ok)
+	}
+	if got, ok := Merge(base, base, mine); !ok || got != mine {
+		t.Fatalf("merge(base, base, mine) = %q ok=%v", got, ok)
+	}
+}
+
+func TestMergeDisjointEdits(t *testing.T) {
+	base := "one\ntwo\nthree\nfour\nfive"
+	a := "ONE\ntwo\nthree\nfour\nfive" // edits first line
+	b := "one\ntwo\nthree\nfour\nFIVE" // edits last line
+	got, ok := Merge(base, a, b)
+	if !ok {
+		t.Fatal("disjoint edits must merge")
+	}
+	want := "ONE\ntwo\nthree\nfour\nFIVE"
+	if got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}
+
+func TestMergeAppendVsEdit(t *testing.T) {
+	// The paper's Wiki scenario (§8.3, append-only attack): the repaired
+	// page lost an attacker-appended line, while the user edited another
+	// part. Equivalently: one side appends, the other edits elsewhere.
+	base := "intro\nbody\noutro"
+	a := "intro\nbody\noutro\nappended by attacker"
+	b := "intro\nbody EDITED\noutro"
+	got, ok := Merge(base, a, b)
+	if !ok {
+		t.Fatal("append + disjoint edit must merge")
+	}
+	if !strings.Contains(got, "appended by attacker") || !strings.Contains(got, "body EDITED") {
+		t.Fatalf("merge lost a change: %q", got)
+	}
+}
+
+func TestMergeConflict(t *testing.T) {
+	base := "x\ny\nz"
+	a := "x\nY1\nz"
+	b := "x\nY2\nz"
+	if _, ok := Merge(base, a, b); ok {
+		t.Fatal("overlapping different edits must conflict")
+	}
+}
+
+func TestMergeBothSidesSameChange(t *testing.T) {
+	base := "x\ny\nz"
+	a := "x\nY\nz"
+	b := "x\nY\nz"
+	got, ok := Merge(base, a, b)
+	if !ok || got != a {
+		t.Fatalf("identical changes must merge cleanly: %q ok=%v", got, ok)
+	}
+}
+
+func TestMergeInsertionsAtSamePoint(t *testing.T) {
+	base := "a\nb"
+	a := "a\nINS-A\nb"
+	b := "a\nINS-B\nb"
+	// Insertions of different text at the same point conflict.
+	if _, ok := Merge(base, a, b); ok {
+		t.Fatal("same-point different insertions must conflict")
+	}
+}
+
+func TestMergeDeletions(t *testing.T) {
+	base := "a\nb\nc\nd"
+	a := "a\nc\nd" // deleted b
+	b := "a\nb\nc" // deleted d
+	got, ok := Merge(base, a, b)
+	if !ok || got != "a\nc" {
+		t.Fatalf("got %q ok=%v, want \"a\\nc\"", got, ok)
+	}
+}
+
+func TestMergeEmptyBase(t *testing.T) {
+	got, ok := Merge("", "added", "")
+	if !ok || got != "added" {
+		t.Fatalf("empty-base merge: %q ok=%v", got, ok)
+	}
+	if _, ok := Merge("", "one", "two"); ok {
+		t.Fatal("two different creations must conflict")
+	}
+}
+
+// TestPropertyMergeLaws checks the DESIGN.md merge invariants on random
+// inputs: merge(base, x, base) == x and merge(base, base, x) == x, and a
+// clean merge of one-sided edits never reports conflict.
+func TestPropertyMergeLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	words := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	randDoc := func(n int) string {
+		lines := make([]string, rng.Intn(n))
+		for i := range lines {
+			lines[i] = words[rng.Intn(len(words))]
+		}
+		return strings.Join(lines, "\n")
+	}
+	mutate := func(s string) string {
+		lines := splitLines(s)
+		if len(lines) == 0 {
+			return words[rng.Intn(len(words))]
+		}
+		i := rng.Intn(len(lines))
+		switch rng.Intn(3) {
+		case 0:
+			lines[i] = "edited-" + lines[i]
+		case 1:
+			lines = append(lines[:i], lines[i+1:]...)
+		default:
+			lines = append(lines[:i], append([]string{"inserted"}, lines[i:]...)...)
+		}
+		return strings.Join(lines, "\n")
+	}
+	for i := 0; i < 500; i++ {
+		base := randDoc(8)
+		x := mutate(base)
+		if got, ok := Merge(base, x, base); !ok || got != x {
+			t.Fatalf("merge(base,x,base): base=%q x=%q got=%q ok=%v", base, x, got, ok)
+		}
+		if got, ok := Merge(base, base, x); !ok || got != x {
+			t.Fatalf("merge(base,base,x): base=%q x=%q got=%q ok=%v", base, x, got, ok)
+		}
+	}
+}
+
+// TestPropertyMergePreservesDisjointEdits: edits to lines far apart always
+// merge and preserve both edits.
+func TestPropertyMergePreservesDisjointEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 200; iter++ {
+		n := 10 + rng.Intn(10)
+		lines := make([]string, n)
+		for i := range lines {
+			// Unique lines so LCS alignment is unambiguous.
+			lines[i] = strings.Repeat("x", i+1)
+		}
+		base := strings.Join(lines, "\n")
+		i := rng.Intn(n / 2)
+		j := n/2 + 2 + rng.Intn(n/2-2)
+
+		la := append([]string{}, lines...)
+		la[i] = "edit-a"
+		lb := append([]string{}, lines...)
+		lb[j] = "edit-b"
+		got, ok := Merge(base, strings.Join(la, "\n"), strings.Join(lb, "\n"))
+		if !ok {
+			t.Fatalf("disjoint edits conflicted (i=%d j=%d n=%d)", i, j, n)
+		}
+		if !strings.Contains(got, "edit-a") || !strings.Contains(got, "edit-b") {
+			t.Fatalf("lost an edit: %q", got)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// evalCtx supplies column values and statement parameters to expression
+// evaluation. agg, when set, resolves aggregate calls to pre-computed
+// values (used by SELECT with aggregates).
+type evalCtx struct {
+	lookup func(name string) (Value, bool)
+	params []Value
+	agg    func(fc *FuncCall) (Value, error)
+}
+
+// errEval wraps expression evaluation failures.
+func errEval(format string, args ...any) error {
+	return fmt.Errorf("sql: eval: %s", fmt.Sprintf(format, args...))
+}
+
+// evalExpr evaluates e in ctx. Three-valued logic is approximated the way
+// most embedded engines do: comparisons with NULL yield NULL (represented
+// as the NULL value), and WHERE treats anything but TRUE as non-matching.
+func evalExpr(e Expr, ctx *evalCtx) (Value, error) {
+	switch e := e.(type) {
+	case *Literal:
+		return e.Value, nil
+	case *Param:
+		if e.Index < 0 || e.Index >= len(ctx.params) {
+			return Null(), errEval("parameter %d out of range (%d supplied)", e.Index+1, len(ctx.params))
+		}
+		return ctx.params[e.Index], nil
+	case *ColumnRef:
+		if ctx.lookup == nil {
+			return Null(), errEval("column %s referenced outside row context", e.Name)
+		}
+		v, ok := ctx.lookup(e.Name)
+		if !ok {
+			return Null(), errEval("no such column %s", e.Name)
+		}
+		return v, nil
+	case *UnaryExpr:
+		v, err := evalExpr(e.Operand, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		switch e.Op {
+		case OpNot:
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Bool(!v.IsTrue()), nil
+		case OpNeg:
+			if v.IsNull() {
+				return Null(), nil
+			}
+			return Int(-v.AsInt()), nil
+		}
+		return Null(), errEval("unknown unary operator")
+	case *BinaryExpr:
+		return evalBinary(e, ctx)
+	case *InExpr:
+		return evalIn(e, ctx)
+	case *IsNullExpr:
+		v, err := evalExpr(e.Expr, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(v.IsNull() != e.Not), nil
+	case *FuncCall:
+		return evalFunc(e, ctx)
+	default:
+		return Null(), errEval("unsupported expression %T", e)
+	}
+}
+
+func evalBinary(e *BinaryExpr, ctx *evalCtx) (Value, error) {
+	// AND/OR get short-circuit handling with NULL propagation.
+	switch e.Op {
+	case OpAnd:
+		l, err := evalExpr(e.Left, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if !l.IsNull() && !l.IsTrue() {
+			return Bool(false), nil
+		}
+		r, err := evalExpr(e.Right, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if !r.IsNull() && !r.IsTrue() {
+			return Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(true), nil
+	case OpOr:
+		l, err := evalExpr(e.Left, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if l.IsTrue() {
+			return Bool(true), nil
+		}
+		r, err := evalExpr(e.Right, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if r.IsTrue() {
+			return Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(false), nil
+	}
+
+	l, err := evalExpr(e.Left, ctx)
+	if err != nil {
+		return Null(), err
+	}
+	r, err := evalExpr(e.Right, ctx)
+	if err != nil {
+		return Null(), err
+	}
+	switch e.Op {
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		c, ok := compareValues(l, r)
+		if !ok {
+			return Null(), nil
+		}
+		switch e.Op {
+		case OpEq:
+			return Bool(c == 0), nil
+		case OpNe:
+			return Bool(c != 0), nil
+		case OpLt:
+			return Bool(c < 0), nil
+		case OpLe:
+			return Bool(c <= 0), nil
+		case OpGt:
+			return Bool(c > 0), nil
+		case OpGe:
+			return Bool(c >= 0), nil
+		}
+	case OpLike:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Bool(likeMatch(r.AsText(), l.AsText())), nil
+	case OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		return Text(l.AsText() + r.AsText()), nil
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		if l.IsNull() || r.IsNull() {
+			return Null(), nil
+		}
+		a, b := l.AsInt(), r.AsInt()
+		switch e.Op {
+		case OpAdd:
+			return Int(a + b), nil
+		case OpSub:
+			return Int(a - b), nil
+		case OpMul:
+			return Int(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return Null(), errEval("division by zero")
+			}
+			return Int(a / b), nil
+		case OpMod:
+			if b == 0 {
+				return Null(), errEval("modulo by zero")
+			}
+			return Int(a % b), nil
+		}
+	}
+	return Null(), errEval("unknown binary operator")
+}
+
+func evalIn(e *InExpr, ctx *evalCtx) (Value, error) {
+	v, err := evalExpr(e.Expr, ctx)
+	if err != nil {
+		return Null(), err
+	}
+	if v.IsNull() {
+		return Null(), nil
+	}
+	sawNull := false
+	for _, item := range e.List {
+		iv, err := evalExpr(item, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if c, ok := compareValues(v, iv); ok && c == 0 {
+			return Bool(!e.Not), nil
+		}
+	}
+	if sawNull {
+		return Null(), nil
+	}
+	return Bool(e.Not), nil
+}
+
+func evalFunc(e *FuncCall, ctx *evalCtx) (Value, error) {
+	if e.IsAggregate() {
+		if ctx.agg != nil {
+			return ctx.agg(e)
+		}
+		return Null(), errEval("aggregate %s not allowed here", e.Name)
+	}
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := evalExpr(a, ctx)
+		if err != nil {
+			return Null(), err
+		}
+		args[i] = v
+	}
+	switch e.Name {
+	case "LOWER":
+		if err := wantArgs(e, 1, args); err != nil {
+			return Null(), err
+		}
+		return Text(strings.ToLower(args[0].AsText())), nil
+	case "UPPER":
+		if err := wantArgs(e, 1, args); err != nil {
+			return Null(), err
+		}
+		return Text(strings.ToUpper(args[0].AsText())), nil
+	case "LENGTH":
+		if err := wantArgs(e, 1, args); err != nil {
+			return Null(), err
+		}
+		return Int(int64(len(args[0].AsText()))), nil
+	case "ABS":
+		if err := wantArgs(e, 1, args); err != nil {
+			return Null(), err
+		}
+		n := args[0].AsInt()
+		if n < 0 {
+			n = -n
+		}
+		return Int(n), nil
+	case "COALESCE":
+		for _, v := range args {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return Null(), nil
+	case "SUBSTR":
+		if len(args) != 2 && len(args) != 3 {
+			return Null(), errEval("SUBSTR takes 2 or 3 arguments")
+		}
+		s := args[0].AsText()
+		start := int(args[1].AsInt()) - 1 // SQL SUBSTR is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return Text(""), nil
+		}
+		end := len(s)
+		if len(args) == 3 {
+			if n := int(args[2].AsInt()); start+n < end {
+				end = start + n
+			}
+		}
+		if end < start {
+			end = start
+		}
+		return Text(s[start:end]), nil
+	default:
+		return Null(), errEval("unknown function %s", e.Name)
+	}
+}
+
+func wantArgs(e *FuncCall, n int, args []Value) error {
+	if len(args) != n {
+		return errEval("%s takes %d argument(s), got %d", e.Name, n, len(args))
+	}
+	return nil
+}
+
+// likeMatch implements SQL LIKE: % matches any run (including empty),
+// _ matches exactly one byte. Matching is case-sensitive, like Postgres.
+func likeMatch(pattern, s string) bool {
+	return likeRec(pattern, s)
+}
+
+func likeRec(p, s string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			// Collapse consecutive %.
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(p, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		default:
+			if len(s) == 0 || p[0] != s[0] {
+				return false
+			}
+			p, s = p[1:], s[1:]
+		}
+	}
+	return len(s) == 0
+}

@@ -1,0 +1,981 @@
+package sqldb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Result is the outcome of executing a statement. For SELECT (and for
+// writes with RETURNING) Columns and Rows are populated; for writes,
+// Affected counts the rows inserted, updated, or deleted.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+	// Affected is the number of rows the statement wrote.
+	Affected int
+}
+
+// NumRows returns the number of result rows.
+func (r *Result) NumRows() int { return len(r.Rows) }
+
+// Empty reports whether the result has no rows.
+func (r *Result) Empty() bool { return len(r.Rows) == 0 }
+
+// FirstValue returns the first column of the first row, or NULL when the
+// result is empty.
+func (r *Result) FirstValue() Value {
+	if len(r.Rows) == 0 || len(r.Rows[0]) == 0 {
+		return Null()
+	}
+	return r.Rows[0][0]
+}
+
+// Col returns the values of the named column across all rows. Unknown
+// columns yield an empty slice.
+func (r *Result) Col(name string) []Value {
+	idx := -1
+	for i, c := range r.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]Value, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[idx])
+	}
+	return out
+}
+
+// Fingerprint returns a hash covering column names and every row value, in
+// order. The repair controller compares fingerprints to decide whether a
+// re-executed query produced the same result as the original run (§2.1,
+// "equivalence of inputs").
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, c := range r.Columns {
+		h.Write([]byte(c))
+		h.Write([]byte{1})
+	}
+	h.Write([]byte{2})
+	h.Write([]byte(strconv.Itoa(r.Affected)))
+	for _, row := range r.Rows {
+		for _, v := range row {
+			h.Write([]byte(v.Key()))
+			h.Write([]byte{3})
+		}
+		h.Write([]byte{4})
+	}
+	return h.Sum64()
+}
+
+// Exec parses and executes one SQL statement.
+func (db *DB) Exec(src string, params ...Value) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecStmt(stmt, params)
+}
+
+// ExecStmt executes a parsed statement. The statement is not mutated.
+func (db *DB) ExecStmt(stmt Statement, params []Value) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := stmt.(type) {
+	case *CreateTable:
+		return db.execCreateTable(s)
+	case *CreateIndex:
+		return db.execCreateIndex(s)
+	case *AlterTableAdd:
+		return db.execAlterAdd(s)
+	case *DropTable:
+		return db.execDropTable(s)
+	case *Insert:
+		return db.execInsert(s, params)
+	case *Select:
+		return db.execSelect(s, params)
+	case *Update:
+		return db.execUpdate(s, params)
+	case *Delete:
+		return db.execDelete(s, params)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execCreateTable(s *CreateTable) (*Result, error) {
+	if _, exists := db.tables[s.Table]; exists {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sql: table %s already exists", s.Table)
+	}
+	if len(s.Columns) == 0 {
+		return nil, fmt.Errorf("sql: table %s has no columns", s.Table)
+	}
+	t := &Table{
+		Name:    s.Table,
+		indexes: make(map[string]*hashIndex),
+	}
+	seen := make(map[string]bool)
+	for _, c := range s.Columns {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("sql: table %s: duplicate column %s", s.Table, c.Name)
+		}
+		seen[c.Name] = true
+		t.Columns = append(t.Columns, c)
+	}
+	t.Uniques = append(t.Uniques, s.Uniques...)
+	t.rebuildColIdx()
+	if err := t.buildUniqueSets(); err != nil {
+		return nil, err
+	}
+	db.tables[s.Table] = t
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateIndex(s *CreateIndex) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+	ci, ok := t.columnPos(s.Column)
+	if !ok {
+		return nil, fmt.Errorf("sql: table %s: no such column %s", s.Table, s.Column)
+	}
+	if _, exists := t.indexes[s.Column]; exists {
+		if s.IfNotExists {
+			return &Result{}, nil
+		}
+		// An index on the same column is equivalent; treat re-creation as OK.
+		return &Result{}, nil
+	}
+	ix := &hashIndex{column: s.Column, buckets: make(map[string][]int)}
+	for slot, r := range t.rows {
+		if !r.deleted {
+			ix.add(r.vals[ci].Key(), slot)
+		}
+	}
+	t.indexes[s.Column] = ix
+	return &Result{}, nil
+}
+
+func (db *DB) execAlterAdd(s *AlterTableAdd) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+	if t.HasColumn(s.Column.Name) {
+		return nil, fmt.Errorf("sql: table %s: column %s already exists", s.Table, s.Column.Name)
+	}
+	def := Null()
+	if s.Column.Default != nil {
+		def = s.Column.Default.Value
+	}
+	if s.Column.NotNull && def.IsNull() && t.liveRows > 0 {
+		return nil, fmt.Errorf("sql: table %s: cannot add NOT NULL column %s without default", s.Table, s.Column.Name)
+	}
+	t.Columns = append(t.Columns, s.Column)
+	t.rebuildColIdx()
+	for i := range t.rows {
+		t.rows[i].vals = append(t.rows[i].vals, def)
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execDropTable(s *DropTable) (*Result, error) {
+	if _, ok := db.tables[s.Table]; !ok {
+		if s.IfExists {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+	delete(db.tables, s.Table)
+	return &Result{}, nil
+}
+
+func (db *DB) execInsert(s *Insert, params []Value) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = t.ColumnNames()
+	}
+	colPos := make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := t.columnPos(c)
+		if !ok {
+			return nil, fmt.Errorf("sql: table %s: no such column %s", s.Table, c)
+		}
+		colPos[i] = ci
+	}
+	ctx := &evalCtx{params: params}
+	res := &Result{Affected: 0}
+	if len(s.Returning) > 0 {
+		res.Columns = append(res.Columns, s.Returning...)
+	}
+	// Pass 1: evaluate and validate every row, so a failure leaves the
+	// table untouched (statements are atomic).
+	newRows := make([][]Value, 0, len(s.Rows))
+	batchKeys := make(map[string]bool)
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return nil, fmt.Errorf("sql: table %s: %d values for %d columns", s.Table, len(exprRow), len(cols))
+		}
+		vals := make([]Value, len(t.Columns))
+		assigned := make([]bool, len(t.Columns))
+		for i, e := range exprRow {
+			v, err := evalExpr(e, ctx)
+			if err != nil {
+				return nil, err
+			}
+			vals[colPos[i]] = v
+			assigned[colPos[i]] = true
+		}
+		for ci, cd := range t.Columns {
+			if !assigned[ci] && cd.Default != nil {
+				vals[ci] = cd.Default.Value
+			}
+		}
+		if err := t.checkRow(vals); err != nil {
+			return nil, err
+		}
+		if err := t.checkUniqueInsert(vals); err != nil {
+			return nil, err
+		}
+		for _, us := range t.uniques {
+			if key, ok := us.keyFor(vals); ok {
+				if batchKeys[key] {
+					return nil, &UniqueViolationError{Table: t.Name, Constraint: us.def}
+				}
+				batchKeys[key] = true
+			}
+		}
+		newRows = append(newRows, vals)
+	}
+	// Pass 2: apply.
+	for _, vals := range newRows {
+		slot := len(t.rows)
+		t.rows = append(t.rows, row{vals: vals})
+		t.liveRows++
+		t.indexAdd(slot, vals)
+		res.Affected++
+		if len(s.Returning) > 0 {
+			out, err := t.projectColumns(s.Returning, vals)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+	return res, nil
+}
+
+// checkRow validates types and NOT NULL constraints.
+func (t *Table) checkRow(vals []Value) error {
+	for ci, cd := range t.Columns {
+		v := vals[ci]
+		if v.IsNull() {
+			if cd.NotNull {
+				return fmt.Errorf("sql: table %s: column %s is NOT NULL", t.Name, cd.Name)
+			}
+			continue
+		}
+		switch cd.Type {
+		case KindInt:
+			if v.Kind == KindBool {
+				vals[ci] = Int(v.AsInt())
+			} else if v.Kind != KindInt {
+				return fmt.Errorf("sql: table %s: column %s expects INTEGER, got %s", t.Name, cd.Name, v.Kind)
+			}
+		case KindText:
+			if v.Kind != KindText {
+				vals[ci] = Text(v.AsText())
+			}
+		case KindBool:
+			if v.Kind == KindInt {
+				vals[ci] = Bool(v.Int != 0)
+			} else if v.Kind != KindBool {
+				return fmt.Errorf("sql: table %s: column %s expects BOOLEAN, got %s", t.Name, cd.Name, v.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Table) checkUniqueInsert(vals []Value) error {
+	for _, us := range t.uniques {
+		if key, ok := us.keyFor(vals); ok {
+			if _, dup := us.m[key]; dup {
+				return &UniqueViolationError{Table: t.Name, Constraint: us.def}
+			}
+		}
+	}
+	return nil
+}
+
+// UniqueViolationError reports an INSERT or UPDATE that would violate a
+// unique constraint. WARP's repair watches for changes in whether an INSERT
+// succeeds (§6), so this condition is a distinguished type.
+type UniqueViolationError struct {
+	Table      string
+	Constraint UniqueConstraint
+}
+
+// Error implements the error interface.
+func (e *UniqueViolationError) Error() string {
+	return fmt.Sprintf("sql: table %s: duplicate value violates %s", e.Table, e.Constraint.String())
+}
+
+// IsUniqueViolation reports whether err is a unique constraint violation.
+func IsUniqueViolation(err error) bool {
+	_, ok := err.(*UniqueViolationError)
+	return ok
+}
+
+func (t *Table) indexAdd(slot int, vals []Value) {
+	for col, ix := range t.indexes {
+		ci := t.colIdx[col]
+		ix.add(vals[ci].Key(), slot)
+	}
+	for _, us := range t.uniques {
+		if key, ok := us.keyFor(vals); ok {
+			us.m[key] = slot
+		}
+	}
+}
+
+func (t *Table) indexRemove(slot int, vals []Value) {
+	for col, ix := range t.indexes {
+		ci := t.colIdx[col]
+		ix.remove(vals[ci].Key(), slot)
+	}
+	for _, us := range t.uniques {
+		if key, ok := us.keyFor(vals); ok {
+			if cur, exists := us.m[key]; exists && cur == slot {
+				delete(us.m, key)
+			}
+		}
+	}
+}
+
+func (t *Table) projectColumns(cols []string, vals []Value) ([]Value, error) {
+	out := make([]Value, len(cols))
+	for i, c := range cols {
+		ci, ok := t.columnPos(c)
+		if !ok {
+			return nil, fmt.Errorf("sql: table %s: no such column %s", t.Name, c)
+		}
+		out[i] = vals[ci]
+	}
+	return out, nil
+}
+
+// candidateSlots returns the row slots a WHERE clause could match, using a
+// hash index when the clause contains an indexed equality conjunct, and all
+// live rows otherwise. The returned slice is sorted ascending.
+func (t *Table) candidateSlots(where Expr, params []Value) []int {
+	if where != nil {
+		if col, key, ok := t.indexableEq(where, params); ok {
+			if ix, exists := t.indexes[col]; exists {
+				return ix.buckets[key] // sorted; may include only live rows
+			}
+		}
+	}
+	slots := make([]int, 0, t.liveRows)
+	for slot, r := range t.rows {
+		if !r.deleted {
+			slots = append(slots, slot)
+		}
+	}
+	return slots
+}
+
+// indexableEq finds a top-level AND-conjunct of the form `col = constant`
+// (literal or parameter) over an indexed column and returns the column and
+// the lookup key. The constant is coerced to the column's declared type so
+// the index lookup agrees with the scan-time comparison semantics (where
+// numeric text equals the number).
+func (t *Table) indexableEq(e Expr, params []Value) (string, string, bool) {
+	switch e := e.(type) {
+	case *BinaryExpr:
+		switch e.Op {
+		case OpAnd:
+			if col, key, ok := t.indexableEq(e.Left, params); ok {
+				return col, key, true
+			}
+			return t.indexableEq(e.Right, params)
+		case OpEq:
+			if col, v, ok := constEq(e, params); ok {
+				if _, indexed := t.indexes[col]; indexed {
+					ci, ok := t.columnPos(col)
+					if !ok {
+						return "", "", false
+					}
+					cv, ok := coerceToColumn(v, t.Columns[ci].Type)
+					if !ok {
+						return "", "", false // fall back to a scan
+					}
+					return col, cv.Key(), true
+				}
+			}
+		}
+	}
+	return "", "", false
+}
+
+// coerceToColumn converts a constant to the column's storage type, the
+// same conversion checkRow applies on write. It reports false when the
+// value cannot be represented (so callers fall back to scanning).
+func coerceToColumn(v Value, kind Kind) (Value, bool) {
+	if v.IsNull() {
+		return v, true
+	}
+	switch kind {
+	case KindInt:
+		if v.Kind == KindInt {
+			return v, true
+		}
+		if n, ok := textNumeric(v); ok {
+			return Int(n), true
+		}
+		return v, false
+	case KindText:
+		// Comparisons against text columns can coerce both ways (numeric
+		// text equals the number); only same-kind lookups are exact enough
+		// for a hash probe.
+		return v, v.Kind == KindText
+	case KindBool:
+		switch v.Kind {
+		case KindBool:
+			return v, true
+		case KindInt:
+			return Bool(v.Int != 0), true
+		}
+		return v, false
+	}
+	return v, true
+}
+
+// constEq decomposes `col = const` or `const = col`.
+func constEq(e *BinaryExpr, params []Value) (string, Value, bool) {
+	if col, ok := e.Left.(*ColumnRef); ok {
+		if v, ok := constValue(e.Right, params); ok {
+			return col.Name, v, true
+		}
+	}
+	if col, ok := e.Right.(*ColumnRef); ok {
+		if v, ok := constValue(e.Left, params); ok {
+			return col.Name, v, true
+		}
+	}
+	return "", Null(), false
+}
+
+func constValue(e Expr, params []Value) (Value, bool) {
+	switch e := e.(type) {
+	case *Literal:
+		return e.Value, true
+	case *Param:
+		if e.Index >= 0 && e.Index < len(params) {
+			return params[e.Index], true
+		}
+	}
+	return Null(), false
+}
+
+func (db *DB) execSelect(s *Select, params []Value) (*Result, error) {
+	if s.Table == "" {
+		return db.execSelectNoTable(s, params)
+	}
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+
+	// Gather matching rows.
+	var matched []int
+	for _, slot := range t.candidateSlots(s.Where, params) {
+		r := &t.rows[slot]
+		if r.deleted {
+			continue
+		}
+		okRow, err := rowMatches(t, r.vals, s.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		if okRow {
+			matched = append(matched, slot)
+		}
+	}
+
+	if hasAggregates(s.Items) {
+		return t.execAggregates(s, matched, params)
+	}
+
+	// Column headers.
+	res := &Result{}
+	for _, it := range s.Items {
+		if it.Star {
+			res.Columns = append(res.Columns, t.ColumnNames()...)
+		} else {
+			res.Columns = append(res.Columns, itemName(it))
+		}
+	}
+
+	// ORDER BY: evaluate sort keys per row, stable sort by scan order.
+	if len(s.OrderBy) > 0 {
+		type sortRow struct {
+			slot int
+			keys []Value
+		}
+		srs := make([]sortRow, len(matched))
+		for i, slot := range matched {
+			keys := make([]Value, len(s.OrderBy))
+			ctx := t.rowCtx(slot, params)
+			for j, ob := range s.OrderBy {
+				v, err := evalExpr(ob.Expr, ctx)
+				if err != nil {
+					return nil, err
+				}
+				keys[j] = v
+			}
+			srs[i] = sortRow{slot: slot, keys: keys}
+		}
+		sort.SliceStable(srs, func(a, b int) bool {
+			for j, ob := range s.OrderBy {
+				va, vb := srs[a].keys[j], srs[b].keys[j]
+				// NULLs sort first ascending, last descending.
+				if va.IsNull() && vb.IsNull() {
+					continue
+				}
+				if va.IsNull() {
+					return !ob.Desc
+				}
+				if vb.IsNull() {
+					return ob.Desc
+				}
+				c, _ := compareValues(va, vb)
+				if c == 0 {
+					continue
+				}
+				if ob.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		for i, sr := range srs {
+			matched[i] = sr.slot
+		}
+	}
+
+	// Projection.
+	seen := make(map[uint64]bool)
+	for _, slot := range matched {
+		vals := t.rows[slot].vals
+		out := make([]Value, 0, len(res.Columns))
+		ctx := t.rowCtx(slot, params)
+		for _, it := range s.Items {
+			if it.Star {
+				out = append(out, vals...)
+				continue
+			}
+			v, err := evalExpr(it.Expr, ctx)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		if s.Distinct {
+			fp := rowFingerprint(out)
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+		}
+		res.Rows = append(res.Rows, out)
+	}
+
+	return applyLimit(res, s, params)
+}
+
+func rowFingerprint(row []Value) uint64 {
+	h := fnv.New64a()
+	for _, v := range row {
+		h.Write([]byte(v.Key()))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+func applyLimit(res *Result, s *Select, params []Value) (*Result, error) {
+	ctx := &evalCtx{params: params}
+	offset := 0
+	if s.Offset != nil {
+		v, err := evalExpr(s.Offset, ctx)
+		if err != nil {
+			return nil, err
+		}
+		offset = int(v.AsInt())
+		if offset < 0 {
+			offset = 0
+		}
+	}
+	if offset > len(res.Rows) {
+		offset = len(res.Rows)
+	}
+	res.Rows = res.Rows[offset:]
+	if s.Limit != nil {
+		v, err := evalExpr(s.Limit, ctx)
+		if err != nil {
+			return nil, err
+		}
+		limit := int(v.AsInt())
+		if limit >= 0 && limit < len(res.Rows) {
+			res.Rows = res.Rows[:limit]
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) execSelectNoTable(s *Select, params []Value) (*Result, error) {
+	res := &Result{}
+	ctx := &evalCtx{params: params}
+	row := make([]Value, 0, len(s.Items))
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: SELECT * requires a FROM clause")
+		}
+		res.Columns = append(res.Columns, itemName(it))
+		v, err := evalExpr(it.Expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	res.Rows = append(res.Rows, row)
+	return applyLimit(res, s, params)
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*ColumnRef); ok {
+		return cr.Name
+	}
+	return it.Expr.String()
+}
+
+func hasAggregates(items []SelectItem) bool {
+	for _, it := range items {
+		if it.Expr != nil && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprHasAggregate walks an expression looking for aggregate calls.
+func exprHasAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *FuncCall:
+		if e.IsAggregate() {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *BinaryExpr:
+		return exprHasAggregate(e.Left) || exprHasAggregate(e.Right)
+	case *UnaryExpr:
+		return exprHasAggregate(e.Operand)
+	case *InExpr:
+		if exprHasAggregate(e.Expr) {
+			return true
+		}
+		for _, item := range e.List {
+			if exprHasAggregate(item) {
+				return true
+			}
+		}
+	case *IsNullExpr:
+		return exprHasAggregate(e.Expr)
+	}
+	return false
+}
+
+// execAggregates evaluates a SELECT whose items contain aggregate calls:
+// each aggregate is computed over the matched rows (memoized by its SQL
+// form) and the item expressions are then evaluated with aggregates
+// substituted, so forms like COALESCE(MAX(id), 0) + 1 work.
+func (t *Table) execAggregates(s *Select, matched []int, params []Value) (*Result, error) {
+	cache := make(map[string]Value)
+	ctx := &evalCtx{
+		params: params,
+		agg: func(fc *FuncCall) (Value, error) {
+			key := fc.String()
+			if v, ok := cache[key]; ok {
+				return v, nil
+			}
+			v, err := t.evalAggregate(fc, matched, params)
+			if err != nil {
+				return Null(), err
+			}
+			cache[key] = v
+			return v, nil
+		},
+		lookup: func(name string) (Value, bool) {
+			// Plain column references outside aggregates would need GROUP
+			// BY semantics; reject via "not found".
+			return Null(), false
+		},
+	}
+	res := &Result{}
+	row := make([]Value, 0, len(s.Items))
+	for _, it := range s.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: cannot mix * with aggregates")
+		}
+		res.Columns = append(res.Columns, itemName(it))
+		v, err := evalExpr(it.Expr, ctx)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	res.Rows = append(res.Rows, row)
+	return res, nil
+}
+
+func (t *Table) evalAggregate(fc *FuncCall, matched []int, params []Value) (Value, error) {
+	if fc.Name == "COUNT" && fc.Star {
+		return Int(int64(len(matched))), nil
+	}
+	if len(fc.Args) != 1 {
+		return Null(), errEval("%s takes one argument", fc.Name)
+	}
+	var (
+		count int64
+		sum   int64
+		min   Value
+		max   Value
+	)
+	for _, slot := range matched {
+		ctx := t.rowCtx(slot, params)
+		v, err := evalExpr(fc.Args[0], ctx)
+		if err != nil {
+			return Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		sum += v.AsInt()
+		if min.IsNull() {
+			min, max = v, v
+			continue
+		}
+		if c, ok := compareValues(v, min); ok && c < 0 {
+			min = v
+		}
+		if c, ok := compareValues(v, max); ok && c > 0 {
+			max = v
+		}
+	}
+	switch fc.Name {
+	case "COUNT":
+		return Int(count), nil
+	case "SUM":
+		if count == 0 {
+			return Null(), nil
+		}
+		return Int(sum), nil
+	case "AVG":
+		if count == 0 {
+			return Null(), nil
+		}
+		return Int(sum / count), nil
+	case "MIN":
+		return min, nil
+	case "MAX":
+		return max, nil
+	}
+	return Null(), errEval("unknown aggregate %s", fc.Name)
+}
+
+func (t *Table) rowCtx(slot int, params []Value) *evalCtx {
+	vals := t.rows[slot].vals
+	return &evalCtx{
+		params: params,
+		lookup: func(name string) (Value, bool) {
+			ci, ok := t.colIdx[name]
+			if !ok {
+				return Null(), false
+			}
+			return vals[ci], true
+		},
+	}
+}
+
+func rowMatches(t *Table, vals []Value, where Expr, params []Value) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	ctx := &evalCtx{
+		params: params,
+		lookup: func(name string) (Value, bool) {
+			ci, ok := t.colIdx[name]
+			if !ok {
+				return Null(), false
+			}
+			return vals[ci], true
+		},
+	}
+	v, err := evalExpr(where, ctx)
+	if err != nil {
+		return false, err
+	}
+	return v.IsTrue(), nil
+}
+
+func (db *DB) execUpdate(s *Update, params []Value) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+	setPos := make([]int, len(s.Set))
+	for i, a := range s.Set {
+		ci, ok := t.columnPos(a.Column)
+		if !ok {
+			return nil, fmt.Errorf("sql: table %s: no such column %s", s.Table, a.Column)
+		}
+		setPos[i] = ci
+	}
+
+	// Two passes: find matches first so that updates do not affect the scan.
+	var matched []int
+	for _, slot := range t.candidateSlots(s.Where, params) {
+		r := &t.rows[slot]
+		if r.deleted {
+			continue
+		}
+		okRow, err := rowMatches(t, r.vals, s.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		if okRow {
+			matched = append(matched, slot)
+		}
+	}
+
+	res := &Result{}
+	if len(s.Returning) > 0 {
+		res.Columns = append(res.Columns, s.Returning...)
+	}
+	// Updates apply row by row but the statement is atomic: on failure,
+	// already-updated rows are restored.
+	type applied struct {
+		slot int
+		old  []Value
+	}
+	var done []applied
+	undo := func() {
+		for i := len(done) - 1; i >= 0; i-- {
+			a := done[i]
+			t.indexRemove(a.slot, t.rows[a.slot].vals)
+			t.rows[a.slot].vals = a.old
+			t.indexAdd(a.slot, a.old)
+		}
+	}
+	for _, slot := range matched {
+		oldVals := t.rows[slot].vals
+		newVals := append([]Value(nil), oldVals...)
+		ctx := t.rowCtx(slot, params)
+		for i, a := range s.Set {
+			v, err := evalExpr(a.Expr, ctx)
+			if err != nil {
+				undo()
+				return nil, err
+			}
+			newVals[setPos[i]] = v
+		}
+		if err := t.checkRow(newVals); err != nil {
+			undo()
+			return nil, err
+		}
+		// Uniqueness: remove self, test, and re-add.
+		t.indexRemove(slot, oldVals)
+		if err := t.checkUniqueInsert(newVals); err != nil {
+			t.indexAdd(slot, oldVals)
+			undo()
+			return nil, err
+		}
+		t.rows[slot].vals = newVals
+		t.indexAdd(slot, newVals)
+		done = append(done, applied{slot: slot, old: oldVals})
+		res.Affected++
+		if len(s.Returning) > 0 {
+			out, err := t.projectColumns(s.Returning, newVals)
+			if err != nil {
+				undo()
+				return nil, err
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+	return res, nil
+}
+
+func (db *DB) execDelete(s *Delete, params []Value) (*Result, error) {
+	t, ok := db.tables[s.Table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", s.Table)
+	}
+	var matched []int
+	for _, slot := range t.candidateSlots(s.Where, params) {
+		r := &t.rows[slot]
+		if r.deleted {
+			continue
+		}
+		okRow, err := rowMatches(t, r.vals, s.Where, params)
+		if err != nil {
+			return nil, err
+		}
+		if okRow {
+			matched = append(matched, slot)
+		}
+	}
+	res := &Result{}
+	if len(s.Returning) > 0 {
+		res.Columns = append(res.Columns, s.Returning...)
+	}
+	for _, slot := range matched {
+		vals := t.rows[slot].vals
+		if len(s.Returning) > 0 {
+			out, err := t.projectColumns(s.Returning, vals)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, out)
+		}
+		t.indexRemove(slot, vals)
+		t.rows[slot].deleted = true
+		t.rows[slot].vals = nil
+		t.liveRows--
+		res.Affected++
+	}
+	return res, nil
+}

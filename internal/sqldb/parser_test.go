@@ -1,0 +1,177 @@
+package sqldb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	// Parse, print, and re-parse; the second print must be identical
+	// (parse∘print is a fixed point).
+	cases := []string{
+		"SELECT * FROM pages",
+		"SELECT page_id, title FROM pages WHERE title = 'Main'",
+		"SELECT DISTINCT user_id FROM acl WHERE page_id = 7 AND can_edit = TRUE",
+		"SELECT * FROM pages WHERE a = 1 OR b = 2 AND c = 3",
+		"SELECT * FROM pages WHERE NOT (deleted = TRUE)",
+		"SELECT * FROM pages WHERE title LIKE 'Main%'",
+		"SELECT * FROM pages WHERE title NOT LIKE '%x%'",
+		"SELECT * FROM pages WHERE page_id IN (1, 2, 3)",
+		"SELECT * FROM pages WHERE page_id NOT IN (1, 2)",
+		"SELECT * FROM pages WHERE editor IS NULL",
+		"SELECT * FROM pages WHERE editor IS NOT NULL",
+		"SELECT * FROM pages ORDER BY title DESC, page_id LIMIT 10 OFFSET 5",
+		"SELECT COUNT(*) FROM pages",
+		"SELECT MAX(page_id) FROM pages WHERE ns = 0",
+		"SELECT title AS t FROM pages",
+		"SELECT LOWER(title) FROM pages",
+		"SELECT old_text || 'suffix' FROM pagecontent",
+		"SELECT 1 + 2 * 3 - 4 / 2 % 3",
+		"INSERT INTO users (name, pw) VALUES ('alice', 'secret')",
+		"INSERT INTO users (name) VALUES ('a'), ('b'), ('c')",
+		"INSERT INTO t (a) VALUES (?) RETURNING a, b",
+		"UPDATE pages SET content = 'x', editor = 4 WHERE page_id = 9",
+		"UPDATE pages SET n = n + 1 RETURNING n",
+		"DELETE FROM sessions WHERE sid = 'deadbeef'",
+		"DELETE FROM t RETURNING a",
+		"CREATE TABLE users (user_id INTEGER PRIMARY KEY, name TEXT NOT NULL, admin BOOLEAN DEFAULT FALSE)",
+		"CREATE TABLE t (a INTEGER, b TEXT, UNIQUE (a, b))",
+		"CREATE TABLE IF NOT EXISTS t (a INTEGER)",
+		"CREATE INDEX idx_title ON pages (title)",
+		"CREATE INDEX IF NOT EXISTS idx_t ON pages (title)",
+		"ALTER TABLE pages ADD COLUMN row_id INTEGER",
+		"DROP TABLE old_stuff",
+		"DROP TABLE IF EXISTS old_stuff",
+		"SELECT * FROM t WHERE a = ? AND b = ?",
+	}
+	for _, src := range cases {
+		stmt1, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		printed := stmt1.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("re-Parse(%q) from %q: %v", printed, src, err)
+			continue
+		}
+		if got := stmt2.String(); got != printed {
+			t.Errorf("print fixed point failed:\n first: %s\nsecond: %s", printed, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FORM t",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t (a VALUES (1)",
+		"UPDATE t WHERE a = 1",
+		"DELETE t WHERE a = 1",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a FLOAT)",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t WHERE a @ 1",
+		"SELECT * FROM t; SELECT * FROM u",
+		"ALTER TABLE t DROP COLUMN a",
+		"SELECT * FROM t WHERE a IS 1",
+		"CREATE TABLE t (a INTEGER DEFAULT b)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error, got none", src)
+		}
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	if _, err := Parse("SELECT 1;"); err != nil {
+		t.Fatalf("trailing semicolon should parse: %v", err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	stmt, err := Parse("SELECT 1 -- the loneliest number\n + 2")
+	if err != nil {
+		t.Fatalf("comment parse: %v", err)
+	}
+	if !strings.Contains(stmt.String(), "+") {
+		t.Fatalf("comment swallowed expression: %s", stmt.String())
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	stmt, err := Parse("SELECT * FROM t WHERE a = ? AND b = ? AND c = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	var idxs []int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *BinaryExpr:
+			walk(e.Left)
+			walk(e.Right)
+		case *Param:
+			idxs = append(idxs, e.Index)
+		}
+	}
+	walk(sel.Where)
+	if len(idxs) != 3 || idxs[0] != 0 || idxs[1] != 1 || idxs[2] != 2 {
+		t.Fatalf("param indexes = %v, want [0 1 2]", idxs)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE a = 1 ORDER BY a LIMIT 5").(*Select)
+	clone := stmt.Clone().(*Select)
+	clone.Where.(*BinaryExpr).Op = OpNe
+	clone.Items[0].Alias = "zzz"
+	if stmt.Where.(*BinaryExpr).Op != OpEq {
+		t.Fatal("Clone shares WHERE expression")
+	}
+	if stmt.Items[0].Alias == "zzz" {
+		t.Fatal("Clone shares select items")
+	}
+}
+
+func TestInsertCloneIsDeep(t *testing.T) {
+	stmt := MustParse("INSERT INTO t (a) VALUES (1) RETURNING a").(*Insert)
+	clone := stmt.Clone().(*Insert)
+	clone.Rows[0][0] = Lit(Int(99))
+	clone.Returning[0] = "b"
+	if stmt.Rows[0][0].(*Literal).Value.Int != 1 {
+		t.Fatal("Clone shares VALUES expressions")
+	}
+	if stmt.Returning[0] != "a" {
+		t.Fatal("Clone shares RETURNING list")
+	}
+}
+
+func TestVarcharAndInlineConstraints(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE u (id INT PRIMARY KEY, email VARCHAR(255) UNIQUE NOT NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTable)
+	if len(ct.Columns) != 2 {
+		t.Fatalf("columns = %d, want 2", len(ct.Columns))
+	}
+	if ct.Columns[1].Type != KindText {
+		t.Fatalf("VARCHAR should map to TEXT, got %v", ct.Columns[1].Type)
+	}
+	if len(ct.Uniques) != 2 {
+		t.Fatalf("uniques = %d, want 2 (pk + unique)", len(ct.Uniques))
+	}
+	if !ct.Uniques[0].Primary || ct.Uniques[1].Primary {
+		t.Fatalf("constraint kinds wrong: %+v", ct.Uniques)
+	}
+	if !ct.Columns[1].NotNull {
+		t.Fatal("NOT NULL after UNIQUE not parsed")
+	}
+}

@@ -1,0 +1,252 @@
+package sqldb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyPrintParseFixedPoint: printing any parsed statement and
+// re-parsing it yields the same printed form.
+func TestPropertyPrintParseFixedPoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		src := randomSelect(rng)
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("generated statement does not parse: %q: %v", src, err)
+		}
+		printed := stmt.String()
+		stmt2, err := Parse(printed)
+		if err != nil {
+			t.Errorf("printed form does not re-parse: %q: %v", printed, err)
+			return false
+		}
+		return stmt2.String() == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomSelect generates a random but valid SELECT statement.
+func randomSelect(rng *rand.Rand) string {
+	cols := []string{"a", "b", "c"}
+	col := func() string { return cols[rng.Intn(len(cols))] }
+	var where string
+	switch rng.Intn(5) {
+	case 0:
+		where = fmt.Sprintf(" WHERE %s = %d", col(), rng.Intn(10))
+	case 1:
+		where = fmt.Sprintf(" WHERE %s = %d AND %s != %d", col(), rng.Intn(10), col(), rng.Intn(10))
+	case 2:
+		where = fmt.Sprintf(" WHERE %s IN (%d, %d)", col(), rng.Intn(10), rng.Intn(10))
+	case 3:
+		where = fmt.Sprintf(" WHERE %s LIKE '%%x%%' OR %s IS NULL", col(), col())
+	}
+	var order string
+	if rng.Intn(2) == 0 {
+		order = " ORDER BY " + col()
+		if rng.Intn(2) == 0 {
+			order += " DESC"
+		}
+	}
+	var limit string
+	if rng.Intn(3) == 0 {
+		limit = fmt.Sprintf(" LIMIT %d", rng.Intn(5))
+	}
+	return fmt.Sprintf("SELECT %s, %s FROM t%s%s%s", col(), col(), where, order, limit)
+}
+
+// TestPropertyWriteSetMatchesSelect: the rows UPDATE/DELETE touch are
+// exactly the rows a SELECT with the same WHERE clause returns. This is the
+// invariant WARP's two-phase re-execution (§4.2) relies on.
+func TestPropertyWriteSetMatchesSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		db := Open()
+		if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			if _, err := db.Exec("INSERT INTO t (id, grp, val) VALUES (?, ?, ?)",
+				Int(int64(i)), Int(int64(rng.Intn(4))), Int(int64(rng.Intn(100)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		grp := rng.Intn(5)
+		where := fmt.Sprintf("grp = %d", grp)
+
+		sel, err := db.Exec("SELECT id FROM t WHERE " + where + " ORDER BY id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		upd, err := db.Exec("UPDATE t SET val = val + 1 WHERE " + where + " RETURNING id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if upd.Affected != sel.NumRows() {
+			t.Fatalf("update affected %d, select matched %d", upd.Affected, sel.NumRows())
+		}
+		selIDs := map[int64]bool{}
+		for _, r := range sel.Rows {
+			selIDs[r[0].AsInt()] = true
+		}
+		for _, r := range upd.Rows {
+			if !selIDs[r[0].AsInt()] {
+				t.Fatalf("update touched id %d not in select set", r[0].AsInt())
+			}
+		}
+		del, err := db.Exec("DELETE FROM t WHERE " + where + " RETURNING id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if del.Affected != sel.NumRows() {
+			t.Fatalf("delete affected %d, select matched %d", del.Affected, sel.NumRows())
+		}
+	}
+}
+
+// TestPropertyIndexTransparency: adding an index never changes the result
+// of any query, across a random workload of inserts, updates, and deletes.
+func TestPropertyIndexTransparency(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		plain := Open()
+		indexed := Open()
+		for _, db := range []*DB{plain, indexed} {
+			if _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, k TEXT, v INTEGER)"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := indexed.Exec("CREATE INDEX idx_k ON t (k)"); err != nil {
+			t.Fatal(err)
+		}
+		nextID := int64(0)
+		keys := []string{"x", "y", "z"}
+		for step := 0; step < 60; step++ {
+			var stmt string
+			var params []Value
+			switch rng.Intn(4) {
+			case 0, 1:
+				stmt = "INSERT INTO t (id, k, v) VALUES (?, ?, ?)"
+				params = []Value{Int(nextID), Text(keys[rng.Intn(3)]), Int(int64(rng.Intn(50)))}
+				nextID++
+			case 2:
+				stmt = "UPDATE t SET v = v + 1 WHERE k = ?"
+				params = []Value{Text(keys[rng.Intn(3)])}
+			case 3:
+				stmt = "DELETE FROM t WHERE k = ? AND v % 7 = 0"
+				params = []Value{Text(keys[rng.Intn(3)])}
+			}
+			r1, err1 := plain.Exec(stmt, params...)
+			r2, err2 := indexed.Exec(stmt, params...)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("divergent errors: %v vs %v", err1, err2)
+			}
+			if err1 == nil && r1.Affected != r2.Affected {
+				t.Fatalf("divergent affected: %d vs %d on %s", r1.Affected, r2.Affected, stmt)
+			}
+			q := "SELECT id, k, v FROM t WHERE k = ? ORDER BY id"
+			k := Text(keys[rng.Intn(3)])
+			s1, err := plain.Exec(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := indexed.Exec(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.Fingerprint() != s2.Fingerprint() {
+				t.Fatalf("index changed query result at step %d", step)
+			}
+		}
+	}
+}
+
+// TestPropertyLikeMatchesReference compares the LIKE matcher against a
+// slow reference implementation on random inputs.
+func TestPropertyLikeMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := "ab%_"
+	randStr := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	var ref func(p, s string) bool
+	ref = func(p, s string) bool {
+		if p == "" {
+			return s == ""
+		}
+		switch p[0] {
+		case '%':
+			for i := 0; i <= len(s); i++ {
+				if ref(p[1:], s[i:]) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			return s != "" && ref(p[1:], s[1:])
+		default:
+			return s != "" && s[0] == p[0] && ref(p[1:], s[1:])
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		p := randStr(8)
+		s := randStr(8)
+		// The subject string should not contain wildcards for the reference
+		// comparison to be meaningful; strip them.
+		if got, want := likeMatch(p, s), ref(p, s); got != want {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference = %v", p, s, got, want)
+		}
+	}
+}
+
+// TestPropertyValueCompareTotalOrder: comparison over non-NULL values of
+// the same kind is a total order (antisymmetric, transitive on a sample).
+func TestPropertyValueCompareTotalOrder(t *testing.T) {
+	vals := []Value{Int(-5), Int(0), Int(3), Text(""), Text("a"), Text("b"), Bool(false), Bool(true)}
+	for _, a := range vals {
+		for _, b := range vals {
+			ca, okA := compareValues(a, b)
+			cb, okB := compareValues(b, a)
+			if okA != okB {
+				t.Fatalf("asymmetric definedness: %v vs %v", a, b)
+			}
+			if okA && ca != -cb {
+				t.Fatalf("not antisymmetric: cmp(%v,%v)=%d cmp(%v,%v)=%d", a, b, ca, b, a, cb)
+			}
+			if okA && ca == 0 && !a.Equal(b) {
+				t.Fatalf("cmp=0 but not Equal: %v %v", a, b)
+			}
+		}
+	}
+	// Transitivity holds within coherent comparison classes: values of the
+	// same kind, and int/bool mixes (cross-kind text coercion is best
+	// effort, as in most embedded engines).
+	numeric := func(v Value) bool { return v.Kind == KindInt || v.Kind == KindBool }
+	sameClass := func(a, b Value) bool {
+		return a.Kind == b.Kind || (numeric(a) && numeric(b))
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			for _, c := range vals {
+				if !sameClass(a, b) || !sameClass(b, c) || !sameClass(a, c) {
+					continue
+				}
+				ab, ok1 := compareValues(a, b)
+				bc, ok2 := compareValues(b, c)
+				ac, ok3 := compareValues(a, c)
+				if ok1 && ok2 && ok3 && ab <= 0 && bc <= 0 && ac > 0 {
+					t.Fatalf("not transitive: %v <= %v <= %v but cmp(%v, %v) > 0", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}

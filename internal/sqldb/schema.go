@@ -1,0 +1,266 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DB is an in-memory SQL database. A DB is safe for concurrent use; all
+// statement execution is serialized, which matches the single-writer model
+// the WARP paper assumes for its query log.
+//
+// The zero value is not usable; call Open.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+}
+
+// Open returns a new, empty database.
+func Open() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// Table holds the schema and rows of one table. Rows occupy stable slots:
+// a row's slot never changes, and deleted rows leave tombstones, which keeps
+// index bookkeeping simple and scan order deterministic.
+type Table struct {
+	Name     string
+	Columns  []ColumnDef
+	Uniques  []UniqueConstraint
+	colIdx   map[string]int
+	rows     []row
+	liveRows int
+	indexes  map[string]*hashIndex
+	uniques  []*uniqueSet
+}
+
+type row struct {
+	vals    []Value
+	deleted bool
+}
+
+// hashIndex is an equality index on a single column. Buckets keep row slots
+// sorted ascending so scans through an index preserve insertion order.
+type hashIndex struct {
+	column  string
+	buckets map[string][]int
+}
+
+func (ix *hashIndex) add(key string, slot int) {
+	b := ix.buckets[key]
+	// Slots are almost always appended in increasing order; handle the
+	// general case with a binary insert.
+	i := sort.SearchInts(b, slot)
+	if i < len(b) && b[i] == slot {
+		return
+	}
+	b = append(b, 0)
+	copy(b[i+1:], b[i:])
+	b[i] = slot
+	ix.buckets[key] = b
+}
+
+func (ix *hashIndex) remove(key string, slot int) {
+	b := ix.buckets[key]
+	i := sort.SearchInts(b, slot)
+	if i < len(b) && b[i] == slot {
+		b = append(b[:i], b[i+1:]...)
+		if len(b) == 0 {
+			delete(ix.buckets, key)
+		} else {
+			ix.buckets[key] = b
+		}
+	}
+}
+
+// uniqueSet enforces one unique constraint via a key → slot map.
+type uniqueSet struct {
+	def  UniqueConstraint
+	cols []int // column positions
+	m    map[string]int
+}
+
+func (u *uniqueSet) keyFor(vals []Value) (string, bool) {
+	var b strings.Builder
+	for _, ci := range u.cols {
+		v := vals[ci]
+		if v.IsNull() {
+			// SQL semantics: NULL never collides in a unique constraint.
+			return "", false
+		}
+		b.WriteString(v.Key())
+		b.WriteByte(0)
+	}
+	return b.String(), true
+}
+
+func (t *Table) columnPos(name string) (int, bool) {
+	i, ok := t.colIdx[name]
+	return i, ok
+}
+
+// ColumnNames returns the table's column names in declaration order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// HasColumn reports whether the table has a column with the given name.
+func (t *Table) HasColumn(name string) bool {
+	_, ok := t.colIdx[name]
+	return ok
+}
+
+// NumLiveRows returns the number of non-deleted rows.
+func (t *Table) NumLiveRows() int { return t.liveRows }
+
+func (t *Table) rebuildColIdx() {
+	t.colIdx = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.colIdx[c.Name] = i
+	}
+}
+
+func (t *Table) buildUniqueSets() error {
+	t.uniques = nil
+	for _, def := range t.Uniques {
+		us := &uniqueSet{def: def, m: make(map[string]int)}
+		for _, col := range def.Columns {
+			ci, ok := t.columnPos(col)
+			if !ok {
+				return fmt.Errorf("sql: table %s: unique constraint references unknown column %s", t.Name, col)
+			}
+			us.cols = append(us.cols, ci)
+		}
+		t.uniques = append(t.uniques, us)
+	}
+	for slot, r := range t.rows {
+		if r.deleted {
+			continue
+		}
+		for _, us := range t.uniques {
+			if key, ok := us.keyFor(r.vals); ok {
+				if prev, dup := us.m[key]; dup {
+					return fmt.Errorf("sql: table %s: rows %d and %d violate %s", t.Name, prev, slot, us.def.String())
+				}
+				us.m[key] = slot
+			}
+		}
+	}
+	return nil
+}
+
+// Tables returns the names of all tables, sorted.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns the column definitions and unique constraints of a table.
+// It returns copies; mutating them does not affect the database.
+func (db *DB) Schema(table string) (cols []ColumnDef, uniques []UniqueConstraint, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, nil, fmt.Errorf("sql: no such table %s", table)
+	}
+	cols = append(cols, t.Columns...)
+	uniques = append(uniques, t.Uniques...)
+	return cols, uniques, nil
+}
+
+// HasTable reports whether the named table exists.
+func (db *DB) HasTable(table string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	_, ok := db.tables[table]
+	return ok
+}
+
+// RowCount returns the number of live rows in the table, or 0 if the table
+// does not exist.
+func (db *DB) RowCount(table string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[table]; ok {
+		return t.liveRows
+	}
+	return 0
+}
+
+// TotalRows returns the total number of live rows across all tables. WARP's
+// storage accounting (Table 6) uses this to measure database growth.
+func (db *DB) TotalRows() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	n := 0
+	for _, t := range db.tables {
+		n += t.liveRows
+	}
+	return n
+}
+
+// ApproxTableBytes estimates the storage footprint of a table in bytes,
+// counting live and historical (tombstoned) rows. WARP's storage accounting
+// (paper Table 6) uses this to report database log growth per page visit.
+func (db *DB) ApproxTableBytes(table string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, r := range t.rows {
+		if r.deleted {
+			continue
+		}
+		for _, v := range r.vals {
+			n += 9 + len(v.Str) // kind byte + 8-byte scalar + text payload
+		}
+	}
+	return n
+}
+
+// ApproxBytes estimates the storage footprint of all tables.
+func (db *DB) ApproxBytes() int {
+	n := 0
+	for _, t := range db.Tables() {
+		n += db.ApproxTableBytes(t)
+	}
+	return n
+}
+
+// SetUniques replaces the unique constraints of a table and revalidates
+// existing rows. The time-travel layer uses this to extend application
+// uniqueness constraints with version columns (paper §6).
+func (db *DB) SetUniques(table string, uniques []UniqueConstraint) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("sql: no such table %s", table)
+	}
+	old := t.Uniques
+	t.Uniques = uniques
+	if err := t.buildUniqueSets(); err != nil {
+		t.Uniques = old
+		if rerr := t.buildUniqueSets(); rerr != nil {
+			return fmt.Errorf("sql: constraint rollback failed: %v (after %v)", rerr, err)
+		}
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package taint
+
+import (
+	"fmt"
+
+	"warp/internal/app"
+	"warp/internal/browser"
+	"warp/internal/core"
+	"warp/internal/history"
+	"warp/internal/webapp/blog"
+	"warp/internal/webapp/gallery"
+)
+
+// Bug identifies one of the four §8.4 corruption bugs.
+type Bug string
+
+// The four bugs of Table 5.
+const (
+	BugLostVotes    Bug = "Drupal – lost voting info"
+	BugLostComments Bug = "Drupal – lost comments"
+	BugRemovePerms  Bug = "Gallery2 – removing perms"
+	BugResizeImages Bug = "Gallery2 – resizing images"
+)
+
+// Bugs lists the Table 5 rows in order.
+func Bugs() []Bug {
+	return []Bug{BugLostVotes, BugLostComments, BugRemovePerms, BugResizeImages}
+}
+
+// PolicyResult is the outcome of one baseline policy on one bug.
+type PolicyResult struct {
+	Policy         Policy
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Comparison is one Table 5 row: the taint baseline under its policies
+// versus WARP.
+type Comparison struct {
+	Bug       Bug
+	Corrupted int // ground-truth corrupted rows
+
+	Baseline []PolicyResult
+	// BaselineNeedsInput is always true: the administrator must identify
+	// the buggy request (and supply white-lists).
+	BaselineNeedsInput bool
+
+	// WARP's results: rows left different from the bug-free oracle after
+	// retroactive patching (want 0), and conflicts requiring user input
+	// (want 0).
+	WARPFalsePositives int
+	WARPConflicts      int
+	WARPNeedsInput     bool
+}
+
+// bugSpec describes one comparison scenario: how to deploy the
+// application, drive the workload, and patch the bug.
+type bugSpec struct {
+	bug       Bug
+	file      string   // buggy source file
+	tables    []string // tables to diff, with their row ID columns
+	rowIDCols []string
+	whitelist map[string]bool
+
+	deploy func(seed int64, fixed bool) (*core.Warp, app.Version, error)
+	// workload drives the full activity. It returns the run action of the
+	// bug-triggering request (identified by URL path).
+	workload func(w *core.Warp, scale int) error
+	bugPath  string // request path that triggers the bug
+}
+
+// RunComparison reproduces one Table 5 row at the given workload scale
+// (number of users; the bench default is 100).
+func RunComparison(bug Bug, scale int) (*Comparison, error) {
+	if scale < 6 {
+		scale = 6
+	}
+	spec, err := specFor(bug)
+	if err != nil {
+		return nil, err
+	}
+
+	// Twin deployments: buggy and oracle (bug fixed from the start).
+	buggy, patch, err := spec.deploy(41, false)
+	if err != nil {
+		return nil, err
+	}
+	oracle, _, err := spec.deploy(41, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.workload(buggy, scale); err != nil {
+		return nil, err
+	}
+	if err := spec.workload(oracle, scale); err != nil {
+		return nil, err
+	}
+
+	// Ground truth: rows that differ between the buggy and bug-free runs.
+	corrupted := make(map[RowKey]bool)
+	for i, table := range spec.tables {
+		diff, err := DiffRows(buggy.DB, oracle.DB, table, spec.rowIDCols[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range diff {
+			corrupted[k] = true
+		}
+	}
+
+	cmp := &Comparison{Bug: bug, Corrupted: len(corrupted), BaselineNeedsInput: true}
+
+	// The baseline's administrator identifies the bug-triggering request.
+	buggyRun, err := findRunByPath(buggy, spec.bugPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, pol := range []Policy{PolicyDirect, PolicyFlow, PolicyFlowWhitelist} {
+		an, err := Analyze(buggy, buggyRun, pol, spec.whitelist, corrupted)
+		if err != nil {
+			return nil, err
+		}
+		cmp.Baseline = append(cmp.Baseline, PolicyResult{
+			Policy:         pol,
+			FalsePositives: an.FalsePositives,
+			FalseNegatives: an.FalseNegatives,
+		})
+	}
+
+	// WARP: retroactively patch the buggy file and compare against the
+	// oracle.
+	rep, err := buggy.RetroPatch(spec.file, patch)
+	if err != nil {
+		return nil, err
+	}
+	cmp.WARPConflicts = len(rep.Conflicts)
+	for i, table := range spec.tables {
+		diff, err := DiffRows(buggy.DB, oracle.DB, table, spec.rowIDCols[i])
+		if err != nil {
+			return nil, err
+		}
+		cmp.WARPFalsePositives += len(diff)
+	}
+	cmp.WARPNeedsInput = cmp.WARPConflicts > 0
+	return cmp, nil
+}
+
+// findRunByPath locates the (first) application run serving a path.
+func findRunByPath(w *core.Warp, path string) (history.ActionID, error) {
+	for _, act := range w.Graph.ByKind(history.KindAppRun) {
+		payload := act.Payload.(*core.RunPayload)
+		if payload.Rec.Req.Path == path {
+			return act.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("taint: no run for path %s", path)
+}
+
+func specFor(bug Bug) (*bugSpec, error) {
+	switch bug {
+	case BugLostVotes:
+		return &bugSpec{
+			bug:       bug,
+			file:      "editpost.php",
+			bugPath:   "/editpost.php",
+			tables:    []string{"posts", "votes", "comments", "digests"},
+			rowIDCols: []string{"node_id", "", "", "node_id"},
+			whitelist: map[string]bool{"posts": true},
+			deploy: func(seed int64, fixed bool) (*core.Warp, app.Version, error) {
+				w := core.New(core.Config{Seed: seed})
+				a, err := blog.Install(w)
+				if err != nil {
+					return nil, app.Version{}, err
+				}
+				patch := a.EditpostFixed()
+				if fixed {
+					if err := w.Runtime.Patch("editpost.php", patch); err != nil {
+						return nil, app.Version{}, err
+					}
+				}
+				if err := seedBlog(a); err != nil {
+					return nil, app.Version{}, err
+				}
+				return w, patch, nil
+			},
+			workload: func(w *core.Warp, scale int) error {
+				return blogWorkload(w, scale, "/editpost.php?id=1&body=edited+body")
+			},
+		}, nil
+	case BugLostComments:
+		return &bugSpec{
+			bug:       bug,
+			file:      "movepost.php",
+			bugPath:   "/movepost.php",
+			tables:    []string{"posts", "votes", "comments", "digests"},
+			rowIDCols: []string{"node_id", "", "", "node_id"},
+			whitelist: map[string]bool{"posts": true},
+			deploy: func(seed int64, fixed bool) (*core.Warp, app.Version, error) {
+				w := core.New(core.Config{Seed: seed})
+				a, err := blog.Install(w)
+				if err != nil {
+					return nil, app.Version{}, err
+				}
+				patch := a.MovepostFixed()
+				if fixed {
+					if err := w.Runtime.Patch("movepost.php", patch); err != nil {
+						return nil, app.Version{}, err
+					}
+				}
+				if err := seedBlog(a); err != nil {
+					return nil, app.Version{}, err
+				}
+				return w, patch, nil
+			},
+			workload: func(w *core.Warp, scale int) error {
+				return blogWorkload(w, scale, "/movepost.php?id=1&category=archive")
+			},
+		}, nil
+	case BugRemovePerms:
+		return &bugSpec{
+			bug:       bug,
+			file:      "movephoto.php",
+			bugPath:   "/movephoto.php",
+			tables:    []string{"photos", "perms"},
+			rowIDCols: []string{"photo_id", ""},
+			whitelist: map[string]bool{"photos": true},
+			deploy:    deployGallery("movephoto.php"),
+			workload: func(w *core.Warp, scale int) error {
+				return galleryWorkload(w, scale, "/movephoto.php?id=1&album=2")
+			},
+		}, nil
+	case BugResizeImages:
+		return &bugSpec{
+			bug:       bug,
+			file:      "resize.php",
+			bugPath:   "/resize.php",
+			tables:    []string{"photos", "perms"},
+			rowIDCols: []string{"photo_id", ""},
+			whitelist: map[string]bool{"photos": true},
+			deploy:    deployGallery("resize.php"),
+			workload: func(w *core.Warp, scale int) error {
+				return galleryWorkload(w, scale, "/resize.php?id=1")
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("taint: unknown bug %q", bug)
+	}
+}
+
+func deployGallery(file string) func(seed int64, fixed bool) (*core.Warp, app.Version, error) {
+	return func(seed int64, fixed bool) (*core.Warp, app.Version, error) {
+		w := core.New(core.Config{Seed: seed})
+		a, err := gallery.Install(w)
+		if err != nil {
+			return nil, app.Version{}, err
+		}
+		var patch app.Version
+		if file == "movephoto.php" {
+			patch = a.MovephotoFixed()
+		} else {
+			patch = a.ResizeFixed()
+		}
+		if fixed {
+			if err := w.Runtime.Patch(file, patch); err != nil {
+				return nil, app.Version{}, err
+			}
+		}
+		if err := a.CreateAlbum(1, "Holiday"); err != nil {
+			return nil, app.Version{}, err
+		}
+		if err := a.CreateAlbum(2, "Archive"); err != nil {
+			return nil, app.Version{}, err
+		}
+		for i := int64(1); i <= 5; i++ {
+			if err := a.CreatePhoto(i, 1, fmt.Sprintf("photo%d", i), fmt.Sprintf("IMAGEDATA-%d", i)); err != nil {
+				return nil, app.Version{}, err
+			}
+		}
+		return w, patch, nil
+	}
+}
+
+func seedBlog(a *blog.App) error {
+	for i := int64(1); i <= 5; i++ {
+		if err := a.CreatePost(i, fmt.Sprintf("Post %d", i), "original body"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// blogWorkload: half the users vote and comment before the bug, the bug
+// fires, the other half keep voting and commenting on the affected post,
+// and the stats digest is recomputed (deriving corrupted data — the false-
+// negative trap for narrow policies).
+func blogWorkload(w *core.Warp, scale int, bugURL string) error {
+	users := make([]*browser.Browser, scale)
+	for i := range users {
+		users[i] = w.NewBrowser()
+	}
+	half := scale / 2
+	for i := 0; i < half; i++ {
+		u := fmt.Sprintf("user%d", i)
+		post := 1 + i%5
+		open(users[i], fmt.Sprintf("/vote.php?id=1&u=%s&val=1", u))
+		open(users[i], fmt.Sprintf("/comment.php?id=%d&u=%s&text=nice+post", post, u))
+	}
+	// The administrator (or a user) triggers the bug.
+	open(users[0], bugURL)
+	// Post-bug activity on the affected post: these writes are what coarse
+	// taint policies flag for rollback (false positives).
+	for i := half; i < scale; i++ {
+		u := fmt.Sprintf("user%d", i)
+		open(users[i], fmt.Sprintf("/comment.php?id=1&u=%s&text=late+comment", u))
+		open(users[i], fmt.Sprintf("/vote.php?id=1&u=%s&val=1", u))
+	}
+	// A stats digest derives data from the (now corrupted) counts.
+	open(users[0], "/digest.php?id=1")
+	return nil
+}
+
+// galleryWorkload: users are granted access and view photos; the bug
+// fires; the administrator re-grants and users keep viewing.
+func galleryWorkload(w *core.Warp, scale int, bugURL string) error {
+	users := make([]*browser.Browser, scale)
+	for i := range users {
+		users[i] = w.NewBrowser()
+	}
+	half := scale / 2
+	for i := 0; i < half; i++ {
+		u := fmt.Sprintf("user%d", i)
+		open(users[i], fmt.Sprintf("/grant.php?id=1&user=%s", u))
+		open(users[i], fmt.Sprintf("/photo.php?id=1&u=%s", u))
+	}
+	open(users[0], bugURL)
+	// Post-bug: the administrator re-grants users on the affected photo
+	// (after the perms bug) and users keep viewing.
+	for i := half; i < scale; i++ {
+		u := fmt.Sprintf("user%d", i)
+		open(users[i], fmt.Sprintf("/grant.php?id=1&user=%s", u))
+		open(users[i], fmt.Sprintf("/photo.php?id=1&u=%s", u))
+	}
+	return nil
+}
+
+// open drives one GET page visit.
+func open(b *browser.Browser, url string) {
+	b.Open(url)
+}

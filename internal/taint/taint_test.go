@@ -1,0 +1,96 @@
+package taint
+
+import (
+	"testing"
+)
+
+// TestTable5Rows reproduces the shape of the paper's Table 5 on all four
+// corruption bugs: the taint baseline needs administrator input and flags
+// false positives under its no-false-negative policy (reduced by white-
+// listing), while WARP recovers exactly, with no false positives and no
+// user input.
+func TestTable5Rows(t *testing.T) {
+	for _, bug := range Bugs() {
+		bug := bug
+		t.Run(string(bug), func(t *testing.T) {
+			cmp, err := RunComparison(bug, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cmp.Corrupted == 0 {
+				t.Fatal("bug corrupted nothing; scenario broken")
+			}
+			var flow, flowWL *PolicyResult
+			for i := range cmp.Baseline {
+				switch cmp.Baseline[i].Policy {
+				case PolicyFlow:
+					flow = &cmp.Baseline[i]
+				case PolicyFlowWhitelist:
+					flowWL = &cmp.Baseline[i]
+				}
+			}
+			// Flow is the no-false-negative policy of Table 5.
+			if flow.FalseNegatives != 0 {
+				t.Fatalf("flow policy has false negatives: %+v", flow)
+			}
+			// ...but it over-flags.
+			if flow.FalsePositives == 0 {
+				t.Fatalf("flow policy should have false positives: %+v", flow)
+			}
+			// White-listing trims the false positives (Table 5's
+			// before/after-slash numbers).
+			if flowWL.FalsePositives > flow.FalsePositives {
+				t.Fatalf("whitelisting increased FPs: %d > %d", flowWL.FalsePositives, flow.FalsePositives)
+			}
+			// WARP: exact recovery, no input.
+			if cmp.WARPFalsePositives != 0 {
+				t.Fatalf("WARP left %d rows differing from the oracle", cmp.WARPFalsePositives)
+			}
+			if cmp.WARPConflicts != 0 {
+				t.Fatalf("WARP needed user input: %d conflicts", cmp.WARPConflicts)
+			}
+		})
+	}
+}
+
+// TestDirectPolicyFalseNegatives: the blog bugs corrupt derived data (the
+// stats digest); a policy that only flags the buggy request's own writes
+// misses it — the baseline's false-negative failure mode.
+func TestDirectPolicyFalseNegatives(t *testing.T) {
+	for _, bug := range []Bug{BugLostVotes, BugLostComments} {
+		cmp, err := RunComparison(bug, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var direct *PolicyResult
+		for i := range cmp.Baseline {
+			if cmp.Baseline[i].Policy == PolicyDirect {
+				direct = &cmp.Baseline[i]
+			}
+		}
+		if direct.FalseNegatives == 0 {
+			t.Fatalf("%s: direct policy should miss the derived digest corruption", bug)
+		}
+	}
+}
+
+// TestWhitelistReducesFPs: on the gallery perms bug the whitelist cuts the
+// false positives substantially (the paper's 82 → 10 shape).
+func TestWhitelistReducesFPs(t *testing.T) {
+	cmp, err := RunComparison(BugRemovePerms, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flow, flowWL *PolicyResult
+	for i := range cmp.Baseline {
+		switch cmp.Baseline[i].Policy {
+		case PolicyFlow:
+			flow = &cmp.Baseline[i]
+		case PolicyFlowWhitelist:
+			flowWL = &cmp.Baseline[i]
+		}
+	}
+	if flowWL.FalsePositives >= flow.FalsePositives {
+		t.Fatalf("whitelist did not reduce FPs: %d vs %d", flowWL.FalsePositives, flow.FalsePositives)
+	}
+}

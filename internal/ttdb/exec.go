@@ -1,0 +1,429 @@
+package ttdb
+
+import (
+	"fmt"
+
+	"warp/internal/sqldb"
+)
+
+// Exec parses and executes one query under normal execution: at the
+// current logical time, in the current generation, with full versioning
+// and dependency recording. The returned Record is what the caller (the
+// application repair manager) stores in the action history graph.
+func (db *DB) Exec(src string, params ...sqldb.Value) (*sqldb.Result, *Record, error) {
+	stmt, err := sqldb.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.ExecStmt(stmt, params)
+}
+
+// ExecStmt executes a parsed statement under normal execution.
+func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Result, *Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := db.clock.Tick()
+	return db.execAt(stmt, params, t, db.currentGen, nil)
+}
+
+// execAt dispatches a statement at an explicit time and generation.
+// reuse carries the original record during repair re-execution, or nil.
+func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record) (*sqldb.Result, *Record, error) {
+	rec := &Record{SQL: stmt.String(), Params: params, Time: t, Gen: gen}
+	switch s := stmt.(type) {
+	case *sqldb.CreateTable:
+		rec.Kind = KindDDL
+		rec.Table = s.Table
+		if err := db.createTable(s); err != nil {
+			return nil, nil, err
+		}
+		rec.Result = &sqldb.Result{}
+		return rec.Result, rec, nil
+	case *sqldb.CreateIndex:
+		rec.Kind = KindDDL
+		rec.Table = s.Table
+		res, err := db.raw.ExecStmt(s, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Result = res
+		return res, rec, nil
+	case *sqldb.AlterTableAdd:
+		rec.Kind = KindDDL
+		rec.Table = s.Table
+		m, err := db.meta(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := db.raw.ExecStmt(s, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		m.userCols = append(m.userCols, s.Column.Name)
+		rec.Result = res
+		return res, rec, nil
+	case *sqldb.DropTable:
+		rec.Kind = KindDDL
+		rec.Table = s.Table
+		res, err := db.raw.ExecStmt(s, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		delete(db.tables, s.Table)
+		rec.Result = res
+		return res, rec, nil
+	case *sqldb.Select:
+		return db.execSelect(s, params, t, gen, rec)
+	case *sqldb.Insert:
+		return db.execInsert(s, params, t, gen, rec, reuse)
+	case *sqldb.Update:
+		return db.execUpdate(s, params, t, gen, rec)
+	case *sqldb.Delete:
+		return db.execDelete(s, params, t, gen, rec)
+	default:
+		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
+	}
+}
+
+// physicalColumns returns user columns plus WARP bookkeeping columns.
+func (db *DB) physicalColumns(m *tableMeta) []string {
+	return append(append([]string{}, m.userCols...), m.metaColumns()...)
+}
+
+// selectPhysical reads full physical rows matching where, in scan order.
+func (db *DB) selectPhysical(m *tableMeta, where sqldb.Expr, params []sqldb.Value) (*sqldb.Result, error) {
+	cols := db.physicalColumns(m)
+	items := make([]sqldb.SelectItem, len(cols))
+	for i, c := range cols {
+		items[i] = sqldb.SelectItem{Expr: sqldb.Col(c)}
+	}
+	return db.raw.ExecStmt(&sqldb.Select{Items: items, Table: m.name, Where: where}, params)
+}
+
+func (db *DB) execSelect(s *sqldb.Select, params []sqldb.Value, t, gen int64, rec *Record) (*sqldb.Result, *Record, error) {
+	rec.Kind = KindRead
+	if s.Table == "" {
+		res, err := db.raw.ExecStmt(s, params)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.Result = res
+		return res, rec, nil
+	}
+	m, err := db.meta(s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Table = s.Table
+	aug := s.Clone().(*sqldb.Select)
+	// Expand * to the application's columns so WARP bookkeeping stays
+	// invisible.
+	var items []sqldb.SelectItem
+	for _, it := range aug.Items {
+		if it.Star {
+			for _, c := range m.userCols {
+				items = append(items, sqldb.SelectItem{Expr: sqldb.Col(c)})
+			}
+			continue
+		}
+		items = append(items, it)
+	}
+	aug.Items = items
+	aug.Where = sqldb.And(aug.Where, liveWhere(t, gen))
+	res, err := db.raw.ExecStmt(aug, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.ReadPartitions = m.readPartitions(s.Where, params)
+	rec.Result = res
+	return res, rec, nil
+}
+
+// checkWritableColumns rejects application writes to reserved or row-ID
+// columns: the paper requires row IDs to be assigned once and never
+// overwritten (§4.1).
+func (db *DB) checkWritableColumns(m *tableMeta, cols []string, isInsert bool) error {
+	for _, c := range cols {
+		switch c {
+		case ColRowID, ColStartTime, ColEndTime, ColStartGen, ColEndGen:
+			return fmt.Errorf("ttdb: table %s: column %s is reserved", m.name, c)
+		}
+		if !isInsert && c == m.rowIDCol {
+			return fmt.Errorf("ttdb: table %s: row ID column %s must not be updated", m.name, c)
+		}
+	}
+	return nil
+}
+
+func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, rec *Record, reuse *Record) (*sqldb.Result, *Record, error) {
+	m, err := db.meta(s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Kind = KindInsert
+	rec.Table = s.Table
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = m.userCols
+	}
+	if err := db.checkWritableColumns(m, cols, true); err != nil {
+		return nil, nil, err
+	}
+
+	aug := s.Clone().(*sqldb.Insert)
+	aug.Columns = append(append([]string{}, cols...), m.metaColumns()...)
+	var reuseIDs []sqldb.Value
+	if reuse != nil {
+		reuseIDs = reuse.WriteRowIDs
+	}
+	for i := range aug.Rows {
+		if len(aug.Rows[i]) != len(cols) {
+			return nil, nil, fmt.Errorf("ttdb: table %s: %d values for %d columns", s.Table, len(aug.Rows[i]), len(cols))
+		}
+		if m.synthetic {
+			// Reuse the originally assigned row IDs during repair so row
+			// identity is stable across re-execution.
+			var rid int64
+			if i < len(reuseIDs) {
+				rid = reuseIDs[i].AsInt()
+			} else {
+				rid = m.nextRowID
+				m.nextRowID++
+			}
+			aug.Rows[i] = append(aug.Rows[i], sqldb.Lit(sqldb.Int(rid)))
+		}
+		aug.Rows[i] = append(aug.Rows[i],
+			sqldb.Lit(sqldb.Int(t)), sqldb.Lit(sqldb.Int(Infinity)),
+			sqldb.Lit(sqldb.Int(gen)), sqldb.Lit(sqldb.Int(Infinity)))
+	}
+	nApp := len(s.Returning)
+	aug.Returning = append(append([]string{}, s.Returning...), m.rowIDCol)
+	for col := range m.partCols {
+		aug.Returning = append(aug.Returning, col)
+	}
+	res, err := db.raw.ExecStmt(aug, params)
+	if err != nil {
+		if sqldb.IsUniqueViolation(err) {
+			// A failed INSERT is still a recorded outcome: repair watches
+			// for success/failure changes (§6).
+			rec.ErrText = err.Error()
+			rec.ReadPartitions = db.insertPartitionsFromRows(m, cols, aug.Rows, params)
+			return nil, rec, err
+		}
+		return nil, nil, err
+	}
+	db.fillWriteInfo(m, rec, res, nApp)
+	// An INSERT "reads" the partitions it lands in: uniqueness success
+	// depends on them (§6), so repair must re-check inserts in dirty
+	// partitions.
+	rec.ReadPartitions = rec.WritePartitions
+	rec.Result = stripResult(res, s.Returning, nApp, res.Affected)
+	return rec.Result, rec, nil
+}
+
+// insertPartitionsFromRows computes partitions for INSERT rows from the
+// statement itself, used when the insert failed and no RETURNING data
+// exists.
+func (db *DB) insertPartitionsFromRows(m *tableMeta, cols []string, rows [][]sqldb.Expr, params []sqldb.Value) []Partition {
+	set := NewPartitionSet()
+	for _, row := range rows {
+		byCol := make(map[string]sqldb.Value)
+		for i, c := range cols {
+			if i < len(row) {
+				if v, ok := constValueOf(row[i], params); ok {
+					byCol[c] = v
+				}
+			}
+		}
+		if len(m.partCols) == 0 {
+			set.Add(WholeTable(m.name))
+			continue
+		}
+		for col := range m.partCols {
+			v, ok := byCol[col]
+			if !ok {
+				set.Add(WholeTable(m.name))
+				continue
+			}
+			set.Add(Partition{Table: m.name, Column: col, Key: v.Key()})
+		}
+	}
+	return set.Slice()
+}
+
+// fillWriteInfo extracts row IDs and partitions from a write's RETURNING
+// data. The bookkeeping columns start at index nApp.
+func (db *DB) fillWriteInfo(m *tableMeta, rec *Record, res *sqldb.Result, nApp int) {
+	set := NewPartitionSet()
+	for _, row := range res.Rows {
+		rec.WriteRowIDs = append(rec.WriteRowIDs, row[nApp])
+		if len(m.partCols) == 0 {
+			set.Add(WholeTable(m.name))
+			continue
+		}
+		for i, col := range res.Columns[nApp+1:] {
+			set.Add(Partition{Table: m.name, Column: col, Key: row[nApp+1+i].Key()})
+		}
+	}
+	rec.WritePartitions = append(rec.WritePartitions, set.Slice()...)
+}
+
+// stripResult hides WARP's RETURNING additions from the application.
+func stripResult(res *sqldb.Result, appReturning []string, nApp int, affected int) *sqldb.Result {
+	out := &sqldb.Result{Affected: affected}
+	if nApp == 0 {
+		return out
+	}
+	out.Columns = append(out.Columns, appReturning...)
+	for _, row := range res.Rows {
+		out.Rows = append(out.Rows, row[:nApp])
+	}
+	return out
+}
+
+func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, rec *Record) (*sqldb.Result, *Record, error) {
+	m, err := db.meta(s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Kind = KindUpdate
+	rec.Table = s.Table
+	setCols := make([]string, len(s.Set))
+	for i, a := range s.Set {
+		setCols[i] = a.Column
+	}
+	if err := db.checkWritableColumns(m, setCols, false); err != nil {
+		return nil, nil, err
+	}
+	rec.ReadPartitions = m.readPartitions(s.Where, params)
+
+	var userWhere sqldb.Expr
+	if s.Where != nil {
+		userWhere = s.Where.CloneExpr()
+	}
+	live := sqldb.And(userWhere, liveWhere(t, gen))
+
+	// Phase 1: capture the old versions of every matched row.
+	oldRows, err := db.selectPhysical(m, live, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(oldRows.Rows) == 0 {
+		rec.Result = &sqldb.Result{Affected: 0, Columns: append([]string{}, s.Returning...)}
+		return rec.Result, rec, nil
+	}
+	db.recordOldPartitions(m, rec, oldRows)
+
+	// Phase 2: update the live versions in place, bumping start_time.
+	aug := s.Clone().(*sqldb.Update)
+	aug.Set = append(aug.Set, sqldb.Assignment{Column: ColStartTime, Expr: sqldb.Lit(sqldb.Int(t))})
+	aug.Where = live
+	nApp := len(s.Returning)
+	aug.Returning = append(append([]string{}, s.Returning...), m.rowIDCol)
+	for col := range m.partCols {
+		aug.Returning = append(aug.Returning, col)
+	}
+	res, err := db.raw.ExecStmt(aug, params)
+	if err != nil {
+		if sqldb.IsUniqueViolation(err) {
+			rec.ErrText = err.Error()
+			return nil, rec, err
+		}
+		return nil, nil, err
+	}
+	db.fillWriteInfo(m, rec, res, nApp)
+
+	// Phase 3: re-insert the old versions as history, closed at t.
+	if err := db.insertHistorical(m, oldRows, t, -1, -1); err != nil {
+		return nil, nil, err
+	}
+	rec.Result = stripResult(res, s.Returning, nApp, res.Affected)
+	return rec.Result, rec, nil
+}
+
+// recordOldPartitions adds the pre-write partition values of the matched
+// rows to the record's write set.
+func (db *DB) recordOldPartitions(m *tableMeta, rec *Record, oldRows *sqldb.Result) {
+	set := NewPartitionSet()
+	set.AddAll(rec.WritePartitions)
+	colOf := make(map[string]int, len(oldRows.Columns))
+	for i, c := range oldRows.Columns {
+		colOf[c] = i
+	}
+	for _, row := range oldRows.Rows {
+		if len(m.partCols) == 0 {
+			set.Add(WholeTable(m.name))
+			continue
+		}
+		for col := range m.partCols {
+			set.Add(Partition{Table: m.name, Column: col, Key: row[colOf[col]].Key()})
+		}
+	}
+	rec.WritePartitions = set.Slice()
+}
+
+// insertHistorical re-inserts captured physical rows with end_time=t.
+// When overrideStartGen/overrideEndGen are >= 0 they replace the captured
+// generation columns (used by repair-side flows).
+func (db *DB) insertHistorical(m *tableMeta, oldRows *sqldb.Result, t int64, overrideStartGen, overrideEndGen int64) error {
+	if len(oldRows.Rows) == 0 {
+		return nil
+	}
+	cols := oldRows.Columns
+	colOf := make(map[string]int, len(cols))
+	for i, c := range cols {
+		colOf[c] = i
+	}
+	ins := &sqldb.Insert{Table: m.name, Columns: cols}
+	for _, row := range oldRows.Rows {
+		vals := make([]sqldb.Expr, len(cols))
+		for i, v := range row {
+			vals[i] = sqldb.Lit(v)
+		}
+		vals[colOf[ColEndTime]] = sqldb.Lit(sqldb.Int(t))
+		if overrideStartGen >= 0 {
+			vals[colOf[ColStartGen]] = sqldb.Lit(sqldb.Int(overrideStartGen))
+		}
+		if overrideEndGen >= 0 {
+			vals[colOf[ColEndGen]] = sqldb.Lit(sqldb.Int(overrideEndGen))
+		}
+		ins.Rows = append(ins.Rows, vals)
+	}
+	_, err := db.raw.ExecStmt(ins, nil)
+	return err
+}
+
+func (db *DB) execDelete(s *sqldb.Delete, params []sqldb.Value, t, gen int64, rec *Record) (*sqldb.Result, *Record, error) {
+	m, err := db.meta(s.Table)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec.Kind = KindDelete
+	rec.Table = s.Table
+	rec.ReadPartitions = m.readPartitions(s.Where, params)
+
+	var userWhere sqldb.Expr
+	if s.Where != nil {
+		userWhere = s.Where.CloneExpr()
+	}
+	live := sqldb.And(userWhere, liveWhere(t, gen))
+
+	// Deleting is closing the version interval (§4.2): set end_time = t.
+	aug := &sqldb.Update{
+		Table: s.Table,
+		Set:   []sqldb.Assignment{{Column: ColEndTime, Expr: sqldb.Lit(sqldb.Int(t))}},
+		Where: live,
+	}
+	nApp := len(s.Returning)
+	aug.Returning = append(append([]string{}, s.Returning...), m.rowIDCol)
+	for col := range m.partCols {
+		aug.Returning = append(aug.Returning, col)
+	}
+	res, err := db.raw.ExecStmt(aug, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	db.fillWriteInfo(m, rec, res, nApp)
+	rec.Result = stripResult(res, s.Returning, nApp, res.Affected)
+	return rec.Result, rec, nil
+}

@@ -1,0 +1,234 @@
+package ttdb
+
+import (
+	"sort"
+	"strings"
+
+	"warp/internal/sqldb"
+)
+
+// Partition names a slice of a table for dependency analysis (§4.1). A
+// partition is identified by a partition column and the Key() of a value in
+// that column. The zero Column denotes the whole table: the conservative
+// fallback when WHERE-clause analysis cannot bound what a query touches.
+type Partition struct {
+	Table  string
+	Column string // "" means the whole table
+	Key    string // sqldb.Value.Key() of the partition value
+}
+
+// WholeTable returns the conservative whole-table partition.
+func WholeTable(table string) Partition { return Partition{Table: table} }
+
+// IsWholeTable reports whether p covers the entire table.
+func (p Partition) IsWholeTable() bool { return p.Column == "" }
+
+// String renders the partition for logs and debugging.
+func (p Partition) String() string {
+	if p.IsWholeTable() {
+		return p.Table + "/*"
+	}
+	return p.Table + "/" + p.Column + "=" + p.Key
+}
+
+// Overlaps reports whether two partitions can contain a common row. A
+// whole-table partition overlaps everything in its table. Partitions on
+// different columns overlap conservatively only through the whole-table
+// case: writes record the partition keys of every touched row in every
+// partition column, so same-column comparison is sufficient (see the
+// package analysis notes).
+func (p Partition) Overlaps(q Partition) bool {
+	if p.Table != q.Table {
+		return false
+	}
+	if p.IsWholeTable() || q.IsWholeTable() {
+		return true
+	}
+	return p.Column == q.Column && p.Key == q.Key
+}
+
+// PartitionSet is a set of partitions with overlap queries. The zero value
+// is an empty set.
+type PartitionSet struct {
+	whole map[string]bool // tables fully covered
+	keys  map[Partition]bool
+}
+
+// NewPartitionSet returns an empty set.
+func NewPartitionSet() *PartitionSet {
+	return &PartitionSet{whole: make(map[string]bool), keys: make(map[Partition]bool)}
+}
+
+// Add inserts p into the set.
+func (s *PartitionSet) Add(p Partition) {
+	if p.IsWholeTable() {
+		s.whole[p.Table] = true
+		return
+	}
+	s.keys[p] = true
+}
+
+// AddAll inserts every partition in ps.
+func (s *PartitionSet) AddAll(ps []Partition) {
+	for _, p := range ps {
+		s.Add(p)
+	}
+}
+
+// Len returns the number of distinct entries.
+func (s *PartitionSet) Len() int { return len(s.whole) + len(s.keys) }
+
+// OverlapsAny reports whether any partition in ps overlaps the set.
+func (s *PartitionSet) OverlapsAny(ps []Partition) bool {
+	for _, p := range ps {
+		if s.whole[p.Table] {
+			return true
+		}
+		if p.IsWholeTable() {
+			// Any keyed entry or whole-table entry on this table overlaps.
+			for q := range s.keys {
+				if q.Table == p.Table {
+					return true
+				}
+			}
+			continue
+		}
+		if s.keys[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice returns the set contents in a stable order.
+func (s *PartitionSet) Slice() []Partition {
+	out := make([]Partition, 0, s.Len())
+	for t := range s.whole {
+		out = append(out, WholeTable(t))
+	}
+	for p := range s.keys {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Table != b.Table {
+			return a.Table < b.Table
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// String renders the set for debugging.
+func (s *PartitionSet) String() string {
+	parts := s.Slice()
+	strs := make([]string, len(parts))
+	for i, p := range parts {
+		strs[i] = p.String()
+	}
+	return "{" + strings.Join(strs, ", ") + "}"
+}
+
+// readPartitions inspects a WHERE clause and returns the partitions the
+// query may read (§4.1). It finds top-level AND-conjuncts of the form
+// `col = const` or `col IN (consts)` over partition columns. When no such
+// conjunct exists — including when the clause is absent, uses OR at the top
+// level around partition predicates, or compares partition columns
+// non-constantly — the whole table is returned, which is the paper's
+// conservative fallback.
+func (m *tableMeta) readPartitions(where sqldb.Expr, params []sqldb.Value) []Partition {
+	if len(m.partCols) == 0 {
+		return []Partition{WholeTable(m.name)}
+	}
+	var found []Partition
+	collectConjuncts(where, func(e sqldb.Expr) {
+		switch e := e.(type) {
+		case *sqldb.BinaryExpr:
+			if e.Op != sqldb.OpEq {
+				return
+			}
+			col, v, ok := constEqParts(e, params)
+			if ok && m.partCols[col] {
+				found = append(found, Partition{Table: m.name, Column: col, Key: v.Key()})
+			}
+		case *sqldb.InExpr:
+			if e.Not {
+				return
+			}
+			col, ok := e.Expr.(*sqldb.ColumnRef)
+			if !ok || !m.partCols[col.Name] {
+				return
+			}
+			var keys []Partition
+			for _, item := range e.List {
+				v, ok := constValueOf(item, params)
+				if !ok {
+					return // non-constant member: cannot bound
+				}
+				keys = append(keys, Partition{Table: m.name, Column: col.Name, Key: v.Key()})
+			}
+			found = append(found, keys...)
+		}
+	})
+	if len(found) == 0 {
+		return []Partition{WholeTable(m.name)}
+	}
+	return found
+}
+
+// collectConjuncts visits the top-level AND-conjuncts of e.
+func collectConjuncts(e sqldb.Expr, visit func(sqldb.Expr)) {
+	if e == nil {
+		return
+	}
+	if be, ok := e.(*sqldb.BinaryExpr); ok && be.Op == sqldb.OpAnd {
+		collectConjuncts(be.Left, visit)
+		collectConjuncts(be.Right, visit)
+		return
+	}
+	visit(e)
+}
+
+// constEqParts decomposes `col = const` (either operand order).
+func constEqParts(e *sqldb.BinaryExpr, params []sqldb.Value) (string, sqldb.Value, bool) {
+	if col, ok := e.Left.(*sqldb.ColumnRef); ok {
+		if v, ok := constValueOf(e.Right, params); ok {
+			return col.Name, v, true
+		}
+	}
+	if col, ok := e.Right.(*sqldb.ColumnRef); ok {
+		if v, ok := constValueOf(e.Left, params); ok {
+			return col.Name, v, true
+		}
+	}
+	return "", sqldb.Null(), false
+}
+
+func constValueOf(e sqldb.Expr, params []sqldb.Value) (sqldb.Value, bool) {
+	switch e := e.(type) {
+	case *sqldb.Literal:
+		return e.Value, true
+	case *sqldb.Param:
+		if e.Index >= 0 && e.Index < len(params) {
+			return params[e.Index], true
+		}
+	}
+	return sqldb.Null(), false
+}
+
+// rowPartitions returns the partitions a concrete row belongs to: one per
+// partition column, or the whole table when the table has none.
+func (m *tableMeta) rowPartitions(get func(col string) sqldb.Value) []Partition {
+	if len(m.partCols) == 0 {
+		return []Partition{WholeTable(m.name)}
+	}
+	out := make([]Partition, 0, len(m.partCols))
+	for col := range m.partCols {
+		out = append(out, Partition{Table: m.name, Column: col, Key: get(col).Key()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Column < out[j].Column })
+	return out
+}

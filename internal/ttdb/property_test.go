@@ -1,0 +1,348 @@
+package ttdb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"warp/internal/sqldb"
+	"warp/internal/vclock"
+)
+
+// oracleRow is the reference model of one application row.
+type oracleRow struct {
+	id  int64
+	grp int64
+	val int64
+}
+
+// TestPropertyOracleEquivalence runs a random workload through the
+// time-travel database and through a plain in-memory model, checking that
+// the application-visible state always matches. This validates that the
+// versioning rewrites are invisible to applications.
+func TestPropertyOracleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 30; iter++ {
+		db := Open(&vclock.Clock{})
+		if err := db.Annotate("t", TableSpec{RowIDColumn: "id", PartitionColumns: []string{"grp"}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[int64]*oracleRow)
+		nextID := int64(1)
+
+		for step := 0; step < 80; step++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // insert
+				id, grp, val := nextID, int64(rng.Intn(4)), int64(rng.Intn(100))
+				nextID++
+				_, _, err := db.Exec("INSERT INTO t (id, grp, val) VALUES (?, ?, ?)",
+					sqldb.Int(id), sqldb.Int(grp), sqldb.Int(val))
+				if err != nil {
+					t.Fatal(err)
+				}
+				oracle[id] = &oracleRow{id: id, grp: grp, val: val}
+			case 4, 5, 6: // update by group
+				grp := int64(rng.Intn(4))
+				res, _, err := db.Exec("UPDATE t SET val = val + 1 WHERE grp = ?", sqldb.Int(grp))
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 0
+				for _, r := range oracle {
+					if r.grp == grp {
+						r.val++
+						n++
+					}
+				}
+				if res.Affected != n {
+					t.Fatalf("update affected %d, oracle %d", res.Affected, n)
+				}
+			case 7: // move a row to another group
+				grp, newGrp := int64(rng.Intn(4)), int64(rng.Intn(4))
+				res, _, err := db.Exec("UPDATE t SET grp = ? WHERE grp = ? AND val % 2 = 0",
+					sqldb.Int(newGrp), sqldb.Int(grp))
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 0
+				for _, r := range oracle {
+					if r.grp == grp && r.val%2 == 0 {
+						r.grp = newGrp
+						n++
+					}
+				}
+				if res.Affected != n {
+					t.Fatalf("move affected %d, oracle %d", res.Affected, n)
+				}
+			case 8, 9: // delete
+				grp := int64(rng.Intn(4))
+				res, _, err := db.Exec("DELETE FROM t WHERE grp = ? AND val % 3 = 0", sqldb.Int(grp))
+				if err != nil {
+					t.Fatal(err)
+				}
+				n := 0
+				for id, r := range oracle {
+					if r.grp == grp && r.val%3 == 0 {
+						delete(oracle, id)
+						n++
+					}
+				}
+				if res.Affected != n {
+					t.Fatalf("delete affected %d, oracle %d", res.Affected, n)
+				}
+			}
+			compareOracle(t, db, oracle)
+		}
+	}
+}
+
+func compareOracle(t *testing.T, db *DB, oracle map[int64]*oracleRow) {
+	t.Helper()
+	res, _, err := db.Exec("SELECT id, grp, val FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(oracle) {
+		t.Fatalf("visible rows = %d, oracle = %d", len(res.Rows), len(oracle))
+	}
+	for _, row := range res.Rows {
+		o, ok := oracle[row[0].AsInt()]
+		if !ok {
+			t.Fatalf("row %d visible but not in oracle", row[0].AsInt())
+		}
+		if o.grp != row[1].AsInt() || o.val != row[2].AsInt() {
+			t.Fatalf("row %d = (%d,%d), oracle (%d,%d)",
+				o.id, row[1].AsInt(), row[2].AsInt(), o.grp, o.val)
+		}
+	}
+}
+
+// TestPropertySingleLiveVersion checks the core versioning invariant: at
+// every (time, generation) pair, each row ID has at most one visible
+// version.
+func TestPropertySingleLiveVersion(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := Open(&vclock.Clock{})
+	if err := db.Annotate("t", TableSpec{RowIDColumn: "id", PartitionColumns: []string{"grp"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, grp INTEGER, val INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 10; i++ {
+		if _, _, err := db.Exec("INSERT INTO t (id, grp, val) VALUES (?, ?, 0)", sqldb.Int(i), sqldb.Int(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 100; step++ {
+		id := int64(1 + rng.Intn(10))
+		switch rng.Intn(3) {
+		case 0:
+			if _, _, err := db.Exec("UPDATE t SET val = val + 1 WHERE id = ?", sqldb.Int(id)); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if _, _, err := db.Exec("DELETE FROM t WHERE id = ?", sqldb.Int(id)); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			_, _, err := db.Exec("INSERT INTO t (id, grp, val) VALUES (?, ?, 0)", sqldb.Int(id), sqldb.Int(id%3))
+			if err != nil && !sqldb.IsUniqueViolation(err) {
+				t.Fatal(err)
+			}
+		}
+	}
+	assertSingleLiveVersions(t, db, "t", db.CurrentGen())
+}
+
+// assertSingleLiveVersions scans raw storage and verifies that for every
+// sampled time, each row ID has at most one visible version.
+func assertSingleLiveVersions(t *testing.T, db *DB, table string, gen int64) {
+	t.Helper()
+	now := db.Clock().Now()
+	for sample := int64(1); sample <= now; sample += 7 {
+		res, err := db.Raw().Exec(fmt.Sprintf(
+			"SELECT id FROM %s WHERE warp_start_time <= %d AND warp_end_time > %d AND warp_start_gen <= %d AND warp_end_gen >= %d",
+			table, sample, sample, gen, gen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int64]bool{}
+		for _, row := range res.Rows {
+			id := row[0].AsInt()
+			if seen[id] {
+				t.Fatalf("row %d has two visible versions at time %d gen %d", id, sample, gen)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestPropertyRollbackRestoresSnapshot: for a random single-row history,
+// rolling the row back to any past time inside a repair generation
+// reproduces exactly the state that was visible at that time.
+func TestPropertyRollbackRestoresSnapshot(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for iter := 0; iter < 25; iter++ {
+		db := Open(&vclock.Clock{})
+		if err := db.Annotate("t", TableSpec{RowIDColumn: "id"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, val INTEGER)"); err != nil {
+			t.Fatal(err)
+		}
+		// Random history for row 1: insert/update/delete.
+		type snap struct {
+			time  int64
+			alive bool
+			val   int64
+		}
+		var history []snap
+		alive := false
+		var val int64
+		for step := 0; step < 20; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				if !alive {
+					_, rec, err := db.Exec("INSERT INTO t (id, val) VALUES (1, ?)", sqldb.Int(int64(step)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					alive, val = true, int64(step)
+					history = append(history, snap{rec.Time, alive, val})
+					continue
+				}
+				fallthrough
+			case 1:
+				if alive {
+					_, rec, err := db.Exec("UPDATE t SET val = ? WHERE id = 1", sqldb.Int(int64(100+step)))
+					if err != nil {
+						t.Fatal(err)
+					}
+					val = int64(100 + step)
+					history = append(history, snap{rec.Time, alive, val})
+				}
+			case 2:
+				if alive {
+					_, rec, err := db.Exec("DELETE FROM t WHERE id = 1")
+					if err != nil {
+						t.Fatal(err)
+					}
+					alive = false
+					history = append(history, snap{rec.Time, alive, val})
+				}
+			}
+		}
+		if len(history) < 2 {
+			continue
+		}
+		// Pick a point in history and roll back to just after it.
+		k := rng.Intn(len(history) - 1)
+		target := history[k]
+		if _, err := db.BeginRepair(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.RollbackRow("t", sqldb.Int(1), target.time+1); err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := db.ReExec("SELECT val FROM t WHERE id = 1", nil, db.Clock().Now(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if target.alive {
+			if res.NumRows() != 1 || res.FirstValue().AsInt() != target.val {
+				t.Fatalf("iter %d: rollback to t=%d: got %v, want val=%d", iter, target.time, res.Rows, target.val)
+			}
+		} else if res.NumRows() != 0 {
+			t.Fatalf("iter %d: rollback to t=%d: row should be dead, got %v", iter, target.time, res.Rows)
+		}
+		// The current generation still sees the final state.
+		cur, _, err := db.Exec("SELECT val FROM t WHERE id = 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alive != (cur.NumRows() == 1) {
+			t.Fatalf("iter %d: current generation disturbed by rollback", iter)
+		}
+		if err := db.AbortRepair(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPropertyTimeTravelConsistency: reading at historical times always
+// reproduces the state that was current then, for a random workload.
+func TestPropertyTimeTravelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	db := Open(&vclock.Clock{})
+	if err := db.Annotate("t", TableSpec{RowIDColumn: "id"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.Exec("CREATE TABLE t (id INTEGER PRIMARY KEY, val INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	// Record (time → expected full state) as the workload runs.
+	type state map[int64]int64
+	snapshots := make(map[int64]state)
+	cur := state{}
+	record := func(tm int64) {
+		c := state{}
+		for k, v := range cur {
+			c[k] = v
+		}
+		snapshots[tm] = c
+	}
+	for step := 0; step < 60; step++ {
+		id := int64(1 + rng.Intn(6))
+		switch rng.Intn(3) {
+		case 0:
+			_, rec, err := db.Exec("INSERT INTO t (id, val) VALUES (?, ?)", sqldb.Int(id), sqldb.Int(int64(step)))
+			if err == nil {
+				cur[id] = int64(step)
+				record(rec.Time)
+			} else if !sqldb.IsUniqueViolation(err) {
+				t.Fatal(err)
+			}
+		case 1:
+			_, rec, err := db.Exec("UPDATE t SET val = ? WHERE id = ?", sqldb.Int(int64(1000+step)), sqldb.Int(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := cur[id]; ok {
+				cur[id] = int64(1000 + step)
+			}
+			record(rec.Time)
+		case 2:
+			_, rec, err := db.Exec("DELETE FROM t WHERE id = ?", sqldb.Int(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			delete(cur, id)
+			record(rec.Time)
+		}
+	}
+	// Replay all reads at historical times inside a repair generation.
+	if _, err := db.BeginRepair(); err != nil {
+		t.Fatal(err)
+	}
+	for tm, want := range snapshots {
+		res, _, err := db.ReExec("SELECT id, val FROM t ORDER BY id", nil, tm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("time %d: %d rows visible, want %d", tm, len(res.Rows), len(want))
+		}
+		for _, row := range res.Rows {
+			if want[row[0].AsInt()] != row[1].AsInt() {
+				t.Fatalf("time %d: row %d = %d, want %d", tm, row[0].AsInt(), row[1].AsInt(), want[row[0].AsInt()])
+			}
+		}
+	}
+	if err := db.AbortRepair(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,565 @@
+package ttdb
+
+import (
+	"fmt"
+
+	"warp/internal/sqldb"
+)
+
+// BeginRepair opens the next repair generation (§4.3): a logical fork of
+// the current database contents. Repair-time operations (ReExec, Rollback)
+// apply to the next generation while normal execution continues against the
+// current one. It returns the generation number repair runs in.
+func (db *DB) BeginRepair() (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.inRepair {
+		return 0, fmt.Errorf("ttdb: repair already in progress")
+	}
+	db.inRepair = true
+	return db.currentGen + 1, nil
+}
+
+// FinishRepair atomically makes the repaired generation current. The caller
+// (WARP's core) is responsible for briefly suspending the web server and
+// draining final requests first (§4.3). Rows visible only to older
+// generations are purged.
+func (db *DB) FinishRepair() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inRepair {
+		return fmt.Errorf("ttdb: no repair in progress")
+	}
+	db.currentGen++
+	db.inRepair = false
+	// Purge rows invisible from the new current generation onward.
+	for name := range db.tables {
+		del := &sqldb.Delete{
+			Table: name,
+			Where: &sqldb.BinaryExpr{Op: sqldb.OpLt, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(db.currentGen))},
+		}
+		if _, err := db.raw.ExecStmt(del, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AbortRepair discards the next generation, restoring the database to the
+// state normal execution sees. WARP uses this when a user-initiated undo
+// would cause conflicts for other users (§5.5).
+func (db *DB) AbortRepair() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inRepair {
+		return fmt.Errorf("ttdb: no repair in progress")
+	}
+	next := db.currentGen + 1
+	for name := range db.tables {
+		// Rows created by repair vanish...
+		del := &sqldb.Delete{
+			Table: name,
+			Where: &sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(next))},
+		}
+		if _, err := db.raw.ExecStmt(del, nil); err != nil {
+			return err
+		}
+		// ...and rows demoted during repair become shared again.
+		upd := &sqldb.Update{
+			Table: name,
+			Set:   []sqldb.Assignment{{Column: ColEndGen, Expr: sqldb.Lit(sqldb.Int(Infinity))}},
+			Where: sqldb.Eq(ColEndGen, sqldb.Int(db.currentGen)),
+		}
+		if _, err := db.raw.ExecStmt(upd, nil); err != nil {
+			return err
+		}
+	}
+	db.inRepair = false
+	return nil
+}
+
+// physicalRow captures one stored version with its bookkeeping columns.
+type physicalRow struct {
+	vals  map[string]sqldb.Value
+	rowID sqldb.Value
+	start int64
+	end   int64
+	sGen  int64
+	eGen  int64
+}
+
+func (db *DB) decodePhysical(m *tableMeta, res *sqldb.Result) []physicalRow {
+	colOf := make(map[string]int, len(res.Columns))
+	for i, c := range res.Columns {
+		colOf[c] = i
+	}
+	out := make([]physicalRow, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		pr := physicalRow{vals: make(map[string]sqldb.Value, len(row))}
+		for c, i := range colOf {
+			pr.vals[c] = row[i]
+		}
+		pr.rowID = pr.vals[m.rowIDCol]
+		pr.start = pr.vals[ColStartTime].AsInt()
+		pr.end = pr.vals[ColEndTime].AsInt()
+		pr.sGen = pr.vals[ColStartGen].AsInt()
+		pr.eGen = pr.vals[ColEndGen].AsInt()
+		out = append(out, pr)
+	}
+	return out
+}
+
+// targetWhere builds a predicate that identifies exactly one physical row
+// version by row ID and version interval.
+func (db *DB) targetWhere(m *tableMeta, pr physicalRow) sqldb.Expr {
+	return sqldb.And(
+		sqldb.Eq(m.rowIDCol, pr.rowID),
+		sqldb.Eq(ColStartTime, sqldb.Int(pr.start)),
+		sqldb.Eq(ColEndTime, sqldb.Int(pr.end)),
+		sqldb.Eq(ColStartGen, sqldb.Int(pr.sGen)),
+		sqldb.Eq(ColEndGen, sqldb.Int(pr.eGen)),
+	)
+}
+
+// demote confines a shared physical row to generations up to current, so
+// the next generation no longer sees it (§4.4 preservation).
+func (db *DB) demote(m *tableMeta, pr physicalRow) error {
+	upd := &sqldb.Update{
+		Table: m.name,
+		Set:   []sqldb.Assignment{{Column: ColEndGen, Expr: sqldb.Lit(sqldb.Int(db.currentGen))}},
+		Where: db.targetWhere(m, pr),
+	}
+	res, err := db.raw.ExecStmt(upd, nil)
+	if err != nil {
+		return err
+	}
+	if res.Affected != 1 {
+		return fmt.Errorf("ttdb: demote targeted %d rows in %s, want 1", res.Affected, m.name)
+	}
+	return nil
+}
+
+// insertCopy inserts a copy of pr with the given version overrides.
+func (db *DB) insertCopy(m *tableMeta, pr physicalRow, end int64, sGen, eGen int64) error {
+	cols := db.physicalColumns(m)
+	ins := &sqldb.Insert{Table: m.name, Columns: cols}
+	vals := make([]sqldb.Expr, len(cols))
+	for i, c := range cols {
+		v := pr.vals[c]
+		switch c {
+		case ColEndTime:
+			v = sqldb.Int(end)
+		case ColStartGen:
+			v = sqldb.Int(sGen)
+		case ColEndGen:
+			v = sqldb.Int(eGen)
+		}
+		vals[i] = sqldb.Lit(v)
+	}
+	ins.Rows = [][]sqldb.Expr{vals}
+	_, err := db.raw.ExecStmt(ins, nil)
+	return err
+}
+
+// deletePhysical removes one physical row version outright.
+func (db *DB) deletePhysical(m *tableMeta, pr physicalRow) error {
+	del := &sqldb.Delete{Table: m.name, Where: db.targetWhere(m, pr)}
+	res, err := db.raw.ExecStmt(del, nil)
+	if err != nil {
+		return err
+	}
+	if res.Affected != 1 {
+		return fmt.Errorf("ttdb: delete targeted %d rows in %s, want 1", res.Affected, m.name)
+	}
+	return nil
+}
+
+// RollbackRow rolls back a single row (named by row ID) to time t in the
+// repair generation (§4.1): versions from t onward disappear from the next
+// generation, and the version covering t becomes live again. Versions
+// shared with the current generation are preserved for it by demotion.
+// It returns the partitions whose contents changed.
+func (db *DB) RollbackRow(table string, rowID sqldb.Value, t int64) ([]Partition, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rollbackRowLocked(table, rowID, t)
+}
+
+func (db *DB) rollbackRowLocked(table string, rowID sqldb.Value, t int64) ([]Partition, error) {
+	if !db.inRepair {
+		return nil, fmt.Errorf("ttdb: rollback outside repair")
+	}
+	if t <= db.gcBefore {
+		return nil, fmt.Errorf("ttdb: rollback to %d is beyond the GC horizon %d", t, db.gcBefore)
+	}
+	m, err := db.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	next := db.currentGen + 1
+
+	// All versions of this row visible anywhere in the next generation.
+	where := sqldb.And(
+		sqldb.Eq(m.rowIDCol, rowID),
+		&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(next))},
+		&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(next))},
+	)
+	res, err := db.selectPhysical(m, where, nil)
+	if err != nil {
+		return nil, err
+	}
+	versions := db.decodePhysical(m, res)
+
+	set := NewPartitionSet()
+	var keep []physicalRow
+	for _, pr := range versions {
+		for _, p := range m.rowPartitions(func(c string) sqldb.Value { return pr.vals[c] }) {
+			set.Add(p)
+		}
+		if pr.start < t {
+			keep = append(keep, pr)
+			continue
+		}
+		// This version vanishes from the next generation.
+		if pr.sGen >= next {
+			if err := db.deletePhysical(m, pr); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := db.demote(m, pr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Revive the version covering t, if it was closed.
+	var latest *physicalRow
+	for i := range keep {
+		if latest == nil || keep[i].start > latest.start {
+			latest = &keep[i]
+		}
+	}
+	if latest != nil && latest.end != Infinity && latest.end >= t {
+		// The revival can collide with a row inserted later under the same
+		// uniqueness key: the §6 case where an INSERT's success changes
+		// during repair. The later row is rolled back first (it will fail
+		// when its query re-executes), then the revival proceeds.
+		if err := db.resolveRevivalCollisions(m, *latest, next, set, 0); err != nil {
+			return nil, err
+		}
+		if latest.sGen >= next {
+			upd := &sqldb.Update{
+				Table: m.name,
+				Set:   []sqldb.Assignment{{Column: ColEndTime, Expr: sqldb.Lit(sqldb.Int(Infinity))}},
+				Where: db.targetWhere(m, *latest),
+			}
+			if _, err := db.raw.ExecStmt(upd, nil); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := db.demote(m, *latest); err != nil {
+				return nil, err
+			}
+			if err := db.insertCopy(m, *latest, Infinity, next, Infinity); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return set.Slice(), nil
+}
+
+// resolveRevivalCollisions rolls back any live next-generation rows that
+// share a uniqueness key with the row about to be revived (§6). Their
+// partitions are added to dirt so the inserts that created them re-execute
+// and observe their changed (now failing) outcome.
+func (db *DB) resolveRevivalCollisions(m *tableMeta, pr physicalRow, next int64, dirt *PartitionSet, depth int) error {
+	if depth > 8 {
+		return fmt.Errorf("ttdb: table %s: uniqueness collision resolution did not converge", m.name)
+	}
+	_, uniques, err := db.raw.Schema(m.name)
+	if err != nil {
+		return err
+	}
+	for _, u := range uniques {
+		// Build the live-collision probe over the constraint's application
+		// columns (the version columns were appended by createTable).
+		var conds []sqldb.Expr
+		usable := true
+		for _, col := range u.Columns {
+			switch col {
+			case ColEndTime, ColEndGen:
+				continue
+			case ColStartTime, ColStartGen:
+				usable = false
+			default:
+				v, ok := pr.vals[col]
+				if !ok || v.IsNull() {
+					usable = false
+				} else {
+					conds = append(conds, sqldb.Eq(col, v))
+				}
+			}
+		}
+		if !usable || len(conds) == 0 {
+			continue
+		}
+		where := sqldb.And(append(conds,
+			sqldb.Eq(ColEndTime, sqldb.Int(Infinity)),
+			&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(next))},
+			&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(next))})...)
+		res, err := db.selectPhysical(m, where, nil)
+		if err != nil {
+			return err
+		}
+		for _, other := range db.decodePhysical(m, res) {
+			if other.rowID.Equal(pr.rowID) {
+				continue
+			}
+			// Roll the colliding row back to before its first appearance:
+			// in the repaired timeline its insert fails.
+			first, err := db.firstStartTime(m, other.rowID, next)
+			if err != nil {
+				return err
+			}
+			ps, err := db.rollbackRowLocked(m.name, other.rowID, first)
+			if err != nil {
+				return err
+			}
+			dirt.AddAll(ps)
+		}
+	}
+	return nil
+}
+
+// firstStartTime returns the earliest version start of a row visible in
+// the given generation.
+func (db *DB) firstStartTime(m *tableMeta, rowID sqldb.Value, gen int64) (int64, error) {
+	sel := &sqldb.Select{
+		Items: []sqldb.SelectItem{{Expr: &sqldb.FuncCall{Name: "MIN", Args: []sqldb.Expr{sqldb.Col(ColStartTime)}}}},
+		Table: m.name,
+		Where: sqldb.And(
+			sqldb.Eq(m.rowIDCol, rowID),
+			&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(gen))},
+			&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(gen))},
+		),
+	}
+	res, err := db.raw.ExecStmt(sel, nil)
+	if err != nil {
+		return 0, err
+	}
+	if res.FirstValue().IsNull() {
+		return 0, fmt.Errorf("ttdb: row %v has no versions in gen %d", rowID, gen)
+	}
+	return res.FirstValue().AsInt(), nil
+}
+
+// RollbackRows rolls back several rows of one table to time t.
+func (db *DB) RollbackRows(table string, rowIDs []sqldb.Value, t int64) ([]Partition, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	set := NewPartitionSet()
+	for _, id := range rowIDs {
+		ps, err := db.rollbackRowLocked(table, id, t)
+		if err != nil {
+			return nil, err
+		}
+		set.AddAll(ps)
+	}
+	return set.Slice(), nil
+}
+
+// ReExec re-executes a query at its original time t in the repair
+// generation (§4.4). For writes it performs the paper's two-phase
+// re-execution (§4.2): it computes the new matching row set, rolls back
+// both the original and the new rows to just before t, and then executes
+// the write in the next generation. orig is the record from the original
+// execution, or nil for a query with no original counterpart (for example,
+// a patched application run issuing a brand-new query).
+//
+// The returned Record describes the re-executed query; its WritePartitions
+// include everything touched by rollback, which the repair controller uses
+// for dependency propagation.
+func (db *DB) ReExec(src string, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
+	stmt, err := sqldb.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return db.ReExecStmt(stmt, params, t, orig)
+}
+
+// ReExecStmt is ReExec for a parsed statement.
+func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inRepair {
+		return nil, nil, fmt.Errorf("ttdb: ReExec outside repair")
+	}
+	next := db.currentGen + 1
+	db.clock.AdvanceTo(t)
+
+	switch s := stmt.(type) {
+	case *sqldb.Select:
+		return db.execAt(stmt, params, t, next, nil)
+	case *sqldb.Insert:
+		return db.reExecInsert(s, params, t, next, orig)
+	case *sqldb.Update, *sqldb.Delete:
+		return db.reExecWrite(stmt, params, t, next, orig)
+	default:
+		// DDL during repair replays as-is in the shared schema space.
+		return db.execAt(stmt, params, t, next, orig)
+	}
+}
+
+func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t, next int64, orig *Record) (*sqldb.Result, *Record, error) {
+	dirt := NewPartitionSet()
+	if orig != nil {
+		for _, id := range orig.WriteRowIDs {
+			ps, err := db.rollbackRowLocked(s.Table, id, t)
+			if err != nil {
+				return nil, nil, err
+			}
+			dirt.AddAll(ps)
+		}
+	}
+	res, rec, err := db.execAt(s, params, t, next, orig)
+	if err != nil && rec == nil {
+		return nil, nil, err
+	}
+	if rec != nil {
+		set := NewPartitionSet()
+		set.AddAll(rec.WritePartitions)
+		set.AddAll(dirt.Slice())
+		rec.WritePartitions = set.Slice()
+	}
+	return res, rec, err
+}
+
+// reExecWrite implements two-phase re-execution for UPDATE and DELETE.
+func (db *DB) reExecWrite(stmt sqldb.Statement, params []sqldb.Value, t, next int64, orig *Record) (*sqldb.Result, *Record, error) {
+	var table string
+	var where sqldb.Expr
+	switch s := stmt.(type) {
+	case *sqldb.Update:
+		table, where = s.Table, s.Where
+	case *sqldb.Delete:
+		table, where = s.Table, s.Where
+	}
+	m, err := db.meta(table)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase A: find the rows the new WHERE clause matches at time t in the
+	// repair generation.
+	var userWhere sqldb.Expr
+	if where != nil {
+		userWhere = where.CloneExpr()
+	}
+	sel := &sqldb.Select{
+		Items: []sqldb.SelectItem{{Expr: sqldb.Col(m.rowIDCol)}},
+		Table: table,
+		Where: sqldb.And(userWhere, liveWhere(t, next)),
+	}
+	newRes, err := db.raw.ExecStmt(sel, params)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Phase B: roll back original ∪ new row IDs to just before t.
+	seen := make(map[string]bool)
+	var all []sqldb.Value
+	if orig != nil {
+		for _, id := range orig.WriteRowIDs {
+			if !seen[id.Key()] {
+				seen[id.Key()] = true
+				all = append(all, id)
+			}
+		}
+	}
+	for _, row := range newRes.Rows {
+		if !seen[row[0].Key()] {
+			seen[row[0].Key()] = true
+			all = append(all, row[0])
+		}
+	}
+	dirt := NewPartitionSet()
+	for _, id := range all {
+		ps, err := db.rollbackRowLocked(table, id, t)
+		if err != nil {
+			return nil, nil, err
+		}
+		dirt.AddAll(ps)
+	}
+
+	// Phase C: execute the write at t in the repair generation, preserving
+	// any still-shared matched rows for the current generation first.
+	if err := db.preserveSharedMatches(m, userWhere, params, t, next); err != nil {
+		return nil, nil, err
+	}
+	res, rec, err := db.execAt(stmt, params, t, next, orig)
+	if err != nil && rec == nil {
+		return nil, nil, err
+	}
+	if rec != nil {
+		set := NewPartitionSet()
+		set.AddAll(rec.WritePartitions)
+		set.AddAll(dirt.Slice())
+		rec.WritePartitions = set.Slice()
+	}
+	return res, rec, err
+}
+
+// preserveSharedMatches implements §4.4: before a repair-generation write
+// touches rows still shared with the current generation, each such row is
+// demoted and a next-generation copy takes its place.
+func (db *DB) preserveSharedMatches(m *tableMeta, userWhere sqldb.Expr, params []sqldb.Value, t, next int64) error {
+	var w sqldb.Expr
+	if userWhere != nil {
+		w = userWhere.CloneExpr()
+	}
+	where := sqldb.And(w, liveWhere(t, next),
+		&sqldb.BinaryExpr{Op: sqldb.OpLt, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(next))})
+	res, err := db.selectPhysical(m, where, params)
+	if err != nil {
+		return err
+	}
+	for _, pr := range db.decodePhysical(m, res) {
+		if err := db.demote(m, pr); err != nil {
+			return err
+		}
+		if err := db.insertCopy(m, pr, pr.end, next, Infinity); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GC discards row versions that ended before the horizon, in sync with the
+// action history graph's garbage collection (§4.2). Rollback to a time at
+// or before the horizon becomes impossible afterwards. GC is refused while
+// a repair is in progress.
+func (db *DB) GC(beforeTime int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.inRepair {
+		return fmt.Errorf("ttdb: GC during repair")
+	}
+	for name := range db.tables {
+		del := &sqldb.Delete{
+			Table: name,
+			Where: &sqldb.BinaryExpr{
+				Op:   sqldb.OpOr,
+				Left: &sqldb.BinaryExpr{Op: sqldb.OpLt, Left: sqldb.Col(ColEndTime), Right: sqldb.Lit(sqldb.Int(beforeTime))},
+				Right: &sqldb.BinaryExpr{
+					Op: sqldb.OpLt, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(db.currentGen)),
+				},
+			},
+		}
+		if _, err := db.raw.ExecStmt(del, nil); err != nil {
+			return err
+		}
+	}
+	if beforeTime > db.gcBefore {
+		db.gcBefore = beforeTime
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+// Package ttdb implements WARP's time-travel database (paper §4).
+//
+// The time-travel database is a SQL-rewriting layer over the embedded
+// engine in internal/sqldb, exactly as the paper's prototype was a
+// query-rewriting layer over PostgreSQL (§6). It provides:
+//
+//   - continuous versioning of every row: each table is augmented with
+//     start_time and end_time columns, and updates and deletes create new
+//     versions instead of destroying old ones (§4.2);
+//   - repair generations: start_gen and end_gen columns let an online
+//     repair build the "next" generation of the database while normal
+//     operation continues against the "current" one (§4.3);
+//   - row IDs: a stable per-row name, either an application column declared
+//     by annotation or a synthesized warp_row_id column (§4.1);
+//   - partitions: tables are logically split by the values of declared
+//     partition columns, and every query's read and write partition sets are
+//     extracted so the repair controller can skip unaffected queries (§4.1);
+//   - two-phase re-execution of multi-row writes and fine-grained rollback
+//     of individual rows to a past time (§4.2).
+//
+// All timestamps are logical (internal/vclock); Infinity marks live
+// versions.
+package ttdb
+
+import (
+	"fmt"
+	"sync"
+
+	"warp/internal/sqldb"
+	"warp/internal/vclock"
+)
+
+// Reserved column names added to every table. Applications must not declare
+// columns with these names.
+const (
+	ColRowID     = "warp_row_id"
+	ColStartTime = "warp_start_time"
+	ColEndTime   = "warp_end_time"
+	ColStartGen  = "warp_start_gen"
+	ColEndGen    = "warp_end_gen"
+)
+
+// Infinity is the "still valid" timestamp/generation marker.
+const Infinity = vclock.Infinity
+
+// TableSpec carries the per-table annotations the paper requires from the
+// programmer or administrator (§4.1, §8.1): which application column is a
+// stable row ID (empty to let WARP synthesize one) and which columns
+// partition the table for dependency analysis (empty for none, meaning
+// whole-table dependencies).
+type TableSpec struct {
+	RowIDColumn      string
+	PartitionColumns []string
+}
+
+// tableMeta is the runtime bookkeeping for one augmented table.
+type tableMeta struct {
+	name      string
+	spec      TableSpec
+	rowIDCol  string // spec.RowIDColumn or ColRowID
+	synthetic bool   // rowIDCol == ColRowID
+	userCols  []string
+	partCols  map[string]bool
+	nextRowID int64
+}
+
+// DB is a time-travel database.
+type DB struct {
+	mu    sync.Mutex
+	raw   *sqldb.DB
+	clock *vclock.Clock
+
+	specs  map[string]TableSpec
+	tables map[string]*tableMeta
+
+	currentGen int64
+	inRepair   bool
+
+	gcBefore int64 // versions strictly older than this have been collected
+}
+
+// Open creates a time-travel database over a fresh storage engine, sharing
+// the given logical clock with the rest of the system.
+func Open(clock *vclock.Clock) *DB {
+	return &DB{
+		raw:        sqldb.Open(),
+		clock:      clock,
+		specs:      make(map[string]TableSpec),
+		tables:     make(map[string]*tableMeta),
+		currentGen: 1,
+	}
+}
+
+// Raw returns the underlying storage engine. It is exposed for tests and
+// storage accounting only; going around the rewriting layer on live tables
+// breaks versioning invariants.
+func (db *DB) Raw() *sqldb.DB { return db.raw }
+
+// Clock returns the logical clock shared with the rest of the system.
+func (db *DB) Clock() *vclock.Clock { return db.clock }
+
+// CurrentGen returns the current repair generation.
+func (db *DB) CurrentGen() int64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.currentGen
+}
+
+// InRepair reports whether a repair generation is open.
+func (db *DB) InRepair() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inRepair
+}
+
+// Annotate declares the row ID column and partition columns for a table,
+// before the table is created. Annotating after creation is an error.
+func (db *DB) Annotate(table string, spec TableSpec) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[table]; exists {
+		return fmt.Errorf("ttdb: table %s already created; annotate before CREATE TABLE", table)
+	}
+	db.specs[table] = spec
+	return nil
+}
+
+// Tables returns the names of all registered tables, sorted.
+func (db *DB) Tables() []string { return db.raw.Tables() }
+
+// meta returns table bookkeeping, or an error for unknown tables.
+func (db *DB) meta(table string) (*tableMeta, error) {
+	m, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("ttdb: no such table %s", table)
+	}
+	return m, nil
+}
+
+// createTable intercepts CREATE TABLE: it augments the schema with WARP's
+// bookkeeping columns, extends uniqueness constraints with end_time and
+// end_gen so multiple versions of a row can coexist (§6), and creates
+// hash indexes on the row ID column and every partition column.
+func (db *DB) createTable(ct *sqldb.CreateTable) error {
+	if _, exists := db.tables[ct.Table]; exists {
+		if ct.IfNotExists {
+			return nil
+		}
+		return fmt.Errorf("ttdb: table %s already exists", ct.Table)
+	}
+	spec := db.specs[ct.Table]
+	m := &tableMeta{
+		name:      ct.Table,
+		spec:      spec,
+		rowIDCol:  spec.RowIDColumn,
+		partCols:  make(map[string]bool),
+		nextRowID: 1,
+	}
+	aug := ct.Clone().(*sqldb.CreateTable)
+	cols := make(map[string]bool)
+	for _, c := range aug.Columns {
+		cols[c.Name] = true
+		m.userCols = append(m.userCols, c.Name)
+	}
+	for _, reserved := range []string{ColRowID, ColStartTime, ColEndTime, ColStartGen, ColEndGen} {
+		if cols[reserved] {
+			return fmt.Errorf("ttdb: table %s declares reserved column %s", ct.Table, reserved)
+		}
+	}
+	if m.rowIDCol == "" {
+		m.rowIDCol = ColRowID
+		m.synthetic = true
+		aug.Columns = append(aug.Columns, sqldb.ColumnDef{Name: ColRowID, Type: sqldb.KindInt})
+	} else if !cols[m.rowIDCol] {
+		return fmt.Errorf("ttdb: table %s: row ID column %s does not exist", ct.Table, m.rowIDCol)
+	}
+	for _, pc := range spec.PartitionColumns {
+		if !cols[pc] {
+			return fmt.Errorf("ttdb: table %s: partition column %s does not exist", ct.Table, pc)
+		}
+		m.partCols[pc] = true
+	}
+	aug.Columns = append(aug.Columns,
+		sqldb.ColumnDef{Name: ColStartTime, Type: sqldb.KindInt, NotNull: true},
+		sqldb.ColumnDef{Name: ColEndTime, Type: sqldb.KindInt, NotNull: true},
+		sqldb.ColumnDef{Name: ColStartGen, Type: sqldb.KindInt, NotNull: true},
+		sqldb.ColumnDef{Name: ColEndGen, Type: sqldb.KindInt, NotNull: true},
+	)
+	// Multiple versions of one application row must coexist: extend every
+	// uniqueness constraint with the version end markers (§6).
+	for i := range aug.Uniques {
+		aug.Uniques[i].Columns = append(aug.Uniques[i].Columns, ColEndTime, ColEndGen)
+		aug.Uniques[i].Primary = false
+	}
+	if _, err := db.raw.ExecStmt(aug, nil); err != nil {
+		return err
+	}
+	// Indexes keep rollback and row-targeted rewrites fast.
+	indexCols := map[string]bool{m.rowIDCol: true}
+	for pc := range m.partCols {
+		indexCols[pc] = true
+	}
+	for col := range indexCols {
+		ci := &sqldb.CreateIndex{Name: "warp_idx_" + ct.Table + "_" + col, Table: ct.Table, Column: col}
+		if _, err := db.raw.ExecStmt(ci, nil); err != nil {
+			return err
+		}
+	}
+	db.tables[ct.Table] = m
+	return nil
+}
+
+// liveWhere returns the predicate selecting versions visible at time t in
+// generation g: start_time <= t < end_time AND start_gen <= g <= end_gen.
+func liveWhere(t, g int64) sqldb.Expr {
+	return sqldb.And(
+		&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartTime), Right: sqldb.Lit(sqldb.Int(t))},
+		&sqldb.BinaryExpr{Op: sqldb.OpGt, Left: sqldb.Col(ColEndTime), Right: sqldb.Lit(sqldb.Int(t))},
+		&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(g))},
+		&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(g))},
+	)
+}
+
+// metaColumns lists WARP's bookkeeping columns in a stable order.
+func (m *tableMeta) metaColumns() []string {
+	cols := []string{ColStartTime, ColEndTime, ColStartGen, ColEndGen}
+	if m.synthetic {
+		cols = append([]string{ColRowID}, cols...)
+	}
+	return cols
+}
+
+// StorageStats summarizes physical storage, for the paper's Table 6
+// accounting.
+type StorageStats struct {
+	Tables       int
+	PhysicalRows int
+	ApproxBytes  int
+}
+
+// Stats returns current storage statistics.
+func (db *DB) Stats() StorageStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := StorageStats{}
+	for name := range db.tables {
+		st.Tables++
+		st.PhysicalRows += db.raw.RowCount(name)
+		st.ApproxBytes += db.raw.ApproxTableBytes(name)
+	}
+	return st
+}

@@ -1,0 +1,42 @@
+// Package vclock provides the logical clock that orders all WARP actions.
+//
+// WARP's time-travel database and action history graph need a total order
+// over queries, HTTP exchanges, and browser events. A logical (Lamport-style)
+// counter gives that order deterministically, which keeps re-execution and
+// the test suite reproducible; wall-clock time would not.
+package vclock
+
+import "sync/atomic"
+
+// Infinity is the timestamp used for "still valid" row versions
+// (the paper's ∞ end_time).
+const Infinity int64 = 1<<63 - 1
+
+// Stride is the gap between consecutive normal-execution timestamps.
+// Repair needs to insert brand-new events (for example, queries a patched
+// application issues that the original run did not) between original
+// timestamps, so Tick leaves room.
+const Stride int64 = 1024
+
+// Clock is a monotonically increasing logical clock. The zero value is
+// ready to use and starts at time Stride on the first Tick.
+type Clock struct {
+	t atomic.Int64
+}
+
+// Tick advances the clock by Stride and returns the new timestamp.
+func (c *Clock) Tick() int64 { return c.t.Add(Stride) }
+
+// Now returns the current timestamp without advancing the clock.
+func (c *Clock) Now() int64 { return c.t.Load() }
+
+// AdvanceTo moves the clock forward to at least t. It never moves the
+// clock backwards.
+func (c *Clock) AdvanceTo(t int64) {
+	for {
+		cur := c.t.Load()
+		if cur >= t || c.t.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}

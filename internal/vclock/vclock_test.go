@@ -1,0 +1,60 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTickMonotonicWithStride(t *testing.T) {
+	var c Clock
+	prev := c.Now()
+	for i := 0; i < 100; i++ {
+		next := c.Tick()
+		if next <= prev {
+			t.Fatalf("tick not monotonic: %d then %d", prev, next)
+		}
+		if next-prev != Stride {
+			t.Fatalf("stride = %d, want %d", next-prev, Stride)
+		}
+		prev = next
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Tick()
+	now := c.Now()
+	c.AdvanceTo(now - 5) // never moves backwards
+	if c.Now() != now {
+		t.Fatal("AdvanceTo moved the clock backwards")
+	}
+	c.AdvanceTo(now + 500)
+	if c.Now() != now+500 {
+		t.Fatalf("AdvanceTo: %d, want %d", c.Now(), now+500)
+	}
+}
+
+func TestConcurrentTicksUnique(t *testing.T) {
+	var c Clock
+	const goroutines, ticks = 8, 200
+	seen := make(chan int64, goroutines*ticks)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ticks; i++ {
+				seen <- c.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	uniq := make(map[int64]bool)
+	for v := range seen {
+		if uniq[v] {
+			t.Fatalf("duplicate timestamp %d", v)
+		}
+		uniq[v] = true
+	}
+}

@@ -1,0 +1,293 @@
+// Package blog implements GoBlog, the Drupal stand-in used for the
+// comparison with Akkuş & Goel's data-recovery system (paper §8.4,
+// Table 5). It is a small multi-user blog: posts, comments, and votes,
+// with two data-corruption bugs modeled on the Drupal bugs evaluated
+// there:
+//
+//   - lost voting info: saving an edit to a post erroneously deletes the
+//     post's vote records (editpost.php);
+//   - lost comments: moving a post to another category erroneously
+//     deletes the post's comments (movepost.php).
+//
+// Both bugs come with fixed versions for retroactive patching. For
+// brevity the blog identifies users by a ?u= parameter instead of
+// sessions; the corruption and recovery behavior under study is in the
+// database, not the authentication path.
+package blog
+
+import (
+	"fmt"
+	"strings"
+
+	"warp/internal/app"
+	"warp/internal/core"
+	"warp/internal/dom"
+	"warp/internal/httpd"
+	"warp/internal/sqldb"
+	"warp/internal/ttdb"
+)
+
+// App is an installed GoBlog.
+type App struct {
+	W *core.Warp
+}
+
+// Install creates the schema and registers the source files.
+func Install(w *core.Warp) (*App, error) {
+	a := &App{W: w}
+	specs := map[string]ttdb.TableSpec{
+		"posts":    {RowIDColumn: "node_id", PartitionColumns: []string{"node_id", "category"}},
+		"votes":    {PartitionColumns: []string{"node_id", "voter"}},
+		"comments": {PartitionColumns: []string{"node_id", "author"}},
+		"digests":  {RowIDColumn: "node_id", PartitionColumns: []string{"node_id"}},
+	}
+	for t, s := range specs {
+		if err := w.DB.Annotate(t, s); err != nil {
+			return nil, err
+		}
+	}
+	ddl := []string{
+		`CREATE TABLE posts (node_id INTEGER PRIMARY KEY, title TEXT NOT NULL, body TEXT, category TEXT DEFAULT 'general')`,
+		`CREATE TABLE votes (node_id INTEGER NOT NULL, voter TEXT NOT NULL, val INTEGER NOT NULL, UNIQUE (node_id, voter))`,
+		`CREATE TABLE comments (node_id INTEGER NOT NULL, author TEXT NOT NULL, body TEXT NOT NULL)`,
+		`CREATE TABLE digests (node_id INTEGER PRIMARY KEY, nvotes INTEGER NOT NULL, ncomments INTEGER NOT NULL)`,
+	}
+	for _, q := range ddl {
+		if _, _, err := w.DB.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	files := map[string]app.Version{
+		"post.php":     {Entry: a.postPHP, Note: "post viewer with comment and vote forms"},
+		"comment.php":  {Entry: a.commentPHP, Note: "add a comment"},
+		"vote.php":     {Entry: a.votePHP, Note: "vote on a post"},
+		"digest.php":   {Entry: a.digestPHP, Note: "recompute a post's stats digest"},
+		"editpost.php": {Entry: a.editpostBuggy, Note: "edit a post (BUG: wipes the post's votes)"},
+		"movepost.php": {Entry: a.movepostBuggy, Note: "recategorize a post (BUG: wipes the post's comments)"},
+	}
+	for n, v := range files {
+		if err := w.Runtime.Register(n, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range []string{"/post.php", "/comment.php", "/vote.php", "/digest.php", "/editpost.php", "/movepost.php"} {
+		w.Runtime.Mount(p, strings.TrimPrefix(p, "/"))
+	}
+	return a, nil
+}
+
+// CreatePost seeds a post.
+func (a *App) CreatePost(id int64, title, body string) error {
+	_, _, err := a.W.DB.Exec("INSERT INTO posts (node_id, title, body) VALUES (?, ?, ?)",
+		sqldb.Int(id), sqldb.Text(title), sqldb.Text(body))
+	return err
+}
+
+// VoteCount returns the number of votes on a post.
+func (a *App) VoteCount(id int64) int {
+	res, _, err := a.W.DB.Exec("SELECT COUNT(*) FROM votes WHERE node_id = ?", sqldb.Int(id))
+	if err != nil {
+		return -1
+	}
+	return int(res.FirstValue().AsInt())
+}
+
+// CommentCount returns the number of comments on a post.
+func (a *App) CommentCount(id int64) int {
+	res, _, err := a.W.DB.Exec("SELECT COUNT(*) FROM comments WHERE node_id = ?", sqldb.Int(id))
+	if err != nil {
+		return -1
+	}
+	return int(res.FirstValue().AsInt())
+}
+
+// PostBody returns a post's body.
+func (a *App) PostBody(id int64) string {
+	res, _, err := a.W.DB.Exec("SELECT body FROM posts WHERE node_id = ?", sqldb.Int(id))
+	if err != nil {
+		return ""
+	}
+	return res.FirstValue().AsText()
+}
+
+func (a *App) postPHP(c *app.Ctx) *httpd.Response {
+	id := c.Req.Param("id")
+	res, err := c.Query("SELECT title, body, category FROM posts WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil || res.Empty() {
+		return httpd.NotFound("no such post")
+	}
+	votes, err := c.Query("SELECT COUNT(*), COALESCE(SUM(val), 0) FROM votes WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	comments, err := c.Query("SELECT author, body FROM comments WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<html><body><h1>%s</h1><div id="body">%s</div>`,
+		dom.Escape(res.Rows[0][0].AsText()), dom.Escape(res.Rows[0][1].AsText()))
+	fmt.Fprintf(&b, `<div id="score">%d votes, total %d</div><ul id="comments">`,
+		votes.Rows[0][0].AsInt(), votes.Rows[0][1].AsInt())
+	for _, row := range comments.Rows {
+		fmt.Fprintf(&b, "<li>%s: %s</li>", dom.Escape(row[0].AsText()), dom.Escape(row[1].AsText()))
+	}
+	b.WriteString(`</ul>`)
+	fmt.Fprintf(&b, `<form action="/comment.php" method="post"><input type="hidden" name="id" value="%s"/><input type="hidden" name="u" value=""/><input type="text" name="text" value=""/><input type="submit" name="go" value="Comment"/></form>`, dom.EscapeAttr(id))
+	fmt.Fprintf(&b, `<form action="/vote.php" method="post"><input type="hidden" name="id" value="%s"/><input type="hidden" name="u" value=""/><input type="text" name="val" value="1"/><input type="submit" name="go" value="Vote"/></form>`, dom.EscapeAttr(id))
+	b.WriteString("</body></html>")
+	return httpd.HTML(b.String())
+}
+
+// postExists is the existence check every mutation performs (this read is
+// also the dependency through which the taint baseline's flow policy
+// over-approximates, §8.4).
+func postExists(c *app.Ctx, id string) (bool, error) {
+	res, err := c.Query("SELECT node_id FROM posts WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return false, err
+	}
+	return !res.Empty(), nil
+}
+
+func (a *App) commentPHP(c *app.Ctx) *httpd.Response {
+	id, u, text := c.Req.Param("id"), c.Req.Param("u"), c.Req.Param("text")
+	if id == "" || u == "" || text == "" {
+		return httpd.NotFound("missing fields")
+	}
+	if ok, err := postExists(c, id); err != nil {
+		return httpd.ServerError(err.Error())
+	} else if !ok {
+		return httpd.NotFound("no such post")
+	}
+	if _, err := c.Query("INSERT INTO comments (node_id, author, body) VALUES (?, ?, ?)",
+		sqldb.Int(atoi(id)), sqldb.Text(u), sqldb.Text(text)); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.Redirect("/post.php?id=" + id)
+}
+
+func (a *App) votePHP(c *app.Ctx) *httpd.Response {
+	id, u, val := c.Req.Param("id"), c.Req.Param("u"), c.Req.Param("val")
+	if id == "" || u == "" {
+		return httpd.NotFound("missing fields")
+	}
+	if ok, err := postExists(c, id); err != nil {
+		return httpd.ServerError(err.Error())
+	} else if !ok {
+		return httpd.NotFound("no such post")
+	}
+	if _, err := c.Query("INSERT INTO votes (node_id, voter, val) VALUES (?, ?, ?)",
+		sqldb.Int(atoi(id)), sqldb.Text(u), sqldb.Int(atoi(val))); err != nil {
+		if sqldb.IsUniqueViolation(err) {
+			return httpd.HTML("<html><body>already voted</body></html>")
+		}
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.Redirect("/post.php?id=" + id)
+}
+
+// digestPHP recomputes a post's stats digest from the vote and comment
+// counts: derived data, which becomes silently corrupted when it is
+// computed from corrupted counts (the false-negative trap of §8.4).
+func (a *App) digestPHP(c *app.Ctx) *httpd.Response {
+	id := c.Req.Param("id")
+	if id == "" {
+		return httpd.NotFound("missing id")
+	}
+	nv, err := c.Query("SELECT COUNT(*) FROM votes WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	nc, err := c.Query("SELECT COUNT(*) FROM comments WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	cur, err := c.Query("SELECT node_id FROM digests WHERE node_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	if cur.Empty() {
+		_, err = c.Query("INSERT INTO digests (node_id, nvotes, ncomments) VALUES (?, ?, ?)",
+			sqldb.Int(atoi(id)), nv.FirstValue(), nc.FirstValue())
+	} else {
+		_, err = c.Query("UPDATE digests SET nvotes = ?, ncomments = ? WHERE node_id = ?",
+			nv.FirstValue(), nc.FirstValue(), sqldb.Int(atoi(id)))
+	}
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.HTML("<html><body>digest updated</body></html>")
+}
+
+// editpostBuggy saves a new body for a post. The bug (Table 5, "Drupal —
+// lost voting info"): the save path erroneously deletes the post's votes.
+func (a *App) editpostBuggy(c *app.Ctx) *httpd.Response {
+	id, body := c.Req.Param("id"), c.Req.Param("body")
+	if id == "" {
+		return httpd.NotFound("missing id")
+	}
+	if _, err := c.Query("UPDATE posts SET body = ? WHERE node_id = ?",
+		sqldb.Text(body), sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	// BUG: votes are wiped on every edit.
+	if _, err := c.Query("DELETE FROM votes WHERE node_id = ?", sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.Redirect("/post.php?id=" + id)
+}
+
+// EditpostFixed is the patched editpost.php: the vote wipe is gone.
+func (a *App) EditpostFixed() app.Version {
+	return app.Version{Entry: func(c *app.Ctx) *httpd.Response {
+		id, body := c.Req.Param("id"), c.Req.Param("body")
+		if id == "" {
+			return httpd.NotFound("missing id")
+		}
+		if _, err := c.Query("UPDATE posts SET body = ? WHERE node_id = ?",
+			sqldb.Text(body), sqldb.Int(atoi(id))); err != nil {
+			return httpd.ServerError(err.Error())
+		}
+		return httpd.Redirect("/post.php?id=" + id)
+	}, Note: "fix: stop deleting votes on edit"}
+}
+
+// movepostBuggy recategorizes a post. The bug (Table 5, "Drupal — lost
+// comments"): the move path erroneously deletes the post's comments.
+func (a *App) movepostBuggy(c *app.Ctx) *httpd.Response {
+	id, cat := c.Req.Param("id"), c.Req.Param("category")
+	if id == "" || cat == "" {
+		return httpd.NotFound("missing fields")
+	}
+	if _, err := c.Query("UPDATE posts SET category = ? WHERE node_id = ?",
+		sqldb.Text(cat), sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	// BUG: comments are wiped on every move.
+	if _, err := c.Query("DELETE FROM comments WHERE node_id = ?", sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.Redirect("/post.php?id=" + id)
+}
+
+// MovepostFixed is the patched movepost.php.
+func (a *App) MovepostFixed() app.Version {
+	return app.Version{Entry: func(c *app.Ctx) *httpd.Response {
+		id, cat := c.Req.Param("id"), c.Req.Param("category")
+		if id == "" || cat == "" {
+			return httpd.NotFound("missing fields")
+		}
+		if _, err := c.Query("UPDATE posts SET category = ? WHERE node_id = ?",
+			sqldb.Text(cat), sqldb.Int(atoi(id))); err != nil {
+			return httpd.ServerError(err.Error())
+		}
+		return httpd.Redirect("/post.php?id=" + id)
+	}, Note: "fix: stop deleting comments on move"}
+}
+
+func atoi(s string) int64 {
+	var n int64
+	fmt.Sscanf(s, "%d", &n)
+	return n
+}

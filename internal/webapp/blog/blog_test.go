@@ -1,0 +1,119 @@
+package blog
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/core"
+)
+
+func setup(t *testing.T) (*core.Warp, *App) {
+	t.Helper()
+	w := core.New(core.Config{Seed: 3})
+	a, err := Install(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreatePost(1, "First", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	return w, a
+}
+
+func TestPostViewCommentVote(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	b.Open("/comment.php?id=1&u=alice&text=nice")
+	b.Open("/vote.php?id=1&u=alice&val=1")
+	if a.CommentCount(1) != 1 || a.VoteCount(1) != 1 {
+		t.Fatalf("counts: %d comments, %d votes", a.CommentCount(1), a.VoteCount(1))
+	}
+	p := b.Open("/post.php?id=1")
+	text := p.DOM.InnerText()
+	if !strings.Contains(text, "alice: nice") || !strings.Contains(text, "1 votes") {
+		t.Fatalf("render: %q", text)
+	}
+	// Double vote rejected by the unique constraint.
+	b.Open("/vote.php?id=1&u=alice&val=1")
+	if a.VoteCount(1) != 1 {
+		t.Fatalf("double vote: %d", a.VoteCount(1))
+	}
+	// Comment on a missing post 404s.
+	p = b.Open("/comment.php?id=99&u=alice&text=x")
+	if !strings.Contains(p.DOM.InnerText(), "") && a.CommentCount(99) != 0 {
+		t.Fatal("comment on missing post")
+	}
+}
+
+func TestLostVotesBugAndPatch(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	b.Open("/vote.php?id=1&u=alice&val=1")
+	b.Open("/vote.php?id=1&u=bob&val=1")
+	b.Open("/editpost.php?id=1&body=edited")
+	if a.VoteCount(1) != 0 {
+		t.Fatalf("bug should wipe votes, got %d", a.VoteCount(1))
+	}
+	if a.PostBody(1) != "edited" {
+		t.Fatalf("edit lost: %q", a.PostBody(1))
+	}
+	// Retroactive patch restores the votes and keeps the edit.
+	rep, err := w.RetroPatch("editpost.php", a.EditpostFixed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.VoteCount(1) != 2 {
+		t.Fatalf("votes not restored: %d", a.VoteCount(1))
+	}
+	if a.PostBody(1) != "edited" {
+		t.Fatalf("edit lost in repair: %q", a.PostBody(1))
+	}
+	if len(rep.Conflicts) != 0 {
+		t.Fatalf("conflicts: %+v", rep.Conflicts)
+	}
+}
+
+func TestLostCommentsBugAndPatch(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	b.Open("/comment.php?id=1&u=alice&text=one")
+	b.Open("/comment.php?id=1&u=bob&text=two")
+	b.Open("/movepost.php?id=1&category=archive")
+	if a.CommentCount(1) != 0 {
+		t.Fatalf("bug should wipe comments, got %d", a.CommentCount(1))
+	}
+	if _, err := w.RetroPatch("movepost.php", a.MovepostFixed()); err != nil {
+		t.Fatal(err)
+	}
+	if a.CommentCount(1) != 2 {
+		t.Fatalf("comments not restored: %d", a.CommentCount(1))
+	}
+	// The move itself (legitimate) is preserved.
+	res, _, err := w.DB.Exec("SELECT category FROM posts WHERE node_id = 1")
+	if err != nil || res.FirstValue().AsText() != "archive" {
+		t.Fatalf("category: %v %v", res.FirstValue(), err)
+	}
+}
+
+func TestDigestDerivesCounts(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	b.Open("/vote.php?id=1&u=alice&val=1")
+	b.Open("/comment.php?id=1&u=alice&text=hi")
+	b.Open("/digest.php?id=1")
+	res, _, err := w.DB.Exec("SELECT nvotes, ncomments FROM digests WHERE node_id = 1")
+	if err != nil || res.Empty() {
+		t.Fatalf("digest missing: %v", err)
+	}
+	if res.Rows[0][0].AsInt() != 1 || res.Rows[0][1].AsInt() != 1 {
+		t.Fatalf("digest: %v", res.Rows[0])
+	}
+	// Re-running updates in place.
+	b.Open("/vote.php?id=1&u=bob&val=1")
+	b.Open("/digest.php?id=1")
+	res, _, _ = w.DB.Exec("SELECT nvotes FROM digests WHERE node_id = 1")
+	if res.FirstValue().AsInt() != 2 {
+		t.Fatalf("digest not updated: %v", res.FirstValue())
+	}
+	_ = a
+}

@@ -1,0 +1,237 @@
+// Package gallery implements GoGallery, the Gallery2 stand-in used for
+// the comparison with Akkuş & Goel's data-recovery system (paper §8.4,
+// Table 5). It is a small photo gallery: albums, photos with derivative
+// thumbnails, and per-photo view permissions, with two data-corruption
+// bugs modeled on the Gallery2 bugs evaluated there:
+//
+//   - removing perms: moving a photo between albums erroneously deletes
+//     the photo's permission entries (movephoto.php);
+//   - resizing images: regenerating thumbnails corrupts the derivative
+//     (resize.php writes garbage instead of the scaled image).
+//
+// "Images" are strings; Thumb derives from the image data by a pure
+// function, so corruption is observable and repair is checkable.
+package gallery
+
+import (
+	"fmt"
+	"strings"
+
+	"warp/internal/app"
+	"warp/internal/core"
+	"warp/internal/httpd"
+	"warp/internal/sqldb"
+	"warp/internal/ttdb"
+)
+
+// App is an installed GoGallery.
+type App struct {
+	W *core.Warp
+}
+
+// Thumb is the correct derivative function: what resize.php should store.
+func Thumb(data string) string {
+	if len(data) > 8 {
+		data = data[:8]
+	}
+	return "thumb(" + data + ")"
+}
+
+// Install creates the schema and registers the source files.
+func Install(w *core.Warp) (*App, error) {
+	a := &App{W: w}
+	specs := map[string]ttdb.TableSpec{
+		"albums": {RowIDColumn: "album_id", PartitionColumns: []string{"album_id"}},
+		"photos": {RowIDColumn: "photo_id", PartitionColumns: []string{"photo_id", "album_id"}},
+		"perms":  {PartitionColumns: []string{"item_id", "user_name"}},
+	}
+	for t, s := range specs {
+		if err := w.DB.Annotate(t, s); err != nil {
+			return nil, err
+		}
+	}
+	ddl := []string{
+		`CREATE TABLE albums (album_id INTEGER PRIMARY KEY, name TEXT NOT NULL)`,
+		`CREATE TABLE photos (photo_id INTEGER PRIMARY KEY, album_id INTEGER NOT NULL, name TEXT, data TEXT, thumb TEXT)`,
+		`CREATE TABLE perms (item_id INTEGER NOT NULL, user_name TEXT NOT NULL, UNIQUE (item_id, user_name))`,
+	}
+	for _, q := range ddl {
+		if _, _, err := w.DB.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	files := map[string]app.Version{
+		"photo.php":     {Entry: a.photoPHP, Note: "photo viewer (permission checked)"},
+		"grant.php":     {Entry: a.grantPHP, Note: "grant a user view permission"},
+		"movephoto.php": {Entry: a.movephotoBuggy, Note: "move photo between albums (BUG: wipes perms)"},
+		"resize.php":    {Entry: a.resizeBuggy, Note: "regenerate thumbnail (BUG: corrupts it)"},
+	}
+	for n, v := range files {
+		if err := w.Runtime.Register(n, v); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range []string{"/photo.php", "/grant.php", "/movephoto.php", "/resize.php"} {
+		w.Runtime.Mount(p, strings.TrimPrefix(p, "/"))
+	}
+	return a, nil
+}
+
+// CreateAlbum seeds an album.
+func (a *App) CreateAlbum(id int64, name string) error {
+	_, _, err := a.W.DB.Exec("INSERT INTO albums (album_id, name) VALUES (?, ?)",
+		sqldb.Int(id), sqldb.Text(name))
+	return err
+}
+
+// CreatePhoto seeds a photo with a correct thumbnail.
+func (a *App) CreatePhoto(id, album int64, name, data string) error {
+	_, _, err := a.W.DB.Exec("INSERT INTO photos (photo_id, album_id, name, data, thumb) VALUES (?, ?, ?, ?, ?)",
+		sqldb.Int(id), sqldb.Int(album), sqldb.Text(name), sqldb.Text(data), sqldb.Text(Thumb(data)))
+	return err
+}
+
+// PermCount returns the number of permission entries on a photo.
+func (a *App) PermCount(photo int64) int {
+	res, _, err := a.W.DB.Exec("SELECT COUNT(*) FROM perms WHERE item_id = ?", sqldb.Int(photo))
+	if err != nil {
+		return -1
+	}
+	return int(res.FirstValue().AsInt())
+}
+
+// ThumbOf returns a photo's stored thumbnail.
+func (a *App) ThumbOf(photo int64) string {
+	res, _, err := a.W.DB.Exec("SELECT thumb FROM photos WHERE photo_id = ?", sqldb.Int(photo))
+	if err != nil {
+		return ""
+	}
+	return res.FirstValue().AsText()
+}
+
+// AlbumOf returns a photo's album.
+func (a *App) AlbumOf(photo int64) int64 {
+	res, _, err := a.W.DB.Exec("SELECT album_id FROM photos WHERE photo_id = ?", sqldb.Int(photo))
+	if err != nil {
+		return -1
+	}
+	return res.FirstValue().AsInt()
+}
+
+func (a *App) photoPHP(c *app.Ctx) *httpd.Response {
+	id, u := c.Req.Param("id"), c.Req.Param("u")
+	perm, err := c.Query("SELECT COUNT(*) FROM perms WHERE item_id = ? AND user_name = ?",
+		sqldb.Int(atoi(id)), sqldb.Text(u))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	if perm.FirstValue().AsInt() == 0 {
+		resp := httpd.HTML("<html><body>not allowed</body></html>")
+		resp.Status = 403
+		return resp
+	}
+	res, err := c.Query("SELECT name, thumb FROM photos WHERE photo_id = ?", sqldb.Int(atoi(id)))
+	if err != nil || res.Empty() {
+		return httpd.NotFound("no such photo")
+	}
+	return httpd.HTML(fmt.Sprintf(`<html><body><h1>%s</h1><img src="data:%s"/></body></html>`,
+		res.Rows[0][0].AsText(), res.Rows[0][1].AsText()))
+}
+
+func (a *App) grantPHP(c *app.Ctx) *httpd.Response {
+	id, u := c.Req.Param("id"), c.Req.Param("user")
+	if id == "" || u == "" {
+		return httpd.NotFound("missing fields")
+	}
+	// Existence check: the read through which coarse taint policies
+	// over-approximate (§8.4).
+	res, err := c.Query("SELECT album_id FROM photos WHERE photo_id = ?", sqldb.Int(atoi(id)))
+	if err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	if res.Empty() {
+		return httpd.NotFound("no such photo")
+	}
+	if _, err := c.Query("INSERT INTO perms (item_id, user_name) VALUES (?, ?)",
+		sqldb.Int(atoi(id)), sqldb.Text(u)); err != nil {
+		if sqldb.IsUniqueViolation(err) {
+			return httpd.HTML("<html><body>already granted</body></html>")
+		}
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.HTML("<html><body>granted</body></html>")
+}
+
+// movephotoBuggy moves a photo to another album. The bug: the photo's
+// permission entries are deleted by the move.
+func (a *App) movephotoBuggy(c *app.Ctx) *httpd.Response {
+	id, album := c.Req.Param("id"), c.Req.Param("album")
+	if id == "" || album == "" {
+		return httpd.NotFound("missing fields")
+	}
+	if _, err := c.Query("UPDATE photos SET album_id = ? WHERE photo_id = ?",
+		sqldb.Int(atoi(album)), sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	// BUG: permissions do not survive the move.
+	if _, err := c.Query("DELETE FROM perms WHERE item_id = ?", sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.HTML("<html><body>moved</body></html>")
+}
+
+// MovephotoFixed is the patched movephoto.php.
+func (a *App) MovephotoFixed() app.Version {
+	return app.Version{Entry: func(c *app.Ctx) *httpd.Response {
+		id, album := c.Req.Param("id"), c.Req.Param("album")
+		if id == "" || album == "" {
+			return httpd.NotFound("missing fields")
+		}
+		if _, err := c.Query("UPDATE photos SET album_id = ? WHERE photo_id = ?",
+			sqldb.Int(atoi(album)), sqldb.Int(atoi(id))); err != nil {
+			return httpd.ServerError(err.Error())
+		}
+		return httpd.HTML("<html><body>moved</body></html>")
+	}, Note: "fix: keep permissions across moves"}
+}
+
+// resizeBuggy regenerates a photo's thumbnail. The bug: the derivative is
+// written corrupted.
+func (a *App) resizeBuggy(c *app.Ctx) *httpd.Response {
+	id := c.Req.Param("id")
+	if id == "" {
+		return httpd.NotFound("missing id")
+	}
+	// BUG: the "scaler" writes garbage instead of a derivative of data.
+	if _, err := c.Query("UPDATE photos SET thumb = ? WHERE photo_id = ?",
+		sqldb.Text("corrupt(#garbage#)"), sqldb.Int(atoi(id))); err != nil {
+		return httpd.ServerError(err.Error())
+	}
+	return httpd.HTML("<html><body>resized</body></html>")
+}
+
+// ResizeFixed is the patched resize.php: the thumbnail is correctly
+// derived from the image data.
+func (a *App) ResizeFixed() app.Version {
+	return app.Version{Entry: func(c *app.Ctx) *httpd.Response {
+		id := c.Req.Param("id")
+		if id == "" {
+			return httpd.NotFound("missing id")
+		}
+		res, err := c.Query("SELECT data FROM photos WHERE photo_id = ?", sqldb.Int(atoi(id)))
+		if err != nil || res.Empty() {
+			return httpd.NotFound("no such photo")
+		}
+		if _, err := c.Query("UPDATE photos SET thumb = ? WHERE photo_id = ?",
+			sqldb.Text(Thumb(res.FirstValue().AsText())), sqldb.Int(atoi(id))); err != nil {
+			return httpd.ServerError(err.Error())
+		}
+		return httpd.HTML("<html><body>resized</body></html>")
+	}, Note: "fix: derive the thumbnail from the image data"}
+}
+
+func atoi(s string) int64 {
+	var n int64
+	fmt.Sscanf(s, "%d", &n)
+	return n
+}

@@ -1,0 +1,101 @@
+package gallery
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/core"
+)
+
+func setup(t *testing.T) (*core.Warp, *App) {
+	t.Helper()
+	w := core.New(core.Config{Seed: 4})
+	a, err := Install(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateAlbum(1, "Holiday"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreateAlbum(2, "Archive"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.CreatePhoto(1, 1, "sunset", "IMAGEDATA-1"); err != nil {
+		t.Fatal(err)
+	}
+	return w, a
+}
+
+func TestPermissionsGateViewing(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	p := b.Open("/photo.php?id=1&u=alice")
+	if !strings.Contains(p.DOM.InnerText(), "not allowed") {
+		t.Fatalf("unpermitted view allowed: %q", p.DOM.InnerText())
+	}
+	b.Open("/grant.php?id=1&user=alice")
+	p = b.Open("/photo.php?id=1&u=alice")
+	if !strings.Contains(p.DOM.InnerText(), "sunset") {
+		t.Fatalf("permitted view denied: %q", p.DOM.InnerText())
+	}
+	_ = a
+}
+
+func TestMovePermsBugAndPatch(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	b.Open("/grant.php?id=1&user=alice")
+	b.Open("/grant.php?id=1&user=bob")
+	b.Open("/movephoto.php?id=1&album=2")
+	if a.PermCount(1) != 0 {
+		t.Fatalf("bug should wipe perms: %d", a.PermCount(1))
+	}
+	if a.AlbumOf(1) != 2 {
+		t.Fatalf("move lost: album %d", a.AlbumOf(1))
+	}
+	if _, err := w.RetroPatch("movephoto.php", a.MovephotoFixed()); err != nil {
+		t.Fatal(err)
+	}
+	if a.PermCount(1) != 2 {
+		t.Fatalf("perms not restored: %d", a.PermCount(1))
+	}
+	if a.AlbumOf(1) != 2 {
+		t.Fatalf("legitimate move reverted: album %d", a.AlbumOf(1))
+	}
+}
+
+func TestResizeBugAndPatch(t *testing.T) {
+	w, a := setup(t)
+	b := w.NewBrowser()
+	want := Thumb("IMAGEDATA-1")
+	if a.ThumbOf(1) != want {
+		t.Fatalf("seed thumb: %q", a.ThumbOf(1))
+	}
+	b.Open("/resize.php?id=1")
+	if a.ThumbOf(1) == want {
+		t.Fatal("bug should corrupt the thumbnail")
+	}
+	if _, err := w.RetroPatch("resize.php", a.ResizeFixed()); err != nil {
+		t.Fatal(err)
+	}
+	if a.ThumbOf(1) != want {
+		t.Fatalf("thumbnail not repaired: %q", a.ThumbOf(1))
+	}
+}
+
+func TestRegrantAfterRepairUniqueOutcome(t *testing.T) {
+	// §6: repair watches INSERT success changes. A re-grant that originally
+	// succeeded (perms were wiped) collides after repair restores the
+	// original grant; WARP converges to exactly one permission row.
+	w, a := setup(t)
+	b := w.NewBrowser()
+	b.Open("/grant.php?id=1&user=alice")
+	b.Open("/movephoto.php?id=1&album=2") // wipes perms
+	b.Open("/grant.php?id=1&user=alice")  // re-grant (succeeded originally)
+	if _, err := w.RetroPatch("movephoto.php", a.MovephotoFixed()); err != nil {
+		t.Fatal(err)
+	}
+	if a.PermCount(1) != 1 {
+		t.Fatalf("perm rows after repair = %d, want exactly 1", a.PermCount(1))
+	}
+}

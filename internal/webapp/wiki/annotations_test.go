@@ -1,0 +1,90 @@
+package wiki
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnnotationInventory checks the §8.1 claim for GoWiki: running under
+// WARP requires no handler changes, only per-table annotations — a row ID
+// column assigned once and never overwritten, plus the columns queries
+// filter on.
+func TestAnnotationInventory(t *testing.T) {
+	ann := Annotations()
+	if len(ann) != len(Schema()) {
+		t.Fatalf("%d annotations for %d tables; every table must be annotated",
+			len(ann), len(Schema()))
+	}
+	for _, ddl := range Schema() {
+		name := tableOf(ddl)
+		spec, ok := ann[name]
+		if !ok {
+			t.Fatalf("table %s has no annotation", name)
+		}
+		// Declared columns must exist in the DDL.
+		for _, col := range append([]string{spec.RowIDColumn}, spec.PartitionColumns...) {
+			if col == "" {
+				continue
+			}
+			if !strings.Contains(ddl, col) {
+				t.Errorf("table %s: annotated column %q not in schema", name, col)
+			}
+		}
+	}
+	// The paper's own example (§4.1): pages uses the immutable page_id as
+	// row ID and is partitioned by title and last editor.
+	pages := ann["pages"]
+	if pages.RowIDColumn != "page_id" {
+		t.Fatalf("pages row ID = %q", pages.RowIDColumn)
+	}
+	want := map[string]bool{"title": true, "last_editor": true}
+	for _, c := range pages.PartitionColumns {
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Fatalf("pages partitions missing %v", want)
+	}
+}
+
+func tableOf(ddl string) string {
+	fields := strings.Fields(ddl)
+	for i, f := range fields {
+		if strings.EqualFold(f, "TABLE") && i+1 < len(fields) {
+			return fields[i+1]
+		}
+	}
+	return ""
+}
+
+// TestVulnerabilitiesMatchTable2 pins the Table 2 inventory: six entries,
+// five with CVEs and patches, one administrator mistake repaired by undo.
+func TestVulnerabilitiesMatchTable2(t *testing.T) {
+	a := &App{}
+	vulns := a.Vulnerabilities()
+	if len(vulns) != 6 {
+		t.Fatalf("vulnerabilities = %d, want 6", len(vulns))
+	}
+	wantCVEs := map[string]string{
+		"Reflected XSS": "CVE-2009-0737",
+		"Stored XSS":    "CVE-2009-4589",
+		"CSRF":          "CVE-2010-1150",
+		"Clickjacking":  "CVE-2011-0003",
+		"SQL injection": "CVE-2004-2186",
+		"ACL error":     "—",
+	}
+	for kind, cve := range wantCVEs {
+		v, ok := a.VulnerabilityByKind(kind)
+		if !ok {
+			t.Fatalf("missing %s", kind)
+		}
+		if v.CVE != cve {
+			t.Fatalf("%s: CVE %q, want %q", kind, v.CVE, cve)
+		}
+		if kind != "ACL error" && v.Patch.Entry == nil && v.Patch.Lib == nil {
+			t.Fatalf("%s has no patch", kind)
+		}
+	}
+	if _, ok := a.VulnerabilityByKind("Nope"); ok {
+		t.Fatal("unknown kind matched")
+	}
+}

@@ -1,0 +1,359 @@
+package wiki
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+
+	"warp/internal/app"
+	"warp/internal/dom"
+	"warp/internal/httpd"
+	"warp/internal/sqldb"
+)
+
+// Common is the library exported by common.php: page layout, response
+// decoration (where the clickjacking defense lives), and the sanitizer.
+type Common struct {
+	Layout   func(title, body string) string
+	Decorate func(*httpd.Response) *httpd.Response
+	Sanitize func(string) string
+}
+
+// commonV1 is the vulnerable common library: Decorate adds no
+// anti-framing header (CVE-2011-0003).
+func (a *App) commonV1() Common {
+	return Common{
+		Layout:   layout,
+		Decorate: func(r *httpd.Response) *httpd.Response { return r },
+		Sanitize: dom.Escape,
+	}
+}
+
+func layout(title, body string) string {
+	return fmt.Sprintf(`<html><head><title>%s</title></head><body>`+
+		`<div id="sitehead">GoWiki</div>`+
+		`<div id="nav"><a href="/index.php?title=Main">home</a> <a href="/blocklog.php">block log</a> <a href="/login.php">log in</a></div>`+
+		`<div id="body">%s</div>`+
+		`</body></html>`, dom.Escape(title), body)
+}
+
+// common loads the common.php library, recording the dependency.
+func (a *App) common(c *app.Ctx) Common {
+	lib, err := c.Include("common.php")
+	if err != nil {
+		panic(err)
+	}
+	return lib.(Common)
+}
+
+// currentUser resolves the session cookie to (user name, admin), or
+// ("", false) when not logged in.
+func (a *App) currentUser(c *app.Ctx) (string, bool) {
+	sid := c.Req.Cookie("sid")
+	if sid == "" {
+		return "", false
+	}
+	res, err := c.Query("SELECT user_id FROM sessions WHERE sid = ?", sqldb.Text(sid))
+	if err != nil || res.Empty() {
+		return "", false
+	}
+	uid := res.FirstValue()
+	res, err = c.Query("SELECT name, is_admin FROM users WHERE user_id = ?", uid)
+	if err != nil || res.Empty() {
+		return "", false
+	}
+	return res.Rows[0][0].AsText(), res.Rows[0][1].IsTrue()
+}
+
+// indexPHP renders a wiki page. Content is stored sanitized (edit.php) or
+// not (injections), and renders verbatim — the sanitize-on-save model.
+func (a *App) indexPHP(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	title := c.Req.Param("title")
+	if title == "" {
+		title = "Main"
+	}
+	res, err := c.Query("SELECT content, last_editor FROM pages WHERE title = ?", sqldb.Text(title))
+	if err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	if res.Empty() {
+		body := fmt.Sprintf(`<p>No page titled %s.</p>`, dom.Escape(title))
+		return lib.Decorate(httpd.HTML(lib.Layout(title, body)))
+	}
+	content := res.Rows[0][0].AsText()
+	editor := res.Rows[0][1].AsText()
+	body := fmt.Sprintf(
+		`<h1>%s</h1><div id="content">%s</div>`+
+			`<div id="byline">last edited by %s</div>`+
+			`<a href="/edit.php?title=%s">edit this page</a>`+
+			`<form action="/append.php" method="post" id="quickappend">`+
+			`<input type="hidden" name="back" value="%s"/>`+
+			`<input type="text" name="title" value=""/>`+
+			`<input type="text" name="text" value=""/>`+
+			`<input type="submit" name="add" value="Quick append"/>`+
+			`</form>`,
+		dom.Escape(title), content, dom.Escape(editor), url.QueryEscape(title), dom.EscapeAttr(title))
+	return lib.Decorate(httpd.HTML(lib.Layout(title, body)))
+}
+
+// appendPHP appends text to a page without reading it (the MediaWiki
+// section-append analog): a pure write, so repairing the target page
+// re-applies appends without any browser-level cascade.
+func (a *App) appendPHP(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	user, _ := a.currentUser(c)
+	if user == "" {
+		return lib.Decorate(httpd.HTML(lib.Layout("Login required", `<p>log in first</p>`)))
+	}
+	title := c.Req.Param("title")
+	text := lib.Sanitize(c.Req.Param("text"))
+	if title == "" || text == "" {
+		return lib.Decorate(httpd.HTML(lib.Layout("Append", "<p>nothing to do</p>")))
+	}
+	if _, err := c.Query(
+		"UPDATE pages SET content = content || ?, last_editor = ? WHERE title = ?",
+		sqldb.Text("\n"+text), sqldb.Text(user), sqldb.Text(title)); err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	back := c.Req.Param("back")
+	if back == "" {
+		back = title
+	}
+	return lib.Decorate(httpd.Redirect("/index.php?title=" + url.QueryEscape(back)))
+}
+
+// editPHP renders the edit form (GET) and saves a page (POST), enforcing
+// page protection through the ACL.
+func (a *App) editPHP(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	user, admin := a.currentUser(c)
+	title := c.Req.Param("title")
+	if title == "" {
+		return lib.Decorate(httpd.NotFound("no title"))
+	}
+	if user == "" {
+		return lib.Decorate(httpd.HTML(lib.Layout("Login required",
+			`<p>You must <a href="/login.php">log in</a> to edit.</p>`)))
+	}
+	res, err := c.Query("SELECT page_id, content, protected FROM pages WHERE title = ?", sqldb.Text(title))
+	if err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	exists := !res.Empty()
+	content := ""
+	protected := false
+	if exists {
+		content = res.Rows[0][1].AsText()
+		protected = res.Rows[0][2].IsTrue()
+	}
+	if protected && !admin {
+		aclRes, err := c.Query(
+			"SELECT COUNT(*) FROM acl WHERE page_title = ? AND user_name = ?",
+			sqldb.Text(title), sqldb.Text(user))
+		if err != nil {
+			return lib.Decorate(httpd.ServerError(err.Error()))
+		}
+		if aclRes.FirstValue().AsInt() == 0 {
+			return lib.Decorate(httpd.HTML(lib.Layout("Permission denied",
+				fmt.Sprintf(`<p>You do not have permission to edit %s.</p>`, dom.Escape(title)))))
+		}
+	}
+	if c.Req.Method == "GET" {
+		body := fmt.Sprintf(
+			`<h1>Editing %s</h1>`+
+				`<form action="/edit.php" method="post">`+
+				`<input type="hidden" name="title" value="%s"/>`+
+				`<textarea name="content">%s</textarea>`+
+				`<input type="submit" name="save" value="Save"/>`+
+				`</form>`,
+			dom.Escape(title), dom.EscapeAttr(title), dom.Escape(content))
+		return lib.Decorate(httpd.HTML(lib.Layout("Editing "+title, body)))
+	}
+	// POST: sanitize on save (the application's normal defense).
+	newContent := lib.Sanitize(c.Req.Form.Get("content"))
+	if exists {
+		_, err = c.Query("UPDATE pages SET content = ?, last_editor = ? WHERE title = ?",
+			sqldb.Text(newContent), sqldb.Text(user), sqldb.Text(title))
+	} else {
+		idRes, qerr := c.Query("SELECT COALESCE(MAX(page_id), 0) + 1 FROM pages")
+		if qerr != nil {
+			return lib.Decorate(httpd.ServerError(qerr.Error()))
+		}
+		_, err = c.Query(
+			"INSERT INTO pages (page_id, title, content, last_editor) VALUES (?, ?, ?, ?)",
+			idRes.FirstValue(), sqldb.Text(title), sqldb.Text(newContent), sqldb.Text(user))
+	}
+	if err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	return lib.Decorate(httpd.Redirect("/index.php?title=" + url.QueryEscape(title)))
+}
+
+// loginV1 is the vulnerable login: the POST path accepts credentials from
+// anywhere, with no challenge token — login CSRF (CVE-2010-1150).
+func (a *App) loginV1(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	if c.Req.Method == "GET" {
+		return lib.Decorate(httpd.HTML(lib.Layout("Log in", loginFormHTML(""))))
+	}
+	return a.doLogin(c, lib, "login.sid")
+}
+
+// loginFormHTML renders the login form; extra is injected inside the form
+// (the patched version adds the hidden challenge token there).
+func loginFormHTML(extra string) string {
+	return `<h1>Log in</h1><form action="/login.php" method="post">` +
+		`<input type="text" name="user" value=""/>` +
+		`<input type="text" name="password" value=""/>` + extra +
+		`<input type="submit" name="go" value="Log in"/></form>`
+}
+
+// doLogin validates credentials and establishes a session. sidSite is the
+// nondeterminism call site used for the session ID; the patched login uses
+// a different site (it regenerates session IDs), which is what makes CSRF
+// repair cascade through cookies, as in the paper's Table 7.
+func (a *App) doLogin(c *app.Ctx, lib Common, sidSite string) *httpd.Response {
+	user := c.Req.Form.Get("user")
+	pw := c.Req.Form.Get("password")
+	res, err := c.Query("SELECT user_id FROM users WHERE name = ? AND password = ?",
+		sqldb.Text(user), sqldb.Text(pw))
+	if err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	if res.Empty() {
+		return lib.Decorate(httpd.HTML(lib.Layout("Log in", loginFormHTML("")+`<p id="err">bad credentials</p>`)))
+	}
+	sid := c.Token(sidSite)
+	if _, err := c.Query("INSERT INTO sessions (sid, user_id) VALUES (?, ?)",
+		sqldb.Text(sid), res.FirstValue()); err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	resp := httpd.Redirect("/index.php?title=Main")
+	resp.SetCookie("sid", sid)
+	return lib.Decorate(resp)
+}
+
+// logoutPHP drops the session.
+func (a *App) logoutPHP(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	sid := c.Req.Cookie("sid")
+	if sid != "" {
+		if _, err := c.Query("DELETE FROM sessions WHERE sid = ?", sqldb.Text(sid)); err != nil {
+			return lib.Decorate(httpd.ServerError(err.Error()))
+		}
+	}
+	resp := httpd.Redirect("/index.php?title=Main")
+	resp.ClearCookie("sid")
+	return lib.Decorate(resp)
+}
+
+// blockV1 is the vulnerable block tool: the ip parameter is stored in the
+// block log without sanitization (CVE-2009-4589) — the stored XSS vector.
+func (a *App) blockV1(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	ip := c.Req.Param("ip")
+	if ip == "" {
+		return lib.Decorate(httpd.HTML(lib.Layout("Block", `<p>missing ip</p>`)))
+	}
+	note := "blocked: " + ip // vulnerable: raw
+	if _, err := c.Query("INSERT INTO blocklog (note) VALUES (?)", sqldb.Text(note)); err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	return lib.Decorate(httpd.HTML(lib.Layout("Block", `<p>recorded</p>`)))
+}
+
+// blocklogPHP renders the block log verbatim, which is where the stored
+// payload reaches victims' browsers.
+func (a *App) blocklogPHP(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	res, err := c.Query("SELECT note FROM blocklog")
+	if err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	var b strings.Builder
+	b.WriteString("<h1>Block log</h1><ul>")
+	for _, row := range res.Rows {
+		b.WriteString("<li>")
+		b.WriteString(row[0].AsText())
+		b.WriteString("</li>")
+	}
+	b.WriteString("</ul>")
+	return lib.Decorate(httpd.HTML(lib.Layout("Block log", b.String())))
+}
+
+// installerV1 is the vulnerable web installer: it echoes the wgDB*
+// parameters without escaping (CVE-2009-0737) — the reflected XSS vector.
+func (a *App) installerV1(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	var b strings.Builder
+	b.WriteString("<h1>Installer</h1><p>Checking settings:</p><ul>")
+	for _, opt := range []string{"wgDBserver", "wgDBname", "wgDBuser"} {
+		v := c.Req.Param(opt)
+		b.WriteString("<li>" + opt + " = " + v + "</li>") // vulnerable: raw
+	}
+	b.WriteString("</ul>")
+	return lib.Decorate(httpd.HTML(lib.Layout("Installer", b.String())))
+}
+
+// maintenanceV1 is the vulnerable maintenance endpoint: thelang is
+// concatenated into an UPDATE statement (CVE-2004-2186) — the SQL
+// injection vector. The paper's attack supplies
+// `en', content = content || '<script>…'` so that every page's content is
+// modified.
+func (a *App) maintenanceV1(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	thelang := c.Req.Param("thelang")
+	if thelang == "" {
+		return lib.Decorate(httpd.HTML(lib.Layout("Maintenance", "<p>no-op</p>")))
+	}
+	q := "UPDATE pages SET lang = '" + thelang + "'" // vulnerable: concatenation
+	if _, err := c.Query(q); err != nil {
+		return lib.Decorate(httpd.HTML(lib.Layout("Maintenance", "<p>error: "+dom.Escape(err.Error())+"</p>")))
+	}
+	return lib.Decorate(httpd.HTML(lib.Layout("Maintenance", "<p>language updated</p>")))
+}
+
+// aclPHP lets administrators protect pages and grant or revoke edit
+// rights. The ACL-error scenario (Table 2) is an administrator granting
+// the wrong user here and later undoing the visit.
+func (a *App) aclPHP(c *app.Ctx) *httpd.Response {
+	lib := a.common(c)
+	user, admin := a.currentUser(c)
+	_ = user
+	title := c.Req.Param("title")
+	if c.Req.Method == "GET" {
+		body := fmt.Sprintf(
+			`<h1>Protection for %s</h1>`+
+				`<form action="/acl.php" method="post">`+
+				`<input type="hidden" name="title" value="%s"/>`+
+				`<input type="text" name="user" value=""/>`+
+				`<input type="hidden" name="op" value="grant"/>`+
+				`<input type="submit" name="go" value="Grant"/>`+
+				`</form>`,
+			dom.Escape(title), dom.EscapeAttr(title))
+		return lib.Decorate(httpd.HTML(lib.Layout("Protection", body)))
+	}
+	if !admin {
+		return lib.Decorate(httpd.HTML(lib.Layout("Permission denied", "<p>administrators only</p>")))
+	}
+	target := c.Req.Form.Get("user")
+	op := c.Req.Form.Get("op")
+	var err error
+	switch op {
+	case "grant":
+		_, err = c.Query("INSERT INTO acl (page_title, user_name) VALUES (?, ?)",
+			sqldb.Text(title), sqldb.Text(target))
+	case "revoke":
+		_, err = c.Query("DELETE FROM acl WHERE page_title = ? AND user_name = ?",
+			sqldb.Text(title), sqldb.Text(target))
+	case "protect":
+		_, err = c.Query("UPDATE pages SET protected = TRUE WHERE title = ?", sqldb.Text(title))
+	default:
+		return lib.Decorate(httpd.NotFound("unknown op"))
+	}
+	if err != nil {
+		return lib.Decorate(httpd.ServerError(err.Error()))
+	}
+	return lib.Decorate(httpd.Redirect("/index.php?title=" + url.QueryEscape(title)))
+}

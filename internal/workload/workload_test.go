@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/attacks"
+)
+
+// runScenario runs one §8.2 scenario on a small workload and repairs it,
+// returning the result and the repair report.
+func runScenario(t *testing.T, name string, users int, victimsAtStart bool) (*Result, *coreReport) {
+	t.Helper()
+	sc, ok := attacks.ByName(name)
+	if !ok {
+		t.Fatalf("unknown scenario %q", name)
+	}
+	res, err := Run(Config{Users: users, Victims: 3, Seed: 1234, Scenario: sc, VictimsAtStart: victimsAtStart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Repair(res.Env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, &coreReport{rep.PageVisitsReplayed, rep.TotalPageVisits, rep.UsersWithConflicts(), rep.AppRunsReexecuted, rep.QueriesReexecuted}
+}
+
+type coreReport struct {
+	visitsReplayed, totalVisits int
+	usersWithConflicts          int
+	runs, queries               int
+}
+
+// TestTable3Scenarios verifies the paper's Table 3: every scenario is
+// repaired, with conflicts only where the paper reports them
+// (clickjacking: the victims; ACL error: the exploiting user).
+func TestTable3Scenarios(t *testing.T) {
+	const users = 12
+	cases := []struct {
+		name          string
+		wantConflicts int
+	}{
+		{"Reflected XSS", 0},
+		{"Stored XSS", 0},
+		{"CSRF", 0},
+		{"Clickjacking", 3},
+		{"SQL injection", 0},
+		{"ACL error", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, rep := runScenario(t, tc.name, users, false)
+			app := res.Env.App
+
+			// Repaired: no attack residue anywhere.
+			team, err := app.PageContent(res.Env.TargetPage)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if strings.Contains(team, "PWNED") || strings.Contains(team, "mooo") {
+				t.Fatalf("%s: attack residue on team page: %q", tc.name, team)
+			}
+			if got, _ := app.PageContent("Main"); strings.Contains(got, "SQLI-ATTACK") {
+				t.Fatalf("%s: SQLi residue: %q", tc.name, got)
+			}
+			if got, _ := app.PageContent("Restricted"); strings.Contains(got, "should not") {
+				t.Fatalf("%s: ACL exploit residue: %q", tc.name, got)
+			}
+
+			// Legitimate background work is preserved: every user's append
+			// to the team page and their own-page edits.
+			for _, u := range res.Env.Others {
+				if !strings.Contains(team, "note from "+u.Name) {
+					t.Fatalf("%s: lost %s's append: %q", tc.name, u.Name, team)
+				}
+				own, _ := app.PageContent("Page-" + u.Name)
+				if !strings.Contains(own, "edited by its owner") {
+					t.Fatalf("%s: lost %s's edit: %q", tc.name, u.Name, own)
+				}
+			}
+
+			if rep.usersWithConflicts != tc.wantConflicts {
+				t.Fatalf("%s: users with conflicts = %d, want %d",
+					tc.name, rep.usersWithConflicts, tc.wantConflicts)
+			}
+		})
+	}
+}
+
+// TestCSRFReattribution: after CSRF repair, the victims' post-attack edits
+// belong to the victims again, not the attacker (§8.2).
+func TestCSRFReattribution(t *testing.T) {
+	sc, _ := attacks.ByName("CSRF")
+	res, err := Run(Config{Users: 8, Victims: 2, Seed: 99, Scenario: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before repair: victims' post-attack edits are attributed to the
+	// attacker.
+	misattributed := 0
+	for _, v := range res.Env.Victims {
+		if ed, _ := res.Env.App.PageEditor("Page-" + v.Name); ed == "attacker" {
+			misattributed++
+		}
+	}
+	if misattributed == 0 {
+		t.Fatal("CSRF attack did not misattribute any edits")
+	}
+	if _, err := sc.Repair(res.Env); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Env.Victims {
+		if ed, _ := res.Env.App.PageEditor("Page-" + v.Name); ed != v.Name {
+			t.Fatalf("victim %s's page editor = %q after repair", v.Name, ed)
+		}
+		own, _ := res.Env.App.PageContent("Page-" + v.Name)
+		if !strings.Contains(own, "post-attack note by "+v.Name) {
+			t.Fatalf("victim %s's edit lost: %q", v.Name, own)
+		}
+	}
+}
+
+// TestSelectiveRepair: isolated attacks re-execute a small fraction of
+// the workload (Table 7's headline result), while clickjacking re-executes
+// nearly everything.
+func TestSelectiveRepair(t *testing.T) {
+	_, isolated := runScenario(t, "Stored XSS", 14, false)
+	frac := float64(isolated.visitsReplayed) / float64(isolated.totalVisits)
+	if frac > 0.5 {
+		t.Fatalf("stored XSS replayed %.0f%% of visits; want selective repair", frac*100)
+	}
+	_, full := runScenario(t, "Clickjacking", 14, false)
+	fullFrac := float64(full.visitsReplayed) / float64(full.totalVisits)
+	if fullFrac < 0.9 {
+		t.Fatalf("clickjacking replayed %.0f%% of visits; want near-total re-execution", fullFrac*100)
+	}
+}
+
+// TestVictimsAtStartReexecutesMoreQueries reproduces Table 7's fifth row:
+// with victims at the start of the workload, repair re-executes the same
+// visits but many more database queries (the later appends to the rolled-
+// back partition re-apply).
+func TestVictimsAtStartReexecutesMoreQueries(t *testing.T) {
+	_, end := runScenario(t, "Reflected XSS", 14, false)
+	_, start := runScenario(t, "Reflected XSS", 14, true)
+	if start.queries <= end.queries {
+		t.Fatalf("victims-at-start should re-execute more queries: start=%d end=%d",
+			start.queries, end.queries)
+	}
+	if start.visitsReplayed > end.visitsReplayed+2 {
+		t.Fatalf("victims-at-start should not balloon visit replays: start=%d end=%d",
+			start.visitsReplayed, end.visitsReplayed)
+	}
+}
+
+// TestCleanWorkload: the workload generator itself produces a consistent
+// wiki without a scenario.
+func TestCleanWorkload(t *testing.T) {
+	res, err := Run(Config{Users: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PageVisits == 0 || res.AppRuns == 0 || res.Queries == 0 {
+		t.Fatalf("empty workload: %+v", res)
+	}
+	team, _ := res.Env.App.PageContent("TeamPage")
+	for _, u := range res.Env.AllUsers() {
+		if !strings.Contains(team, "note from "+u.Name) {
+			t.Fatalf("missing %s's append: %q", u.Name, team)
+		}
+	}
+}

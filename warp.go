@@ -1,0 +1,130 @@
+// Package warp is an intrusion recovery system for database-backed web
+// applications: a from-scratch Go reproduction of
+//
+//	"Intrusion Recovery for Database-backed Web Applications",
+//	Chandra, Kim, Shah, Narula, Zeldovich — SOSP 2011.
+//
+// WARP repairs a compromised web application by rolling back exactly the
+// parts of the database the attack influenced and re-executing the
+// legitimate actions recorded since, so that the attack's direct and
+// indirect effects disappear while users' work survives. Its three core
+// ideas, all implemented here:
+//
+//   - Retroactive patching (RetroPatch): apply a security patch to the
+//     past. Every recorded application run that loaded the patched file is
+//     re-executed against the fixed code; runs that behave differently are
+//     (potential) attacks and their effects are recursively repaired. The
+//     administrator never needs to detect or locate the attack.
+//
+//   - A time-travel database: every table is continuously versioned and
+//     partitioned, so repair rolls back individual rows, re-executes
+//     queries at their original times, and skips everything untouched —
+//     while normal operation continues in a separate repair generation.
+//
+//   - DOM-level browser replay: the browser extension records user input
+//     by DOM element; during repair a server-side browser clone re-opens
+//     the repaired pages and re-applies the user's actions, merging text
+//     edits three-way, so attacks that ran through users' browsers (XSS,
+//     CSRF, clickjacking) are undone without losing the users' work.
+//
+// A System wires together the substrates in internal/: the SQL engine
+// (sqldb), the time-travel layer (ttdb), the action history graph
+// (history), the application runtime (app), the browser simulator
+// (browser), and the repair controller (core).
+//
+// Minimal use:
+//
+//	sys := warp.New(warp.Config{})
+//	sys.DB.Annotate("notes", warp.TableSpec{RowIDColumn: "id"})
+//	sys.DB.Exec("CREATE TABLE notes (id INTEGER PRIMARY KEY, body TEXT)")
+//	sys.Runtime.Register("notes.php", warp.Version{Entry: handler})
+//	sys.Runtime.Mount("/", "notes.php")
+//	b := sys.NewBrowser()
+//	b.Open("/")
+//	...
+//	report, err := sys.RetroPatch("notes.php", warp.Version{Entry: fixed})
+package warp
+
+import (
+	"warp/internal/app"
+	"warp/internal/browser"
+	"warp/internal/core"
+	"warp/internal/httpd"
+	"warp/internal/sqldb"
+	"warp/internal/ttdb"
+)
+
+// Aliases for the public surface of the subsystems, so applications built
+// on WARP import a single package.
+type (
+	// Config tunes a WARP deployment.
+	Config = core.Config
+	// Report summarizes a repair.
+	Report = core.Report
+	// Timing is a repair's wall-time breakdown.
+	Timing = core.Timing
+	// StorageStats is the per-layer log storage accounting.
+	StorageStats = core.StorageStats
+
+	// Version is one version of an application source file.
+	Version = app.Version
+	// Ctx is the execution context application code runs in.
+	Ctx = app.Ctx
+	// Script is an application entry point.
+	Script = app.Script
+
+	// Browser is a simulated client browser with the WARP extension.
+	Browser = browser.Browser
+	// Page is an open page in a browser.
+	Page = browser.Page
+	// VisitLog is the extension's per-page-visit event log.
+	VisitLog = browser.VisitLog
+	// ReplayConfig selects browser re-execution fidelity.
+	ReplayConfig = browser.ReplayConfig
+	// Conflict is a queued repair conflict awaiting user resolution.
+	Conflict = browser.Conflict
+
+	// TableSpec carries a table's row-ID and partition annotations.
+	TableSpec = ttdb.TableSpec
+
+	// Value is a dynamically typed SQL value.
+	Value = sqldb.Value
+
+	// Request is an HTTP request; Response an HTTP response.
+	Request = httpd.Request
+	// Response is an HTTP response.
+	Response = httpd.Response
+)
+
+// Value constructors, re-exported for application code.
+var (
+	// Int returns an INTEGER value.
+	Int = sqldb.Int
+	// Text returns a TEXT value.
+	Text = sqldb.Text
+	// Bool returns a BOOLEAN value.
+	Bool = sqldb.Bool
+	// Null returns the SQL NULL value.
+	Null = sqldb.Null
+)
+
+// FullReplay is the complete browser re-execution configuration.
+var FullReplay = browser.FullReplay
+
+// System is one WARP-managed web application deployment: the HTTP server
+// manager, application runtime, time-travel database, action history
+// graph, browser log store, and repair controller of the paper's Figure 1.
+//
+// All methods of the underlying core deployment are promoted; the most
+// important are HandleRequest (serve one request under normal execution),
+// NewBrowser (create a wired client), UploadVisitLog (the extension's
+// endpoint), RetroPatch / UndoVisit (initiate repair), Conflicts, Storage,
+// and GC.
+type System struct {
+	*core.Warp
+}
+
+// New creates a WARP deployment.
+func New(cfg Config) *System {
+	return &System{Warp: core.New(cfg)}
+}
