@@ -11,7 +11,9 @@
 package warp_test
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"warp/internal/bench"
 	"warp/internal/history"
@@ -126,6 +128,30 @@ func BenchmarkTable8Scaling(b *testing.B) {
 		b.ReportMetric(float64(rows[0].VisitsReplayed), "xss-visits-replayed")
 		b.ReportMetric(float64(rows[0].VisitsTotal), "visits-total")
 		b.ReportMetric(rows[0].Repair.Total.Seconds()*1000, "xss-repair-ms")
+	}
+}
+
+// BenchmarkParallelRepair measures repair wall time on a partition-
+// disjoint workload at 1, 2, and 4 scheduler workers. Runs on disjoint
+// partitions repair concurrently, so repair-ms should drop as workers
+// increase (the acceptance bar is ≥1.5× at 4 workers); the re-execution
+// counts are identical at every worker count.
+func BenchmarkParallelRepair(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var total time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := bench.ParallelRepair(8, 2, workers, 300*time.Microsecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += res.RepairTime
+				if res.Report.AppRunsReexecuted != 16 {
+					b.Fatalf("runs re-executed = %d, want 16", res.Report.AppRunsReexecuted)
+				}
+			}
+			b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "repair-ms")
+		})
 	}
 }
 

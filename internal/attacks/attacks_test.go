@@ -1,0 +1,116 @@
+package attacks_test
+
+import (
+	"strings"
+	"testing"
+
+	"warp/internal/attacks"
+	"warp/internal/workload"
+)
+
+// verifyRepaired checks that no attack residue survived and the background
+// users' legitimate edits are intact (the Table 3 "Repaired?" criterion).
+func verifyRepaired(t *testing.T, res *workload.Result) {
+	t.Helper()
+	app := res.Env.App
+	team, err := app.PageContent(res.Env.TargetPage)
+	if err != nil {
+		t.Fatalf("target page: %v", err)
+	}
+	for _, residue := range []string{"PWNED", "mooo"} {
+		if strings.Contains(team, residue) {
+			t.Fatalf("attack residue %q survived on %s:\n%s", residue, res.Env.TargetPage, team)
+		}
+	}
+	if got, _ := app.PageContent("Main"); strings.Contains(got, "SQLI-ATTACK") {
+		t.Fatalf("SQL injection residue survived on Main:\n%s", got)
+	}
+	if got, _ := app.PageContent("Restricted"); strings.Contains(got, "should not") {
+		t.Fatalf("ACL-error residue survived on Restricted:\n%s", got)
+	}
+	for _, u := range res.Env.Others {
+		if !strings.Contains(team, "note from "+u.Name) {
+			t.Fatalf("legitimate edit of %s lost from %s:\n%s", u.Name, res.Env.TargetPage, team)
+		}
+	}
+}
+
+// TestScenariosEndToEnd drives each of the six §8.2 attack scenarios
+// through a full workload and repair — with the parallel scheduler — and
+// verifies the attack's effects are gone while users' work survives.
+func TestScenariosEndToEnd(t *testing.T) {
+	for _, sc := range attacks.Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := workload.Run(workload.Config{
+				Users: 8, Victims: 2, Seed: 42, Scenario: sc, RepairWorkers: 4,
+			})
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			rep, err := sc.Repair(res.Env)
+			if err != nil {
+				t.Fatalf("repair: %v", err)
+			}
+			if rep.Aborted {
+				t.Fatal("repair aborted")
+			}
+			if rep.RepairWorkers != 4 {
+				t.Fatalf("repair ran with %d workers, want 4", rep.RepairWorkers)
+			}
+			if rep.AppRunsReexecuted == 0 && rep.RunsCancelled == 0 {
+				t.Fatal("repair did no work")
+			}
+			verifyRepaired(t, res)
+		})
+	}
+}
+
+// TestScenarioConflictShape pins the Table 3 conflict pattern on the
+// serial engine: only the clickjacking attack (whose replay diverges the
+// victims' UI state) and the ACL error (whose undo invalidates another
+// user's legitimate edit) leave users with conflicts — the paper's
+// 0,0,0,3,0,1 column shape.
+func TestScenarioConflictShape(t *testing.T) {
+	expectConflicts := map[string]bool{
+		"Reflected XSS": false,
+		"Stored XSS":    false,
+		"CSRF":          false,
+		"Clickjacking":  true,
+		"SQL injection": false,
+		"ACL error":     true,
+	}
+	for _, sc := range attacks.Scenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := workload.Run(workload.Config{
+				Users: 8, Victims: 2, Seed: 42, Scenario: sc, RepairWorkers: 1,
+			})
+			if err != nil {
+				t.Fatalf("workload: %v", err)
+			}
+			rep, err := sc.Repair(res.Env)
+			if err != nil {
+				t.Fatalf("repair: %v", err)
+			}
+			want, known := expectConflicts[sc.Name]
+			if !known {
+				t.Fatalf("scenario %q missing from expectation table", sc.Name)
+			}
+			if got := rep.UsersWithConflicts() > 0; got != want {
+				t.Fatalf("users with conflicts = %d, want >0 == %v", rep.UsersWithConflicts(), want)
+			}
+			verifyRepaired(t, res)
+		})
+	}
+}
+
+// TestByName checks the scenario registry.
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Reflected XSS", "Stored XSS", "CSRF", "Clickjacking", "SQL injection", "ACL error"} {
+		if _, ok := attacks.ByName(name); !ok {
+			t.Fatalf("scenario %q not found", name)
+		}
+	}
+	if _, ok := attacks.ByName("nope"); ok {
+		t.Fatal("unknown scenario found")
+	}
+}

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"warp/internal/core"
+)
+
+// TestFormatTable6FixedInput pins the Table 6 layout on a fixed input, so
+// the paper-style rendering cannot drift silently.
+func TestFormatTable6FixedInput(t *testing.T) {
+	rows := []Table6Row{
+		{
+			Workload:           "Reading",
+			NoWARPVisitsPerSec: 1200.4, WARPVisitsPerSec: 900.26, DuringRepairPerSec: 700.91,
+			BrowserBytesPerVisit: 512.2, AppBytesPerVisit: 1024.7, DBBytesPerVisit: 2048.1,
+		},
+		{
+			Workload:           "Editing",
+			NoWARPVisitsPerSec: 600, WARPVisitsPerSec: 450.5, DuringRepairPerSec: 300.049,
+			BrowserBytesPerVisit: 1024, AppBytesPerVisit: 2048, DBBytesPerVisit: 4096,
+		},
+	}
+	got := FormatTable6(rows)
+	want := "Table 6: Overheads for users browsing and editing Wiki pages.\n" +
+		"Workload      No WARP       WARP During repair    Browser B/v      App B/v       DB B/v\n" +
+		"Reading      1200.4/s    900.3/s       700.9/s            512         1025         2048\n" +
+		"Editing       600.0/s    450.5/s       300.0/s           1024         2048         4096\n"
+	if got != want {
+		t.Fatalf("FormatTable6 drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFormatTable3FixedInput pins the Table 3 layout.
+func TestFormatTable3FixedInput(t *testing.T) {
+	rows := []Table3Row{
+		{Scenario: "Reflected XSS", InitialRepair: "Retroactive patching", Repaired: true, UsersConflict: 0},
+		{Scenario: "ACL error", InitialRepair: "Admin-initiated", Repaired: false, UsersConflict: 1},
+	}
+	got := FormatTable3(rows)
+	want := "Table 3: WARP repairs the attack scenarios listed in Table 2.\n" +
+		"Attack scenario   Initial repair          Repaired?  # users with conflicts\n" +
+		"Reflected XSS     Retroactive patching    yes        0\n" +
+		"ACL error         Admin-initiated         NO         1\n"
+	if got != want {
+		t.Fatalf("FormatTable3 drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFormatTable7FixedInput exercises the Tables 7/8 renderer, including
+// the duration rounding tiers.
+func TestFormatTable7FixedInput(t *testing.T) {
+	rows := []Table7Row{
+		{
+			Scenario:       "Stored XSS",
+			VisitsReplayed: 4, VisitsTotal: 400,
+			RunsReexecuted: 6, RunsTotal: 600,
+			QueriesReexecuted: 40, QueryTotal: 4000,
+			OriginalExec: 1500 * time.Millisecond,
+			Repair: core.Timing{
+				Total: 42 * time.Millisecond, Graph: 3 * time.Millisecond,
+				Browser: 10 * time.Millisecond, DB: 12 * time.Millisecond,
+				App: 9 * time.Millisecond, Ctrl: 8 * time.Millisecond,
+			},
+		},
+	}
+	got := FormatTable7("Table 7: WARP repairs attacks.", rows)
+	for _, frag := range []string{
+		"Table 7: WARP repairs attacks.",
+		"Stored XSS",
+		"4/400",
+		"6/600",
+		"40/4000",
+		"1.5s",
+		"42ms",
+		"3ms/10ms/12ms/9ms/8ms",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Fatalf("FormatTable7 output missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+// TestRoundTiers pins the duration rounding used across table renderers.
+func TestRoundTiers(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{2340 * time.Millisecond, "2.34s"},
+		{1234 * time.Microsecond, "1.2ms"},
+		{987 * time.Nanosecond, "1µs"},
+	}
+	for _, c := range cases {
+		if got := round(c.in); got != c.want {
+			t.Errorf("round(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is instrumenting this
+// test binary; wall-time assertions are skipped under it.
+const raceEnabled = false

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"warp/internal/app"
 	"warp/internal/browser"
@@ -35,6 +36,12 @@ type Config struct {
 	// so one client cannot monopolize (or starve) server log space (§5.2).
 	// 0 means the default of 100000.
 	ClientLogQuota int
+	// RepairWorkers is the number of parallel repair workers the scheduler
+	// dispatches ready actions to. Actions on disjoint time-travel
+	// partitions repair concurrently; conflicting actions retain the
+	// paper's time order. 0 means GOMAXPROCS; 1 reproduces the serial
+	// repair engine exactly.
+	RepairWorkers int
 	// Trace, when set, receives a line for every repair-controller step —
 	// the debugging view of what rollback-and-reexecute decided and why.
 	Trace func(format string, args ...any)
@@ -114,20 +121,23 @@ type RunPayload struct {
 	// FileVersions snapshots the code versions the run used, so repair can
 	// prune runs whose code is unchanged.
 	FileVersions map[string]int
-	// QueryActions are the graph actions for the run's queries.
+	// QueryActions are the graph actions for the run's queries. Guarded by
+	// Warp.mu once the run action is published to the graph.
 	QueryActions []history.ActionID
 	// Superseded marks runs replaced or cancelled during a repair: their
-	// recorded effects no longer describe the repaired timeline.
-	Superseded bool
+	// recorded effects no longer describe the repaired timeline. Atomic
+	// because parallel repair workers flag and test it concurrently.
+	Superseded atomic.Bool
 	// Repaired marks actions appended by repair itself.
 	Repaired bool
 }
 
 // QueryPayload is the graph payload for a query action.
 type QueryPayload struct {
-	Rec        *ttdb.Record
-	RunAction  history.ActionID
-	Superseded bool
+	Rec       *ttdb.Record
+	RunAction history.ActionID
+	// Superseded is atomic for the same reason as RunPayload.Superseded.
+	Superseded atomic.Bool
 	Repaired   bool
 }
 

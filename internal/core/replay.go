@@ -1,460 +1,21 @@
+// Run, query, and page-visit re-execution: the repair controller's
+// replay layer. These handlers run on scheduler workers; shared session
+// state is guarded by session.mu, database access by ttdb's per-table
+// locks, and graph access by the graph's own lock.
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"net/url"
 	"sort"
 	"time"
 
-	"warp/internal/app"
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
 	"warp/internal/sqldb"
 	"warp/internal/ttdb"
 )
-
-// workKind classifies repair work items.
-type workKind uint8
-
-const (
-	workQueryCheck  workKind = iota // re-execute / re-check one query
-	workRunExec                     // re-execute one application run
-	workVisitReplay                 // replay one browser page visit
-)
-
-// workItem is one queued unit of repair work, ordered by original time.
-type workItem struct {
-	kind workKind
-	time int64
-	seq  int64
-
-	action history.ActionID // query / run items
-
-	client string // visit items
-	visit  int64
-	// navOverride carries a replayed parent's re-derived navigation
-	// request for the child visit's main request (it may differ from the
-	// recorded one, e.g. after a text merge).
-	navMethod string
-	navURL    string
-	navForm   url.Values
-	hasNav    bool
-}
-
-type workQueue []*workItem
-
-func (q workQueue) Len() int { return len(q) }
-func (q workQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q workQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *workQueue) Push(x any)   { *q = append(*q, x.(*workItem)) }
-func (q *workQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
-}
-
-// servedEntry caches the outcome of re-serving one HTTP exchange during
-// repair, so a visit replay does not re-execute a run the controller
-// already re-executed (§5.3 pruning).
-type servedEntry struct {
-	reqFP uint64
-	resp  *httpd.Response
-}
-
-// session is the state of one repair (the paper's repair controller).
-type session struct {
-	w   *Warp
-	gen int64
-	rep *Report
-	cfg browser.ReplayConfig
-
-	queue workQueue
-	seq   int64
-
-	// dirt maps partitions to the earliest time their contents changed
-	// during this repair.
-	dirt        map[ttdb.Partition]int64
-	pendingKeys map[string]bool
-
-	origRuns    map[history.NodeID]history.ActionID // first-seen (original) run per exchange
-	served      map[history.NodeID]*servedEntry
-	activeVisit map[string]bool
-
-	jarOverride map[string]map[string]string // diverged replay cookie jars
-
-	// navOverrides remembers, per child visit, the parent's latest
-	// re-derived main request (e.g. a merged form), so a later standalone
-	// re-replay of the child does not fall back to the stale recorded one.
-	navOverrides map[string]*workItem
-
-	conflicts []browser.Conflict
-
-	// Distinct work accounting for the Tables 7/8 "re-executed actions"
-	// columns: repeats of the same item (fixpoint passes) count once.
-	doneVisits  map[string]bool
-	doneRuns    map[history.ActionID]bool
-	doneQueries map[history.ActionID]bool
-
-	iterations int
-	maxIter    int
-
-	trace func(format string, args ...any)
-
-	// timing
-	serveNest int
-	tInit     time.Duration
-	tGraph    time.Duration
-	tBrowser  time.Duration
-	tDB       time.Duration
-	tApp      time.Duration
-}
-
-func (w *Warp) newSession(gen int64) *session {
-	rep := &Report{Generation: gen}
-	rep.TotalAppRuns = len(w.Graph.ByKind(history.KindAppRun))
-	rep.TotalQueries = len(w.Graph.ByKind(history.KindQuery))
-	w.mu.Lock()
-	rep.TotalPageVisits = len(w.visitOrder)
-	w.mu.Unlock()
-	w.Graph.ResetLoadStats()
-	return &session{
-		w:            w,
-		gen:          gen,
-		rep:          rep,
-		cfg:          *w.cfg.Replay,
-		dirt:         make(map[ttdb.Partition]int64),
-		pendingKeys:  make(map[string]bool),
-		origRuns:     make(map[history.NodeID]history.ActionID),
-		served:       make(map[history.NodeID]*servedEntry),
-		activeVisit:  make(map[string]bool),
-		jarOverride:  make(map[string]map[string]string),
-		navOverrides: make(map[string]*workItem),
-		doneVisits:   make(map[string]bool),
-		doneRuns:     make(map[history.ActionID]bool),
-		doneQueries:  make(map[history.ActionID]bool),
-		maxIter:      50*(rep.TotalAppRuns+rep.TotalQueries+rep.TotalPageVisits) + 10000,
-		trace:        w.cfg.Trace,
-	}
-}
-
-// markRun counts a distinct run re-execution.
-func (rs *session) markRun(id history.ActionID) {
-	if !rs.doneRuns[id] {
-		rs.doneRuns[id] = true
-		rs.rep.AppRunsReexecuted++
-	}
-}
-
-// markQuery counts a distinct query re-execution.
-func (rs *session) markQuery(id history.ActionID) {
-	if !rs.doneQueries[id] {
-		rs.doneQueries[id] = true
-		rs.rep.QueriesReexecuted++
-	}
-}
-
-// tracef logs one controller step when tracing is enabled.
-func (rs *session) tracef(format string, args ...any) {
-	if rs.trace != nil {
-		rs.trace(format, args...)
-	}
-}
-
-//
-// Queueing
-//
-
-func itemKey(it *workItem) string {
-	switch it.kind {
-	case workVisitReplay:
-		return fmt.Sprintf("v:%s/%d", it.client, it.visit)
-	default:
-		return fmt.Sprintf("a:%d:%d", it.kind, it.action)
-	}
-}
-
-func (rs *session) push(it *workItem) {
-	key := itemKey(it)
-	if rs.pendingKeys[key] && !it.hasNav {
-		return
-	}
-	rs.pendingKeys[key] = true
-	rs.seq++
-	it.seq = rs.seq
-	heap.Push(&rs.queue, it)
-}
-
-func (rs *session) enqueueQuery(a *history.Action) {
-	if p, ok := a.Payload.(*QueryPayload); ok && !p.Superseded {
-		rs.push(&workItem{kind: workQueryCheck, time: a.Time, action: a.ID})
-	}
-}
-
-func (rs *session) enqueueRun(a *history.Action) {
-	if p, ok := a.Payload.(*RunPayload); ok && !p.Superseded {
-		rs.push(&workItem{kind: workRunExec, time: a.Time, action: a.ID})
-	}
-}
-
-func (rs *session) enqueueVisit(log *browser.VisitLog) {
-	key := fmt.Sprintf("v:%s/%d", log.ClientID, log.VisitID)
-	if rs.activeVisit[key] {
-		return
-	}
-	rs.push(&workItem{kind: workVisitReplay, time: log.Time, client: log.ClientID, visit: log.VisitID})
-}
-
-//
-// Dirt tracking and propagation (§4.1: partition-based dependencies)
-//
-
-// addDirt records that partitions changed from a given time on and
-// enqueues every logged query reading or writing them afterwards.
-func (rs *session) addDirt(parts []ttdb.Partition, from int64) {
-	for _, p := range parts {
-		if old, ok := rs.dirt[p]; !ok || from < old {
-			rs.dirt[p] = from
-		}
-		rs.propagate(p, from)
-	}
-}
-
-// propagate finds actions depending on a partition strictly after the
-// causing time. Forward-only propagation is what makes the repair loop
-// terminate: re-executing an action at time t can only ever enqueue work
-// later than t.
-func (rs *session) propagate(p ttdb.Partition, from int64) {
-	t0 := time.Now()
-	var nodes []history.NodeID
-	rs.w.mu.Lock()
-	if p.IsWholeTable() {
-		// Whole-table dirt touches every partition of the table.
-		for n := range rs.w.partsByTable[p.Table] {
-			nodes = append(nodes, n)
-		}
-	} else {
-		nodes = append(nodes,
-			history.PartitionNode(p.String()),
-			history.PartitionNode(ttdb.WholeTable(p.Table).String()))
-	}
-	rs.w.mu.Unlock()
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	var acts []*history.Action
-	for _, n := range nodes {
-		acts = append(acts, rs.w.Graph.Readers(n, from+1)...)
-		acts = append(acts, rs.w.Graph.Writers(n, from+1)...)
-	}
-	rs.tGraph += time.Since(t0)
-	for _, a := range acts {
-		if a.Kind == history.KindQuery {
-			rs.enqueueQuery(a)
-		}
-	}
-}
-
-// dirtyAt reports whether any of the partitions was dirtied at or before t
-// (meaning a query reading them at time t could see changed data).
-func (rs *session) dirtyAt(parts []ttdb.Partition, t int64) bool {
-	for _, p := range parts {
-		if p.IsWholeTable() {
-			for dp, dt := range rs.dirt {
-				if dp.Table == p.Table && dt <= t {
-					return true
-				}
-			}
-			continue
-		}
-		if dt, ok := rs.dirt[p]; ok && dt <= t {
-			return true
-		}
-		if dt, ok := rs.dirt[ttdb.WholeTable(p.Table)]; ok && dt <= t {
-			return true
-		}
-	}
-	return false
-}
-
-//
-// Repair entry points
-//
-
-// RetroPatch retroactively applies a security patch (§3.2): it installs
-// the new version of the source file and re-executes every application run
-// that loaded that file, recursively repairing everything affected.
-func (w *Warp) RetroPatch(file string, v app.Version) (*Report, error) {
-	return w.RetroPatchSince(file, v, 0)
-}
-
-// RetroPatchSince is RetroPatch from a given past time (the paper's
-// "time at which this patch should be applied", default the epoch).
-func (w *Warp) RetroPatchSince(file string, v app.Version, since int64) (*Report, error) {
-	return w.repair(func(rs *session) error {
-		t0 := time.Now()
-		if err := w.Runtime.Patch(file, v); err != nil {
-			return err
-		}
-		w.Graph.Append(&history.Action{
-			Kind:    history.KindPatch,
-			Time:    w.Clock.Tick(),
-			Outputs: []history.Dep{{Node: history.FileNode(file), Time: since}},
-			Payload: v.Note,
-		})
-		tg := time.Now()
-		runs := w.Graph.Readers(history.FileNode(file), since)
-		rs.tGraph += time.Since(tg)
-		for _, a := range runs {
-			if a.Kind == history.KindAppRun {
-				rs.enqueueRun(a)
-			}
-		}
-		rs.tInit += time.Since(t0)
-		return nil
-	}, "")
-}
-
-// UndoVisit cancels a past page visit: every HTTP request the visit made
-// is undone, with effects recursively repaired (§5.5). Non-administrators
-// may not cause conflicts for other users; such repairs abort.
-func (w *Warp) UndoVisit(clientID string, visitID int64, admin bool) (*Report, error) {
-	initiator := clientID
-	if admin {
-		initiator = "" // administrators may cancel anything
-	}
-	return w.repair(func(rs *session) error {
-		t0 := time.Now()
-		w.mu.Lock()
-		vlog := w.visitByID[clientID][visitID]
-		w.mu.Unlock()
-		if vlog == nil {
-			return fmt.Errorf("warp: no visit log for %s/%d", clientID, visitID)
-		}
-		for _, tr := range vlog.Requests {
-			rs.cancelExchange(clientID, visitID, tr.RequestID)
-		}
-		rs.tInit += time.Since(t0)
-		return nil
-	}, initiator)
-}
-
-// repair runs a full repair session: fork a generation, seed the queue,
-// process to fixpoint, drain under suspension, and commit (or abort when a
-// non-admin undo caused conflicts for other users).
-func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*Report, error) {
-	w.repairMu.Lock()
-	defer w.repairMu.Unlock()
-
-	tStart := time.Now()
-	gen, err := w.DB.BeginRepair()
-	if err != nil {
-		return nil, err
-	}
-	rs := w.newSession(gen)
-	if err := seed(rs); err != nil {
-		_ = w.DB.AbortRepair()
-		return nil, err
-	}
-	if err := rs.processQueue(); err != nil {
-		_ = w.DB.AbortRepair()
-		return nil, err
-	}
-
-	// Drain (§4.3): briefly suspend normal operation, re-propagate all
-	// dirt so requests logged during repair on repaired partitions are
-	// re-applied, and process to fixpoint.
-	w.Suspend()
-	defer w.Resume()
-	for pass := 0; pass < 8; pass++ {
-		for p, t := range rs.dirt {
-			rs.propagate(p, t)
-		}
-		if len(rs.queue) == 0 {
-			break
-		}
-		if err := rs.processQueue(); err != nil {
-			_ = w.DB.AbortRepair()
-			return nil, err
-		}
-	}
-
-	// Non-admin undo must not spill conflicts onto other users (§5.5).
-	if restrictConflictsTo != "" {
-		for _, c := range rs.conflicts {
-			if c.Client != restrictConflictsTo {
-				if err := w.DB.AbortRepair(); err != nil {
-					return nil, err
-				}
-				rs.rep.Aborted = true
-				rs.rep.Conflicts = rs.conflicts
-				rs.rep.Timing.Total = time.Since(tStart)
-				return rs.rep, fmt.Errorf("warp: undo would conflict for user %s; aborted", c.Client)
-			}
-		}
-	}
-
-	if err := w.DB.FinishRepair(); err != nil {
-		return nil, err
-	}
-
-	// Queue conflicts and cookie invalidations for affected clients.
-	w.mu.Lock()
-	w.conflicts = append(w.conflicts, rs.conflicts...)
-	for client, jar := range rs.jarOverride {
-		var names []string
-		for name := range jar {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		w.cookieInvalid[client] = names
-	}
-	w.mu.Unlock()
-
-	rs.rep.Conflicts = rs.conflicts
-	rs.rep.GraphNodesLoaded = w.Graph.LoadedNodes()
-	rs.rep.Timing.Init = rs.tInit
-	rs.rep.Timing.Graph = rs.tGraph
-	rs.rep.Timing.Browser = rs.tBrowser
-	rs.rep.Timing.DB = rs.tDB
-	rs.rep.Timing.App = rs.tApp
-	rs.rep.Timing.Total = time.Since(tStart)
-	rs.rep.Timing.Ctrl = rs.rep.Timing.Total - rs.tInit - rs.tGraph - rs.tBrowser - rs.tDB - rs.tApp
-	return rs.rep, nil
-}
-
-// processQueue drains the work queue.
-func (rs *session) processQueue() error {
-	for len(rs.queue) > 0 {
-		rs.iterations++
-		if rs.iterations > rs.maxIter {
-			return fmt.Errorf("warp: repair did not converge after %d steps", rs.iterations)
-		}
-		it := heap.Pop(&rs.queue).(*workItem)
-		key := itemKey(it)
-		delete(rs.pendingKeys, key)
-		rs.tracef("pop t=%d kind=%d key=%s nav=%v", it.time, it.kind, key, it.hasNav)
-		var err error
-		switch it.kind {
-		case workQueryCheck:
-			err = rs.processQuery(it)
-		case workRunExec:
-			err = rs.processRun(it)
-		case workVisitReplay:
-			err = rs.processVisit(it)
-		}
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
 
 //
 // Query re-checking and re-execution (§4)
@@ -466,13 +27,12 @@ func (rs *session) processQuery(it *workItem) error {
 		return nil
 	}
 	payload := act.Payload.(*QueryPayload)
-	if payload.Superseded {
+	if payload.Superseded.Load() {
 		return nil
 	}
 	// If the owning run is itself queued, its re-execution covers this
 	// query.
-	runKey := fmt.Sprintf("a:%d:%d", workRunExec, payload.RunAction)
-	if rs.pendingKeys[runKey] {
+	if rs.sched.isPending(runKeyOf(payload.RunAction)) {
 		return nil
 	}
 	rec := payload.Rec
@@ -481,7 +41,7 @@ func (rs *session) processQuery(it *workItem) error {
 	rs.tracef("qcheck t=%d kind=%s sql=%.60s", rec.Time, rec.Kind, rec.SQL)
 	t0 := time.Now()
 	_, newRec, err := rs.w.DB.ReExec(rec.SQL, rec.Params, rec.Time, origForReExec(rec))
-	rs.tDB += time.Since(t0)
+	rs.tDB.Add(int64(time.Since(t0)))
 	rs.markQuery(act.ID)
 	if err != nil && newRec == nil {
 		return fmt.Errorf("warp: re-executing %q: %w", rec.SQL, err)
@@ -535,7 +95,7 @@ func (rs *session) processRun(it *workItem) error {
 		return nil
 	}
 	payload := act.Payload.(*RunPayload)
-	if payload.Superseded {
+	if payload.Superseded.Load() {
 		return nil
 	}
 	_, err := rs.executeRun(act, payload.Rec.Req.Clone())
@@ -546,16 +106,25 @@ func (rs *session) processRun(it *workItem) error {
 // exchange node, memoizing the first sighting (before repair overwrites
 // the latest-run map).
 func (rs *session) origRunFor(node history.NodeID) *history.Action {
-	if id, ok := rs.origRuns[node]; ok {
+	rs.mu.Lock()
+	id, ok := rs.origRuns[node]
+	rs.mu.Unlock()
+	if ok {
 		return rs.w.Graph.Get(id)
 	}
 	rs.w.mu.Lock()
-	id, ok := rs.w.runByHTTP[node]
+	id, ok = rs.w.runByHTTP[node]
 	rs.w.mu.Unlock()
 	if !ok {
 		return nil
 	}
-	rs.origRuns[node] = id
+	rs.mu.Lock()
+	if prev, dup := rs.origRuns[node]; dup {
+		id = prev // another worker memoized first; keep its sighting
+	} else {
+		rs.origRuns[node] = id
+	}
+	rs.mu.Unlock()
 	return rs.w.Graph.Get(id)
 }
 
@@ -563,7 +132,7 @@ func (rs *session) origRunFor(node history.NodeID) *history.Action {
 // same code versions and no query read from a partition dirtied at or
 // before the query's time.
 func (rs *session) runClean(payload *RunPayload) bool {
-	if payload.Superseded {
+	if payload.Superseded.Load() {
 		return false
 	}
 	for f, ver := range payload.FileVersions {
@@ -591,9 +160,11 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 	orig := origPayload.Rec
 	node := rs.w.httpNodeForReplay(req)
 	// Remember the original mapping before it is overwritten.
+	rs.mu.Lock()
 	if _, ok := rs.origRuns[node]; !ok {
 		rs.origRuns[node] = origAct.ID
 	}
+	rs.mu.Unlock()
 
 	file, ok := rs.w.Runtime.RouteOf(req.Path)
 	if !ok {
@@ -621,7 +192,7 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 		}
 		t0 := time.Now()
 		res, newRec, err := rs.w.DB.ReExecStmt(stmt, params, t, origRec)
-		rs.tDB += time.Since(t0)
+		rs.tDB.Add(int64(time.Since(t0)))
 		if newRec != nil {
 			lastTime = newRec.Time
 			if newRec.IsWrite() {
@@ -633,9 +204,9 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 	}
 
 	t0 := time.Now()
-	dbBefore := rs.tDB
+	dbBefore := rs.tDB.Load()
 	newRec, err := rs.w.Runtime.Run(file, req, qf, orig)
-	rs.tApp += time.Since(t0) - (rs.tDB - dbBefore)
+	rs.tApp.Add(int64(time.Since(t0)) - (rs.tDB.Load() - dbBefore))
 	if err != nil {
 		return nil, err
 	}
@@ -650,10 +221,10 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 	}
 
 	// The original run and its queries no longer describe the timeline.
-	origPayload.Superseded = true
+	origPayload.Superseded.Store(true)
 	for _, qid := range origPayload.QueryActions {
 		if qa := rs.w.Graph.Get(qid); qa != nil {
-			qa.Payload.(*QueryPayload).Superseded = true
+			qa.Payload.(*QueryPayload).Superseded.Store(true)
 		}
 	}
 	repaired := true
@@ -664,7 +235,9 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 		rs.tracef("run %s %s changed response (visit %s/%d)", req.Method, req.Path, orig.Req.ClientID, orig.Req.VisitID)
 		rs.cascadeToBrowser(orig.Req)
 	}
+	rs.mu.Lock()
 	rs.served[node] = &servedEntry{reqFP: req.Fingerprint(), resp: newRec.Resp}
+	rs.mu.Unlock()
 	return newRec.Resp, nil
 }
 
@@ -672,7 +245,7 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 // or queues a conflict when the client has no extension log (§2.3).
 func (rs *session) cascadeToBrowser(req *httpd.Request) {
 	if req.ClientID == "" {
-		rs.conflicts = append(rs.conflicts, browser.Conflict{
+		rs.addConflict(browser.Conflict{
 			Kind:   browser.ConflictNoLog,
 			Client: req.ClientID,
 			Detail: fmt.Sprintf("response to %s %s changed but the client has no extension log", req.Method, req.Path),
@@ -683,7 +256,7 @@ func (rs *session) cascadeToBrowser(req *httpd.Request) {
 	vlog := rs.w.visitByID[req.ClientID][req.VisitID]
 	rs.w.mu.Unlock()
 	if vlog == nil {
-		rs.conflicts = append(rs.conflicts, browser.Conflict{
+		rs.addConflict(browser.Conflict{
 			Kind:    browser.ConflictNoLog,
 			Client:  req.ClientID,
 			VisitID: req.VisitID,
@@ -703,7 +276,7 @@ func (rs *session) rollbackWrite(rec *ttdb.Record) error {
 	rs.tracef("rollback write t=%d table=%s rows=%d sql=%.60s", rec.Time, rec.Table, len(rec.WriteRowIDs), rec.SQL)
 	t0 := time.Now()
 	dirt, err := rs.w.DB.RollbackRows(rec.Table, rec.WriteRowIDs, rec.Time)
-	rs.tDB += time.Since(t0)
+	rs.tDB.Add(int64(time.Since(t0)))
 	if err != nil {
 		return err
 	}
@@ -719,8 +292,15 @@ func (rs *session) cancelExchange(clientID string, visitID, requestID int64) {
 	if act == nil {
 		return
 	}
-	payload := act.Payload.(*RunPayload)
-	if payload.Superseded {
+	rs.cancelRun(act.Payload.(*RunPayload), clientID, visitID)
+}
+
+// cancelRun undoes one recorded application run: its writes are rolled
+// back and the run and its queries leave the repaired timeline. Shared by
+// exchange cancellation (UndoVisit, dropped replay requests) and
+// partition cancellation (UndoPartition).
+func (rs *session) cancelRun(payload *RunPayload, clientID string, visitID int64) {
+	if payload.Superseded.Load() {
 		return
 	}
 	for _, q := range payload.Rec.Queries {
@@ -728,20 +308,22 @@ func (rs *session) cancelExchange(clientID string, visitID, requestID int64) {
 			if err := rs.rollbackWrite(q); err != nil {
 				// Rollback beyond the GC horizon is the only failure here;
 				// surface it as a conflict rather than wedging repair.
-				rs.conflicts = append(rs.conflicts, browser.Conflict{
+				rs.addConflict(browser.Conflict{
 					Kind: browser.ConflictNoLog, Client: clientID, VisitID: visitID,
 					Detail: fmt.Sprintf("cannot undo %q: %v", q.SQL, err),
 				})
 			}
 		}
 	}
-	payload.Superseded = true
+	payload.Superseded.Store(true)
 	for _, qid := range payload.QueryActions {
 		if qa := rs.w.Graph.Get(qid); qa != nil {
-			qa.Payload.(*QueryPayload).Superseded = true
+			qa.Payload.(*QueryPayload).Superseded.Store(true)
 		}
 	}
+	rs.mu.Lock()
 	rs.rep.RunsCancelled++
+	rs.mu.Unlock()
 }
 
 // cancelVisitTree deep-cancels a visit that no longer happens in the
@@ -768,7 +350,10 @@ func (rs *session) cancelVisitTree(log *browser.VisitLog) {
 // generation.
 func (rs *session) repairTransport(req *httpd.Request) *httpd.Response {
 	node := rs.w.httpNodeForReplay(req)
-	if e, ok := rs.served[node]; ok && e.reqFP == req.Fingerprint() {
+	rs.mu.Lock()
+	e, ok := rs.served[node]
+	rs.mu.Unlock()
+	if ok && e.reqFP == req.Fingerprint() {
 		return e.resp
 	}
 	origAct := rs.origRunFor(node)
@@ -801,25 +386,26 @@ func (rs *session) freshRun(req *httpd.Request) *httpd.Response {
 		lastTime++
 		t0 := time.Now()
 		res, rec, err := rs.w.DB.ReExec(sql, params, lastTime, nil)
-		rs.tDB += time.Since(t0)
+		rs.tDB.Add(int64(time.Since(t0)))
 		if rec != nil && rec.IsWrite() {
 			rs.addDirt(rec.WritePartitions, rec.Time)
 		}
 		return res, rec, err
 	}
 	t0 := time.Now()
-	dbBefore := rs.tDB
+	dbBefore := rs.tDB.Load()
 	rec, err := rs.w.Runtime.Run(file, req, qf, nil)
-	rs.tApp += time.Since(t0) - (rs.tDB - dbBefore)
+	rs.tApp.Add(int64(time.Since(t0)) - (rs.tDB.Load() - dbBefore))
 	if err != nil {
 		return httpd.ServerError(err.Error())
 	}
-	rs.seq++
-	rs.markRun(history.ActionID(-rs.seq)) // fresh runs get synthetic ids
+	rs.markRun(history.ActionID(-rs.nextSeq())) // fresh runs get synthetic ids
 	repaired := true
 	rs.w.recordRun(rec, &repaired)
 	node := rs.w.httpNodeForReplay(req)
+	rs.mu.Lock()
 	rs.served[node] = &servedEntry{reqFP: req.Fingerprint(), resp: rec.Resp}
+	rs.mu.Unlock()
 	return rec.Resp
 }
 
@@ -831,16 +417,21 @@ func (rs *session) processVisit(it *workItem) error {
 		return nil
 	}
 	key := fmt.Sprintf("v:%s/%d", it.client, it.visit)
+	rs.mu.Lock()
 	rs.activeVisit[key] = true
-	defer delete(rs.activeVisit, key)
 	if !rs.doneVisits[key] {
 		rs.doneVisits[key] = true
 		rs.rep.PageVisitsReplayed++
 	}
-
 	// The clone's cookie jar: the diverged replay jar if the client's
 	// timeline forked earlier, else the jar recorded at visit start (§5.3).
 	jar := rs.jarOverride[it.client]
+	rs.mu.Unlock()
+	defer func() {
+		rs.mu.Lock()
+		delete(rs.activeVisit, key)
+		rs.mu.Unlock()
+	}()
 	if jar == nil {
 		jar = cloneJar(vlog.Cookies)
 	} else {
@@ -861,7 +452,10 @@ func (rs *session) processVisit(it *workItem) error {
 	// (e.g. with three-way-merged form content); a stored override from an
 	// earlier replay of the parent also applies to standalone re-replays.
 	if !it.hasNav {
-		if ov, ok := rs.navOverrides[key]; ok {
+		rs.mu.Lock()
+		ov, ok := rs.navOverrides[key]
+		rs.mu.Unlock()
+		if ok {
 			it = &workItem{
 				kind: it.kind, time: it.time, client: it.client, visit: it.visit,
 				navMethod: ov.navMethod, navURL: ov.navURL, navForm: ov.navForm, hasNav: true,
@@ -881,13 +475,15 @@ func (rs *session) processVisit(it *workItem) error {
 	}
 
 	t0 := time.Now()
-	dbBefore, appBefore := rs.tDB, rs.tApp
+	dbBefore, appBefore := rs.tDB.Load(), rs.tApp.Load()
 	out := browser.ReplayVisit(vlog, mainResp, origBody, jar, rs.repairTransport, rs.cfg)
 	// Attribute nested serve time to DB/App, the rest to the browser.
-	rs.tBrowser += time.Since(t0) - (rs.tDB - dbBefore) - (rs.tApp - appBefore)
+	rs.tBrowser.Add(int64(time.Since(t0)) - (rs.tDB.Load() - dbBefore) - (rs.tApp.Load() - appBefore))
 
 	rs.tracef("replayed visit %s/%d url=%s navs=%d conflicts=%d unmatched=%d", it.client, it.visit, vlog.URL, len(out.Navigations), len(out.Conflicts), len(out.UnmatchedOriginals))
-	rs.conflicts = append(rs.conflicts, out.Conflicts...)
+	for _, c := range out.Conflicts {
+		rs.addConflict(c)
+	}
 	if !rs.cfg.HasLog {
 		// Without the extension WARP cannot verify or undo browser-side
 		// activity; the conflict above is all it can report (§2.3).
@@ -933,8 +529,10 @@ func (rs *session) processVisit(it *workItem) error {
 			client: it.client, visit: child.VisitID,
 			navMethod: nav.Method, navURL: nav.URL, navForm: nav.Form, hasNav: true,
 		}
+		rs.mu.Lock()
 		rs.navOverrides[fmt.Sprintf("v:%s/%d", it.client, child.VisitID)] = item
-		rs.push(item)
+		rs.mu.Unlock()
+		rs.sched.push(item)
 	}
 	// Original children the replay no longer navigated to never happen in
 	// the repaired timeline: undo their whole subtrees.
@@ -972,19 +570,31 @@ func (rs *session) trackCookieDivergence(client string, visitID int64, after map
 	rs.w.mu.Unlock()
 	if next == nil {
 		if cur != nil && jarEqual(rs.origJarAfter(cur), after) {
-			delete(rs.jarOverride, client)
+			rs.setJarOverride(client, nil)
 		} else {
-			rs.jarOverride[client] = after
+			rs.setJarOverride(client, after)
 		}
 		return
 	}
 	if jarEqual(next.Cookies, after) {
-		delete(rs.jarOverride, client)
+		rs.setJarOverride(client, nil)
 		return
 	}
 	rs.tracef("cookie divergence for %s after visit %d; queueing visit %d", client, visitID, next.VisitID)
-	rs.jarOverride[client] = after
+	rs.setJarOverride(client, after)
 	rs.enqueueVisit(next)
+}
+
+// setJarOverride installs (or, with a nil jar, clears) a client's diverged
+// replay cookie jar.
+func (rs *session) setJarOverride(client string, jar map[string]string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if jar == nil {
+		delete(rs.jarOverride, client)
+		return
+	}
+	rs.jarOverride[client] = jar
 }
 
 // origJarAfter reconstructs the cookie jar the client held after a visit
@@ -1022,8 +632,7 @@ func (rs *session) buildRequest(method, rawURL string, form url.Values, client s
 // freshVisitID allocates IDs for navigations that create brand-new visits
 // during repair.
 func (rs *session) freshVisitID() int64 {
-	rs.seq++
-	return 1<<40 + rs.seq
+	return 1<<40 + rs.nextSeq()
 }
 
 // mainRequestID returns the request ID of a visit's main request.

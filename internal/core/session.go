@@ -1,0 +1,466 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"warp/internal/app"
+	"warp/internal/browser"
+	"warp/internal/history"
+	"warp/internal/httpd"
+	"warp/internal/ttdb"
+)
+
+// session is the state of one repair (the paper's repair controller).
+// A session is shared by the scheduler's repair workers: the maps below
+// are guarded by mu, the timing counters are atomic, and the work queue
+// itself lives in the scheduler.
+type session struct {
+	w   *Warp
+	gen int64
+	rep *Report
+	cfg browser.ReplayConfig
+
+	sched *scheduler
+
+	// mu guards the session maps, counters, and the report's work
+	// accounting. It is never held across a scheduler push or a Warp/graph
+	// lock acquisition.
+	mu  sync.Mutex
+	seq int64
+
+	// dirt maps partitions to the earliest time their contents changed
+	// during this repair.
+	dirt map[ttdb.Partition]int64
+
+	origRuns    map[history.NodeID]history.ActionID // first-seen (original) run per exchange
+	served      map[history.NodeID]*servedEntry
+	activeVisit map[string]bool
+
+	jarOverride map[string]map[string]string // diverged replay cookie jars
+
+	// navOverrides remembers, per child visit, the parent's latest
+	// re-derived main request (e.g. a merged form), so a later standalone
+	// re-replay of the child does not fall back to the stale recorded one.
+	navOverrides map[string]*workItem
+
+	conflicts []browser.Conflict
+
+	// Distinct work accounting for the Tables 7/8 "re-executed actions"
+	// columns: repeats of the same item (fixpoint passes) count once.
+	doneVisits  map[string]bool
+	doneRuns    map[history.ActionID]bool
+	doneQueries map[history.ActionID]bool
+
+	traceMu sync.Mutex
+	trace   func(format string, args ...any)
+
+	// timing, in nanoseconds; atomic because workers account concurrently.
+	tInit    atomic.Int64
+	tGraph   atomic.Int64
+	tBrowser atomic.Int64
+	tDB      atomic.Int64
+	tApp     atomic.Int64
+}
+
+// servedEntry caches the outcome of re-serving one HTTP exchange during
+// repair, so a visit replay does not re-execute a run the controller
+// already re-executed (§5.3 pruning).
+type servedEntry struct {
+	reqFP uint64
+	resp  *httpd.Response
+}
+
+func (w *Warp) newSession(gen int64) *session {
+	rep := &Report{Generation: gen}
+	rep.TotalAppRuns = len(w.Graph.ByKind(history.KindAppRun))
+	rep.TotalQueries = len(w.Graph.ByKind(history.KindQuery))
+	w.mu.Lock()
+	rep.TotalPageVisits = len(w.visitOrder)
+	w.mu.Unlock()
+	w.Graph.ResetLoadStats()
+	workers := w.cfg.RepairWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rs := &session{
+		w:            w,
+		gen:          gen,
+		rep:          rep,
+		cfg:          *w.cfg.Replay,
+		dirt:         make(map[ttdb.Partition]int64),
+		origRuns:     make(map[history.NodeID]history.ActionID),
+		served:       make(map[history.NodeID]*servedEntry),
+		activeVisit:  make(map[string]bool),
+		jarOverride:  make(map[string]map[string]string),
+		navOverrides: make(map[string]*workItem),
+		doneVisits:   make(map[string]bool),
+		doneRuns:     make(map[history.ActionID]bool),
+		doneQueries:  make(map[history.ActionID]bool),
+		trace:        w.cfg.Trace,
+	}
+	rs.sched = newScheduler(rs, workers,
+		50*(rep.TotalAppRuns+rep.TotalQueries+rep.TotalPageVisits)+10000)
+	return rs
+}
+
+// nextSeq issues the next session-unique sequence number, used for heap
+// tie-breaking and synthetic IDs.
+func (rs *session) nextSeq() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.seq++
+	return rs.seq
+}
+
+// markRun counts a distinct run re-execution.
+func (rs *session) markRun(id history.ActionID) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.doneRuns[id] {
+		rs.doneRuns[id] = true
+		rs.rep.AppRunsReexecuted++
+	}
+}
+
+// markQuery counts a distinct query re-execution.
+func (rs *session) markQuery(id history.ActionID) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if !rs.doneQueries[id] {
+		rs.doneQueries[id] = true
+		rs.rep.QueriesReexecuted++
+	}
+}
+
+// addConflict queues one repair conflict.
+func (rs *session) addConflict(c browser.Conflict) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.conflicts = append(rs.conflicts, c)
+}
+
+// tracef logs one controller step when tracing is enabled.
+func (rs *session) tracef(format string, args ...any) {
+	if rs.trace == nil {
+		return
+	}
+	rs.traceMu.Lock()
+	defer rs.traceMu.Unlock()
+	rs.trace(format, args...)
+}
+
+//
+// Dirt tracking and propagation (§4.1: partition-based dependencies)
+//
+
+// addDirt records that partitions changed from a given time on and
+// enqueues every logged query reading or writing them afterwards.
+func (rs *session) addDirt(parts []ttdb.Partition, from int64) {
+	rs.mu.Lock()
+	for _, p := range parts {
+		if old, ok := rs.dirt[p]; !ok || from < old {
+			rs.dirt[p] = from
+		}
+	}
+	rs.mu.Unlock()
+	for _, p := range parts {
+		rs.propagate(p, from)
+	}
+}
+
+// partitionNodes expands a partition into the graph nodes its
+// dependencies live on: a keyed partition maps to its own node plus the
+// table's conservative whole-table node; a whole-table partition fans out
+// to every interned node of the table. Shared by dirt propagation and
+// partition undo.
+func (rs *session) partitionNodes(p ttdb.Partition) []history.NodeID {
+	seen := make(map[history.NodeID]bool)
+	var nodes []history.NodeID
+	add := func(n history.NodeID) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	rs.w.mu.Lock()
+	if p.IsWholeTable() {
+		// Whole-table dirt touches every partition of the table.
+		for n := range rs.w.partsByTable[p.Table] {
+			add(n)
+		}
+	} else {
+		add(history.PartitionNode(p.String()))
+		add(history.PartitionNode(ttdb.WholeTable(p.Table).String()))
+	}
+	rs.w.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// propagate finds actions depending on a partition strictly after the
+// causing time. Forward-only propagation is what makes the repair loop
+// terminate: re-executing an action at time t can only ever enqueue work
+// later than t.
+func (rs *session) propagate(p ttdb.Partition, from int64) {
+	t0 := time.Now()
+	nodes := rs.partitionNodes(p)
+	var acts []*history.Action
+	for _, n := range nodes {
+		acts = append(acts, rs.w.Graph.Readers(n, from+1)...)
+		acts = append(acts, rs.w.Graph.Writers(n, from+1)...)
+	}
+	rs.tGraph.Add(int64(time.Since(t0)))
+	for _, a := range acts {
+		if a.Kind == history.KindQuery {
+			rs.enqueueQuery(a)
+		}
+	}
+}
+
+// dirtyAt reports whether any of the partitions was dirtied at or before t
+// (meaning a query reading them at time t could see changed data).
+func (rs *session) dirtyAt(parts []ttdb.Partition, t int64) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, p := range parts {
+		if p.IsWholeTable() {
+			for dp, dt := range rs.dirt {
+				if dp.Table == p.Table && dt <= t {
+					return true
+				}
+			}
+			continue
+		}
+		if dt, ok := rs.dirt[p]; ok && dt <= t {
+			return true
+		}
+		if dt, ok := rs.dirt[ttdb.WholeTable(p.Table)]; ok && dt <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// dirtSnapshot copies the current dirt map, for the drain passes.
+func (rs *session) dirtSnapshot() map[ttdb.Partition]int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[ttdb.Partition]int64, len(rs.dirt))
+	for p, t := range rs.dirt {
+		out[p] = t
+	}
+	return out
+}
+
+//
+// Repair entry points
+//
+
+// RetroPatch retroactively applies a security patch (§3.2): it installs
+// the new version of the source file and re-executes every application run
+// that loaded that file, recursively repairing everything affected.
+func (w *Warp) RetroPatch(file string, v app.Version) (*Report, error) {
+	return w.RetroPatchSince(file, v, 0)
+}
+
+// RetroPatchSince is RetroPatch from a given past time (the paper's
+// "time at which this patch should be applied", default the epoch).
+func (w *Warp) RetroPatchSince(file string, v app.Version, since int64) (*Report, error) {
+	return w.repair(func(rs *session) error {
+		t0 := time.Now()
+		if err := w.Runtime.Patch(file, v); err != nil {
+			return err
+		}
+		w.Graph.Append(&history.Action{
+			Kind:    history.KindPatch,
+			Time:    w.Clock.Tick(),
+			Outputs: []history.Dep{{Node: history.FileNode(file), Time: since}},
+			Payload: v.Note,
+		})
+		tg := time.Now()
+		runs := w.Graph.Readers(history.FileNode(file), since)
+		rs.tGraph.Add(int64(time.Since(tg)))
+		for _, a := range runs {
+			if a.Kind == history.KindAppRun {
+				rs.enqueueRun(a)
+			}
+		}
+		rs.tInit.Add(int64(time.Since(t0)))
+		return nil
+	}, "")
+}
+
+// UndoVisit cancels a past page visit: every HTTP request the visit made
+// is undone, with effects recursively repaired (§5.5). Non-administrators
+// may not cause conflicts for other users; such repairs abort.
+func (w *Warp) UndoVisit(clientID string, visitID int64, admin bool) (*Report, error) {
+	initiator := clientID
+	if admin {
+		initiator = "" // administrators may cancel anything
+	}
+	return w.repair(func(rs *session) error {
+		t0 := time.Now()
+		w.mu.Lock()
+		vlog := w.visitByID[clientID][visitID]
+		w.mu.Unlock()
+		if vlog == nil {
+			return fmt.Errorf("warp: no visit log for %s/%d", clientID, visitID)
+		}
+		for _, tr := range vlog.Requests {
+			rs.cancelExchange(clientID, visitID, tr.RequestID)
+		}
+		rs.tInit.Add(int64(time.Since(t0)))
+		return nil
+	}, initiator)
+}
+
+// UndoPartition cancels every application run that wrote into one
+// time-travel partition at or after time t: the partition-granularity
+// intrusion-recovery primitive (§4.1 applied at partition scope — contain
+// and repair an intrusion by the partition it landed in). The writing
+// runs are found through the history graph's partition edges, their
+// effects rolled back through the database's per-partition version index,
+// and dirt propagation re-executes everything downstream that read the
+// partition afterwards.
+func (w *Warp) UndoPartition(p ttdb.Partition, t int64) (*Report, error) {
+	return w.repair(func(rs *session) error {
+		t0 := time.Now()
+		// Find the write actions into p at or after t via the graph's
+		// partition edges (same fan-out as dirt propagation).
+		tg := time.Now()
+		nodes := rs.partitionNodes(p)
+		runs := make(map[history.ActionID]bool)
+		var runOrder []history.ActionID
+		for _, n := range nodes {
+			for _, a := range w.Graph.Writers(n, t) {
+				qp, ok := a.Payload.(*QueryPayload)
+				if !ok || qp.Superseded.Load() {
+					continue
+				}
+				if !runs[qp.RunAction] {
+					runs[qp.RunAction] = true
+					runOrder = append(runOrder, qp.RunAction)
+				}
+			}
+		}
+		rs.tGraph.Add(int64(time.Since(tg)))
+		// Cancel each writing run outright, exactly as UndoVisit cancels
+		// the runs behind a visit's exchanges.
+		for _, id := range runOrder {
+			act := w.Graph.Get(id)
+			if act == nil {
+				continue
+			}
+			if payload, ok := act.Payload.(*RunPayload); ok {
+				rs.cancelRun(payload, payload.Rec.Req.ClientID, payload.Rec.Req.VisitID)
+			}
+		}
+		// Belt and braces: roll the partition itself back via the version
+		// index, so even writes whose records lost their row IDs are undone.
+		dirt, err := w.DB.RollbackPartition(p, t)
+		if err != nil {
+			return err
+		}
+		rs.addDirt(append(dirt, p), t)
+		rs.tInit.Add(int64(time.Since(t0)))
+		return nil
+	}, "")
+}
+
+// repair runs a full repair session: fork a generation, seed the queue,
+// process to fixpoint, drain under suspension, and commit (or abort when a
+// non-admin undo caused conflicts for other users).
+func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*Report, error) {
+	w.repairMu.Lock()
+	defer w.repairMu.Unlock()
+
+	tStart := time.Now()
+	gen, err := w.DB.BeginRepair()
+	if err != nil {
+		return nil, err
+	}
+	rs := w.newSession(gen)
+	if err := seed(rs); err != nil {
+		_ = w.DB.AbortRepair()
+		return nil, err
+	}
+	if err := rs.sched.drain(); err != nil {
+		_ = w.DB.AbortRepair()
+		return nil, err
+	}
+
+	// Drain (§4.3): briefly suspend normal operation, re-propagate all
+	// dirt so requests logged during repair on repaired partitions are
+	// re-applied, and process to fixpoint.
+	w.Suspend()
+	defer w.Resume()
+	for pass := 0; pass < 8; pass++ {
+		for p, t := range rs.dirtSnapshot() {
+			rs.propagate(p, t)
+		}
+		if rs.sched.pendingLen() == 0 {
+			break
+		}
+		if err := rs.sched.drain(); err != nil {
+			_ = w.DB.AbortRepair()
+			return nil, err
+		}
+	}
+
+	// Non-admin undo must not spill conflicts onto other users (§5.5).
+	if restrictConflictsTo != "" {
+		for _, c := range rs.conflicts {
+			if c.Client != restrictConflictsTo {
+				if err := w.DB.AbortRepair(); err != nil {
+					return nil, err
+				}
+				rs.rep.Aborted = true
+				rs.rep.Conflicts = rs.conflicts
+				rs.rep.Timing.Total = time.Since(tStart)
+				return rs.rep, fmt.Errorf("warp: undo would conflict for user %s; aborted", c.Client)
+			}
+		}
+	}
+
+	if err := w.DB.FinishRepair(); err != nil {
+		return nil, err
+	}
+
+	// Queue conflicts and cookie invalidations for affected clients.
+	w.mu.Lock()
+	w.conflicts = append(w.conflicts, rs.conflicts...)
+	for client, jar := range rs.jarOverride {
+		var names []string
+		for name := range jar {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		w.cookieInvalid[client] = names
+	}
+	w.mu.Unlock()
+
+	rs.rep.Conflicts = rs.conflicts
+	rs.rep.GraphNodesLoaded = w.Graph.LoadedNodes()
+	rs.rep.RepairWorkers = rs.sched.workers
+	rs.rep.Timing.Init = time.Duration(rs.tInit.Load())
+	rs.rep.Timing.Graph = time.Duration(rs.tGraph.Load())
+	rs.rep.Timing.Browser = time.Duration(rs.tBrowser.Load())
+	rs.rep.Timing.DB = time.Duration(rs.tDB.Load())
+	rs.rep.Timing.App = time.Duration(rs.tApp.Load())
+	rs.rep.Timing.Total = time.Since(tStart)
+	rs.rep.Timing.Ctrl = rs.rep.Timing.Total - rs.rep.Timing.Init - rs.rep.Timing.Graph -
+		rs.rep.Timing.Browser - rs.rep.Timing.DB - rs.rep.Timing.App
+	if rs.rep.Timing.Ctrl < 0 {
+		// With parallel workers the per-layer sums can exceed wall time.
+		rs.rep.Timing.Ctrl = 0
+	}
+	return rs.rep, nil
+}

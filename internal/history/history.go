@@ -32,6 +32,17 @@ func FileNode(name string) NodeID { return NodeID("file:" + name) }
 // the string form of a ttdb.Partition.
 func PartitionNode(partition string) NodeID { return NodeID("part:" + partition) }
 
+// PartitionName returns the partition string of a partition node, undoing
+// PartitionNode. ok is false for nodes of other kinds.
+func (n NodeID) PartitionName() (string, bool) {
+	const prefix = "part:"
+	s := string(n)
+	if len(s) < len(prefix) || s[:len(prefix)] != prefix {
+		return "", false
+	}
+	return s[len(prefix):], true
+}
+
 // HTTPNode returns the node for one HTTP exchange, identified by the
 // browser-assigned ⟨client, visit, request⟩ tuple (§5.1).
 func HTTPNode(clientID string, visitID, requestID int64) NodeID {
@@ -176,6 +187,88 @@ func (g *Graph) AddDeps(id ActionID, inputs, outputs []Dep) {
 			g.writers[d.Node] = append(g.writers[d.Node], id)
 		}
 	}
+}
+
+// DepsOf returns copies of an action's input and output dependency edges.
+// Unlike reading Action.Inputs/Outputs directly, DepsOf is safe against a
+// concurrent AddDeps extending the action: the repair scheduler uses it to
+// derive work-item footprints without re-deriving partition sets from the
+// underlying query records.
+func (g *Graph) DepsOf(id ActionID) (inputs, outputs []Dep) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a := g.actions[id]
+	if a == nil {
+		return nil, nil
+	}
+	return append([]Dep{}, a.Inputs...), append([]Dep{}, a.Outputs...)
+}
+
+// Deps returns the distinct actions the given action depends on: every
+// action with an output edge to one of its input nodes at or before its
+// time. The result is in (time, ID) order and excludes the action itself.
+func (g *Graph) Deps(id ActionID) []ActionID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a := g.actions[id]
+	if a == nil {
+		return nil
+	}
+	seen := make(map[ActionID]bool)
+	var out []*Action
+	for _, d := range a.Inputs {
+		for _, wid := range g.writers[d.Node] {
+			w := g.actions[wid]
+			if w == nil || wid == id || seen[wid] || w.Time > a.Time {
+				continue
+			}
+			seen[wid] = true
+			out = append(out, w)
+		}
+	}
+	return sortedIDs(out)
+}
+
+// Dependents returns the distinct actions depending on the given action:
+// every action with an input edge from one of its output nodes at or after
+// its time. The result is in (time, ID) order and excludes the action
+// itself. Deps and Dependents are the action-level dependency-edge view of
+// the graph; the repair scheduler consumes the node-level view (DepsOf)
+// to build work-item footprints.
+func (g *Graph) Dependents(id ActionID) []ActionID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	a := g.actions[id]
+	if a == nil {
+		return nil
+	}
+	seen := make(map[ActionID]bool)
+	var out []*Action
+	for _, d := range a.Outputs {
+		for _, rid := range g.readers[d.Node] {
+			r := g.actions[rid]
+			if r == nil || rid == id || seen[rid] || r.Time < a.Time {
+				continue
+			}
+			seen[rid] = true
+			out = append(out, r)
+		}
+	}
+	return sortedIDs(out)
+}
+
+func sortedIDs(acts []*Action) []ActionID {
+	sort.Slice(acts, func(i, j int) bool {
+		if acts[i].Time != acts[j].Time {
+			return acts[i].Time < acts[j].Time
+		}
+		return acts[i].ID < acts[j].ID
+	})
+	ids := make([]ActionID, len(acts))
+	for i, a := range acts {
+		ids[i] = a.ID
+	}
+	return ids
 }
 
 // Len returns the number of live actions.

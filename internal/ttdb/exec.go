@@ -18,17 +18,56 @@ func (db *DB) Exec(src string, params ...sqldb.Value) (*sqldb.Result, *Record, e
 	return db.ExecStmt(stmt, params)
 }
 
-// ExecStmt executes a parsed statement under normal execution.
+// ExecStmt executes a parsed statement under normal execution. Statements
+// on different tables run in parallel; statements on one table serialize
+// on that table's lock, with the timestamp assigned inside the lock so
+// version intervals never interleave.
 func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Result, *Record, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	m, unlock, err := db.lockFor(stmt)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer unlock()
 	t := db.clock.Tick()
-	return db.execAt(stmt, params, t, db.currentGen, nil)
+	return db.execAt(stmt, params, t, db.currentGen.Load(), nil, m)
 }
 
-// execAt dispatches a statement at an explicit time and generation.
-// reuse carries the original record during repair re-execution, or nil.
-func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record) (*sqldb.Result, *Record, error) {
+// lockFor acquires the locks a statement needs: every table lock for DDL,
+// the target table's lock for DML, nothing for table-less selects. It
+// returns the target table's meta (nil for DDL / table-less statements)
+// and the release function.
+func (db *DB) lockFor(stmt sqldb.Statement) (*tableMeta, func(), error) {
+	var table string
+	switch s := stmt.(type) {
+	case *sqldb.CreateTable, *sqldb.CreateIndex, *sqldb.AlterTableAdd, *sqldb.DropTable:
+		metas := db.lockAll()
+		return nil, func() { db.unlockAll(metas) }, nil
+	case *sqldb.Select:
+		if s.Table == "" {
+			return nil, func() {}, nil
+		}
+		table = s.Table
+	case *sqldb.Insert:
+		table = s.Table
+	case *sqldb.Update:
+		table = s.Table
+	case *sqldb.Delete:
+		table = s.Table
+	default:
+		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
+	}
+	m, err := db.lockTable(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() { m.mu.Unlock() }, nil
+}
+
+// execAt dispatches a statement at an explicit time and generation. The
+// caller holds the locks lockFor would acquire; m is the target table's
+// meta for DML statements. reuse carries the original record during repair
+// re-execution, or nil.
+func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec := &Record{SQL: stmt.String(), Params: params, Time: t, Gen: gen}
 	switch s := stmt.(type) {
 	case *sqldb.CreateTable:
@@ -51,7 +90,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.AlterTableAdd:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
-		m, err := db.meta(s.Table)
+		tm, err := db.meta(s.Table)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -59,7 +98,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 		if err != nil {
 			return nil, nil, err
 		}
-		m.userCols = append(m.userCols, s.Column.Name)
+		tm.userCols = append(tm.userCols, s.Column.Name)
 		rec.Result = res
 		return res, rec, nil
 	case *sqldb.DropTable:
@@ -69,17 +108,19 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 		if err != nil {
 			return nil, nil, err
 		}
+		db.tablesMu.Lock()
 		delete(db.tables, s.Table)
+		db.tablesMu.Unlock()
 		rec.Result = res
 		return res, rec, nil
 	case *sqldb.Select:
-		return db.execSelect(s, params, t, gen, rec)
+		return db.execSelect(s, params, t, gen, rec, m)
 	case *sqldb.Insert:
-		return db.execInsert(s, params, t, gen, rec, reuse)
+		return db.execInsert(s, params, t, gen, rec, reuse, m)
 	case *sqldb.Update:
-		return db.execUpdate(s, params, t, gen, rec)
+		return db.execUpdate(s, params, t, gen, rec, m)
 	case *sqldb.Delete:
-		return db.execDelete(s, params, t, gen, rec)
+		return db.execDelete(s, params, t, gen, rec, m)
 	default:
 		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
 	}
@@ -100,7 +141,7 @@ func (db *DB) selectPhysical(m *tableMeta, where sqldb.Expr, params []sqldb.Valu
 	return db.raw.ExecStmt(&sqldb.Select{Items: items, Table: m.name, Where: where}, params)
 }
 
-func (db *DB) execSelect(s *sqldb.Select, params []sqldb.Value, t, gen int64, rec *Record) (*sqldb.Result, *Record, error) {
+func (db *DB) execSelect(s *sqldb.Select, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindRead
 	if s.Table == "" {
 		res, err := db.raw.ExecStmt(s, params)
@@ -109,10 +150,6 @@ func (db *DB) execSelect(s *sqldb.Select, params []sqldb.Value, t, gen int64, re
 		}
 		rec.Result = res
 		return res, rec, nil
-	}
-	m, err := db.meta(s.Table)
-	if err != nil {
-		return nil, nil, err
 	}
 	rec.Table = s.Table
 	aug := s.Clone().(*sqldb.Select)
@@ -155,11 +192,7 @@ func (db *DB) checkWritableColumns(m *tableMeta, cols []string, isInsert bool) e
 	return nil
 }
 
-func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, rec *Record, reuse *Record) (*sqldb.Result, *Record, error) {
-	m, err := db.meta(s.Table)
-	if err != nil {
-		return nil, nil, err
-	}
+func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, rec *Record, reuse *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindInsert
 	rec.Table = s.Table
 	cols := s.Columns
@@ -252,18 +285,24 @@ func (db *DB) insertPartitionsFromRows(m *tableMeta, cols []string, rows [][]sql
 }
 
 // fillWriteInfo extracts row IDs and partitions from a write's RETURNING
-// data. The bookkeeping columns start at index nApp.
+// data and indexes the version events in the per-partition index. The
+// bookkeeping columns start at index nApp.
 func (db *DB) fillWriteInfo(m *tableMeta, rec *Record, res *sqldb.Result, nApp int) {
 	set := NewPartitionSet()
 	for _, row := range res.Rows {
 		rec.WriteRowIDs = append(rec.WriteRowIDs, row[nApp])
 		if len(m.partCols) == 0 {
 			set.Add(WholeTable(m.name))
+			m.indexVersionEvent([]Partition{WholeTable(m.name)}, row[nApp], rec.Time)
 			continue
 		}
+		var rowParts []Partition
 		for i, col := range res.Columns[nApp+1:] {
-			set.Add(Partition{Table: m.name, Column: col, Key: row[nApp+1+i].Key()})
+			p := Partition{Table: m.name, Column: col, Key: row[nApp+1+i].Key()}
+			set.Add(p)
+			rowParts = append(rowParts, p)
 		}
+		m.indexVersionEvent(rowParts, row[nApp], rec.Time)
 	}
 	rec.WritePartitions = append(rec.WritePartitions, set.Slice()...)
 }
@@ -281,11 +320,7 @@ func stripResult(res *sqldb.Result, appReturning []string, nApp int, affected in
 	return out
 }
 
-func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, rec *Record) (*sqldb.Result, *Record, error) {
-	m, err := db.meta(s.Table)
-	if err != nil {
-		return nil, nil, err
-	}
+func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindUpdate
 	rec.Table = s.Table
 	setCols := make([]string, len(s.Set))
@@ -342,7 +377,7 @@ func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, re
 }
 
 // recordOldPartitions adds the pre-write partition values of the matched
-// rows to the record's write set.
+// rows to the record's write set and indexes the events.
 func (db *DB) recordOldPartitions(m *tableMeta, rec *Record, oldRows *sqldb.Result) {
 	set := NewPartitionSet()
 	set.AddAll(rec.WritePartitions)
@@ -353,11 +388,16 @@ func (db *DB) recordOldPartitions(m *tableMeta, rec *Record, oldRows *sqldb.Resu
 	for _, row := range oldRows.Rows {
 		if len(m.partCols) == 0 {
 			set.Add(WholeTable(m.name))
+			m.indexVersionEvent([]Partition{WholeTable(m.name)}, row[colOf[m.rowIDCol]], rec.Time)
 			continue
 		}
+		var rowParts []Partition
 		for col := range m.partCols {
-			set.Add(Partition{Table: m.name, Column: col, Key: row[colOf[col]].Key()})
+			p := Partition{Table: m.name, Column: col, Key: row[colOf[col]].Key()}
+			set.Add(p)
+			rowParts = append(rowParts, p)
 		}
+		m.indexVersionEvent(rowParts, row[colOf[m.rowIDCol]], rec.Time)
 	}
 	rec.WritePartitions = set.Slice()
 }
@@ -393,11 +433,7 @@ func (db *DB) insertHistorical(m *tableMeta, oldRows *sqldb.Result, t int64, ove
 	return err
 }
 
-func (db *DB) execDelete(s *sqldb.Delete, params []sqldb.Value, t, gen int64, rec *Record) (*sqldb.Result, *Record, error) {
-	m, err := db.meta(s.Table)
-	if err != nil {
-		return nil, nil, err
-	}
+func (db *DB) execDelete(s *sqldb.Delete, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindDelete
 	rec.Table = s.Table
 	rec.ReadPartitions = m.readPartitions(s.Where, params)

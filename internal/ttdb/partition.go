@@ -23,12 +23,35 @@ func WholeTable(table string) Partition { return Partition{Table: table} }
 // IsWholeTable reports whether p covers the entire table.
 func (p Partition) IsWholeTable() bool { return p.Column == "" }
 
-// String renders the partition for logs and debugging.
+// String renders the partition for logs, debugging, and history-graph
+// node names. ParsePartition is its inverse.
 func (p Partition) String() string {
 	if p.IsWholeTable() {
 		return p.Table + "/*"
 	}
 	return p.Table + "/" + p.Column + "=" + p.Key
+}
+
+// ParsePartition parses the String form of a partition back into a
+// Partition. Table and column names are SQL identifiers (no "/" or "="),
+// so splitting at the first separator is unambiguous even when the key
+// contains arbitrary user data. The repair scheduler uses this to turn the
+// history graph's partition node names back into typed partitions without
+// re-deriving them from query records.
+func ParsePartition(s string) (Partition, bool) {
+	i := strings.IndexByte(s, '/')
+	if i <= 0 {
+		return Partition{}, false
+	}
+	table, rest := s[:i], s[i+1:]
+	if rest == "*" {
+		return WholeTable(table), true
+	}
+	j := strings.IndexByte(rest, '=')
+	if j <= 0 {
+		return Partition{}, false
+	}
+	return Partition{Table: table, Column: rest[:j], Key: rest[j+1:]}, true
 }
 
 // Overlaps reports whether two partitions can contain a common row. A
@@ -94,6 +117,43 @@ func (s *PartitionSet) OverlapsAny(ps []Partition) bool {
 			continue
 		}
 		if s.keys[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// Overlaps reports whether any partition in this set overlaps any
+// partition in o, honoring whole-table entries on either side.
+func (s *PartitionSet) Overlaps(o *PartitionSet) bool {
+	if o == nil {
+		return false
+	}
+	for t := range s.whole {
+		if o.touchesTable(t) {
+			return true
+		}
+	}
+	for t := range o.whole {
+		if s.touchesTable(t) {
+			return true
+		}
+	}
+	for p := range s.keys {
+		if o.keys[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// touchesTable reports whether the set contains any partition of a table.
+func (s *PartitionSet) touchesTable(t string) bool {
+	if s.whole[t] {
+		return true
+	}
+	for p := range s.keys {
+		if p.Table == t {
 			return true
 		}
 	}

@@ -6,6 +6,26 @@ import (
 	"warp/internal/sqldb"
 )
 
+// repairState snapshots the generation state a repair-side operation runs
+// under: the repair ("next") generation and the GC horizon. Snapshotting
+// it once at operation entry lets the table-locked internals run without
+// re-acquiring db.mu (the lock ordering forbids that).
+type repairState struct {
+	next     int64
+	gcBefore int64
+}
+
+// repairSnapshot returns the current repair state, or an error when no
+// repair is open.
+func (db *DB) repairSnapshot() (repairState, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.inRepair {
+		return repairState{}, fmt.Errorf("ttdb: no repair in progress")
+	}
+	return repairState{next: db.currentGen.Load() + 1, gcBefore: db.gcBefore}, nil
+}
+
 // BeginRepair opens the next repair generation (§4.3): a logical fork of
 // the current database contents. Repair-time operations (ReExec, Rollback)
 // apply to the next generation while normal execution continues against the
@@ -17,26 +37,26 @@ func (db *DB) BeginRepair() (int64, error) {
 		return 0, fmt.Errorf("ttdb: repair already in progress")
 	}
 	db.inRepair = true
-	return db.currentGen + 1, nil
+	return db.currentGen.Load() + 1, nil
 }
 
 // FinishRepair atomically makes the repaired generation current. The caller
 // (WARP's core) is responsible for briefly suspending the web server and
-// draining final requests first (§4.3). Rows visible only to older
-// generations are purged.
+// draining final requests first (§4.3), and for ensuring all repair workers
+// have completed. Rows visible only to older generations are purged.
 func (db *DB) FinishRepair() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	metas := db.lockAll()
+	defer db.unlockAll(metas)
 	if !db.inRepair {
 		return fmt.Errorf("ttdb: no repair in progress")
 	}
-	db.currentGen++
+	cur := db.currentGen.Add(1)
 	db.inRepair = false
 	// Purge rows invisible from the new current generation onward.
-	for name := range db.tables {
+	for _, m := range metas {
 		del := &sqldb.Delete{
-			Table: name,
-			Where: &sqldb.BinaryExpr{Op: sqldb.OpLt, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(db.currentGen))},
+			Table: m.name,
+			Where: &sqldb.BinaryExpr{Op: sqldb.OpLt, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(cur))},
 		}
 		if _, err := db.raw.ExecStmt(del, nil); err != nil {
 			return err
@@ -49,16 +69,17 @@ func (db *DB) FinishRepair() error {
 // state normal execution sees. WARP uses this when a user-initiated undo
 // would cause conflicts for other users (§5.5).
 func (db *DB) AbortRepair() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	metas := db.lockAll()
+	defer db.unlockAll(metas)
 	if !db.inRepair {
 		return fmt.Errorf("ttdb: no repair in progress")
 	}
-	next := db.currentGen + 1
-	for name := range db.tables {
+	cur := db.currentGen.Load()
+	next := cur + 1
+	for _, m := range metas {
 		// Rows created by repair vanish...
 		del := &sqldb.Delete{
-			Table: name,
+			Table: m.name,
 			Where: &sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(next))},
 		}
 		if _, err := db.raw.ExecStmt(del, nil); err != nil {
@@ -66,9 +87,9 @@ func (db *DB) AbortRepair() error {
 		}
 		// ...and rows demoted during repair become shared again.
 		upd := &sqldb.Update{
-			Table: name,
+			Table: m.name,
 			Set:   []sqldb.Assignment{{Column: ColEndGen, Expr: sqldb.Lit(sqldb.Int(Infinity))}},
-			Where: sqldb.Eq(ColEndGen, sqldb.Int(db.currentGen)),
+			Where: sqldb.Eq(ColEndGen, sqldb.Int(cur)),
 		}
 		if _, err := db.raw.ExecStmt(upd, nil); err != nil {
 			return err
@@ -126,7 +147,7 @@ func (db *DB) targetWhere(m *tableMeta, pr physicalRow) sqldb.Expr {
 func (db *DB) demote(m *tableMeta, pr physicalRow) error {
 	upd := &sqldb.Update{
 		Table: m.name,
-		Set:   []sqldb.Assignment{{Column: ColEndGen, Expr: sqldb.Lit(sqldb.Int(db.currentGen))}},
+		Set:   []sqldb.Assignment{{Column: ColEndGen, Expr: sqldb.Lit(sqldb.Int(db.currentGen.Load()))}},
 		Where: db.targetWhere(m, pr),
 	}
 	res, err := db.raw.ExecStmt(upd, nil)
@@ -180,23 +201,24 @@ func (db *DB) deletePhysical(m *tableMeta, pr physicalRow) error {
 // shared with the current generation are preserved for it by demotion.
 // It returns the partitions whose contents changed.
 func (db *DB) RollbackRow(table string, rowID sqldb.Value, t int64) ([]Partition, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.rollbackRowLocked(table, rowID, t)
-}
-
-func (db *DB) rollbackRowLocked(table string, rowID sqldb.Value, t int64) ([]Partition, error) {
-	if !db.inRepair {
-		return nil, fmt.Errorf("ttdb: rollback outside repair")
-	}
-	if t <= db.gcBefore {
-		return nil, fmt.Errorf("ttdb: rollback to %d is beyond the GC horizon %d", t, db.gcBefore)
-	}
-	m, err := db.meta(table)
+	st, err := db.repairSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	next := db.currentGen + 1
+	m, err := db.lockTable(table)
+	if err != nil {
+		return nil, err
+	}
+	defer m.mu.Unlock()
+	return db.rollbackRowLocked(m, rowID, t, st)
+}
+
+// rollbackRowLocked is RollbackRow with the table lock held.
+func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st repairState) ([]Partition, error) {
+	if t <= st.gcBefore {
+		return nil, fmt.Errorf("ttdb: rollback to %d is beyond the GC horizon %d", t, st.gcBefore)
+	}
+	next := st.next
 
 	// All versions of this row visible anywhere in the next generation.
 	where := sqldb.And(
@@ -243,7 +265,7 @@ func (db *DB) rollbackRowLocked(table string, rowID sqldb.Value, t int64) ([]Par
 		// uniqueness key: the §6 case where an INSERT's success changes
 		// during repair. The later row is rolled back first (it will fail
 		// when its query re-executes), then the revival proceeds.
-		if err := db.resolveRevivalCollisions(m, *latest, next, set, 0); err != nil {
+		if err := db.resolveRevivalCollisions(m, *latest, st, set, 0); err != nil {
 			return nil, err
 		}
 		if latest.sGen >= next {
@@ -264,6 +286,8 @@ func (db *DB) rollbackRowLocked(table string, rowID sqldb.Value, t int64) ([]Par
 			}
 		}
 	}
+	// Index the rollback itself: the partitions' contents changed at t.
+	m.indexVersionEvent(set.Slice(), rowID, t)
 	return set.Slice(), nil
 }
 
@@ -271,10 +295,11 @@ func (db *DB) rollbackRowLocked(table string, rowID sqldb.Value, t int64) ([]Par
 // share a uniqueness key with the row about to be revived (§6). Their
 // partitions are added to dirt so the inserts that created them re-execute
 // and observe their changed (now failing) outcome.
-func (db *DB) resolveRevivalCollisions(m *tableMeta, pr physicalRow, next int64, dirt *PartitionSet, depth int) error {
+func (db *DB) resolveRevivalCollisions(m *tableMeta, pr physicalRow, st repairState, dirt *PartitionSet, depth int) error {
 	if depth > 8 {
 		return fmt.Errorf("ttdb: table %s: uniqueness collision resolution did not converge", m.name)
 	}
+	next := st.next
 	_, uniques, err := db.raw.Schema(m.name)
 	if err != nil {
 		return err
@@ -320,7 +345,7 @@ func (db *DB) resolveRevivalCollisions(m *tableMeta, pr physicalRow, next int64,
 			if err != nil {
 				return err
 			}
-			ps, err := db.rollbackRowLocked(m.name, other.rowID, first)
+			ps, err := db.rollbackRowLocked(m, other.rowID, first, st)
 			if err != nil {
 				return err
 			}
@@ -354,11 +379,18 @@ func (db *DB) firstStartTime(m *tableMeta, rowID sqldb.Value, gen int64) (int64,
 
 // RollbackRows rolls back several rows of one table to time t.
 func (db *DB) RollbackRows(table string, rowIDs []sqldb.Value, t int64) ([]Partition, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	st, err := db.repairSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.lockTable(table)
+	if err != nil {
+		return nil, err
+	}
+	defer m.mu.Unlock()
 	set := NewPartitionSet()
 	for _, id := range rowIDs {
-		ps, err := db.rollbackRowLocked(table, id, t)
+		ps, err := db.rollbackRowLocked(m, id, t, st)
 		if err != nil {
 			return nil, err
 		}
@@ -386,41 +418,63 @@ func (db *DB) ReExec(src string, params []sqldb.Value, t int64, orig *Record) (*
 	return db.ReExecStmt(stmt, params, t, orig)
 }
 
-// ReExecStmt is ReExec for a parsed statement.
+// ReExecStmt is ReExec for a parsed statement. Re-executions on different
+// tables run in parallel; the target table's lock is held for the full
+// two-phase span so a re-execution is atomic with respect to other
+// operations on the table.
 func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if !db.inRepair {
+	st, err := db.repairSnapshot()
+	if err != nil {
 		return nil, nil, fmt.Errorf("ttdb: ReExec outside repair")
 	}
-	next := db.currentGen + 1
 	db.clock.AdvanceTo(t)
 
 	switch s := stmt.(type) {
-	case *sqldb.Select:
-		return db.execAt(stmt, params, t, next, nil)
 	case *sqldb.Insert:
-		return db.reExecInsert(s, params, t, next, orig)
-	case *sqldb.Update, *sqldb.Delete:
-		return db.reExecWrite(stmt, params, t, next, orig)
+		m, err := db.lockTable(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.mu.Unlock()
+		return db.reExecInsert(s, params, t, st, orig, m)
+	case *sqldb.Update:
+		m, err := db.lockTable(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.mu.Unlock()
+		return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m)
+	case *sqldb.Delete:
+		m, err := db.lockTable(s.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer m.mu.Unlock()
+		return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m)
 	default:
-		// DDL during repair replays as-is in the shared schema space.
-		return db.execAt(stmt, params, t, next, orig)
+		// Reads re-execute at their original time; DDL during repair
+		// replays as-is in the shared schema space.
+		m, unlock, err := db.lockFor(stmt)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer unlock()
+		return db.execAt(stmt, params, t, st.next, orig, m)
 	}
 }
 
-func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t, next int64, orig *Record) (*sqldb.Result, *Record, error) {
+func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	dirt := NewPartitionSet()
 	if orig != nil {
 		for _, id := range orig.WriteRowIDs {
-			ps, err := db.rollbackRowLocked(s.Table, id, t)
+			ps, err := db.rollbackRowLocked(m, id, t, st)
 			if err != nil {
 				return nil, nil, err
 			}
 			dirt.AddAll(ps)
 		}
 	}
-	res, rec, err := db.execAt(s, params, t, next, orig)
+	res, rec, err := db.execAt(s, params, t, st.next, orig, m)
 	if err != nil && rec == nil {
 		return nil, nil, err
 	}
@@ -434,19 +488,8 @@ func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t, next int64,
 }
 
 // reExecWrite implements two-phase re-execution for UPDATE and DELETE.
-func (db *DB) reExecWrite(stmt sqldb.Statement, params []sqldb.Value, t, next int64, orig *Record) (*sqldb.Result, *Record, error) {
-	var table string
-	var where sqldb.Expr
-	switch s := stmt.(type) {
-	case *sqldb.Update:
-		table, where = s.Table, s.Where
-	case *sqldb.Delete:
-		table, where = s.Table, s.Where
-	}
-	m, err := db.meta(table)
-	if err != nil {
-		return nil, nil, err
-	}
+func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+	next := st.next
 
 	// Phase A: find the rows the new WHERE clause matches at time t in the
 	// repair generation.
@@ -483,7 +526,7 @@ func (db *DB) reExecWrite(stmt sqldb.Statement, params []sqldb.Value, t, next in
 	}
 	dirt := NewPartitionSet()
 	for _, id := range all {
-		ps, err := db.rollbackRowLocked(table, id, t)
+		ps, err := db.rollbackRowLocked(m, id, t, st)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -495,7 +538,7 @@ func (db *DB) reExecWrite(stmt sqldb.Statement, params []sqldb.Value, t, next in
 	if err := db.preserveSharedMatches(m, userWhere, params, t, next); err != nil {
 		return nil, nil, err
 	}
-	res, rec, err := db.execAt(stmt, params, t, next, orig)
+	res, rec, err := db.execAt(stmt, params, t, next, orig, m)
 	if err != nil && rec == nil {
 		return nil, nil, err
 	}
@@ -535,28 +578,31 @@ func (db *DB) preserveSharedMatches(m *tableMeta, userWhere sqldb.Expr, params [
 
 // GC discards row versions that ended before the horizon, in sync with the
 // action history graph's garbage collection (§4.2). Rollback to a time at
-// or before the horizon becomes impossible afterwards. GC is refused while
-// a repair is in progress.
+// or before the horizon becomes impossible afterwards, and partition-index
+// entries older than the horizon are pruned. GC is refused while a repair
+// is in progress.
 func (db *DB) GC(beforeTime int64) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	metas := db.lockAll()
+	defer db.unlockAll(metas)
 	if db.inRepair {
 		return fmt.Errorf("ttdb: GC during repair")
 	}
-	for name := range db.tables {
+	cur := db.currentGen.Load()
+	for _, m := range metas {
 		del := &sqldb.Delete{
-			Table: name,
+			Table: m.name,
 			Where: &sqldb.BinaryExpr{
 				Op:   sqldb.OpOr,
 				Left: &sqldb.BinaryExpr{Op: sqldb.OpLt, Left: sqldb.Col(ColEndTime), Right: sqldb.Lit(sqldb.Int(beforeTime))},
 				Right: &sqldb.BinaryExpr{
-					Op: sqldb.OpLt, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(db.currentGen)),
+					Op: sqldb.OpLt, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(cur)),
 				},
 			},
 		}
 		if _, err := db.raw.ExecStmt(del, nil); err != nil {
 			return err
 		}
+		m.pruneIndexBefore(beforeTime)
 	}
 	if beforeTime > db.gcBefore {
 		db.gcBefore = beforeTime

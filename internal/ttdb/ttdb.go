@@ -20,11 +20,33 @@
 //
 // All timestamps are logical (internal/vclock); Infinity marks live
 // versions.
+//
+// # Concurrency
+//
+// The database is safe for concurrent use by normal execution and by
+// parallel repair workers. Locking is layered:
+//
+//   - db.mu guards generation/repair/GC state and table annotations;
+//   - db.tablesMu guards the table registry;
+//   - each tableMeta has its own mutex, held for the full multi-statement
+//     span of an operation on that table (an exec, a two-phase
+//     re-execution, a rollback), so repair workers on different tables
+//     proceed in parallel while operations on one table serialize.
+//
+// DDL, generation switches (FinishRepair/AbortRepair), and GC take every
+// table lock. The acquisition order is db.mu → table locks, and code
+// holding a table lock never acquires db.mu. tablesMu is a leaf: it is
+// taken only for momentary registry reads/writes and is never held across
+// a table-lock (or db.mu) acquisition — which is why createTable and
+// DropTable may briefly write-lock it even while lockAll holds every
+// table lock.
 package ttdb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"warp/internal/sqldb"
 	"warp/internal/vclock"
@@ -53,8 +75,11 @@ type TableSpec struct {
 	PartitionColumns []string
 }
 
-// tableMeta is the runtime bookkeeping for one augmented table.
+// tableMeta is the runtime bookkeeping for one augmented table. mu
+// serializes all data operations on the table; repair workers touching
+// different tables run in parallel.
 type tableMeta struct {
+	mu        sync.Mutex
 	name      string
 	spec      TableSpec
 	rowIDCol  string // spec.RowIDColumn or ColRowID
@@ -62,18 +87,32 @@ type tableMeta struct {
 	userCols  []string
 	partCols  map[string]bool
 	nextRowID int64
+
+	// partIdx is the per-partition version index: for every partition, the
+	// row-version events (row ID, time) that touched it. It turns repair's
+	// "find rows touching partition P at or after time T" from a table scan
+	// into an index lookup (see partindex.go). Guarded by mu.
+	partIdx map[Partition][]partEntry
 }
 
 // DB is a time-travel database.
 type DB struct {
+	// mu guards specs, inRepair, and gcBefore, and serializes global
+	// operations (DDL, generation switches, GC) at their entry.
 	mu    sync.Mutex
 	raw   *sqldb.DB
 	clock *vclock.Clock
 
-	specs  map[string]TableSpec
-	tables map[string]*tableMeta
+	specs map[string]TableSpec
 
-	currentGen int64
+	// tablesMu guards the tables registry map itself; the per-table locks
+	// guard the tables' contents.
+	tablesMu sync.RWMutex
+	tables   map[string]*tableMeta
+
+	// currentGen is atomic so exec paths can read it while holding only a
+	// table lock; it changes only under lockAll (FinishRepair).
+	currentGen atomic.Int64
 	inRepair   bool
 
 	gcBefore int64 // versions strictly older than this have been collected
@@ -82,13 +121,14 @@ type DB struct {
 // Open creates a time-travel database over a fresh storage engine, sharing
 // the given logical clock with the rest of the system.
 func Open(clock *vclock.Clock) *DB {
-	return &DB{
-		raw:        sqldb.Open(),
-		clock:      clock,
-		specs:      make(map[string]TableSpec),
-		tables:     make(map[string]*tableMeta),
-		currentGen: 1,
+	db := &DB{
+		raw:    sqldb.Open(),
+		clock:  clock,
+		specs:  make(map[string]TableSpec),
+		tables: make(map[string]*tableMeta),
 	}
+	db.currentGen.Store(1)
+	return db
 }
 
 // Raw returns the underlying storage engine. It is exposed for tests and
@@ -100,11 +140,7 @@ func (db *DB) Raw() *sqldb.DB { return db.raw }
 func (db *DB) Clock() *vclock.Clock { return db.clock }
 
 // CurrentGen returns the current repair generation.
-func (db *DB) CurrentGen() int64 {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.currentGen
-}
+func (db *DB) CurrentGen() int64 { return db.currentGen.Load() }
 
 // InRepair reports whether a repair generation is open.
 func (db *DB) InRepair() bool {
@@ -118,7 +154,10 @@ func (db *DB) InRepair() bool {
 func (db *DB) Annotate(table string, spec TableSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	if _, exists := db.tables[table]; exists {
+	db.tablesMu.RLock()
+	_, exists := db.tables[table]
+	db.tablesMu.RUnlock()
+	if exists {
 		return fmt.Errorf("ttdb: table %s already created; annotate before CREATE TABLE", table)
 	}
 	db.specs[table] = spec
@@ -130,19 +169,64 @@ func (db *DB) Tables() []string { return db.raw.Tables() }
 
 // meta returns table bookkeeping, or an error for unknown tables.
 func (db *DB) meta(table string) (*tableMeta, error) {
+	db.tablesMu.RLock()
 	m, ok := db.tables[table]
+	db.tablesMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("ttdb: no such table %s", table)
 	}
 	return m, nil
 }
 
+// lockTable returns the meta for a table with its lock held. The caller
+// must call m.mu.Unlock.
+func (db *DB) lockTable(table string) (*tableMeta, error) {
+	m, err := db.meta(table)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	return m, nil
+}
+
+// lockAll acquires db.mu plus every table lock in name order, for
+// operations that must exclude all concurrent table activity (DDL,
+// generation switches, GC). Release with unlockAll.
+func (db *DB) lockAll() []*tableMeta {
+	db.mu.Lock()
+	// Holding db.mu excludes all DDL (the only mutator of db.tables), so
+	// one registry snapshot is stable for the rest of the call.
+	db.tablesMu.RLock()
+	metas := make([]*tableMeta, 0, len(db.tables))
+	for _, m := range db.tables {
+		metas = append(metas, m)
+	}
+	db.tablesMu.RUnlock()
+	sort.Slice(metas, func(i, j int) bool { return metas[i].name < metas[j].name })
+	for _, m := range metas {
+		m.mu.Lock()
+	}
+	return metas
+}
+
+// unlockAll releases the locks acquired by lockAll.
+func (db *DB) unlockAll(metas []*tableMeta) {
+	for i := len(metas) - 1; i >= 0; i-- {
+		metas[i].mu.Unlock()
+	}
+	db.mu.Unlock()
+}
+
 // createTable intercepts CREATE TABLE: it augments the schema with WARP's
 // bookkeeping columns, extends uniqueness constraints with end_time and
 // end_gen so multiple versions of a row can coexist (§6), and creates
-// hash indexes on the row ID column and every partition column.
+// hash indexes on the row ID column and every partition column. Called
+// with lockAll held.
 func (db *DB) createTable(ct *sqldb.CreateTable) error {
-	if _, exists := db.tables[ct.Table]; exists {
+	db.tablesMu.RLock()
+	_, exists := db.tables[ct.Table]
+	db.tablesMu.RUnlock()
+	if exists {
 		if ct.IfNotExists {
 			return nil
 		}
@@ -154,6 +238,7 @@ func (db *DB) createTable(ct *sqldb.CreateTable) error {
 		spec:      spec,
 		rowIDCol:  spec.RowIDColumn,
 		partCols:  make(map[string]bool),
+		partIdx:   make(map[Partition][]partEntry),
 		nextRowID: 1,
 	}
 	aug := ct.Clone().(*sqldb.CreateTable)
@@ -206,7 +291,9 @@ func (db *DB) createTable(ct *sqldb.CreateTable) error {
 			return err
 		}
 	}
+	db.tablesMu.Lock()
 	db.tables[ct.Table] = m
+	db.tablesMu.Unlock()
 	return nil
 }
 
@@ -240,10 +327,14 @@ type StorageStats struct {
 
 // Stats returns current storage statistics.
 func (db *DB) Stats() StorageStats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	st := StorageStats{}
+	db.tablesMu.RLock()
+	names := make([]string, 0, len(db.tables))
 	for name := range db.tables {
+		names = append(names, name)
+	}
+	db.tablesMu.RUnlock()
+	st := StorageStats{}
+	for _, name := range names {
 		st.Tables++
 		st.PhysicalRows += db.raw.RowCount(name)
 		st.ApproxBytes += db.raw.ApproxTableBytes(name)

@@ -35,6 +35,9 @@ type Config struct {
 	// Replay overrides the browser re-execution configuration (Table 4's
 	// degraded modes); nil means full WARP replay.
 	Replay *browser.ReplayConfig
+	// RepairWorkers sets the parallel repair worker count (0 means
+	// GOMAXPROCS, 1 the serial engine).
+	RepairWorkers int
 	// Trace, when set, receives repair-controller trace lines.
 	Trace func(format string, args ...any)
 }
@@ -63,7 +66,7 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("workload: %d victims do not fit in %d users", cfg.Victims, cfg.Users)
 	}
 
-	w := core.New(core.Config{Seed: cfg.Seed, Replay: cfg.Replay, Trace: cfg.Trace})
+	w := core.New(core.Config{Seed: cfg.Seed, Replay: cfg.Replay, RepairWorkers: cfg.RepairWorkers, Trace: cfg.Trace})
 	app, err := wiki.Install(w)
 	if err != nil {
 		return nil, err

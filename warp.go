@@ -27,6 +27,12 @@
 //     edits three-way, so attacks that ran through users' browsers (XSS,
 //     CSRF, clickjacking) are undone without losing the users' work.
 //
+// Beyond the paper, repair is executed by a dependency-scheduled parallel
+// engine (docs/repair.md): work items whose time-travel partitions are
+// disjoint re-execute concurrently on Config.RepairWorkers workers
+// (default GOMAXPROCS), while conflicting items keep the paper's time
+// order. RepairWorkers = 1 reproduces the paper's serial loop exactly.
+//
 // A System wires together the substrates in internal/: the SQL engine
 // (sqldb), the time-travel layer (ttdb), the action history graph
 // (history), the application runtime (app), the browser simulator
