@@ -8,6 +8,7 @@
 //	warp-bench -users 100       # Table 3/7 workload size (paper: 100)
 //	warp-bench -users8 5000     # Table 8 workload size (paper: 5000)
 //	warp-bench -scale5 100      # Table 5 workload scale (paper-comparable)
+//	warp-bench -repair-workers 1  # serial repair engine for every table
 //
 // Absolute timings depend on this machine; the shapes (who repairs, who
 // conflicts, what fraction re-executes, how repair scales) are the
@@ -28,7 +29,10 @@ func main() {
 	users8 := flag.Int("users8", 1000, "users for Table 8 (paper: 5000)")
 	scale5 := flag.Int("scale5", 100, "workload scale for Table 5")
 	visits6 := flag.Int("visits6", 300, "measured visits per configuration for Table 6")
+	repairWorkers := flag.Int("repair-workers", 0,
+		"parallel repair workers for every repair (0 = GOMAXPROCS, 1 = the paper's serial engine)")
 	flag.Parse()
+	bench.DefaultRepairWorkers = *repairWorkers
 
 	run := func(n int) bool { return *table == 0 || *table == n }
 	fail := func(err error) {

@@ -6,42 +6,96 @@
 //	POST /warp/patch?kind=Stored+XSS   — retroactively apply a Table 2 patch
 //	POST /warp/undo?client=C&visit=N   — undo a past page visit
 //
+// With -data the deployment is durable (docs/persistence.md): the
+// history graph and time-travel database are WAL-logged and snapshotted
+// under the given directory, and restarting the server with the same
+// directory recovers them — the audit trail survives deploys and
+// crashes. Without -data everything lives in memory, as before.
+//
 // Real browsers have no WARP extension, so requests are logged with
 // server-side identifiers (§7) and browser-level replay degrades to
 // conflict reporting, exactly as §2.3 describes for extensionless clients.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
+	"time"
 
 	"warp"
 	"warp/internal/httpd"
+	"warp/internal/sqldb"
 	"warp/internal/webapp/wiki"
 )
 
 func main() {
 	addr := flag.String("addr", ":8480", "listen address")
+	data := flag.String("data", "", "persistence directory; empty runs in memory")
+	repairWorkers := flag.Int("repair-workers", 0,
+		"parallel repair workers (0 = GOMAXPROCS, 1 = the paper's serial engine)")
 	flag.Parse()
 
-	sys := warp.New(warp.Config{Seed: 2026})
+	cfg := warp.Config{Seed: 2026, RepairWorkers: *repairWorkers}
+	var sys *warp.System
+	var err error
+	if *data != "" {
+		sys, err = warp.Open(*data, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sys.Recovery()
+		log.Printf("persistent store %s: snapshot=%v walRecords=%d tailCorrupt=%v",
+			*data, st.FromSnapshot, st.WALRecords, st.TailCorrupt)
+	} else {
+		sys = warp.New(cfg)
+	}
 	app, err := wiki.Install(sys.Warp)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if it := sys.PendingRepair(); it != nil {
+		// A repair was in flight when the previous instance died. Undo
+		// intents are self-contained; patch intents need the patched
+		// code, which Install just re-registered at its base version, so
+		// the administrator re-applies via /warp/patch.
+		if it.Kind == warp.RepairIntentUndoVisit || it.Kind == warp.RepairIntentUndoPartition {
+			rep, err := sys.ResumeRepair(nil)
+			if err != nil {
+				log.Printf("resuming crashed repair: %v", err)
+			} else {
+				log.Printf("resumed crashed repair: %s", rep.String())
+			}
+		} else {
+			log.Printf("crashed retroactive patch of %s pending; re-apply via /warp/patch", it.File)
+		}
+	}
+	// Seed accounts and pages (the pre-horizon base state). Seeding is
+	// per-item idempotent — an entity that already exists (recovered
+	// state, or a crash partway through a previous seeding) is skipped —
+	// so a partially-seeded store completes on the next start.
+	seeded := func(err error) error {
+		if sqldb.IsUniqueViolation(err) {
+			return nil
+		}
+		return err
 	}
 	for _, u := range []struct {
 		name  string
 		admin bool
 	}{{"admin", true}, {"alice", false}, {"bob", false}} {
-		if err := app.CreateUser(u.name, "pw-"+u.name, u.admin); err != nil {
+		if err := seeded(app.CreateUser(u.name, "pw-"+u.name, u.admin)); err != nil {
 			log.Fatal(err)
 		}
 	}
 	for _, p := range []string{"Main", "Sandbox", "TeamPage"} {
-		if err := app.CreatePage(p, "welcome to "+p, false); err != nil {
+		if err := seeded(app.CreatePage(p, "welcome to "+p, false)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -78,6 +132,30 @@ func main() {
 		fmt.Fprintln(w, "visit undone:", rep.String())
 	})
 
+	// On shutdown, stop accepting requests before closing the store:
+	// a request served after Close would be acknowledged but never
+	// persisted. The final Close checkpoints, so the next start
+	// recovers from the snapshot instead of replaying the whole WAL.
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sigs
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("draining connections: %v", err)
+		}
+		if err := sys.Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		}
+	}()
+
 	log.Printf("GoWiki under WARP listening on %s (users: admin, alice, bob; passwords pw-<name>)", *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done // the drain goroutine checkpoints and closes the store
 }

@@ -116,6 +116,17 @@ func (rt *Runtime) Files() []string {
 	return out
 }
 
+// SetRunSeqFloor advances the run-ID allocator to at least v. Recovery
+// calls it with the highest recovered run ID so post-recovery runs never
+// reuse a recorded identity.
+func (rt *Runtime) SetRunSeqFloor(v int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if v > rt.runSeq {
+		rt.runSeq = v
+	}
+}
+
 // Mount routes an HTTP path to a source file.
 func (rt *Runtime) Mount(path, file string) {
 	rt.mu.Lock()

@@ -22,6 +22,12 @@ import (
 	"warp/internal/workload"
 )
 
+// DefaultRepairWorkers is the repair worker count every table's repairs
+// run with: 0 means GOMAXPROCS, 1 reproduces the paper's serial engine.
+// cmd/warp-bench sets it from -repair-workers; a repair's outcome is
+// independent of the value, only wall time changes.
+var DefaultRepairWorkers int
+
 // Table3Row is one row of Table 3: scenario, repair method, success, and
 // users with conflicts.
 type Table3Row struct {
@@ -35,7 +41,7 @@ type Table3Row struct {
 func Table3(users int) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, sc := range attacks.Scenarios() {
-		res, err := workload.Run(workload.Config{Users: users, Victims: 3, Seed: 1000, Scenario: sc})
+		res, err := workload.Run(workload.Config{Users: users, Victims: 3, Seed: 1000, Scenario: sc, RepairWorkers: DefaultRepairWorkers})
 		if err != nil {
 			return nil, fmt.Errorf("%s: workload: %w", sc.Name, err)
 		}
@@ -170,7 +176,7 @@ func table4Run(script string, cfg browser.ReplayConfig) (int, error) {
 		return e.W.RetroPatch(v.File, v.Patch)
 	}
 	res, err := workload.Run(workload.Config{
-		Users: 11, Victims: 8, Seed: 2000, Scenario: sc, Replay: &cfg,
+		Users: 11, Victims: 8, Seed: 2000, Scenario: sc, Replay: &cfg, RepairWorkers: DefaultRepairWorkers,
 	})
 	if err != nil {
 		return 0, err
@@ -270,6 +276,7 @@ func runPerfScenario(label, name string, users int, victimsAtStart bool) (*Table
 	}
 	res, err := workload.Run(workload.Config{
 		Users: users, Victims: 3, Seed: 3000, Scenario: sc, VictimsAtStart: victimsAtStart,
+		RepairWorkers: DefaultRepairWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: workload: %w", label, err)

@@ -125,7 +125,7 @@ func warpThroughput(visits int, editing, duringRepair bool) (float64, core.Stora
 		// Build a workload whose repair re-executes nearly everything, and
 		// measure while that repair runs.
 		sc, _ := attacks.ByName("Clickjacking")
-		res, err = workload.Run(workload.Config{Users: 30, Victims: 3, Seed: 78, Scenario: sc})
+		res, err = workload.Run(workload.Config{Users: 30, Victims: 3, Seed: 78, Scenario: sc, RepairWorkers: DefaultRepairWorkers})
 	} else {
 		res, err = workload.Run(workload.Config{Users: 6, Seed: 78})
 	}

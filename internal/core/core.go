@@ -21,6 +21,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
+	"warp/internal/store"
 	"warp/internal/ttdb"
 	"warp/internal/vclock"
 )
@@ -45,6 +46,11 @@ type Config struct {
 	// Trace, when set, receives a line for every repair-controller step —
 	// the debugging view of what rollback-and-reexecute decided and why.
 	Trace func(format string, args ...any)
+	// Durability tunes the write-ahead log and snapshot store for
+	// deployments created with Open (docs/persistence.md); New ignores
+	// it. The zero value selects the store's defaults: windowed group
+	// commit, 16 MiB segments, checkpoint every 64 MiB of WAL.
+	Durability store.Options
 }
 
 // Warp is one WARP-managed web application deployment.
@@ -86,6 +92,13 @@ type Warp struct {
 	browserLogBytes int
 	appLogBytes     int
 	dbLogBytes      int
+
+	// Durable persistence (persist.go). pers is nil for in-memory
+	// deployments (New); pendingIntent is the repair a crashed instance
+	// left in flight; recovery summarizes what Open restored.
+	pers          *persister
+	pendingIntent *RepairIntent
+	recovery      RecoveryStats
 }
 
 // New creates a WARP deployment with a fresh clock, database, runtime, and
@@ -139,6 +152,11 @@ type QueryPayload struct {
 	// Superseded is atomic for the same reason as RunPayload.Superseded.
 	Superseded atomic.Bool
 	Repaired   bool
+
+	// run is the owning run's payload; Rec aliases run.Rec.Queries[i].
+	// The persistence codec uses it to encode the alias as a reference
+	// (codec.go) without a graph lookup.
+	run *RunPayload
 }
 
 // httpNodeFor derives the HTTP exchange node for a request, assigning a
@@ -233,7 +251,7 @@ func (w *Warp) recordRun(rec *app.RunRecord, repaired *bool) history.ActionID {
 		qa := &history.Action{
 			Kind:    history.KindQuery,
 			Time:    q.Time,
-			Payload: &QueryPayload{Rec: q, RunAction: runID, Repaired: payload.Repaired},
+			Payload: &QueryPayload{Rec: q, RunAction: runID, Repaired: payload.Repaired, run: payload},
 		}
 		for _, p := range q.ReadPartitions {
 			qa.Inputs = append(qa.Inputs, history.Dep{Node: w.partNode(p), Time: q.Time})
@@ -272,6 +290,16 @@ func (w *Warp) UploadVisitLog(log *browser.VisitLog) {
 		return
 	}
 	log.Time = w.Clock.Now()
+	w.insertVisitLogLocked(log)
+	if w.pers != nil {
+		w.pers.logVisit(log)
+	}
+}
+
+// insertVisitLogLocked stores one visit log in the per-client stores
+// under quota. Shared by live uploads and WAL recovery so the quota and
+// accounting rules cannot drift apart. Caller holds w.mu.
+func (w *Warp) insertVisitLogLocked(log *browser.VisitLog) {
 	logs := w.visitLogs[log.ClientID]
 	if len(logs) >= w.cfg.ClientLogQuota {
 		// Quota: drop the oldest log for this client, so one client cannot
@@ -362,8 +390,9 @@ func (w *Warp) ResolveConflictByCancel(clientID string, visitID int64) (*Report,
 	}
 	// The §5.5 exception: resolving one's own reported conflict may cancel
 	// even if that creates conflicts for others, so this runs with
-	// administrator-strength undo.
-	return w.UndoVisit(clientID, visitID, true)
+	// administrator-strength undo. The dequeue marker travels with the
+	// durable repair intent so a crashed resolution resumes completely.
+	return w.undoVisit(clientID, visitID, true, true)
 }
 
 // StorageStats reports log storage by layer, the Table 6 accounting.

@@ -1,0 +1,775 @@
+// Durable persistence for a WARP deployment (docs/persistence.md).
+//
+// Open creates a deployment backed by internal/store: every normal-
+// execution state change — history action appends, time-travel database
+// mutations, visit-log uploads, GC — is encoded as a typed WAL record by
+// the observer hooks below, and Checkpoint serializes a consistent cut
+// of the whole system. Recovery replays WAL-tail-over-snapshot.
+//
+// Repair is durable at a coarser grain, matching its semantics: a
+// logged intent record brackets the repair, the repair's own mutations
+// are not individually logged (they happen in the forked repair
+// generation), and the commit is made durable by a checkpoint written
+// under the same §4.3 suspension that makes the generation switch
+// atomic. A crash mid-repair therefore recovers the exact pre-repair
+// state plus a pending intent, and ResumeRepair re-runs the repair to
+// the same outcome — the WAL analog of the paper's "repair is just a
+// (re)computation over durable logs".
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"warp/internal/app"
+	"warp/internal/browser"
+	"warp/internal/history"
+	"warp/internal/store"
+	"warp/internal/ttdb"
+)
+
+// WAL record types.
+const (
+	recHistoryAction byte = 1 // one appended history action
+	recTTDBRecord    byte = 2 // one committed database mutation
+	recTTDBAnnotate  byte = 3 // a table annotation
+	recTTDBGC        byte = 4 // database GC horizon move
+	recGraphGC       byte = 5 // graph GC horizon move
+	recVisitLog      byte = 6 // visit-log upload or refresh (upsert)
+	recRepairIntent  byte = 7 // a repair began
+	recRepairEnd     byte = 8 // a repair aborted (commits checkpoint instead)
+)
+
+// IntentKind classifies repair intents.
+type IntentKind byte
+
+// Repair intent kinds.
+const (
+	IntentRetroPatch    IntentKind = 1
+	IntentUndoVisit     IntentKind = 2
+	IntentUndoPartition IntentKind = 3
+)
+
+// RepairIntent is the durable description of a repair request, logged
+// when the repair begins. If the process dies mid-repair, Open surfaces
+// the intent through PendingRepair and ResumeRepair re-runs it against
+// the recovered (pre-repair) state. Retroactive patches carry code — a
+// Go function this reproduction cannot serialize, just as the paper's
+// prototype kept patched PHP source on the filesystem outside the
+// database — so resuming a patch intent requires re-supplying the
+// patched version.
+type RepairIntent struct {
+	Kind IntentKind
+
+	// RetroPatch fields.
+	File  string
+	Note  string
+	Since int64
+
+	// UndoVisit fields. Dequeue marks an undo that resolved a queued
+	// conflict (ResolveConflictByCancel): resuming re-removes it.
+	Client  string
+	Visit   int64
+	Admin   bool
+	Dequeue bool
+
+	// UndoPartition fields: the partition's String form and the time.
+	Partition string
+	From      int64
+}
+
+// RecoveryStats summarizes what Open recovered from disk.
+type RecoveryStats struct {
+	// FromSnapshot is true when a snapshot was loaded.
+	FromSnapshot bool
+	// WALRecords is the number of WAL-tail records replayed.
+	WALRecords int
+	// TailCorrupt is true when the WAL ended in a torn or corrupt frame;
+	// the state recovered is the consistent prefix before it.
+	TailCorrupt bool
+	// SnapshotFallback is true when the newest snapshot failed its
+	// checksum and an older one was used.
+	SnapshotFallback bool
+}
+
+// persister connects a deployment to its store: it implements both
+// layers' observer interfaces, encoding change events as WAL records.
+type persister struct {
+	w  *Warp
+	st *store.Store
+
+	mu sync.Mutex
+	// loggedVisits maps visit keys to 1 + (events + requests) at the
+	// last time the log was written, so syncVisitLogs re-logs only
+	// visits that grew since upload.
+	loggedVisits map[string]int
+	// failErr latches the first WAL append failure from an observer
+	// callback. Observers cannot propagate errors through the layers
+	// that invoke them, but an I/O failure must not stay silent — the
+	// latched error surfaces on FlushLogs, Checkpoint, and Close.
+	failErr error
+
+	stopOnce sync.Once
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+}
+
+// append writes one WAL record, latching the first failure.
+func (p *persister) append(typ byte, payload []byte) {
+	if err := p.st.Append(typ, payload); err != nil {
+		p.mu.Lock()
+		if p.failErr == nil {
+			p.failErr = err
+		}
+		p.mu.Unlock()
+	}
+}
+
+// lastErr returns the first latched WAL append failure, if any.
+func (p *persister) lastErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failErr
+}
+
+// clearErrIf unlatches a failure after a successful checkpoint: the
+// snapshot captured the full in-memory state, so records the failed
+// appends lost are durable again. Only the error observed before the
+// checkpoint is cleared — a failure raced in during the build stays.
+func (p *persister) clearErrIf(err error) {
+	p.mu.Lock()
+	if p.failErr == err {
+		p.failErr = nil
+	}
+	p.mu.Unlock()
+}
+
+// ActionAppended implements history.Observer: normal-execution actions
+// are WAL-logged at append time. Repair-produced actions (patched runs,
+// their queries, patch markers) are not — a repair becomes durable
+// atomically via the commit checkpoint.
+func (p *persister) ActionAppended(a *history.Action) {
+	switch pl := a.Payload.(type) {
+	case *RunPayload:
+		if pl.Repaired {
+			return
+		}
+	case *QueryPayload:
+		if pl.Repaired {
+			return
+		}
+	default:
+		if a.Kind == history.KindPatch {
+			return
+		}
+	}
+	enc := store.NewEncoder()
+	encodeAction(enc, a, nil)
+	p.append(recHistoryAction, enc.Bytes())
+}
+
+// GraphCollected implements history.Observer.
+func (p *persister) GraphCollected(beforeTime int64) {
+	enc := store.NewEncoder()
+	enc.Int(beforeTime)
+	p.append(recGraphGC, enc.Bytes())
+}
+
+// RecordApplied implements ttdb.Observer.
+func (p *persister) RecordApplied(rec *ttdb.Record) {
+	enc := store.NewEncoder()
+	ttdb.EncodeRecord(enc, rec)
+	p.append(recTTDBRecord, enc.Bytes())
+}
+
+// TableAnnotated implements ttdb.Observer.
+func (p *persister) TableAnnotated(table string, spec ttdb.TableSpec) {
+	enc := store.NewEncoder()
+	enc.String(table)
+	ttdb.EncodeSpec(enc, spec)
+	p.append(recTTDBAnnotate, enc.Bytes())
+}
+
+// Collected implements ttdb.Observer.
+func (p *persister) Collected(beforeTime int64) {
+	enc := store.NewEncoder()
+	enc.Int(beforeTime)
+	p.append(recTTDBGC, enc.Bytes())
+}
+
+func visitKey(clientID string, visitID int64) string {
+	return clientID + "/" + strconv.FormatInt(visitID, 10)
+}
+
+// logVisit writes (or refreshes) one visit log record. The caller holds
+// w.mu, which orders visit records against each other.
+func (p *persister) logVisit(v *browser.VisitLog) {
+	key := visitKey(v.ClientID, v.VisitID)
+	size := 1 + len(v.Events) + len(v.Requests)
+	p.mu.Lock()
+	if p.loggedVisits[key] == size {
+		p.mu.Unlock()
+		return
+	}
+	p.loggedVisits[key] = size
+	p.mu.Unlock()
+	enc := store.NewEncoder()
+	encodeVisitLog(enc, v)
+	p.append(recVisitLog, enc.Bytes())
+}
+
+// syncVisitLogs re-logs every visit log that gained events or requests
+// since it was last written. In the in-process model the live browser
+// keeps appending to the shared log object after upload; repair relies
+// on those events, so they are re-persisted before each repair intent
+// (the durable analog of the extension's periodic re-upload, §5.2) and
+// on FlushLogs.
+func (p *persister) syncVisitLogs() {
+	p.w.mu.Lock()
+	for _, v := range p.w.visitOrder {
+		p.logVisit(v)
+	}
+	p.w.mu.Unlock()
+}
+
+// logIntent makes a repair intent durable before any repair work runs.
+// Failure is returned (not swallowed): a repair that proceeds without a
+// durable intent could be lost without trace by a crash, which is the
+// exact guarantee the intent exists to provide.
+func (p *persister) logIntent(it *RepairIntent) error {
+	enc := store.NewEncoder()
+	encodeIntent(enc, it)
+	if err := p.st.Append(recRepairIntent, enc.Bytes()); err != nil {
+		return err
+	}
+	return p.st.Sync() // a repair must not outrun its durable intent
+}
+
+func (p *persister) logRepairEnd() {
+	p.append(recRepairEnd, nil)
+}
+
+func (p *persister) checkpointLoop() {
+	defer close(p.ckptDone)
+	for {
+		select {
+		case <-p.ckptStop:
+			return
+		case <-p.st.NeedSnapshot():
+			_ = p.w.Checkpoint()
+		}
+	}
+}
+
+func (p *persister) stop() {
+	p.stopOnce.Do(func() {
+		close(p.ckptStop)
+		<-p.ckptDone
+	})
+}
+
+// Open creates a WARP deployment backed by the persistence directory
+// dir, recovering any state a previous instance left there: the newest
+// snapshot is restored, the WAL tail after it is replayed, and derived
+// indexes are rebuilt. Application code (source files, routes,
+// annotations) is not persisted — like the paper's PHP source tree it
+// lives outside the database — so the application must Register and
+// Mount its files after Open exactly as it does on a fresh deployment;
+// setup DDL replays idempotently (CREATE TABLE IF NOT EXISTS, identical
+// re-annotation).
+//
+// If a repair was in flight at crash time, PendingRepair reports its
+// intent; call ResumeRepair after re-registering application code.
+func Open(dir string, cfg Config) (*Warp, error) {
+	st, rec, err := store.Open(dir, cfg.Durability)
+	if err != nil {
+		return nil, err
+	}
+	w := New(cfg)
+	fail := func(err error) (*Warp, error) {
+		_ = st.Close()
+		return nil, err
+	}
+	if rec.Snapshot != nil {
+		if err := w.restoreSnapshot(store.NewDecoder(rec.Snapshot)); err != nil {
+			return fail(fmt.Errorf("warp: restoring snapshot: %w", err))
+		}
+	}
+	for i, r := range rec.Records {
+		if err := w.applyWAL(r); err != nil {
+			return fail(fmt.Errorf("warp: replaying WAL record %d: %w", i, err))
+		}
+	}
+	w.rebuildDerived()
+	w.recovery = RecoveryStats{
+		FromSnapshot:     rec.Snapshot != nil,
+		WALRecords:       len(rec.Records),
+		TailCorrupt:      rec.TailCorrupt,
+		SnapshotFallback: rec.SnapshotFallback,
+	}
+
+	p := &persister{
+		w: w, st: st,
+		loggedVisits: make(map[string]int),
+		ckptStop:     make(chan struct{}),
+		ckptDone:     make(chan struct{}),
+	}
+	w.mu.Lock()
+	for _, v := range w.visitOrder {
+		p.loggedVisits[visitKey(v.ClientID, v.VisitID)] = 1 + len(v.Events) + len(v.Requests)
+	}
+	w.mu.Unlock()
+	w.pers = p
+	w.Graph.SetObserver(p)
+	w.DB.SetObserver(p)
+	go p.checkpointLoop()
+	return w, nil
+}
+
+// Recovery returns what Open recovered; the zero value for in-memory
+// deployments and fresh directories.
+func (w *Warp) Recovery() RecoveryStats { return w.recovery }
+
+// Recovered reports whether Open restored any prior state.
+func (w *Warp) Recovered() bool {
+	return w.recovery.FromSnapshot || w.recovery.WALRecords > 0
+}
+
+// PendingRepair returns the intent of a repair that was in flight when a
+// previous instance crashed, or nil.
+func (w *Warp) PendingRepair() *RepairIntent {
+	if w.pendingIntent == nil {
+		return nil
+	}
+	it := *w.pendingIntent
+	return &it
+}
+
+// ResumeRepair re-runs the pending crashed repair against the recovered
+// state. Undo intents are self-contained; a retroactive patch intent
+// needs the patched code re-supplied (patch), since code is not
+// persisted. The repair runs through the normal entry points, so it
+// re-logs its own intent and commits (or aborts) durably.
+func (w *Warp) ResumeRepair(patch *app.Version) (*Report, error) {
+	it := w.pendingIntent
+	if it == nil {
+		return nil, fmt.Errorf("warp: no pending repair to resume")
+	}
+	w.pendingIntent = nil
+	switch it.Kind {
+	case IntentRetroPatch:
+		if patch == nil {
+			return nil, fmt.Errorf("warp: resuming the retroactive patch of %s requires the patched code", it.File)
+		}
+		return w.RetroPatchSince(it.File, *patch, it.Since)
+	case IntentUndoVisit:
+		if it.Dequeue {
+			w.mu.Lock()
+			rest := w.conflicts[:0]
+			for _, c := range w.conflicts {
+				if c.Client == it.Client && c.VisitID == it.Visit {
+					continue
+				}
+				rest = append(rest, c)
+			}
+			w.conflicts = rest
+			w.mu.Unlock()
+		}
+		return w.undoVisit(it.Client, it.Visit, it.Admin, it.Dequeue)
+	case IntentUndoPartition:
+		p, ok := ttdb.ParsePartition(it.Partition)
+		if !ok {
+			return nil, fmt.Errorf("warp: pending repair names invalid partition %q", it.Partition)
+		}
+		return w.UndoPartition(p, it.From)
+	default:
+		return nil, fmt.Errorf("warp: unknown pending repair kind %d", it.Kind)
+	}
+}
+
+// Checkpoint writes a snapshot of the whole deployment and truncates
+// the WAL. Request processing is suspended for the duration (the same
+// brief §4.3 suspension repair uses) and repair is excluded; uploads
+// may interleave (their records are idempotent upserts). No-op for
+// in-memory deployments.
+func (w *Warp) Checkpoint() error {
+	if w.pers == nil {
+		return nil
+	}
+	w.repairMu.Lock()
+	defer w.repairMu.Unlock()
+	w.Suspend()
+	defer w.Resume()
+	return w.checkpointQuiesced()
+}
+
+// checkpointQuiesced writes the snapshot; the caller holds repairMu and
+// the suspension lock. A successful snapshot re-establishes durability
+// of everything in memory, so it unlatches an earlier observer append
+// failure.
+func (w *Warp) checkpointQuiesced() error {
+	before := w.pers.lastErr()
+	if err := w.pers.st.WriteSnapshot(w.encodeSnapshot); err != nil {
+		return err
+	}
+	if before != nil {
+		w.pers.clearErrIf(before)
+	}
+	return nil
+}
+
+// FlushLogs makes everything recorded so far durable: visit logs that
+// grew since upload are re-persisted and the WAL is fsynced. It also
+// surfaces any WAL write failure an observer callback latched (those
+// run inside the layers' critical sections and cannot propagate errors
+// themselves).
+func (w *Warp) FlushLogs() error {
+	if w.pers == nil {
+		return nil
+	}
+	w.pers.syncVisitLogs()
+	if err := w.pers.st.Sync(); err != nil {
+		return err
+	}
+	return w.pers.lastErr()
+}
+
+// Close checkpoints and releases the store. In-memory deployments and
+// crashed stores close as no-ops. A WAL write failure latched by an
+// observer callback that the final checkpoint could not absolve is
+// returned here.
+func (w *Warp) Close() error {
+	if w.pers == nil {
+		return nil
+	}
+	w.pers.stop()
+	if w.pers.st.Dead() {
+		return w.pers.st.Close()
+	}
+	if err := w.Checkpoint(); err != nil {
+		_ = w.pers.st.Close()
+		return err
+	}
+	if err := w.pers.st.Close(); err != nil {
+		return err
+	}
+	return w.pers.lastErr()
+}
+
+// Crash simulates a process crash for fault-injection tests: user-space
+// buffers are dropped and the store refuses further writes. The
+// deployment keeps running in memory; reopen the directory with Open to
+// observe what a real crash would have recovered.
+func (w *Warp) Crash() {
+	if w.pers == nil {
+		return
+	}
+	w.pers.stop()
+	w.pers.st.Crash()
+}
+
+//
+// Snapshot encoding and recovery
+//
+
+const coreSnapVersion = 1
+
+// encodeSnapshot serializes a consistent cut of the deployment: clock,
+// history graph (with payloads), time-travel database, and the core's
+// own stores (visit logs, conflict queue, cookie invalidations,
+// storage accounting).
+func (w *Warp) encodeSnapshot(enc *store.Encoder) error {
+	enc.Uvarint(coreSnapVersion)
+	enc.Int(w.Clock.Now())
+
+	actions := w.Graph.All()
+	enc.Uvarint(uint64(len(actions)))
+	for _, a := range actions {
+		encodeAction(enc, a, w.Graph)
+	}
+
+	if err := w.DB.EncodeState(enc); err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	enc.Int(w.srvReqSeq)
+
+	enc.Uvarint(uint64(len(w.visitOrder)))
+	pos := make(map[*browser.VisitLog]int, len(w.visitOrder))
+	for i, v := range w.visitOrder {
+		pos[v] = i
+		encodeVisitLog(enc, v)
+	}
+	clients := make([]string, 0, len(w.visitLogs))
+	for c := range w.visitLogs {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	enc.Uvarint(uint64(len(clients)))
+	for _, c := range clients {
+		enc.String(c)
+		logs := w.visitLogs[c]
+		enc.Uvarint(uint64(len(logs)))
+		for _, v := range logs {
+			enc.Uvarint(uint64(pos[v]))
+		}
+	}
+
+	cookieClients := make([]string, 0, len(w.cookieInvalid))
+	for c := range w.cookieInvalid {
+		cookieClients = append(cookieClients, c)
+	}
+	sort.Strings(cookieClients)
+	enc.Uvarint(uint64(len(cookieClients)))
+	for _, c := range cookieClients {
+		enc.String(c)
+		names := w.cookieInvalid[c]
+		enc.Uvarint(uint64(len(names)))
+		for _, n := range names {
+			enc.String(n)
+		}
+	}
+
+	enc.Uvarint(uint64(len(w.conflicts)))
+	for _, c := range w.conflicts {
+		encodeConflict(enc, c)
+	}
+
+	enc.Int(int64(w.browserLogBytes))
+	enc.Int(int64(w.appLogBytes))
+	enc.Int(int64(w.dbLogBytes))
+	return nil
+}
+
+func (w *Warp) restoreSnapshot(dec *store.Decoder) error {
+	if v := dec.Uvarint(); v != coreSnapVersion {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("core: unsupported snapshot version %d", v)
+	}
+	w.Clock.AdvanceTo(dec.Int())
+
+	nActions := dec.Count()
+	for i := 0; i < nActions; i++ {
+		a, _, err := decodeAction(dec, w.Graph)
+		if err != nil {
+			return err
+		}
+		if err := w.Graph.RestoreAction(a); err != nil {
+			return err
+		}
+	}
+
+	if err := w.DB.RestoreState(dec); err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.srvReqSeq = dec.Int()
+
+	nVisits := dec.Count()
+	order := make([]*browser.VisitLog, 0, nVisits)
+	for i := 0; i < nVisits; i++ {
+		order = append(order, decodeVisitLog(dec))
+	}
+	w.visitOrder = order
+	nClients := dec.Count()
+	for i := 0; i < nClients; i++ {
+		c := dec.String()
+		n := dec.Count()
+		logs := make([]*browser.VisitLog, 0, n)
+		byID := make(map[int64]*browser.VisitLog, n)
+		for j := 0; j < n; j++ {
+			idx := int(dec.Uvarint())
+			if dec.Err() != nil || idx >= len(order) {
+				return fmt.Errorf("core: snapshot visit index out of range")
+			}
+			logs = append(logs, order[idx])
+			byID[order[idx].VisitID] = order[idx]
+		}
+		w.visitLogs[c] = logs
+		w.visitByID[c] = byID
+	}
+
+	nCookie := dec.Count()
+	for i := 0; i < nCookie; i++ {
+		c := dec.String()
+		n := dec.Count()
+		names := make([]string, 0, n)
+		for j := 0; j < n; j++ {
+			names = append(names, dec.String())
+		}
+		w.cookieInvalid[c] = names
+	}
+
+	nConf := dec.Count()
+	for i := 0; i < nConf; i++ {
+		w.conflicts = append(w.conflicts, decodeConflict(dec))
+	}
+
+	w.browserLogBytes = int(dec.Int())
+	w.appLogBytes = int(dec.Int())
+	w.dbLogBytes = int(dec.Int())
+	return dec.Err()
+}
+
+// applyWAL replays one WAL-tail record during recovery.
+func (w *Warp) applyWAL(r store.Record) error {
+	dec := store.NewDecoder(r.Payload)
+	switch r.Type {
+	case recHistoryAction:
+		a, qp, err := decodeAction(dec, w.Graph)
+		if err != nil {
+			return err
+		}
+		if err := w.Graph.RestoreAction(a); err != nil {
+			return err
+		}
+		switch pl := a.Payload.(type) {
+		case *RunPayload:
+			w.mu.Lock()
+			w.appLogBytes += pl.Rec.ApproxLogBytes()
+			w.dbLogBytes += pl.Rec.DBLogBytes()
+			w.mu.Unlock()
+		case *QueryPayload:
+			// Link the query action back into the owning run, restoring
+			// the QueryActions list the crash interrupted.
+			if qp != nil && qp.run != nil {
+				qp.run.QueryActions = append(qp.run.QueryActions, a.ID)
+			}
+		}
+		return nil
+	case recTTDBRecord:
+		rec := ttdb.DecodeRecord(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return w.DB.Replay(rec)
+	case recTTDBAnnotate:
+		table := dec.String()
+		spec := ttdb.DecodeSpec(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return w.DB.Annotate(table, spec)
+	case recTTDBGC:
+		t := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return w.DB.GC(t)
+	case recGraphGC:
+		t := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		w.Graph.GC(t)
+		return nil
+	case recVisitLog:
+		v := decodeVisitLog(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		w.restoreVisitLog(v)
+		return nil
+	case recRepairIntent:
+		it := decodeIntent(dec)
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		w.pendingIntent = &it
+		return nil
+	case recRepairEnd:
+		w.pendingIntent = nil
+		return nil
+	default:
+		return fmt.Errorf("core: unknown WAL record type %d", r.Type)
+	}
+}
+
+// restoreVisitLog upserts a replayed visit log: refreshed uploads of the
+// same visit replace the earlier state in place (pointer identity is
+// preserved for the per-client stores), new visits insert through the
+// same quota rule as UploadVisitLog.
+func (w *Warp) restoreVisitLog(v *browser.VisitLog) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if v.ClientID == "" {
+		return
+	}
+	if existing := w.visitByID[v.ClientID][v.VisitID]; existing != nil {
+		w.browserLogBytes += v.ApproxLogBytes() - existing.ApproxLogBytes()
+		*existing = *v
+		return
+	}
+	w.insertVisitLogLocked(v)
+}
+
+// rebuildDerived reconstructs the in-memory indexes that are derivable
+// from the recovered graph and logs — the HTTP-exchange-to-run map, the
+// per-table partition node index, the server-side request counter, the
+// run-ID floor — and advances the clock past every recovered timestamp.
+func (w *Warp) rebuildDerived() {
+	maxTime := w.Clock.Now()
+	var maxRunID int64
+	w.mu.Lock()
+	for _, a := range w.Graph.All() {
+		if a.Time > maxTime {
+			maxTime = a.Time
+		}
+		for _, deps := range [][]history.Dep{a.Inputs, a.Outputs} {
+			for _, d := range deps {
+				if name, ok := d.Node.PartitionName(); ok {
+					if p, ok := ttdb.ParsePartition(name); ok {
+						byTable := w.partsByTable[p.Table]
+						if byTable == nil {
+							byTable = make(map[history.NodeID]bool)
+							w.partsByTable[p.Table] = byTable
+						}
+						byTable[d.Node] = true
+					}
+				}
+			}
+		}
+		rp, ok := a.Payload.(*RunPayload)
+		if !ok {
+			continue
+		}
+		for _, d := range a.Outputs {
+			node := string(d.Node)
+			if !strings.HasPrefix(node, "http:") {
+				continue
+			}
+			w.runByHTTP[d.Node] = a.ID
+			var n int64
+			if _, err := fmt.Sscanf(node, "http:srv/0/%d", &n); err == nil && n > w.srvReqSeq {
+				w.srvReqSeq = n
+			}
+		}
+		if rp.Rec != nil {
+			if rp.Rec.RunID > maxRunID {
+				maxRunID = rp.Rec.RunID
+			}
+			for _, q := range rp.Rec.Queries {
+				if q.Time > maxTime {
+					maxTime = q.Time
+				}
+			}
+		}
+	}
+	for _, v := range w.visitOrder {
+		if v.Time > maxTime {
+			maxTime = v.Time
+		}
+	}
+	w.mu.Unlock()
+	w.Clock.AdvanceTo(maxTime)
+	w.Runtime.SetRunSeqFloor(maxRunID)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
+	"warp/internal/store"
 	"warp/internal/ttdb"
 )
 
@@ -274,7 +276,8 @@ func (w *Warp) RetroPatch(file string, v app.Version) (*Report, error) {
 // RetroPatchSince is RetroPatch from a given past time (the paper's
 // "time at which this patch should be applied", default the epoch).
 func (w *Warp) RetroPatchSince(file string, v app.Version, since int64) (*Report, error) {
-	return w.repair(func(rs *session) error {
+	intent := &RepairIntent{Kind: IntentRetroPatch, File: file, Note: v.Note, Since: since}
+	return w.repair(intent, func(rs *session) error {
 		t0 := time.Now()
 		if err := w.Runtime.Patch(file, v); err != nil {
 			return err
@@ -302,11 +305,18 @@ func (w *Warp) RetroPatchSince(file string, v app.Version, since int64) (*Report
 // is undone, with effects recursively repaired (§5.5). Non-administrators
 // may not cause conflicts for other users; such repairs abort.
 func (w *Warp) UndoVisit(clientID string, visitID int64, admin bool) (*Report, error) {
+	return w.undoVisit(clientID, visitID, admin, false)
+}
+
+// undoVisit is UndoVisit with the conflict-dequeue marker carried into
+// the durable repair intent (ResolveConflictByCancel sets it).
+func (w *Warp) undoVisit(clientID string, visitID int64, admin, dequeue bool) (*Report, error) {
 	initiator := clientID
 	if admin {
 		initiator = "" // administrators may cancel anything
 	}
-	return w.repair(func(rs *session) error {
+	intent := &RepairIntent{Kind: IntentUndoVisit, Client: clientID, Visit: visitID, Admin: admin, Dequeue: dequeue}
+	return w.repair(intent, func(rs *session) error {
 		t0 := time.Now()
 		w.mu.Lock()
 		vlog := w.visitByID[clientID][visitID]
@@ -331,7 +341,8 @@ func (w *Warp) UndoVisit(clientID string, visitID int64, admin bool) (*Report, e
 // and dirt propagation re-executes everything downstream that read the
 // partition afterwards.
 func (w *Warp) UndoPartition(p ttdb.Partition, t int64) (*Report, error) {
-	return w.repair(func(rs *session) error {
+	intent := &RepairIntent{Kind: IntentUndoPartition, Partition: p.String(), From: t}
+	return w.repair(intent, func(rs *session) error {
 		t0 := time.Now()
 		// Find the write actions into p at or after t via the graph's
 		// partition edges (same fan-out as dirt propagation).
@@ -378,7 +389,14 @@ func (w *Warp) UndoPartition(p ttdb.Partition, t int64) (*Report, error) {
 // repair runs a full repair session: fork a generation, seed the queue,
 // process to fixpoint, drain under suspension, and commit (or abort when a
 // non-admin undo caused conflicts for other users).
-func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*Report, error) {
+//
+// Durability protocol (persist.go): the intent is logged (after
+// re-persisting grown visit logs, which the repair will read) before any
+// repair work, aborts log an end marker, and a commit is made durable by
+// a checkpoint written under the final suspension. Repair-generation
+// mutations are never WAL-logged, so a crash anywhere in between
+// recovers the pre-repair state plus the pending intent.
+func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictConflictsTo string) (*Report, error) {
 	w.repairMu.Lock()
 	defer w.repairMu.Unlock()
 
@@ -387,13 +405,26 @@ func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*R
 	if err != nil {
 		return nil, err
 	}
+	if w.pers != nil {
+		w.pers.syncVisitLogs()
+		if err := w.pers.logIntent(intent); err != nil {
+			_ = w.DB.AbortRepair()
+			return nil, fmt.Errorf("warp: persisting repair intent: %w", err)
+		}
+	}
+	abort := func() {
+		_ = w.DB.AbortRepair()
+		if w.pers != nil {
+			w.pers.logRepairEnd()
+		}
+	}
 	rs := w.newSession(gen)
 	if err := seed(rs); err != nil {
-		_ = w.DB.AbortRepair()
+		abort()
 		return nil, err
 	}
 	if err := rs.sched.drain(); err != nil {
-		_ = w.DB.AbortRepair()
+		abort()
 		return nil, err
 	}
 
@@ -410,7 +441,7 @@ func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*R
 			break
 		}
 		if err := rs.sched.drain(); err != nil {
-			_ = w.DB.AbortRepair()
+			abort()
 			return nil, err
 		}
 	}
@@ -421,6 +452,9 @@ func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*R
 			if c.Client != restrictConflictsTo {
 				if err := w.DB.AbortRepair(); err != nil {
 					return nil, err
+				}
+				if w.pers != nil {
+					w.pers.logRepairEnd()
 				}
 				rs.rep.Aborted = true
 				rs.rep.Conflicts = rs.conflicts
@@ -446,6 +480,23 @@ func (w *Warp) repair(seed func(*session) error, restrictConflictsTo string) (*R
 		w.cookieInvalid[client] = names
 	}
 	w.mu.Unlock()
+
+	// Commit point for durability: the checkpoint both persists the
+	// repaired state and retires the intent by truncating the WAL. Still
+	// under the §4.3 suspension, so the cut is consistent. A crashed
+	// store (fault injection / dying process) is fine to ignore — the
+	// intent stays pending and the next Open re-runs the repair on the
+	// pre-repair state, converging to this same outcome. Any other
+	// failure must surface: the in-memory generation has switched, so
+	// letting the deployment keep serving (and WAL-logging post-repair
+	// records) against an intent that will replay over pre-repair state
+	// would make recovery diverge from what was acknowledged.
+	if w.pers != nil {
+		if err := w.checkpointQuiesced(); err != nil && !errors.Is(err, store.ErrCrashed) {
+			rs.rep.Timing.Total = time.Since(tStart)
+			return rs.rep, fmt.Errorf("warp: repair committed in memory but its checkpoint failed (intent remains pending): %w", err)
+		}
+	}
 
 	rs.rep.Conflicts = rs.conflicts
 	rs.rep.GraphNodesLoaded = w.Graph.LoadedNodes()

@@ -105,12 +105,30 @@ type Action struct {
 	Payload any
 }
 
+// Observer receives graph change events, in the order they commit. It
+// is how a persistence layer follows the graph without the graph knowing
+// anything about storage (internal/store encodes these events as WAL
+// records); the graph is fully usable with no observer set.
+//
+// Callbacks run inside the graph's critical section, so the append order
+// an observer sees is exactly the graph's order. Implementations must
+// not call back into the Graph.
+type Observer interface {
+	// ActionAppended fires after an action is assigned its ID and
+	// indexed. The action's payload is shared, not copied.
+	ActionAppended(a *Action)
+	// GraphCollected fires after GC removed actions older than
+	// beforeTime.
+	GraphCollected(beforeTime int64)
+}
+
 // Graph is the action history graph. It is safe for concurrent use.
 type Graph struct {
 	mu      sync.RWMutex
 	actions map[ActionID]*Action
 	order   []ActionID // in append (≈ time) order
 	nextID  ActionID
+	obs     Observer
 
 	// Per-node indexes: actions that read from / wrote to a node, in
 	// append order.
@@ -133,6 +151,15 @@ func New() *Graph {
 	}
 }
 
+// SetObserver installs the graph's change observer (nil to remove).
+// Install before concurrent use; the observer is not re-notified of
+// actions already in the graph.
+func (g *Graph) SetObserver(o Observer) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.obs = o
+}
+
 // Append records a new action and returns its assigned ID.
 func (g *Graph) Append(a *Action) ActionID {
 	g.mu.Lock()
@@ -147,7 +174,37 @@ func (g *Graph) Append(a *Action) ActionID {
 	for _, d := range a.Outputs {
 		g.writers[d.Node] = append(g.writers[d.Node], a.ID)
 	}
+	if g.obs != nil {
+		g.obs.ActionAppended(a)
+	}
 	return a.ID
+}
+
+// RestoreAction re-appends a previously recorded action during recovery,
+// preserving its original ID (recovery replays actions in their logged
+// append order, so the graph's order is reproduced exactly). The
+// observer is not notified: restored actions are already durable.
+func (g *Graph) RestoreAction(a *Action) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if a.ID <= 0 {
+		return fmt.Errorf("history: restore of action without ID")
+	}
+	if _, exists := g.actions[a.ID]; exists {
+		return fmt.Errorf("history: restore of duplicate action %d", a.ID)
+	}
+	g.actions[a.ID] = a
+	g.order = append(g.order, a.ID)
+	for _, d := range a.Inputs {
+		g.readers[d.Node] = append(g.readers[d.Node], a.ID)
+	}
+	for _, d := range a.Outputs {
+		g.writers[d.Node] = append(g.writers[d.Node], a.ID)
+	}
+	if a.ID >= g.nextID {
+		g.nextID = a.ID + 1
+	}
+	return nil
 }
 
 // Get returns an action by ID, or nil if unknown (e.g. collected).
@@ -384,6 +441,9 @@ func (g *Graph) GC(beforeTime int64) int {
 				g.writers[d.Node] = append(g.writers[d.Node], a.ID)
 			}
 		}
+	}
+	if removed > 0 && g.obs != nil {
+		g.obs.GraphCollected(beforeTime)
 	}
 	return removed
 }

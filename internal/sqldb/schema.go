@@ -181,6 +181,24 @@ func (db *DB) Schema(table string) (cols []ColumnDef, uniques []UniqueConstraint
 	return cols, uniques, nil
 }
 
+// IndexedColumns returns the names of the columns with a hash index on
+// the table, sorted. Snapshot encoding uses it to recreate indexes on
+// recovery.
+func (db *DB) IndexedColumns(table string) []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil
+	}
+	cols := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
 // HasTable reports whether the named table exists.
 func (db *DB) HasTable(table string) bool {
 	db.mu.Lock()

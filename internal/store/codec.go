@@ -1,0 +1,164 @@
+// Package store implements WARP's durable persistence layer: an
+// append-only, segmented, CRC-checksummed write-ahead log with group
+// commit, plus an atomically-replaced snapshot (checkpoint) file.
+//
+// The paper's prototype kept the action history graph and the versioned
+// database in PostgreSQL (§6) and inherited durability from it; this
+// reproduction keeps both layers in memory for speed, so store supplies
+// the missing property: every state change is encoded as a typed WAL
+// record, snapshots serialize a consistent cut of the whole system, and
+// recovery replays WAL-tail-over-snapshot.
+//
+// The package is deliberately generic: it moves opaque typed byte
+// payloads and knows nothing about WARP's domain objects. The domain
+// layers (internal/history, internal/ttdb, internal/core) encode their
+// own state with the Encoder/Decoder primitives here and feed the store
+// through observer interfaces, so they remain fully usable without
+// persistence. See docs/persistence.md for the record format and the
+// recovery protocol.
+package store
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoder builds a binary payload from primitive values: varint-encoded
+// integers and length-prefixed byte strings. The encoding is
+// deterministic: the same sequence of calls yields the same bytes.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded payload.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of bytes encoded so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean.
+func (e *Encoder) Bool(b bool) {
+	if b {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+// Int appends a signed integer, zigzag-encoded.
+func (e *Encoder) Int(v int64) {
+	e.Uvarint(uint64(v<<1) ^ uint64(v>>63))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// ErrCorrupt is the terminal decoder error: the payload does not parse.
+// Recovery treats it exactly like a checksum failure — the record (or
+// snapshot) is not applied.
+var ErrCorrupt = errors.New("store: corrupt encoding")
+
+// Decoder reads back what an Encoder wrote. It is sticky: after the first
+// error every read returns a zero value, and Err reports the failure, so
+// decode sequences do not need per-call error checks.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder returns a decoder over payload.
+func NewDecoder(payload []byte) *Decoder { return &Decoder{buf: payload} }
+
+// Err returns the first decode error, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated at offset %d", ErrCorrupt, d.off)
+	}
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// Bool reads a boolean.
+func (d *Decoder) Bool() bool { return d.Byte() != 0 }
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	var v uint64
+	var shift uint
+	for {
+		if d.err != nil || d.off >= len(d.buf) || shift > 63 {
+			d.fail()
+			return 0
+		}
+		b := d.buf[d.off]
+		d.off++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v
+		}
+		shift += 7
+	}
+}
+
+// Int reads a zigzag-encoded signed integer.
+func (d *Decoder) Int() int64 {
+	v := d.Uvarint()
+	return int64(v>>1) ^ -int64(v&1)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Count reads a length-prefixed element count and validates it against
+// the bytes actually remaining, so a corrupt count cannot drive a huge
+// allocation: every element needs at least one encoded byte.
+func (d *Decoder) Count() int {
+	n := d.Uvarint()
+	if d.err != nil || n > uint64(d.Remaining()) {
+		d.fail()
+		return 0
+	}
+	return int(n)
+}

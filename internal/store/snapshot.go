@@ -1,0 +1,84 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file layout:
+//
+//	[8 bytes] magic "WARPSNAP"
+//	[4 bytes] payload length (little-endian uint32)
+//	[4 bytes] CRC-32C of the payload
+//	[n bytes] payload
+//
+// Snapshots are written to a temporary file, fsynced, and renamed into
+// place, so a crash mid-write leaves either the old snapshot or the new
+// one — never a half-written file that validates.
+var snapMagic = [8]byte{'W', 'A', 'R', 'P', 'S', 'N', 'A', 'P'}
+
+// writeSnapshotFile atomically writes payload as the snapshot named path.
+func writeSnapshotFile(path string, payload []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [16]byte
+	copy(hdr[0:8], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.Checksum(payload, crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// readSnapshotFile validates and returns a snapshot's payload.
+func readSnapshotFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 16 || [8]byte(data[0:8]) != snapMagic {
+		return nil, fmt.Errorf("%w: snapshot %s: bad header", ErrCorrupt, filepath.Base(path))
+	}
+	n := int(binary.LittleEndian.Uint32(data[8:12]))
+	sum := binary.LittleEndian.Uint32(data[12:16])
+	if n != len(data)-16 {
+		return nil, fmt.Errorf("%w: snapshot %s: length mismatch", ErrCorrupt, filepath.Base(path))
+	}
+	payload := data[16:]
+	if crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("%w: snapshot %s: checksum failure", ErrCorrupt, filepath.Base(path))
+	}
+	return payload, nil
+}
+
+// syncDir fsyncs a directory so renames and removals are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,500 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes a Store. The zero value selects the defaults below.
+type Options struct {
+	// SyncEveryAppend makes Append wait until its record is fsynced.
+	// Concurrent appenders share fsyncs (group commit): one leader syncs
+	// while followers' frames accumulate in the buffer for the next
+	// sync. Off by default: records are fsynced by the group-commit
+	// window instead, trading a bounded post-crash data-loss window
+	// (at most GroupWindow) for an fsync-free hot path.
+	SyncEveryAppend bool
+	// GroupWindow is the maximum delay between fsyncs of buffered
+	// records (default 2ms).
+	GroupWindow time.Duration
+	// SegmentBytes rotates the WAL to a new segment file past this size
+	// (default 16 MiB).
+	SegmentBytes int64
+	// SnapshotBytes signals NeedSnapshot after this many WAL bytes since
+	// the last snapshot (default 64 MiB); negative disables the signal.
+	SnapshotBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.GroupWindow <= 0 {
+		o.GroupWindow = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	if o.SnapshotBytes == 0 {
+		o.SnapshotBytes = 64 << 20
+	}
+	return o
+}
+
+// Record is one typed WAL record.
+type Record struct {
+	Type    byte
+	Payload []byte
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Snapshot is the payload of the newest valid snapshot, nil if none.
+	Snapshot []byte
+	// Records is the WAL tail after that snapshot, in append order.
+	Records []Record
+	// TailCorrupt is true when replay stopped at a torn or corrupt
+	// frame: Records is the consistent prefix before it.
+	TailCorrupt bool
+	// SnapshotFallback is true when a newer snapshot file existed but
+	// failed validation and an older one was used instead.
+	SnapshotFallback bool
+}
+
+// ErrCrashed is returned by operations on a store after Crash.
+var ErrCrashed = errors.New("store: store has crashed")
+
+// Store is an open persistence directory: one active WAL segment plus
+// the snapshot history. Safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	w            *walWriter
+	seq          int64 // sequence number of the active segment
+	lsn          int64 // total bytes appended
+	synced       int64 // LSN known durable
+	syncing      bool  // a leader is fsyncing outside the lock
+	snapshotting bool  // a WriteSnapshot build is running outside the lock
+	walSince     int64 // WAL bytes since the last snapshot
+	snapped      bool  // NeedSnapshot already signalled for this interval
+	dead         bool
+	closed       bool
+
+	needSnap chan struct{}
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+func segPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+}
+
+func snapPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%08d.snap", seq))
+}
+
+// Open opens (creating if needed) a persistence directory, recovers the
+// newest valid snapshot plus the WAL tail after it, and starts a fresh
+// segment for new appends. The possibly-torn previous tail segment is
+// never appended to again.
+func Open(dir string, opts Options) (*Store, *Recovery, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var walSeqs, snapSeqs []int64
+	maxSeq := int64(0)
+	for _, e := range entries {
+		var seq int64
+		switch {
+		case fileSeq(e.Name(), "wal-", ".log", &seq):
+			walSeqs = append(walSeqs, seq)
+		case fileSeq(e.Name(), "snap-", ".snap", &seq):
+			snapSeqs = append(snapSeqs, seq)
+		default:
+			continue
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+
+	rec := &Recovery{}
+	snapSeq := int64(-1)
+	var snapErr error
+	for i, seq := range snapSeqs {
+		payload, err := readSnapshotFile(snapPath(dir, seq))
+		if err != nil {
+			snapErr = err
+			continue
+		}
+		rec.Snapshot = payload
+		snapSeq = seq
+		rec.SnapshotFallback = i > 0
+		break
+	}
+	if rec.Snapshot == nil && snapErr != nil {
+		// Snapshots existed but none validates: refusing to run from a
+		// silently wrong base state beats inventing one.
+		return nil, nil, snapErr
+	}
+
+	// Replay the consecutive run of segments after the chosen snapshot.
+	// Segment sequence numbers are allocated densely (a snapshot shares
+	// the number of the segment it finalized), so a missing segment in
+	// the run is a gap — typically segments pruned by a newer snapshot
+	// that later failed validation — and everything past it was appended
+	// against state this recovery does not have. Stopping there keeps
+	// the recovered stream a true prefix; TailCorrupt reports that
+	// later records exist but are unreachable.
+	haveSeg := make(map[int64]bool, len(walSeqs))
+	for _, seq := range walSeqs {
+		haveSeg[seq] = true
+	}
+	start := snapSeq + 1
+	if snapSeq < 0 && len(walSeqs) > 0 {
+		start = walSeqs[0]
+	}
+	next := start
+	for ; haveSeg[next] && !rec.TailCorrupt; next++ {
+		clean, err := readSegment(segPath(dir, next), func(payload []byte) error {
+			p := make([]byte, len(payload)-1)
+			copy(p, payload[1:])
+			rec.Records = append(rec.Records, Record{Type: payload[0], Payload: p})
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if !clean {
+			rec.TailCorrupt = true
+		}
+	}
+	if !rec.TailCorrupt && len(walSeqs) > 0 && walSeqs[len(walSeqs)-1] >= next {
+		rec.TailCorrupt = true // unreachable segments beyond a gap
+	}
+
+	s := &Store{
+		dir:       dir,
+		opts:      opts,
+		seq:       maxSeq + 1,
+		needSnap:  make(chan struct{}, 1),
+		flushStop: make(chan struct{}),
+		flushDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.w, err = openSegment(segPath(dir, s.seq))
+	if err != nil {
+		return nil, nil, err
+	}
+	go s.flusher()
+	return s, rec, nil
+}
+
+func fileSeq(name, prefix, suffix string, seq *int64) bool {
+	if len(name) != len(prefix)+8+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	n, err := fmt.Sscanf(name[len(prefix):len(prefix)+8], "%d", seq)
+	return err == nil && n == 1
+}
+
+// Dir returns the persistence directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Dead reports whether the store has crashed (Crash was called).
+func (s *Store) Dead() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// NeedSnapshot signals (at most once per snapshot interval) that the WAL
+// has grown past Options.SnapshotBytes and a checkpoint would bound
+// recovery time.
+func (s *Store) NeedSnapshot() <-chan struct{} { return s.needSnap }
+
+// WALBytesSinceSnapshot returns the bytes appended since the last
+// snapshot (or since Open).
+func (s *Store) WALBytesSinceSnapshot() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walSince
+}
+
+// Append writes one typed record to the WAL. With SyncEveryAppend it
+// returns once the record is durable; otherwise the record becomes
+// durable within GroupWindow.
+func (s *Store) Append(typ byte, payload []byte) error {
+	frame := make([]byte, 1+len(payload))
+	frame[0] = typ
+	copy(frame[1:], payload)
+
+	s.mu.Lock()
+	if s.dead || s.closed {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	if err := s.w.append(frame); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	n := int64(frameHeaderLen + len(frame))
+	s.lsn += n
+	s.walSince += n
+	target := s.lsn
+	if s.opts.SnapshotBytes > 0 && s.walSince >= s.opts.SnapshotBytes && !s.snapped {
+		s.snapped = true
+		select {
+		case s.needSnap <- struct{}{}:
+		default:
+		}
+	}
+	if s.w.size >= s.opts.SegmentBytes {
+		if err := s.rotateLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	var err error
+	if s.opts.SyncEveryAppend {
+		err = s.waitSyncedLocked(target)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// waitSyncedLocked blocks until LSN target is durable, acting as the
+// group-commit leader when no sync is in flight. Called with s.mu held.
+func (s *Store) waitSyncedLocked(target int64) error {
+	for s.synced < target {
+		if s.dead || s.closed {
+			return ErrCrashed
+		}
+		if s.syncing {
+			s.cond.Wait()
+			continue
+		}
+		// Leader: flush the shared buffer under the lock (a memory
+		// copy), fsync outside it so followers keep appending frames
+		// that ride the next sync.
+		s.syncing = true
+		lsn := s.lsn
+		if err := s.w.flush(); err != nil {
+			s.syncing = false
+			s.cond.Broadcast()
+			return err
+		}
+		f := s.w.f
+		s.mu.Unlock()
+		err := f.Sync()
+		s.mu.Lock()
+		s.syncing = false
+		if err == nil && lsn > s.synced {
+			s.synced = lsn
+		}
+		s.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync makes every appended record durable before returning.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead || s.closed {
+		return ErrCrashed
+	}
+	return s.waitSyncedLocked(s.lsn)
+}
+
+// syncQuietly is the flusher's periodic fsync.
+func (s *Store) syncQuietly() {
+	s.mu.Lock()
+	if !s.dead && !s.closed && s.synced < s.lsn {
+		_ = s.waitSyncedLocked(s.lsn)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) flusher() {
+	defer close(s.flushDone)
+	tick := time.NewTicker(s.opts.GroupWindow)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.flushStop:
+			return
+		case <-tick.C:
+			s.syncQuietly()
+		}
+	}
+}
+
+// rotateLocked finalizes the active segment and starts the next one.
+// Called with s.mu held and no sync in flight or after waiting one out.
+func (s *Store) rotateLocked() error {
+	for s.syncing {
+		s.cond.Wait()
+	}
+	if s.dead || s.closed {
+		return ErrCrashed
+	}
+	if err := s.w.close(); err != nil {
+		return err
+	}
+	s.synced = s.lsn
+	s.seq++
+	w, err := openSegment(segPath(s.dir, s.seq))
+	if err != nil {
+		return err
+	}
+	s.w = w
+	s.cond.Broadcast()
+	return nil
+}
+
+// WriteSnapshot rotates the WAL, builds a snapshot payload with the
+// given encoder function, atomically installs it, and prunes superseded
+// WAL segments and older snapshots.
+//
+// The caller must quiesce mutators for the duration of the call: every
+// state change that is WAL-logged must either be fully reflected in the
+// encoded payload or append only after the rotation point. The store
+// lock is NOT held while build runs — the builder typically takes the
+// application's own locks, which concurrent appenders hold while
+// calling Append, so holding the store lock across build would invert
+// that order and deadlock. Appends that race the build (e.g. visit-log
+// upserts, which are idempotent) land in post-rotation segments and
+// replay over the snapshot.
+func (s *Store) WriteSnapshot(build func(*Encoder) error) error {
+	s.mu.Lock()
+	for s.syncing || s.snapshotting {
+		if s.dead || s.closed {
+			s.mu.Unlock()
+			return ErrCrashed
+		}
+		s.cond.Wait()
+	}
+	if s.dead || s.closed {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	// Rotate first: records appended after this point land in segments
+	// that survive the prune and replay over the new snapshot.
+	if err := s.rotateLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	snapSeq := s.seq - 1 // between the finalized segment and the new one
+	coveredWAL := s.walSince
+	s.snapshotting = true
+	s.mu.Unlock()
+
+	enc := NewEncoder()
+	err := build(enc)
+	if err == nil {
+		err = writeSnapshotFile(snapPath(s.dir, snapSeq), enc.Bytes())
+	}
+
+	s.mu.Lock()
+	s.snapshotting = false
+	if err == nil {
+		// Bytes appended during the build belong to post-rotation
+		// segments the snapshot does not cover; keep counting them.
+		s.walSince -= coveredWAL
+		s.snapped = false
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	// Prune outside the lock: recovery correctness does not depend on
+	// it, only disk usage does.
+	s.prune(snapSeq)
+	return nil
+}
+
+// prune removes WAL segments and snapshots superseded by snapshot seq.
+func (s *Store) prune(snapSeq int64) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		var seq int64
+		switch {
+		case fileSeq(e.Name(), "wal-", ".log", &seq):
+			if seq <= snapSeq {
+				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		case fileSeq(e.Name(), "snap-", ".snap", &seq):
+			if seq < snapSeq {
+				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	_ = syncDir(s.dir)
+}
+
+// Close flushes and fsyncs the WAL and releases the store. Closing a
+// crashed store is a no-op.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.dead || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	for s.syncing {
+		s.cond.Wait()
+	}
+	// Re-check after the wait: a concurrent Close or Crash may have won
+	// the race while the lock was released (double-closing flushStop
+	// would panic).
+	if s.dead || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.w.close()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.flushStop)
+	<-s.flushDone
+	return err
+}
+
+// Crash simulates a process crash: user-space buffers are dropped, the
+// files are abandoned as-is, and every subsequent operation fails with
+// ErrCrashed. What recovery will see is exactly what had reached the OS.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.dead || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
+	s.w.abandon()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.flushStop)
+	<-s.flushDone
+}

@@ -1,0 +1,123 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// WAL frame layout: a fixed header followed by the payload.
+//
+//	[4 bytes] payload length (little-endian uint32)
+//	[4 bytes] CRC-32C of the payload
+//	[n bytes] payload; payload[0] is the record type
+//
+// A record is valid only if the full frame is present and the checksum
+// matches. Readers stop at the first invalid frame: everything before it
+// is a durable prefix, everything at and after it is discarded (the
+// classic torn-tail rule). Frames never span segments.
+const (
+	frameHeaderLen = 8
+	// maxFramePayload bounds a single record; larger lengths are treated
+	// as corruption rather than attempted allocations.
+	maxFramePayload = 1 << 28
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame writes one frame to w and returns the on-disk size.
+func appendFrame(w *bufio.Writer, payload []byte) (int64, error) {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return 0, err
+	}
+	return int64(frameHeaderLen + len(payload)), nil
+}
+
+// readSegment parses every valid frame of one segment file in order.
+// clean is false when the segment ends in a torn or corrupt tail; the
+// frames returned before that point are still valid.
+func readSegment(path string, fn func(payload []byte) error) (clean bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameHeaderLen {
+			return false, nil // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n < 1 || n > maxFramePayload || n > len(data)-off-frameHeaderLen {
+			return false, nil // torn or corrupt length
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return false, nil // checksum failure
+		}
+		if err := fn(payload); err != nil {
+			return true, err
+		}
+		off += frameHeaderLen + n
+	}
+	return true, nil
+}
+
+// walWriter owns one open segment file.
+type walWriter struct {
+	path string
+	f    *os.File
+	buf  *bufio.Writer
+	size int64
+}
+
+func openSegment(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: creating WAL segment: %w", err)
+	}
+	return &walWriter{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// append buffers one frame; it does not flush or sync.
+func (w *walWriter) append(payload []byte) error {
+	n, err := appendFrame(w.buf, payload)
+	if err != nil {
+		return err
+	}
+	w.size += n
+	return nil
+}
+
+// flush pushes buffered frames to the OS.
+func (w *walWriter) flush() error { return w.buf.Flush() }
+
+// sync flushes and fsyncs the segment.
+func (w *walWriter) sync() error {
+	if err := w.buf.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// close finalizes the segment: flush, fsync, close.
+func (w *walWriter) close() error {
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// abandon closes the file descriptor without flushing user-space
+// buffers: the crash simulation. Buffered frames are lost exactly as
+// they would be in a real crash.
+func (w *walWriter) abandon() { _ = w.f.Close() }

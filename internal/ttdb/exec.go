@@ -29,7 +29,15 @@ func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Resul
 	}
 	defer unlock()
 	t := db.clock.Tick()
-	return db.execAt(stmt, params, t, db.currentGen.Load(), nil, m)
+	res, rec, err := db.execAt(stmt, params, t, db.currentGen.Load(), nil, m)
+	// Emit the committed mutation while the statement's locks are still
+	// held, so the observer sees per-table events in execution order.
+	// Reads are not emitted (they change nothing), and neither are failed
+	// writes (their only trace is the record the caller logs).
+	if err == nil && rec != nil && rec.Kind != KindRead && db.obs != nil {
+		db.obs.RecordApplied(rec)
+	}
+	return res, rec, err
 }
 
 // lockFor acquires the locks a statement needs: every table lock for DDL,
@@ -219,6 +227,12 @@ func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, re
 			var rid int64
 			if i < len(reuseIDs) {
 				rid = reuseIDs[i].AsInt()
+				// Keep the allocator ahead of every reused ID, so rows
+				// inserted after a replayed or re-executed insert never
+				// collide with it (recovery replays reuse all IDs).
+				if rid >= m.nextRowID {
+					m.nextRowID = rid + 1
+				}
 			} else {
 				rid = m.nextRowID
 				m.nextRowID++

@@ -1,0 +1,446 @@
+package ttdb
+
+import (
+	"fmt"
+	"sort"
+
+	"warp/internal/sqldb"
+	"warp/internal/store"
+)
+
+// This file implements the time-travel database's side of durability
+// (docs/persistence.md): binary codecs for values and query records, a
+// full-state snapshot encoder/decoder, and WAL-record replay.
+//
+// The division of labor with internal/store: ttdb encodes and decodes
+// its own state with store's generic codec primitives and emits change
+// events through the Observer interface; store only moves opaque bytes.
+//
+// Replay strategy: every normal-execution mutation is logged as its
+// query Record (SQL, parameters, time, generation, write set). Replaying
+// the records in logged order through the same execution engine, at
+// their original times and generations and reusing their original row
+// IDs, rebuilds bit-identical physical state — the versioned tables, the
+// per-partition version index, and the row ID allocator.
+
+// EncodeValue appends one SQL value to the encoder.
+func EncodeValue(enc *store.Encoder, v sqldb.Value) {
+	enc.Byte(byte(v.Kind))
+	switch v.Kind {
+	case sqldb.KindInt:
+		enc.Int(v.Int)
+	case sqldb.KindText:
+		enc.String(v.Str)
+	case sqldb.KindBool:
+		enc.Bool(v.B)
+	}
+}
+
+// DecodeValue reads one SQL value.
+func DecodeValue(dec *store.Decoder) sqldb.Value {
+	switch sqldb.Kind(dec.Byte()) {
+	case sqldb.KindInt:
+		return sqldb.Int(dec.Int())
+	case sqldb.KindText:
+		return sqldb.Text(dec.String())
+	case sqldb.KindBool:
+		return sqldb.Bool(dec.Bool())
+	default:
+		return sqldb.Null()
+	}
+}
+
+func encodeValues(enc *store.Encoder, vals []sqldb.Value) {
+	enc.Uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		EncodeValue(enc, v)
+	}
+}
+
+func decodeValues(dec *store.Decoder) []sqldb.Value {
+	n := dec.Count()
+	out := make([]sqldb.Value, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, DecodeValue(dec))
+	}
+	return out
+}
+
+func encodePartition(enc *store.Encoder, p Partition) {
+	enc.String(p.Table)
+	enc.String(p.Column)
+	enc.String(p.Key)
+}
+
+func decodePartition(dec *store.Decoder) Partition {
+	return Partition{Table: dec.String(), Column: dec.String(), Key: dec.String()}
+}
+
+func encodePartitions(enc *store.Encoder, ps []Partition) {
+	enc.Uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		encodePartition(enc, p)
+	}
+}
+
+func decodePartitions(dec *store.Decoder) []Partition {
+	n := dec.Count()
+	out := make([]Partition, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, decodePartition(dec))
+	}
+	return out
+}
+
+func encodeResult(enc *store.Encoder, res *sqldb.Result) {
+	if res == nil {
+		enc.Bool(false)
+		return
+	}
+	enc.Bool(true)
+	enc.Uvarint(uint64(len(res.Columns)))
+	for _, c := range res.Columns {
+		enc.String(c)
+	}
+	enc.Int(int64(res.Affected))
+	enc.Uvarint(uint64(len(res.Rows)))
+	for _, row := range res.Rows {
+		encodeValues(enc, row)
+	}
+}
+
+func decodeResult(dec *store.Decoder) *sqldb.Result {
+	if !dec.Bool() {
+		return nil
+	}
+	res := &sqldb.Result{}
+	n := dec.Count()
+	for i := 0; i < n; i++ {
+		res.Columns = append(res.Columns, dec.String())
+	}
+	res.Affected = int(dec.Int())
+	n = dec.Count()
+	for i := 0; i < n; i++ {
+		res.Rows = append(res.Rows, decodeValues(dec))
+	}
+	return res
+}
+
+// EncodeRecord appends a query record to the encoder.
+func EncodeRecord(enc *store.Encoder, r *Record) {
+	enc.String(r.SQL)
+	encodeValues(enc, r.Params)
+	enc.Int(r.Time)
+	enc.Int(r.Gen)
+	enc.String(r.Table)
+	enc.Byte(byte(r.Kind))
+	encodePartitions(enc, r.ReadPartitions)
+	encodePartitions(enc, r.WritePartitions)
+	encodeValues(enc, r.WriteRowIDs)
+	encodeResult(enc, r.Result)
+	enc.String(r.ErrText)
+}
+
+// DecodeRecord reads a query record.
+func DecodeRecord(dec *store.Decoder) *Record {
+	r := &Record{
+		SQL:    dec.String(),
+		Params: decodeValues(dec),
+		Time:   dec.Int(),
+		Gen:    dec.Int(),
+		Table:  dec.String(),
+		Kind:   QueryKind(dec.Byte()),
+	}
+	r.ReadPartitions = decodePartitions(dec)
+	r.WritePartitions = decodePartitions(dec)
+	r.WriteRowIDs = decodeValues(dec)
+	r.Result = decodeResult(dec)
+	r.ErrText = dec.String()
+	return r
+}
+
+func encodeSpec(enc *store.Encoder, spec TableSpec) {
+	enc.String(spec.RowIDColumn)
+	enc.Uvarint(uint64(len(spec.PartitionColumns)))
+	for _, c := range spec.PartitionColumns {
+		enc.String(c)
+	}
+}
+
+func decodeSpec(dec *store.Decoder) TableSpec {
+	spec := TableSpec{RowIDColumn: dec.String()}
+	n := dec.Count()
+	for i := 0; i < n; i++ {
+		spec.PartitionColumns = append(spec.PartitionColumns, dec.String())
+	}
+	return spec
+}
+
+// DecodeSpec reads a table annotation (the payload of an annotation WAL
+// record, written by the core's observer from TableAnnotated events).
+func DecodeSpec(dec *store.Decoder) TableSpec { return decodeSpec(dec) }
+
+// EncodeSpec appends a table annotation to the encoder.
+func EncodeSpec(enc *store.Encoder, spec TableSpec) { encodeSpec(enc, spec) }
+
+const stateVersion = 1
+
+// EncodeState serializes the database's complete state — annotations,
+// generation and GC horizons, every table's schema, physical row
+// versions, row-ID allocator, and per-partition version index — for a
+// snapshot. The caller is responsible for quiescing concurrent direct
+// writers; the call itself takes every table lock, so anything running
+// through the normal execution paths serializes with it.
+func (db *DB) EncodeState(enc *store.Encoder) error {
+	metas := db.lockAll()
+	defer db.unlockAll(metas)
+
+	enc.Byte(stateVersion)
+	enc.Int(db.currentGen.Load())
+	enc.Int(db.gcBefore)
+
+	specNames := make([]string, 0, len(db.specs))
+	for name := range db.specs {
+		specNames = append(specNames, name)
+	}
+	sort.Strings(specNames)
+	enc.Uvarint(uint64(len(specNames)))
+	for _, name := range specNames {
+		enc.String(name)
+		encodeSpec(enc, db.specs[name])
+	}
+
+	enc.Uvarint(uint64(len(metas))) // metas are sorted by name (lockAll)
+	for _, m := range metas {
+		enc.String(m.name)
+		encodeSpec(enc, m.spec)
+		enc.Int(m.nextRowID)
+		enc.Uvarint(uint64(len(m.userCols)))
+		for _, c := range m.userCols {
+			enc.String(c)
+		}
+
+		cols, uniques, err := db.raw.Schema(m.name)
+		if err != nil {
+			return err
+		}
+		enc.Uvarint(uint64(len(cols)))
+		for _, c := range cols {
+			enc.String(c.Name)
+			enc.Byte(byte(c.Type))
+			enc.Bool(c.NotNull)
+			if c.Default != nil {
+				enc.Bool(true)
+				EncodeValue(enc, c.Default.Value)
+			} else {
+				enc.Bool(false)
+			}
+		}
+		enc.Uvarint(uint64(len(uniques)))
+		for _, u := range uniques {
+			enc.String(u.Name)
+			enc.Bool(u.Primary)
+			enc.Uvarint(uint64(len(u.Columns)))
+			for _, c := range u.Columns {
+				enc.String(c)
+			}
+		}
+		idxCols := db.raw.IndexedColumns(m.name)
+		enc.Uvarint(uint64(len(idxCols)))
+		for _, c := range idxCols {
+			enc.String(c)
+		}
+
+		rows, err := db.selectPhysical(m, nil, nil)
+		if err != nil {
+			return err
+		}
+		enc.Uvarint(uint64(len(rows.Columns)))
+		for _, c := range rows.Columns {
+			enc.String(c)
+		}
+		enc.Uvarint(uint64(len(rows.Rows)))
+		for _, row := range rows.Rows {
+			encodeValues(enc, row)
+		}
+
+		parts := make([]Partition, 0, len(m.partIdx))
+		for p := range m.partIdx {
+			parts = append(parts, p)
+		}
+		sort.Slice(parts, func(i, j int) bool {
+			if parts[i].Column != parts[j].Column {
+				return parts[i].Column < parts[j].Column
+			}
+			return parts[i].Key < parts[j].Key
+		})
+		enc.Uvarint(uint64(len(parts)))
+		for _, p := range parts {
+			enc.String(p.Column)
+			enc.String(p.Key)
+			entries := m.partIdx[p]
+			enc.Uvarint(uint64(len(entries)))
+			for _, e := range entries {
+				EncodeValue(enc, e.rowID)
+				enc.Int(e.t)
+			}
+		}
+	}
+	return nil
+}
+
+// RestoreState rebuilds the database from a snapshot written by
+// EncodeState. The receiver must be freshly opened (no tables).
+func (db *DB) RestoreState(dec *store.Decoder) error {
+	if v := dec.Byte(); v != stateVersion {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("ttdb: unsupported snapshot state version %d", v)
+	}
+	db.currentGen.Store(dec.Int())
+	db.gcBefore = dec.Int()
+
+	nSpecs := dec.Count()
+	for i := 0; i < nSpecs; i++ {
+		name := dec.String()
+		db.specs[name] = decodeSpec(dec)
+	}
+
+	nTables := dec.Count()
+	for i := 0; i < nTables; i++ {
+		if err := db.restoreTable(dec); err != nil {
+			return err
+		}
+	}
+	return dec.Err()
+}
+
+func (db *DB) restoreTable(dec *store.Decoder) error {
+	name := dec.String()
+	spec := decodeSpec(dec)
+	m := &tableMeta{
+		name:      name,
+		spec:      spec,
+		rowIDCol:  spec.RowIDColumn,
+		partCols:  make(map[string]bool),
+		partIdx:   make(map[Partition][]partEntry),
+		nextRowID: dec.Int(),
+	}
+	if m.rowIDCol == "" {
+		m.rowIDCol = ColRowID
+		m.synthetic = true
+	}
+	for _, pc := range spec.PartitionColumns {
+		m.partCols[pc] = true
+	}
+	nUser := dec.Count()
+	for i := 0; i < nUser; i++ {
+		m.userCols = append(m.userCols, dec.String())
+	}
+
+	// Recreate the (already augmented) physical schema directly on the
+	// raw engine: the versioning columns and extended uniqueness
+	// constraints were applied when the table was first created.
+	ct := &sqldb.CreateTable{Table: name}
+	nCols := dec.Count()
+	for i := 0; i < nCols; i++ {
+		col := sqldb.ColumnDef{Name: dec.String(), Type: sqldb.Kind(dec.Byte()), NotNull: dec.Bool()}
+		if dec.Bool() {
+			col.Default = &sqldb.Literal{Value: DecodeValue(dec)}
+		}
+		ct.Columns = append(ct.Columns, col)
+	}
+	nUniq := dec.Count()
+	for i := 0; i < nUniq; i++ {
+		u := sqldb.UniqueConstraint{Name: dec.String(), Primary: dec.Bool()}
+		nc := dec.Count()
+		for j := 0; j < nc; j++ {
+			u.Columns = append(u.Columns, dec.String())
+		}
+		ct.Uniques = append(ct.Uniques, u)
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if _, err := db.raw.ExecStmt(ct, nil); err != nil {
+		return err
+	}
+	nIdx := dec.Count()
+	for i := 0; i < nIdx; i++ {
+		col := dec.String()
+		ci := &sqldb.CreateIndex{Name: "warp_idx_" + name + "_" + col, Table: name, Column: col}
+		if _, err := db.raw.ExecStmt(ci, nil); err != nil {
+			return err
+		}
+	}
+
+	nRowCols := dec.Count()
+	rowCols := make([]string, 0, nRowCols)
+	for i := 0; i < nRowCols; i++ {
+		rowCols = append(rowCols, dec.String())
+	}
+	nRows := dec.Count()
+	const chunk = 256
+	ins := &sqldb.Insert{Table: name, Columns: rowCols}
+	for i := 0; i < nRows; i++ {
+		vals := decodeValues(dec)
+		if len(vals) != len(rowCols) {
+			return fmt.Errorf("ttdb: snapshot row of %s has %d values for %d columns", name, len(vals), len(rowCols))
+		}
+		exprs := make([]sqldb.Expr, len(vals))
+		for j, v := range vals {
+			exprs[j] = sqldb.Lit(v)
+		}
+		ins.Rows = append(ins.Rows, exprs)
+		if len(ins.Rows) == chunk || i == nRows-1 {
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			if _, err := db.raw.ExecStmt(ins, nil); err != nil {
+				return err
+			}
+			ins.Rows = ins.Rows[:0]
+		}
+	}
+
+	nParts := dec.Count()
+	for i := 0; i < nParts; i++ {
+		p := Partition{Table: name, Column: dec.String(), Key: dec.String()}
+		nEnt := dec.Count()
+		entries := make([]partEntry, 0, nEnt)
+		for j := 0; j < nEnt; j++ {
+			entries = append(entries, partEntry{rowID: DecodeValue(dec), t: dec.Int()})
+		}
+		m.partIdx[p] = entries
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	db.tablesMu.Lock()
+	db.tables[name] = m
+	db.tablesMu.Unlock()
+	return nil
+}
+
+// Replay re-applies one logged query record during recovery: the
+// statement re-executes at its original time and generation, reusing its
+// originally assigned row IDs, which reproduces the exact physical state
+// the original execution created. Records must replay in logged order.
+func (db *DB) Replay(rec *Record) error {
+	stmt, err := sqldb.Parse(rec.SQL)
+	if err != nil {
+		return fmt.Errorf("ttdb: replaying %q: %w", rec.SQL, err)
+	}
+	m, unlock, err := db.lockFor(stmt)
+	if err != nil {
+		return fmt.Errorf("ttdb: replaying %q: %w", rec.SQL, err)
+	}
+	defer unlock()
+	db.clock.AdvanceTo(rec.Time)
+	if _, _, err := db.execAt(stmt, rec.Params, rec.Time, rec.Gen, rec, m); err != nil {
+		return fmt.Errorf("ttdb: replaying %q: %w", rec.SQL, err)
+	}
+	return nil
+}

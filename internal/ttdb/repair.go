@@ -607,5 +607,8 @@ func (db *DB) GC(beforeTime int64) error {
 	if beforeTime > db.gcBefore {
 		db.gcBefore = beforeTime
 	}
+	if db.obs != nil {
+		db.obs.Collected(beforeTime)
+	}
 	return nil
 }

@@ -95,6 +95,29 @@ type tableMeta struct {
 	partIdx map[Partition][]partEntry
 }
 
+// Observer receives database change events, in per-table commit order.
+// It is the seam a persistence layer attaches to (internal/store encodes
+// these as WAL records) without reaching into the database's internals;
+// the database is fully usable with no observer set.
+//
+// RecordApplied runs while the mutated table's lock (and, for DDL, the
+// database lock) is still held, so the event order an observer sees per
+// table is exactly the execution order. Implementations must not call
+// back into the DB.
+type Observer interface {
+	// RecordApplied fires after a normal-execution mutation (INSERT,
+	// UPDATE, DELETE, or DDL) commits. Reads are not reported, and
+	// repair-generation re-execution is not reported either: a repair is
+	// made durable as a whole when it commits (see internal/core).
+	RecordApplied(rec *Record)
+	// TableAnnotated fires when a table gains row-ID / partition
+	// annotations.
+	TableAnnotated(table string, spec TableSpec)
+	// Collected fires after GC discarded row versions older than
+	// beforeTime.
+	Collected(beforeTime int64)
+}
+
 // DB is a time-travel database.
 type DB struct {
 	// mu guards specs, inRepair, and gcBefore, and serializes global
@@ -116,6 +139,10 @@ type DB struct {
 	inRepair   bool
 
 	gcBefore int64 // versions strictly older than this have been collected
+
+	// obs, when set, receives change events. Installed once before use
+	// (SetObserver); read under the locks its callbacks fire under.
+	obs Observer
 }
 
 // Open creates a time-travel database over a fresh storage engine, sharing
@@ -149,19 +176,53 @@ func (db *DB) InRepair() bool {
 	return db.inRepair
 }
 
+// SetObserver installs the database's change observer (nil to remove).
+// Install before concurrent use; the observer is not re-notified of
+// state that already exists.
+func (db *DB) SetObserver(o Observer) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.obs = o
+}
+
 // Annotate declares the row ID column and partition columns for a table,
-// before the table is created. Annotating after creation is an error.
+// before the table is created. Annotating after creation is an error,
+// except that re-declaring the identical spec is a no-op — so
+// application setup code can run unchanged against a recovered
+// deployment whose tables already exist.
 func (db *DB) Annotate(table string, spec TableSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.tablesMu.RLock()
-	_, exists := db.tables[table]
+	m, exists := db.tables[table]
 	db.tablesMu.RUnlock()
 	if exists {
+		if specEqual(m.spec, spec) {
+			return nil
+		}
 		return fmt.Errorf("ttdb: table %s already created; annotate before CREATE TABLE", table)
 	}
+	if prev, ok := db.specs[table]; ok && specEqual(prev, spec) {
+		return nil
+	}
 	db.specs[table] = spec
+	if db.obs != nil {
+		db.obs.TableAnnotated(table, spec)
+	}
 	return nil
+}
+
+// specEqual compares two table annotations.
+func specEqual(a, b TableSpec) bool {
+	if a.RowIDColumn != b.RowIDColumn || len(a.PartitionColumns) != len(b.PartitionColumns) {
+		return false
+	}
+	for i, c := range a.PartitionColumns {
+		if b.PartitionColumns[i] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // Tables returns the names of all registered tables, sorted.

@@ -50,6 +50,11 @@ func tableOf(ddl string) string {
 	fields := strings.Fields(ddl)
 	for i, f := range fields {
 		if strings.EqualFold(f, "TABLE") && i+1 < len(fields) {
+			// Skip an IF NOT EXISTS clause (the schema is idempotent so
+			// setup replays against recovered deployments).
+			if strings.EqualFold(fields[i+1], "IF") && i+4 < len(fields) {
+				return fields[i+4]
+			}
 			return fields[i+1]
 		}
 	}

@@ -58,17 +58,17 @@ func Schema() []string { return append([]string{}, schema...) }
 
 // schema is the application schema, created through the time-travel layer.
 var schema = []string{
-	`CREATE TABLE users (
+	`CREATE TABLE IF NOT EXISTS users (
 		user_id INTEGER PRIMARY KEY,
 		name TEXT UNIQUE NOT NULL,
 		password TEXT NOT NULL,
 		is_admin BOOLEAN DEFAULT FALSE
 	)`,
-	`CREATE TABLE sessions (
+	`CREATE TABLE IF NOT EXISTS sessions (
 		sid TEXT PRIMARY KEY,
 		user_id INTEGER NOT NULL
 	)`,
-	`CREATE TABLE pages (
+	`CREATE TABLE IF NOT EXISTS pages (
 		page_id INTEGER PRIMARY KEY,
 		title TEXT UNIQUE NOT NULL,
 		lang TEXT DEFAULT 'en',
@@ -76,21 +76,23 @@ var schema = []string{
 		protected BOOLEAN DEFAULT FALSE,
 		content TEXT DEFAULT ''
 	)`,
-	`CREATE TABLE acl (
+	`CREATE TABLE IF NOT EXISTS acl (
 		page_title TEXT NOT NULL,
 		user_name TEXT NOT NULL,
 		UNIQUE (page_title, user_name)
 	)`,
-	`CREATE TABLE blocklog (
+	`CREATE TABLE IF NOT EXISTS blocklog (
 		note TEXT NOT NULL
 	)`,
-	`CREATE TABLE tokens (
+	`CREATE TABLE IF NOT EXISTS tokens (
 		token TEXT PRIMARY KEY
 	)`,
 }
 
 // Install annotates and creates the schema, registers every source file,
-// and mounts the routes. It must be called on a fresh Warp deployment.
+// and mounts the routes. It runs against a fresh deployment or a
+// recovered one (warp.Open): annotations re-declare identically and the
+// DDL uses IF NOT EXISTS, so setup is idempotent across restarts.
 func Install(w *core.Warp) (*App, error) {
 	a := &App{W: w}
 	for table, spec := range Annotations() {

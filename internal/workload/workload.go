@@ -14,6 +14,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/core"
 	"warp/internal/history"
+	"warp/internal/store"
 	"warp/internal/webapp/wiki"
 )
 
@@ -38,6 +39,13 @@ type Config struct {
 	// RepairWorkers sets the parallel repair worker count (0 means
 	// GOMAXPROCS, 1 the serial engine).
 	RepairWorkers int
+	// DataDir, when non-empty, runs the workload against a durable
+	// deployment (core.Open) persisting under this directory; the
+	// durability benchmarks use it to measure WAL overhead on the
+	// paper's workloads. Empty keeps everything in memory.
+	DataDir string
+	// Durability tunes the persistent store when DataDir is set.
+	Durability store.Options
 	// Trace, when set, receives repair-controller trace lines.
 	Trace func(format string, args ...any)
 }
@@ -66,7 +74,28 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("workload: %d victims do not fit in %d users", cfg.Victims, cfg.Users)
 	}
 
-	w := core.New(core.Config{Seed: cfg.Seed, Replay: cfg.Replay, RepairWorkers: cfg.RepairWorkers, Trace: cfg.Trace})
+	ccfg := core.Config{Seed: cfg.Seed, Replay: cfg.Replay, RepairWorkers: cfg.RepairWorkers,
+		Trace: cfg.Trace, Durability: cfg.Durability}
+	var w *core.Warp
+	durable := cfg.DataDir != ""
+	if durable {
+		var err error
+		if w, err = core.Open(cfg.DataDir, ccfg); err != nil {
+			return nil, err
+		}
+	} else {
+		w = core.New(ccfg)
+	}
+	// A durable deployment owns goroutines and an open WAL; on success
+	// the caller closes it (Result.Env.W), on failure we must.
+	ok := false
+	if durable {
+		defer func() {
+			if !ok {
+				_ = w.Close()
+			}
+		}()
+	}
 	app, err := wiki.Install(w)
 	if err != nil {
 		return nil, err
@@ -179,6 +208,7 @@ func Run(cfg Config) (*Result, error) {
 		AppRuns:          len(w.Graph.ByKind(history.KindAppRun)),
 		Queries:          len(w.Graph.ByKind(history.KindQuery)),
 	}
+	ok = true
 	return res, nil
 }
 

@@ -57,6 +57,7 @@ import (
 	"warp/internal/core"
 	"warp/internal/httpd"
 	"warp/internal/sqldb"
+	"warp/internal/store"
 	"warp/internal/ttdb"
 )
 
@@ -93,6 +94,15 @@ type (
 	// TableSpec carries a table's row-ID and partition annotations.
 	TableSpec = ttdb.TableSpec
 
+	// DurabilityOptions tunes the WAL and snapshot store for persistent
+	// deployments (Config.Durability, used by Open).
+	DurabilityOptions = store.Options
+	// RepairIntent describes a repair that was in flight when a previous
+	// instance crashed (System.PendingRepair / ResumeRepair).
+	RepairIntent = core.RepairIntent
+	// RecoveryStats summarizes what Open recovered from disk.
+	RecoveryStats = core.RecoveryStats
+
 	// Value is a dynamically typed SQL value.
 	Value = sqldb.Value
 
@@ -117,6 +127,13 @@ var (
 // FullReplay is the complete browser re-execution configuration.
 var FullReplay = browser.FullReplay
 
+// Repair intent kinds (RepairIntent.Kind).
+const (
+	RepairIntentRetroPatch    = core.IntentRetroPatch
+	RepairIntentUndoVisit     = core.IntentUndoVisit
+	RepairIntentUndoPartition = core.IntentUndoPartition
+)
+
 // System is one WARP-managed web application deployment: the HTTP server
 // manager, application runtime, time-travel database, action history
 // graph, browser log store, and repair controller of the paper's Figure 1.
@@ -130,7 +147,23 @@ type System struct {
 	*core.Warp
 }
 
-// New creates a WARP deployment.
+// New creates an in-memory WARP deployment. State does not survive the
+// process; use Open for a durable one.
 func New(cfg Config) *System {
 	return &System{Warp: core.New(cfg)}
+}
+
+// Open creates a WARP deployment backed by a persistence directory
+// (docs/persistence.md): every recorded action is written to a
+// write-ahead log, checkpoints bound recovery time, and reopening the
+// directory recovers the full history graph and time-travel database —
+// including a repair that was in flight at crash time (PendingRepair /
+// ResumeRepair). Application code is not persisted: Register and Mount
+// source files after Open exactly as on a fresh deployment.
+func Open(dir string, cfg Config) (*System, error) {
+	w, err := core.Open(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Warp: w}, nil
 }
