@@ -83,17 +83,32 @@ type RepairIntent struct {
 
 // RecoveryStats summarizes what Open recovered from disk.
 type RecoveryStats struct {
-	// FromSnapshot is true when a snapshot was loaded.
+	// FromSnapshot is true when a checkpoint (manifest + sections) was
+	// loaded.
 	FromSnapshot bool
-	// WALRecords is the number of WAL-tail records replayed.
+	// WALRecords is the number of WAL-tail records replayed, summed over
+	// all shards.
 	WALRecords int
-	// TailCorrupt is true when the WAL ended in a torn or corrupt frame;
-	// the state recovered is the consistent prefix before it.
+	// TailCorrupt is true when at least one WAL shard ended in a torn or
+	// corrupt frame; the state recovered is the consistent per-shard
+	// prefix before it.
 	TailCorrupt bool
-	// SnapshotFallback is true when the newest snapshot failed its
+	// SnapshotFallback is true when the newest checkpoint failed its
 	// checksum and an older one was used.
 	SnapshotFallback bool
 }
+
+// Checkpoint section names (docs/persistence.md). core/meta and
+// ttdb/meta are small and rewritten every checkpoint; history, visits,
+// and each ttdb table are rewritten only when dirty and carried forward
+// by manifest reference otherwise.
+const (
+	secCoreMeta    = "core/meta"
+	secHistory     = "history"
+	secTTDBMeta    = "ttdb/meta"
+	secVisits      = "core/visits"
+	secTablePrefix = "ttdb/table/"
+)
 
 // persister connects a deployment to its store: it implements both
 // layers' observer interfaces, encoding change events as WAL records.
@@ -111,21 +126,46 @@ type persister struct {
 	// that invoke them, but an I/O failure must not stay silent — the
 	// latched error surfaces on FlushLogs, Checkpoint, and Close.
 	failErr error
+	// histMuts is the graph's mutation count at the last checkpoint
+	// (-1 forces a rewrite); visitsDirty marks visit-log changes since
+	// the last checkpoint. Together with ttdb's dirty-table set these
+	// decide which sections an incremental checkpoint rewrites.
+	histMuts    int64
+	visitsDirty bool
 
 	stopOnce sync.Once
 	ckptStop chan struct{}
 	ckptDone chan struct{}
 }
 
-// append writes one WAL record, latching the first failure.
+// append writes one WAL record to the metadata shard, latching the
+// first failure.
 func (p *persister) append(typ byte, payload []byte) {
-	if err := p.st.Append(typ, payload); err != nil {
+	p.appendGroup("", typ, payload)
+}
+
+// appendGroup writes one WAL record to the shard its table group routes
+// to, latching the first failure.
+func (p *persister) appendGroup(group string, typ byte, payload []byte) {
+	if err := p.st.AppendGroup(group, typ, payload); err != nil {
 		p.mu.Lock()
 		if p.failErr == nil {
 			p.failErr = err
 		}
 		p.mu.Unlock()
 	}
+}
+
+// markRepairDirty force-marks the sections a repair rewrites in place —
+// the history graph (superseded flags, extended dependencies) and the
+// visit logs (replayed child visits, merged edits). Called before the
+// repair commit checkpoint; the database's tables mark themselves via
+// the generation switch.
+func (p *persister) markRepairDirty() {
+	p.mu.Lock()
+	p.histMuts = -1
+	p.visitsDirty = true
+	p.mu.Unlock()
 }
 
 // lastErr returns the first latched WAL append failure, if any.
@@ -178,11 +218,14 @@ func (p *persister) GraphCollected(beforeTime int64) {
 	p.append(recGraphGC, enc.Bytes())
 }
 
-// RecordApplied implements ttdb.Observer.
+// RecordApplied implements ttdb.Observer. Database records are routed
+// by table group, so tables mapped to different WAL shards log — and
+// fsync — in parallel; per-table order is preserved by the shard's file
+// order and cross-table order by the global LSN.
 func (p *persister) RecordApplied(rec *ttdb.Record) {
 	enc := store.NewEncoder()
 	ttdb.EncodeRecord(enc, rec)
-	p.append(recTTDBRecord, enc.Bytes())
+	p.appendGroup(rec.Table, recTTDBRecord, enc.Bytes())
 }
 
 // TableAnnotated implements ttdb.Observer.
@@ -215,6 +258,7 @@ func (p *persister) logVisit(v *browser.VisitLog) {
 		return
 	}
 	p.loggedVisits[key] = size
+	p.visitsDirty = true
 	p.mu.Unlock()
 	enc := store.NewEncoder()
 	encodeVisitLog(enc, v)
@@ -293,19 +337,26 @@ func Open(dir string, cfg Config) (*Warp, error) {
 		_ = st.Close()
 		return nil, err
 	}
-	if rec.Snapshot != nil {
-		if err := w.restoreSnapshot(store.NewDecoder(rec.Snapshot)); err != nil {
-			return fail(fmt.Errorf("warp: restoring snapshot: %w", err))
+	if rec.Manifest {
+		if err := w.restoreSections(rec); err != nil {
+			return fail(fmt.Errorf("warp: restoring checkpoint: %w", err))
 		}
 	}
+	walHist, walVisits := false, false
 	for i, r := range rec.Records {
+		switch r.Type {
+		case recHistoryAction, recGraphGC:
+			walHist = true
+		case recVisitLog:
+			walVisits = true
+		}
 		if err := w.applyWAL(r); err != nil {
 			return fail(fmt.Errorf("warp: replaying WAL record %d: %w", i, err))
 		}
 	}
 	w.rebuildDerived()
 	w.recovery = RecoveryStats{
-		FromSnapshot:     rec.Snapshot != nil,
+		FromSnapshot:     rec.Manifest,
 		WALRecords:       len(rec.Records),
 		TailCorrupt:      rec.TailCorrupt,
 		SnapshotFallback: rec.SnapshotFallback,
@@ -317,6 +368,16 @@ func Open(dir string, cfg Config) (*Warp, error) {
 		ckptStop:     make(chan struct{}),
 		ckptDone:     make(chan struct{}),
 	}
+	// Seed the dirty state: sections restored from the checkpoint are
+	// clean (the manifest still references them); anything the WAL tail
+	// touched is stale and must be rewritten by the next checkpoint.
+	// Replayed database records marked their own tables dirty on the way
+	// through DB.Replay.
+	p.histMuts = w.Graph.MutationCount()
+	if walHist {
+		p.histMuts = -1
+	}
+	p.visitsDirty = walVisits
 	w.mu.Lock()
 	for _, v := range w.visitOrder {
 		p.loggedVisits[visitKey(v.ClientID, v.VisitID)] = 1 + len(v.Events) + len(v.Requests)
@@ -326,7 +387,76 @@ func Open(dir string, cfg Config) (*Warp, error) {
 	w.Graph.SetObserver(p)
 	w.DB.SetObserver(p)
 	go p.checkpointLoop()
+	if w.recovery.TailCorrupt {
+		// The WAL holds a torn or unreachable region; appending beyond
+		// it would strand acknowledged records where the next recovery
+		// cannot reach them. Checkpoint immediately: the recovered state
+		// becomes the new base, the manifest's boundaries move past the
+		// damage, and the damaged segments are pruned. A store that can
+		// neither replay its log nor write a checkpoint is refused.
+		if err := w.Checkpoint(); err != nil {
+			w.pers.stop()
+			return fail(fmt.Errorf("warp: fencing corrupt WAL tail: %w", err))
+		}
+	}
 	return w, nil
+}
+
+// restoreSections rebuilds the deployment from a checkpoint's sections,
+// in dependency order: core metadata (clock first), the history graph,
+// the database's metadata, then every table, then the visit logs. A
+// section that the manifest names but cannot be read — or one of the
+// always-present sections missing entirely — fails the whole Open:
+// loading a partial deployment would silently drop recorded actions.
+func (w *Warp) restoreSections(rec *store.Recovery) error {
+	read := func(name string) (*store.Decoder, error) {
+		dec, err := rec.ReadSection(name)
+		if err != nil {
+			return nil, fmt.Errorf("section %s: %w", name, err)
+		}
+		return dec, nil
+	}
+	dec, err := read(secCoreMeta)
+	if err != nil {
+		return err
+	}
+	if err := w.restoreCoreMeta(dec); err != nil {
+		return fmt.Errorf("section %s: %w", secCoreMeta, err)
+	}
+	dec, err = read(secHistory)
+	if err != nil {
+		return err
+	}
+	if err := w.restoreHistory(dec); err != nil {
+		return fmt.Errorf("section %s: %w", secHistory, err)
+	}
+	dec, err = read(secTTDBMeta)
+	if err != nil {
+		return err
+	}
+	if err := w.DB.RestoreMeta(dec); err != nil {
+		return fmt.Errorf("section %s: %w", secTTDBMeta, err)
+	}
+	for _, name := range rec.SectionNames() {
+		if !strings.HasPrefix(name, secTablePrefix) {
+			continue
+		}
+		dec, err = read(name)
+		if err != nil {
+			return err
+		}
+		if err := w.DB.RestoreTable(dec); err != nil {
+			return fmt.Errorf("section %s: %w", name, err)
+		}
+	}
+	dec, err = read(secVisits)
+	if err != nil {
+		return err
+	}
+	if err := w.restoreVisits(dec); err != nil {
+		return fmt.Errorf("section %s: %w", secVisits, err)
+	}
+	return nil
 }
 
 // Recovery returns what Open recovered; the zero value for in-memory
@@ -390,10 +520,17 @@ func (w *Warp) ResumeRepair(patch *app.Version) (*Report, error) {
 	}
 }
 
-// Checkpoint writes a snapshot of the whole deployment and truncates
-// the WAL. Request processing is suspended for the duration (the same
-// brief §4.3 suspension repair uses) and repair is excluded; uploads
-// may interleave (their records are idempotent upserts). No-op for
+// Checkpoint writes an incremental checkpoint of the deployment and
+// truncates the WAL: sections whose state changed since the last
+// checkpoint (tracked per ttdb table, plus the history graph and the
+// visit-log store) are rewritten into a new delta file, unchanged
+// sections are carried forward by manifest reference, and every
+// Durability.CompactEvery-th checkpoint rewrites everything so the
+// delta chain stays short. Checkpoint cost is therefore proportional to
+// the write set since the last checkpoint, not to database size.
+// Request processing is suspended for the duration (the same brief §4.3
+// suspension repair uses) and repair is excluded; uploads may
+// interleave (their records are idempotent upserts). No-op for
 // in-memory deployments.
 func (w *Warp) Checkpoint() error {
 	if w.pers == nil {
@@ -406,19 +543,82 @@ func (w *Warp) Checkpoint() error {
 	return w.checkpointQuiesced()
 }
 
-// checkpointQuiesced writes the snapshot; the caller holds repairMu and
-// the suspension lock. A successful snapshot re-establishes durability
-// of everything in memory, so it unlatches an earlier observer append
-// failure.
+// checkpointQuiesced writes the checkpoint; the caller holds repairMu
+// and the suspension lock. A successful checkpoint re-establishes
+// durability of everything in memory, so it unlatches an earlier
+// observer append failure.
 func (w *Warp) checkpointQuiesced() error {
-	before := w.pers.lastErr()
-	if err := w.pers.st.WriteSnapshot(w.encodeSnapshot); err != nil {
+	p := w.pers
+	// Visit logs grow in place after upload (the live browser keeps the
+	// shared object); observe that growth now so a grown-but-unlogged
+	// visit marks the visits section dirty before the cut below.
+	p.syncVisitLogs()
+	before := p.lastErr()
+
+	// Claim the dirty state up front. Mutators are quiesced, so nothing
+	// is lost between the claim and the encode; if the checkpoint fails
+	// the claims are restored for the next attempt.
+	histMuts := w.Graph.MutationCount()
+	p.mu.Lock()
+	histDirty := p.histMuts != histMuts
+	visitsDirty := p.visitsDirty
+	p.visitsDirty = false
+	p.mu.Unlock()
+	dirtyTables := w.DB.TakeDirty()
+	dirtySet := make(map[string]bool, len(dirtyTables))
+	for _, t := range dirtyTables {
+		dirtySet[t] = true
+	}
+
+	err := p.st.WriteCheckpoint(func(cw *store.CheckpointWriter) error {
+		// The small always-fresh sections: clock, request counters,
+		// conflict queue, cookie invalidations, storage accounting, and
+		// the database's generation/GC/annotation metadata.
+		w.encodeCoreMeta(cw.Section(secCoreMeta))
+		w.DB.EncodeMeta(cw.Section(secTTDBMeta))
+
+		if histDirty || !cw.Keep(secHistory) {
+			w.encodeHistory(cw.Section(secHistory))
+		}
+		for _, table := range w.DB.Tables() {
+			name := secTablePrefix + table
+			if !dirtySet[table] && cw.Keep(name) {
+				continue
+			}
+			if err := w.DB.EncodeTable(cw.Section(name), table); err != nil {
+				return err
+			}
+		}
+		if visitsDirty || !cw.Keep(secVisits) {
+			w.encodeVisits(cw.Section(secVisits))
+		}
+		return nil
+	})
+	if err != nil {
+		w.DB.MarkDirty(dirtyTables...)
+		p.mu.Lock()
+		p.visitsDirty = p.visitsDirty || visitsDirty
+		p.mu.Unlock()
 		return err
 	}
+	p.mu.Lock()
+	p.histMuts = histMuts
+	p.mu.Unlock()
 	if before != nil {
-		w.pers.clearErrIf(before)
+		p.clearErrIf(before)
 	}
 	return nil
+}
+
+// LastCheckpoint reports what the most recent checkpoint wrote — which
+// sections went into the delta file and which were carried forward —
+// for tests and operational visibility. Zero value for in-memory
+// deployments.
+func (w *Warp) LastCheckpoint() store.CheckpointStats {
+	if w.pers == nil {
+		return store.CheckpointStats{}
+	}
+	return w.pers.st.LastCheckpoint()
 }
 
 // FlushLogs makes everything recorded so far durable: visit logs that
@@ -472,53 +672,21 @@ func (w *Warp) Crash() {
 }
 
 //
-// Snapshot encoding and recovery
+// Checkpoint section encoding and recovery
 //
 
-const coreSnapVersion = 1
+const coreSnapVersion = 2
 
-// encodeSnapshot serializes a consistent cut of the deployment: clock,
-// history graph (with payloads), time-travel database, and the core's
-// own stores (visit logs, conflict queue, cookie invalidations,
-// storage accounting).
-func (w *Warp) encodeSnapshot(enc *store.Encoder) error {
+// encodeCoreMeta serializes the deployment's small always-fresh state:
+// the logical clock, the server-side request counter, the cookie
+// invalidation queue, the conflict queue, and storage accounting.
+func (w *Warp) encodeCoreMeta(enc *store.Encoder) {
 	enc.Uvarint(coreSnapVersion)
 	enc.Int(w.Clock.Now())
-
-	actions := w.Graph.All()
-	enc.Uvarint(uint64(len(actions)))
-	for _, a := range actions {
-		encodeAction(enc, a, w.Graph)
-	}
-
-	if err := w.DB.EncodeState(enc); err != nil {
-		return err
-	}
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	enc.Int(w.srvReqSeq)
-
-	enc.Uvarint(uint64(len(w.visitOrder)))
-	pos := make(map[*browser.VisitLog]int, len(w.visitOrder))
-	for i, v := range w.visitOrder {
-		pos[v] = i
-		encodeVisitLog(enc, v)
-	}
-	clients := make([]string, 0, len(w.visitLogs))
-	for c := range w.visitLogs {
-		clients = append(clients, c)
-	}
-	sort.Strings(clients)
-	enc.Uvarint(uint64(len(clients)))
-	for _, c := range clients {
-		enc.String(c)
-		logs := w.visitLogs[c]
-		enc.Uvarint(uint64(len(logs)))
-		for _, v := range logs {
-			enc.Uvarint(uint64(pos[v]))
-		}
-	}
 
 	cookieClients := make([]string, 0, len(w.cookieInvalid))
 	for c := range w.cookieInvalid {
@@ -543,10 +711,20 @@ func (w *Warp) encodeSnapshot(enc *store.Encoder) error {
 	enc.Int(int64(w.browserLogBytes))
 	enc.Int(int64(w.appLogBytes))
 	enc.Int(int64(w.dbLogBytes))
-	return nil
+
+	// A pending repair intent (recovered from a crashed instance but not
+	// yet resumed) must survive the checkpoint that prunes its WAL
+	// record — otherwise a checkpoint-then-crash sequence would silently
+	// forget the half-done repair.
+	if w.pendingIntent != nil {
+		enc.Bool(true)
+		encodeIntent(enc, w.pendingIntent)
+	} else {
+		enc.Bool(false)
+	}
 }
 
-func (w *Warp) restoreSnapshot(dec *store.Decoder) error {
+func (w *Warp) restoreCoreMeta(dec *store.Decoder) error {
 	if v := dec.Uvarint(); v != coreSnapVersion {
 		if err := dec.Err(); err != nil {
 			return err
@@ -555,6 +733,46 @@ func (w *Warp) restoreSnapshot(dec *store.Decoder) error {
 	}
 	w.Clock.AdvanceTo(dec.Int())
 
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.srvReqSeq = dec.Int()
+
+	nCookie := dec.Count()
+	for i := 0; i < nCookie; i++ {
+		c := dec.String()
+		n := dec.Count()
+		names := make([]string, 0, n)
+		for j := 0; j < n; j++ {
+			names = append(names, dec.String())
+		}
+		w.cookieInvalid[c] = names
+	}
+
+	nConf := dec.Count()
+	for i := 0; i < nConf; i++ {
+		w.conflicts = append(w.conflicts, decodeConflict(dec))
+	}
+
+	w.browserLogBytes = int(dec.Int())
+	w.appLogBytes = int(dec.Int())
+	w.dbLogBytes = int(dec.Int())
+	if dec.Bool() {
+		it := decodeIntent(dec)
+		w.pendingIntent = &it
+	}
+	return dec.Err()
+}
+
+// encodeHistory serializes the action history graph with payloads.
+func (w *Warp) encodeHistory(enc *store.Encoder) {
+	actions := w.Graph.All()
+	enc.Uvarint(uint64(len(actions)))
+	for _, a := range actions {
+		encodeAction(enc, a, w.Graph)
+	}
+}
+
+func (w *Warp) restoreHistory(dec *store.Decoder) error {
 	nActions := dec.Count()
 	for i := 0; i < nActions; i++ {
 		a, _, err := decodeAction(dec, w.Graph)
@@ -565,15 +783,40 @@ func (w *Warp) restoreSnapshot(dec *store.Decoder) error {
 			return err
 		}
 	}
+	return dec.Err()
+}
 
-	if err := w.DB.RestoreState(dec); err != nil {
-		return err
-	}
-
+// encodeVisits serializes the browser log store: every visit log in
+// upload order plus the per-client index (by position, preserving the
+// pointer sharing between the order list and the per-client lists).
+func (w *Warp) encodeVisits(enc *store.Encoder) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.srvReqSeq = dec.Int()
+	enc.Uvarint(uint64(len(w.visitOrder)))
+	pos := make(map[*browser.VisitLog]int, len(w.visitOrder))
+	for i, v := range w.visitOrder {
+		pos[v] = i
+		encodeVisitLog(enc, v)
+	}
+	clients := make([]string, 0, len(w.visitLogs))
+	for c := range w.visitLogs {
+		clients = append(clients, c)
+	}
+	sort.Strings(clients)
+	enc.Uvarint(uint64(len(clients)))
+	for _, c := range clients {
+		enc.String(c)
+		logs := w.visitLogs[c]
+		enc.Uvarint(uint64(len(logs)))
+		for _, v := range logs {
+			enc.Uvarint(uint64(pos[v]))
+		}
+	}
+}
 
+func (w *Warp) restoreVisits(dec *store.Decoder) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	nVisits := dec.Count()
 	order := make([]*browser.VisitLog, 0, nVisits)
 	for i := 0; i < nVisits; i++ {
@@ -597,26 +840,6 @@ func (w *Warp) restoreSnapshot(dec *store.Decoder) error {
 		w.visitLogs[c] = logs
 		w.visitByID[c] = byID
 	}
-
-	nCookie := dec.Count()
-	for i := 0; i < nCookie; i++ {
-		c := dec.String()
-		n := dec.Count()
-		names := make([]string, 0, n)
-		for j := 0; j < n; j++ {
-			names = append(names, dec.String())
-		}
-		w.cookieInvalid[c] = names
-	}
-
-	nConf := dec.Count()
-	for i := 0; i < nConf; i++ {
-		w.conflicts = append(w.conflicts, decodeConflict(dec))
-	}
-
-	w.browserLogBytes = int(dec.Int())
-	w.appLogBytes = int(dec.Int())
-	w.dbLogBytes = int(dec.Int())
 	return dec.Err()
 }
 

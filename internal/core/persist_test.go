@@ -93,9 +93,21 @@ func workloadSteps(browsers []*browser.Browser) []func() {
 	return steps
 }
 
+// testDurability is the crash suite's store configuration: fsynced
+// appends so every step is durable, plus a sharded WAL so the suite
+// exercises merged multi-shard recovery, not just the single-chain case.
+func testDurability() store.Options {
+	return store.Options{SyncEveryAppend: true, Shards: 2}
+}
+
 func buildWarp(t *testing.T, dir string, seed int64) *Warp {
 	t.Helper()
-	cfg := Config{Seed: seed, RepairWorkers: 1, Durability: store.Options{SyncEveryAppend: true}}
+	return buildWarpDur(t, dir, seed, testDurability())
+}
+
+func buildWarpDur(t *testing.T, dir string, seed int64, dur store.Options) *Warp {
+	t.Helper()
+	cfg := Config{Seed: seed, RepairWorkers: 1, Durability: dur}
 	var w *Warp
 	var err error
 	if dir == "" {
@@ -329,7 +341,7 @@ func TestCrashMidRepair(t *testing.T) {
 	for _, crashAt := range []int64{1, 2, 4, 7, 11, 16} {
 		t.Run(fmt.Sprintf("trace-step-%d", crashAt), func(t *testing.T) {
 			dir := t.TempDir()
-			cfg := Config{Seed: 1, RepairWorkers: 1, Durability: store.Options{SyncEveryAppend: true}}
+			cfg := Config{Seed: 1, RepairWorkers: 1, Durability: testDurability()}
 			var traced atomic.Int64
 			var w *Warp
 			cfg.Trace = func(string, ...any) {
@@ -388,7 +400,7 @@ func TestCrashMidRepair(t *testing.T) {
 // is self-contained (no code to re-supply).
 func TestCrashMidUndoVisit(t *testing.T) {
 	runWorkload := func(dir string, trace func(string, ...any)) (*Warp, []*browser.Browser) {
-		cfg := Config{Seed: 1, RepairWorkers: 1, Durability: store.Options{SyncEveryAppend: true}}
+		cfg := Config{Seed: 1, RepairWorkers: 1, Durability: testDurability()}
 		cfg.Trace = trace
 		var w *Warp
 		var err error

@@ -492,6 +492,10 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 	// records) against an intent that will replay over pre-repair state
 	// would make recovery diverge from what was acknowledged.
 	if w.pers != nil {
+		// Repair rewrote history payloads and visit logs in place, paths
+		// the observer-based dirty tracking cannot see; force those
+		// sections into the commit checkpoint.
+		w.pers.markRepairDirty()
 		if err := w.checkpointQuiesced(); err != nil && !errors.Is(err, store.ErrCrashed) {
 			rs.rep.Timing.Total = time.Since(tStart)
 			return rs.rep, fmt.Errorf("warp: repair committed in memory but its checkpoint failed (intent remains pending): %w", err)

@@ -138,6 +138,14 @@ type Graph struct {
 	// loadedNodes counts distinct nodes touched by repair-time lookups,
 	// approximating the paper's incremental graph loading cost metric.
 	loadedNodes map[NodeID]bool
+
+	// muts counts structural mutations (appends, restores, dependency
+	// extensions, GC). The persistence layer compares it against the
+	// count at the last checkpoint to decide whether the graph section
+	// must be rewritten — the graph's side of dirty tracking. In-place
+	// payload mutations (repair superseding actions) do not pass through
+	// the graph and are force-marked by the repair commit path instead.
+	muts int64
 }
 
 // New returns an empty graph.
@@ -164,6 +172,7 @@ func (g *Graph) SetObserver(o Observer) {
 func (g *Graph) Append(a *Action) ActionID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.muts++
 	a.ID = g.nextID
 	g.nextID++
 	g.actions[a.ID] = a
@@ -193,6 +202,7 @@ func (g *Graph) RestoreAction(a *Action) error {
 	if _, exists := g.actions[a.ID]; exists {
 		return fmt.Errorf("history: restore of duplicate action %d", a.ID)
 	}
+	g.muts++
 	g.actions[a.ID] = a
 	g.order = append(g.order, a.ID)
 	for _, d := range a.Inputs {
@@ -224,6 +234,7 @@ func (g *Graph) AddDeps(id ActionID, inputs, outputs []Dep) {
 	if a == nil {
 		return
 	}
+	g.muts++
 	have := make(map[Dep]bool, len(a.Inputs)+len(a.Outputs))
 	for _, d := range a.Inputs {
 		have[d] = true
@@ -429,6 +440,7 @@ func (g *Graph) GC(beforeTime int64) int {
 	}
 	g.order = keep
 	if removed > 0 {
+		g.muts++
 		// Rebuild indexes without the dead actions.
 		g.readers = make(map[NodeID][]ActionID)
 		g.writers = make(map[NodeID][]ActionID)
@@ -446,6 +458,15 @@ func (g *Graph) GC(beforeTime int64) int {
 		g.obs.GraphCollected(beforeTime)
 	}
 	return removed
+}
+
+// MutationCount returns the number of structural mutations the graph
+// has seen. The persistence layer snapshots it at checkpoint time and
+// rewrites the graph section only when it has advanced since.
+func (g *Graph) MutationCount() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.muts
 }
 
 // ApproxBytes estimates the log size of the graph, for Table 6 storage

@@ -1,0 +1,331 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSections writes one checkpoint: dirty sections get fresh
+// payloads, the rest are carried forward when the store allows it.
+func writeSections(t *testing.T, s *Store, payloads map[string]string, dirty map[string]bool) CheckpointStats {
+	t.Helper()
+	names := make([]string, 0, len(payloads))
+	for name := range payloads {
+		names = append(names, name)
+	}
+	// Deterministic order keeps the test's expectations simple.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	err := s.WriteCheckpoint(func(cw *CheckpointWriter) error {
+		for _, name := range names {
+			if !dirty[name] && cw.Keep(name) {
+				continue
+			}
+			cw.Section(name).String(payloads[name])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	return s.LastCheckpoint()
+}
+
+func readSectionString(t *testing.T, rec *Recovery, name string) string {
+	t.Helper()
+	dec, err := rec.ReadSection(name)
+	if err != nil {
+		t.Fatalf("ReadSection(%s): %v", name, err)
+	}
+	return dec.String()
+}
+
+// TestIncrementalCheckpointWritesOnlyDirtySections is the store-level
+// acceptance property: after a base checkpoint, a checkpoint with k
+// dirty sections writes exactly those k into its delta file and carries
+// the rest forward; recovery stitches base + delta back together.
+func TestIncrementalCheckpointWritesOnlyDirtySections(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.CompactEvery = 100 // keep compaction out of this test
+	s, _ := mustOpen(t, dir, opts)
+
+	payloads := map[string]string{}
+	for i := 0; i < 6; i++ {
+		payloads[fmt.Sprintf("table/%d", i)] = fmt.Sprintf("v1-table-%d", i)
+	}
+	st := writeSections(t, s, payloads, nil)
+	if !st.Full || len(st.Written) != 6 || len(st.Kept) != 0 {
+		t.Fatalf("base checkpoint: %+v", st)
+	}
+
+	// Touch 2 of 6 sections.
+	payloads["table/1"] = "v2-table-1"
+	payloads["table/4"] = "v2-table-4"
+	st = writeSections(t, s, payloads, map[string]bool{"table/1": true, "table/4": true})
+	if st.Full {
+		t.Fatal("second checkpoint should be incremental")
+	}
+	if got := strings.Join(st.Written, ","); got != "table/1,table/4" {
+		t.Fatalf("dirty checkpoint wrote %q, want exactly the 2 dirty sections", got)
+	}
+	if len(st.Kept) != 4 {
+		t.Fatalf("kept %d sections, want 4", len(st.Kept))
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	if !rec.Manifest {
+		t.Fatal("no checkpoint recovered")
+	}
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("table/%d", i)
+		if got := readSectionString(t, rec, name); got != payloads[name] {
+			t.Fatalf("section %s = %q, want %q", name, got, payloads[name])
+		}
+	}
+}
+
+// TestDroppedSectionDisappears: a section the builder neither writes
+// nor keeps ceases to exist — the manifest is the source of truth.
+func TestDroppedSectionDisappears(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.CompactEvery = 100
+	s, _ := mustOpen(t, dir, opts)
+	writeSections(t, s, map[string]string{"a": "a1", "b": "b1"}, nil)
+	writeSections(t, s, map[string]string{"a": "a1"}, nil) // b dropped
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	if rec.HasSection("b") {
+		t.Fatal("dropped section still present after recovery")
+	}
+	if got := readSectionString(t, rec, "a"); got != "a1" {
+		t.Fatalf("section a = %q", got)
+	}
+}
+
+// TestCompactionBoundsDeltaChain: after CompactEvery incremental
+// checkpoints the store forces a full rewrite and the prune reclaims
+// every older delta file.
+func TestCompactionBoundsDeltaChain(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.CompactEvery = 3
+	s, _ := mustOpen(t, dir, opts)
+
+	payloads := map[string]string{"hot": "h0", "cold": "c0"}
+	writeSections(t, s, payloads, nil) // full (no previous manifest)
+	sawFull := false
+	for i := 1; i <= 5; i++ {
+		payloads["hot"] = fmt.Sprintf("h%d", i)
+		st := writeSections(t, s, payloads, map[string]bool{"hot": true})
+		if st.Full && i >= 3 {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("no compacting checkpoint within CompactEvery+2 rounds")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the files the final manifest references may remain.
+	entries, _ := os.ReadDir(dir)
+	ckpts, manifests := 0, 0
+	for _, e := range entries {
+		var seq int64
+		if parseSeqName(e.Name(), "ckpt-", ".sec", &seq) {
+			ckpts++
+		}
+		if parseSeqName(e.Name(), "manifest-", ".mf", &seq) {
+			manifests++
+		}
+	}
+	if manifests != 1 {
+		t.Fatalf("%d manifests on disk, want 1", manifests)
+	}
+	if ckpts > 2 {
+		t.Fatalf("%d delta files on disk after compaction, want the live chain only", ckpts)
+	}
+
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	if got := readSectionString(t, rec, "hot"); got != "h5" {
+		t.Fatalf("hot = %q, want h5", got)
+	}
+	if got := readSectionString(t, rec, "cold"); got != "c0" {
+		t.Fatalf("cold = %q, want c0", got)
+	}
+}
+
+// TestCorruptNewestManifestFallsBack: a corrupt newest manifest falls
+// back to the previous checkpoint, capping WAL replay there.
+func TestCorruptNewestManifestFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	opts.CompactEvery = 100
+	s, _ := mustOpen(t, dir, opts)
+	writeSections(t, s, map[string]string{"st": "first"}, nil)
+	if err := s.Append(1, []byte("tail-1")); err != nil {
+		t.Fatal(err)
+	}
+	// Second checkpoint; then corrupt its manifest. The first
+	// checkpoint's manifest was pruned, so recreate the situation by
+	// corrupting before prune can see it: write checkpoint 2 into a
+	// copy instead.
+	snap := filepath.Join(t.TempDir(), "copy")
+	copyDir(t, dir, snap)
+	writeSections(t, s, map[string]string{"st": "second"}, map[string]bool{"st": true})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// In the live dir, corrupt the newest manifest and restore the older
+	// one from the pre-checkpoint copy (prune removed it).
+	entries, _ := os.ReadDir(dir)
+	var newest int64
+	for _, e := range entries {
+		var seq int64
+		if parseSeqName(e.Name(), "manifest-", ".mf", &seq) && seq > newest {
+			newest = seq
+		}
+	}
+	path := manifestPath(dir, newest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	oldEntries, _ := os.ReadDir(snap)
+	for _, e := range oldEntries {
+		var seq int64
+		var id int
+		ok := parseSeqName(e.Name(), "manifest-", ".mf", &seq) ||
+			parseSeqName(e.Name(), "ckpt-", ".sec", &seq) ||
+			parseSegName(e.Name(), &id, &seq)
+		if !ok {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, e.Name())); err == nil {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(snap, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	if !rec.Manifest || !rec.SnapshotFallback {
+		t.Fatalf("expected fallback recovery, got manifest=%v fallback=%v", rec.Manifest, rec.SnapshotFallback)
+	}
+	if got := readSectionString(t, rec, "st"); got != "first" {
+		t.Fatalf("fell back to %q, want the first checkpoint", got)
+	}
+}
+
+// TestCheckpointBuildErrorLeavesStoreUsable: a failing build must not
+// install anything and the store must keep accepting appends and a
+// subsequent checkpoint.
+func TestCheckpointBuildErrorLeavesStoreUsable(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOpts())
+	if err := s.Append(1, []byte("rec")); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("builder exploded")
+	err := s.WriteCheckpoint(func(cw *CheckpointWriter) error {
+		cw.Section("partial").String("junk")
+		return wantErr
+	})
+	if err == nil {
+		t.Fatal("build error swallowed")
+	}
+	if err := s.Append(1, []byte("rec2")); err != nil {
+		t.Fatal(err)
+	}
+	checkpointOne(t, s, "good", "good-state")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := mustOpen(t, dir, testOpts())
+	defer s2.Close()
+	if rec.HasSection("partial") {
+		t.Fatal("aborted checkpoint's section leaked into recovery")
+	}
+	if got := readSectionString(t, rec, "good"); got != "good-state" {
+		t.Fatalf("good = %q", got)
+	}
+}
+
+// FuzzSnapshotSection feeds arbitrary bytes through the checkpoint
+// section walker: it must never panic, never allocate beyond the file's
+// size, and never surface a section whose chunk stream fails its
+// recorded CRC or length.
+func FuzzSnapshotSection(f *testing.F) {
+	seed := func(sections map[string]string) []byte {
+		dir := f.TempDir()
+		path := filepath.Join(dir, "seed.sec")
+		w, err := newSectionFileWriter(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for name, payload := range sections {
+			if err := w.begin(name); err != nil {
+				f.Fatal(err)
+			}
+			if err := w.chunk([]byte(payload)); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.finish(); err != nil {
+			f.Fatal(err)
+		}
+		data, _ := os.ReadFile(path)
+		return data
+	}
+	f.Add(seed(map[string]string{"a": "hello", "b": "world"}))
+	f.Add(seed(map[string]string{}))
+	f.Add([]byte{})
+	f.Add([]byte("WARPSEC1 not really a section file"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.sec")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		offsets, err := validateSectionFile(path)
+		if err != nil {
+			return // rejecting is always allowed
+		}
+		// Everything the walker accepted must read back cleanly.
+		for name, off := range offsets {
+			if _, err := readSectionPayload(path, off); err != nil {
+				t.Fatalf("validated section %q failed to read: %v", name, err)
+			}
+		}
+	})
+}

@@ -26,21 +26,64 @@ import (
 // Encoder builds a binary payload from primitive values: varint-encoded
 // integers and length-prefixed byte strings. The encoding is
 // deterministic: the same sequence of calls yields the same bytes.
+//
+// A plain encoder (NewEncoder) accumulates everything in memory. A
+// streaming encoder (newStreamEncoder) spills its buffer to a sink
+// whenever it crosses the spill threshold, so arbitrarily large payloads
+// encode in bounded memory; sink errors are sticky and surface through
+// spillErr.
 type Encoder struct {
-	buf []byte
+	buf   []byte
+	spill int // spill threshold; 0 disables streaming
+	sink  func([]byte) error
+	werr  error
 }
 
-// NewEncoder returns an empty encoder.
+// NewEncoder returns an empty in-memory encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
 
-// Bytes returns the encoded payload.
+// newStreamEncoder returns an encoder that hands its buffer to sink
+// every time it grows past spill bytes. Bytes must not be used on a
+// streaming encoder; call flush then read via the sink instead.
+func newStreamEncoder(spill int, sink func([]byte) error) *Encoder {
+	return &Encoder{spill: spill, sink: sink}
+}
+
+// maybeSpill drains the buffer through the sink once it crosses the
+// threshold. No-op for in-memory encoders.
+func (e *Encoder) maybeSpill() {
+	if e.sink == nil || len(e.buf) < e.spill {
+		return
+	}
+	e.flush()
+}
+
+// flush forces any buffered bytes through the sink.
+func (e *Encoder) flush() {
+	if e.sink == nil || len(e.buf) == 0 {
+		return
+	}
+	if err := e.sink(e.buf); err != nil && e.werr == nil {
+		e.werr = err
+	}
+	e.buf = e.buf[:0]
+}
+
+// spillErr returns the first sink failure, if any.
+func (e *Encoder) spillErr() error { return e.werr }
+
+// Bytes returns the encoded payload. Only valid on in-memory encoders:
+// a streaming encoder's earlier bytes have already left through the sink.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
-// Len returns the number of bytes encoded so far.
+// Len returns the number of bytes currently buffered.
 func (e *Encoder) Len() int { return len(e.buf) }
 
 // Byte appends one raw byte.
-func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+func (e *Encoder) Byte(b byte) {
+	e.buf = append(e.buf, b)
+	e.maybeSpill()
+}
 
 // Bool appends a boolean.
 func (e *Encoder) Bool(b bool) {
@@ -58,6 +101,7 @@ func (e *Encoder) Uvarint(v uint64) {
 		v >>= 7
 	}
 	e.buf = append(e.buf, byte(v))
+	e.maybeSpill()
 }
 
 // Int appends a signed integer, zigzag-encoded.
@@ -69,6 +113,7 @@ func (e *Encoder) Int(v int64) {
 func (e *Encoder) String(s string) {
 	e.Uvarint(uint64(len(s)))
 	e.buf = append(e.buf, s...)
+	e.maybeSpill()
 }
 
 // ErrCorrupt is the terminal decoder error: the payload does not parse.

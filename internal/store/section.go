@@ -1,0 +1,369 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint (delta) file format. A checkpoint file holds one or more
+// named sections, each a self-describing unit of snapshot state (one
+// ttdb table, the history graph, the core's metadata, ...). Sections are
+// written streaming: the encoder spills fixed-size chunks, so memory
+// stays bounded by the chunk size regardless of how large a section —
+// or the database — grows.
+//
+//	file   := magic "WARPSEC1" frame*
+//	frame  := [u32 len][u32 CRC-32C][payload]          (the WAL frame codec)
+//	payload:
+//	  [0x01][name bytes]                               section begin
+//	  [0x02][chunk bytes]                              section data chunk
+//	  [0x03][u32 section-CRC][uvarint section-len]     section end
+//	  [0x04][uvarint section-count]                    file trailer
+//
+// Every chunk is CRC'd by the frame layer; the section-end frame carries
+// a second CRC-32C over the section's reassembled payload, so chunk
+// loss, reordering, or truncation inside a section is detected even if
+// each surviving frame validates. Unlike WAL segments there is no
+// torn-tail tolerance: checkpoint files are written to a temp file,
+// fsynced, and renamed, so anything short of a complete file with a
+// matching trailer is corruption and reported as such.
+const (
+	secFrameBegin   byte = 0x01
+	secFrameChunk   byte = 0x02
+	secFrameEnd     byte = 0x03
+	secFrameTrailer byte = 0x04
+
+	// maxSectionName bounds section names so a corrupt begin frame
+	// cannot masquerade as a giant name.
+	maxSectionName = 4096
+)
+
+var sectionMagic = [8]byte{'W', 'A', 'R', 'P', 'S', 'E', 'C', '1'}
+
+func ckptPath(dir string, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%08d.sec", seq))
+}
+
+// sectionFileWriter streams sections into one checkpoint file.
+type sectionFileWriter struct {
+	path string // final path (written as path+".tmp" until finish)
+	f    *os.File
+	bw   *bufio.Writer
+	off  int64 // bytes written so far
+
+	// open section state
+	inSection bool
+	crc       uint32
+	n         uint64
+
+	count int
+}
+
+func newSectionFileWriter(path string) (*sectionFileWriter, error) {
+	f, err := os.OpenFile(path+".tmp", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &sectionFileWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	if _, err := w.bw.Write(sectionMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.off = int64(len(sectionMagic))
+	return w, nil
+}
+
+func (w *sectionFileWriter) frame(payload []byte) error {
+	n, err := appendFrame(w.bw, payload)
+	w.off += n
+	return err
+}
+
+// begin opens a new section, closing any open one first.
+func (w *sectionFileWriter) begin(name string) error {
+	if err := w.endSection(); err != nil {
+		return err
+	}
+	w.inSection = true
+	w.crc = 0
+	w.n = 0
+	return w.frame(append([]byte{secFrameBegin}, name...))
+}
+
+// chunk appends one data chunk to the open section.
+func (w *sectionFileWriter) chunk(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	w.crc = crc32.Update(w.crc, crcTable, data)
+	w.n += uint64(len(data))
+	return w.frame(append([]byte{secFrameChunk}, data...))
+}
+
+// endSection closes the open section with its CRC/length frame.
+func (w *sectionFileWriter) endSection() error {
+	if !w.inSection {
+		return nil
+	}
+	w.inSection = false
+	w.count++
+	var buf [16]byte
+	buf[0] = secFrameEnd
+	binary.LittleEndian.PutUint32(buf[1:5], w.crc)
+	n := binary.PutUvarint(buf[5:], w.n)
+	return w.frame(buf[:5+n])
+}
+
+// finish writes the trailer, fsyncs, and atomically installs the file.
+func (w *sectionFileWriter) finish() error {
+	if err := w.endSection(); err != nil {
+		w.abort()
+		return err
+	}
+	var buf [12]byte
+	buf[0] = secFrameTrailer
+	n := binary.PutUvarint(buf[1:], uint64(w.count))
+	if err := w.frame(buf[:1+n]); err != nil {
+		w.abort()
+		return err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.path + ".tmp")
+		return err
+	}
+	if err := os.Rename(w.path+".tmp", w.path); err != nil {
+		os.Remove(w.path + ".tmp")
+		return err
+	}
+	return syncDir(filepath.Dir(w.path))
+}
+
+// abort discards the temp file.
+func (w *sectionFileWriter) abort() {
+	w.f.Close()
+	os.Remove(w.path + ".tmp")
+}
+
+// sectionEvents receives a checkpoint file's contents in order. Chunk
+// data is only valid for the duration of the callback. begin receives
+// the absolute file offset of the section's begin frame, usable with
+// walkSectionFile's from parameter for direct seeks later.
+type sectionEvents struct {
+	begin func(name string, offset int64) error
+	chunk func(data []byte) error
+	// end fires after the section's reassembled payload validated
+	// against its recorded CRC and length.
+	end func(name string, size uint64) error
+}
+
+// errStopWalk aborts a walk early without reporting corruption.
+var errStopWalk = errors.New("store: stop walk")
+
+// walkSectionFile streams one checkpoint file through the callbacks,
+// validating frame CRCs, per-section CRCs and lengths, and the trailer
+// count. Any structural defect is ErrCorrupt: checkpoint files are
+// installed atomically, so unlike WAL segments a short or damaged file
+// is never a legitimate torn tail.
+func walkSectionFile(path string, from int64, ev sectionEvents) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	remaining := info.Size()
+	base := filepath.Base(path)
+	corrupt := func(what string) error {
+		return fmt.Errorf("%w: checkpoint %s: %s", ErrCorrupt, base, what)
+	}
+
+	if from > 0 {
+		if from > remaining {
+			return corrupt("section offset beyond end of file")
+		}
+		if _, err := f.Seek(from, io.SeekStart); err != nil {
+			return err
+		}
+		remaining -= from
+	} else {
+		var magic [8]byte
+		if _, err := io.ReadFull(f, magic[:]); err != nil || magic != sectionMagic {
+			return corrupt("bad magic")
+		}
+		remaining -= int64(len(magic))
+	}
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	pos := info.Size() - remaining // absolute offset of the next frame
+	var (
+		inSection bool
+		name      string
+		crc       uint32
+		size      uint64
+		count     int
+		sawEnd    bool // trailer seen (only when walking from the start)
+		hdr       [frameHeaderLen]byte
+		buf       []byte
+	)
+	for remaining > 0 {
+		frameOff := pos
+		if remaining < frameHeaderLen {
+			return corrupt("torn frame header")
+		}
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return corrupt("torn frame header")
+		}
+		remaining -= frameHeaderLen
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n < 1 || n > maxFramePayload || n > remaining {
+			return corrupt("bad frame length")
+		}
+		if int64(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		payload := buf[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return corrupt("torn frame")
+		}
+		remaining -= n
+		pos += frameHeaderLen + n
+		if crc32.Checksum(payload, crcTable) != sum {
+			return corrupt("frame checksum failure")
+		}
+		switch payload[0] {
+		case secFrameBegin:
+			if inSection {
+				return corrupt("section begin inside open section")
+			}
+			if len(payload)-1 > maxSectionName {
+				return corrupt("oversized section name")
+			}
+			inSection = true
+			name = string(payload[1:])
+			crc, size = 0, 0
+			if ev.begin != nil {
+				if err := ev.begin(name, frameOff); err != nil {
+					if err == errStopWalk {
+						return nil
+					}
+					return err
+				}
+			}
+		case secFrameChunk:
+			if !inSection {
+				return corrupt("chunk outside section")
+			}
+			data := payload[1:]
+			crc = crc32.Update(crc, crcTable, data)
+			size += uint64(len(data))
+			if ev.chunk != nil {
+				if err := ev.chunk(data); err != nil {
+					return err
+				}
+			}
+		case secFrameEnd:
+			if !inSection || len(payload) < 6 {
+				return corrupt("malformed section end")
+			}
+			wantCRC := binary.LittleEndian.Uint32(payload[1:5])
+			wantN, k := binary.Uvarint(payload[5:])
+			if k <= 0 {
+				return corrupt("malformed section end")
+			}
+			if crc != wantCRC || size != wantN {
+				return corrupt(fmt.Sprintf("section %s payload mismatch", name))
+			}
+			inSection = false
+			count++
+			if ev.end != nil {
+				if err := ev.end(name, size); err != nil {
+					if err == errStopWalk {
+						return nil
+					}
+					return err
+				}
+			}
+		case secFrameTrailer:
+			if inSection {
+				return corrupt("trailer inside open section")
+			}
+			want, k := binary.Uvarint(payload[1:])
+			if k <= 0 || (from == 0 && uint64(count) != want) {
+				return corrupt("trailer count mismatch")
+			}
+			sawEnd = true
+			if remaining != 0 {
+				return corrupt("data after trailer")
+			}
+		default:
+			return corrupt("unknown frame kind")
+		}
+	}
+	if inSection || (from == 0 && !sawEnd) {
+		return corrupt("missing trailer")
+	}
+	return nil
+}
+
+// readSectionPayload reads and validates one section's payload starting
+// at the given begin-frame offset.
+func readSectionPayload(path string, offset int64) ([]byte, error) {
+	var out []byte
+	started := false
+	err := walkSectionFile(path, offset, sectionEvents{
+		begin: func(string, int64) error {
+			if started {
+				return errStopWalk
+			}
+			started = true
+			return nil
+		},
+		chunk: func(data []byte) error {
+			out = append(out, data...)
+			return nil
+		},
+		end: func(string, uint64) error { return errStopWalk },
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !started {
+		return nil, fmt.Errorf("%w: checkpoint %s: empty section read", ErrCorrupt, filepath.Base(path))
+	}
+	return out, nil
+}
+
+// validateSectionFile walks a whole checkpoint file, checking every
+// frame and section checksum in bounded memory, and returns each
+// section's begin-frame offset for later direct reads.
+func validateSectionFile(path string) (map[string]int64, error) {
+	offsets := make(map[string]int64)
+	err := walkSectionFile(path, 0, sectionEvents{
+		begin: func(name string, off int64) error {
+			offsets[name] = off
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return offsets, nil
+}

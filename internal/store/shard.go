@@ -1,0 +1,270 @@
+package store
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+	"sync"
+)
+
+// A shard is one independent WAL segment chain with its own group-commit
+// clock. Appends to different shards contend on nothing but the global
+// LSN counter (one atomic add), so table groups mapped to different
+// shards log — and fsync — in parallel, the on-disk analog of the
+// multi-disk scale-out the ROADMAP asks for.
+//
+// Cross-shard ordering is preserved logically, not physically: every
+// record carries a global LSN assigned under its shard's lock, each
+// shard's file order is LSN-monotonic, and recovery merges the per-shard
+// streams back into global-LSN order (see Open).
+type shard struct {
+	id   int
+	dir  string
+	opts Options
+
+	// preRotate, when set, runs before the active segment is finalized
+	// (which flushes and fsyncs every buffered frame). The store sets it
+	// on the metadata shard to first sync the data shards, so a rotation
+	// can never make a metadata record durable ahead of the table
+	// records it describes. Called with mu held; it may take other
+	// shards' locks (the only place shard locks nest, shard 0 → data).
+	preRotate func() error
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	w        *walWriter
+	seq      int64 // sequence number of the active segment
+	segBase  int64 // value of appended when the active segment opened
+	appended int64 // bytes appended to this shard
+	synced   int64 // bytes known durable
+	syncing  bool  // a group-commit leader is fsyncing outside the lock
+	dead     bool
+	closed   bool
+}
+
+func newShard(id int, dir string, opts Options, startSeq int64) (*shard, error) {
+	sh := &shard{id: id, dir: dir, opts: opts, seq: startSeq}
+	sh.cond = sync.NewCond(&sh.mu)
+	w, err := openSegment(segName(dir, id, startSeq))
+	if err != nil {
+		return nil, err
+	}
+	sh.w = w
+	return sh, nil
+}
+
+// append buffers one frame under the shard lock and returns the byte
+// offset the caller must wait on for durability. Rotation happens here
+// when the active segment crosses SegmentBytes.
+func (sh *shard) append(frame []byte) (target int64, err error) {
+	if sh.dead || sh.closed {
+		return 0, ErrCrashed
+	}
+	if err := sh.w.append(frame); err != nil {
+		return 0, err
+	}
+	sh.appended += int64(frameHeaderLen + len(frame))
+	target = sh.appended
+	if sh.w.size >= sh.opts.SegmentBytes {
+		if err := sh.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return target, nil
+}
+
+// waitSyncedLocked blocks until byte offset target is durable, acting as
+// the shard's group-commit leader when no sync is in flight. Called with
+// sh.mu held.
+func (sh *shard) waitSyncedLocked(target int64) error {
+	for sh.synced < target {
+		if sh.dead || sh.closed {
+			return ErrCrashed
+		}
+		if sh.syncing {
+			sh.cond.Wait()
+			continue
+		}
+		// Leader: flush the shared buffer under the lock (a memory
+		// copy), fsync outside it so followers keep appending frames
+		// that ride the next sync.
+		sh.syncing = true
+		appended := sh.appended
+		if err := sh.w.flush(); err != nil {
+			sh.syncing = false
+			sh.cond.Broadcast()
+			return err
+		}
+		f := sh.w.f
+		sh.mu.Unlock()
+		err := f.Sync()
+		sh.mu.Lock()
+		sh.syncing = false
+		if err == nil && appended > sh.synced {
+			sh.synced = appended
+		}
+		sh.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncUpTo makes records up to byte extent target durable WITHOUT
+// handing the OS anything beyond it: the flush is a prefix flush, so an
+// fsync here cannot make later-appended records durable as a side
+// effect. This is the primitive Store.syncAll builds its cross-shard
+// ordering on. With quiet set, a dead or closed shard is a no-op.
+func (sh *shard) syncUpTo(target int64, quiet bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for {
+		if sh.dead || sh.closed {
+			if quiet {
+				return nil
+			}
+			return ErrCrashed
+		}
+		if sh.synced >= target {
+			return nil
+		}
+		if sh.syncing {
+			sh.cond.Wait()
+			continue
+		}
+		sh.syncing = true
+		limit := target
+		if limit > sh.appended {
+			limit = sh.appended
+		}
+		if err := sh.w.flushTo(limit - sh.segBase); err != nil {
+			sh.syncing = false
+			sh.cond.Broadcast()
+			return err
+		}
+		durable := sh.segBase + sh.w.flushed
+		f := sh.w.f
+		sh.mu.Unlock()
+		err := f.Sync()
+		sh.mu.Lock()
+		sh.syncing = false
+		if err == nil && durable > sh.synced {
+			sh.synced = durable
+		}
+		sh.cond.Broadcast()
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// rotateLocked finalizes the active segment and starts the next one.
+// Called with sh.mu held; waits out an in-flight sync first. Finalizing
+// flushes and fsyncs everything buffered, so the preRotate barrier (if
+// any) runs first.
+func (sh *shard) rotateLocked() error {
+	for sh.syncing {
+		sh.cond.Wait()
+	}
+	if sh.dead || sh.closed {
+		return ErrCrashed
+	}
+	if sh.preRotate != nil {
+		if err := sh.preRotate(); err != nil {
+			return err
+		}
+	}
+	if err := sh.w.close(); err != nil {
+		return err
+	}
+	sh.synced = sh.appended
+	sh.segBase = sh.appended
+	sh.seq++
+	w, err := openSegment(segName(sh.dir, sh.id, sh.seq))
+	if err != nil {
+		return err
+	}
+	sh.w = w
+	sh.cond.Broadcast()
+	return nil
+}
+
+// rotate finalizes the active segment for a checkpoint cut and returns
+// the finalized segment's sequence number: records in segments after it
+// replay over the checkpoint being written.
+func (sh *shard) rotate() (finalized int64, err error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return sh.seq - 1, nil
+}
+
+// close flushes, fsyncs, and releases the shard.
+func (sh *shard) close() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.dead || sh.closed {
+		return nil
+	}
+	for sh.syncing {
+		sh.cond.Wait()
+	}
+	if sh.dead || sh.closed {
+		return nil
+	}
+	sh.closed = true
+	err := sh.w.close()
+	sh.cond.Broadcast()
+	return err
+}
+
+// crash drops user-space buffers and refuses further writes, exactly as
+// a process death would.
+func (sh *shard) crash() {
+	sh.mu.Lock()
+	if sh.dead || sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.dead = true
+	sh.w.abandon()
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
+}
+
+// shardOf routes a table-group key to a shard index. The empty group —
+// metadata records: history actions, visit logs, GC horizons, repair
+// intents — always lands on shard 0, so the graph's append order is
+// preserved by shard-0 file order alone. Named groups spread over shards
+// 1..n-1 via a stable hash, keeping the metadata shard contention-free.
+// A custom router (Options.ShardOf) that returns an out-of-range index
+// for a group it does not recognize falls back to shard 0, which is
+// always safe: routing is a performance decision, never a correctness
+// one, because recovery merges all shards by global LSN.
+func (s *Store) shardOf(group string) int {
+	n := len(s.shards)
+	if n == 1 || group == "" {
+		return 0
+	}
+	if s.opts.ShardOf != nil {
+		if i := s.opts.ShardOf(group); i >= 0 && i < n {
+			return i
+		}
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(group))
+	return 1 + int(h.Sum32())%(n-1)
+}
+
+// ShardFor reports which shard a group key routes to, for tests and
+// operational introspection.
+func (s *Store) ShardFor(group string) int { return s.shardOf(group) }
+
+// segName formats a shard segment filename: wal-<shard>-<seq>.log.
+func segName(dir string, id int, seq int64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%02d-%08d.log", id, seq))
+}

@@ -1,0 +1,336 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// routerFor opens a store with a custom router that knows two groups
+// and reports everything else unknown (-1).
+func routedOpts(shards int) Options {
+	opts := testOpts()
+	opts.Shards = shards
+	opts.ShardOf = func(group string) int {
+		switch group {
+		case "users":
+			return 1
+		case "pages":
+			return 2
+		}
+		return -1 // unknown table
+	}
+	return opts
+}
+
+func TestShardRouterUnknownFallsBackToShardZero(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, routedOpts(3))
+	defer s.Close()
+	if got := s.ShardFor("users"); got != 1 {
+		t.Fatalf("ShardFor(users) = %d, want 1", got)
+	}
+	if got := s.ShardFor("pages"); got != 2 {
+		t.Fatalf("ShardFor(pages) = %d, want 2", got)
+	}
+	// Unknown tables and the metadata group land on shard 0.
+	if got := s.ShardFor("sessions"); got != 0 {
+		t.Fatalf("ShardFor(unknown) = %d, want 0", got)
+	}
+	if got := s.ShardFor(""); got != 0 {
+		t.Fatalf("ShardFor(meta) = %d, want 0", got)
+	}
+
+	// The records physically land on their shards.
+	if err := s.AppendGroup("users", 1, []byte("users-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendGroup("sessions", 1, []byte("sessions-record")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	find := func(shard int, want string) bool {
+		data, err := os.ReadFile(segName(dir, shard, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bytes.Contains(data, []byte(want))
+	}
+	if !find(1, "users-record") {
+		t.Fatal("known group's record not on its routed shard")
+	}
+	if !find(0, "sessions-record") {
+		t.Fatal("unknown group's record not on shard 0")
+	}
+}
+
+// TestDefaultRouterStableAndInRange pins the hash router's contract:
+// deterministic, metadata on shard 0, named groups on 1..n-1.
+func TestDefaultRouterStableAndInRange(t *testing.T) {
+	opts := testOpts()
+	opts.Shards = 4
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, opts)
+	defer s.Close()
+	if s.ShardFor("") != 0 {
+		t.Fatal("metadata must stay on shard 0")
+	}
+	for _, g := range []string{"users", "pages", "tags", "notes", "entries"} {
+		i := s.ShardFor(g)
+		if i < 1 || i >= 4 {
+			t.Fatalf("ShardFor(%s) = %d, out of 1..3", g, i)
+		}
+		if j := s.ShardFor(g); j != i {
+			t.Fatalf("router not deterministic for %s: %d then %d", g, i, j)
+		}
+	}
+}
+
+// TestShardTailTruncationDropsOnlyThatShard: interleave records across
+// two shards, crash with everything synced, then truncate one shard's
+// tail mid-frame. Recovery must keep the other shard's records intact
+// and drop only the truncated shard's suffix, reporting TailCorrupt.
+func TestShardTailTruncationDropsOnlyThatShard(t *testing.T) {
+	dir := t.TempDir()
+	opts := routedOpts(3)
+	s, _ := mustOpen(t, dir, opts)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := s.AppendGroup("users", 1, []byte(fmt.Sprintf("users-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(2, []byte(fmt.Sprintf("meta-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the users shard (shard 1) mid-frame.
+	path := segName(dir, 1, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	if !rec.TailCorrupt {
+		t.Fatal("truncated shard tail not reported")
+	}
+	var users, meta int
+	for _, r := range rec.Records {
+		switch r.Type {
+		case 1:
+			if want := fmt.Sprintf("users-%02d", users); string(r.Payload) != want {
+				t.Fatalf("users record %d = %q, want %q", users, r.Payload, want)
+			}
+			users++
+		case 2:
+			if want := fmt.Sprintf("meta-%02d", meta); string(r.Payload) != want {
+				t.Fatalf("meta record %d = %q, want %q", meta, r.Payload, want)
+			}
+			meta++
+		}
+	}
+	if meta != n {
+		t.Fatalf("meta shard lost records: %d/%d — truncation must drop only the damaged shard's suffix", meta, n)
+	}
+	if users >= n {
+		t.Fatalf("users shard recovered %d records from a truncated tail", users)
+	}
+	if users == 0 {
+		t.Fatal("users shard lost its entire prefix, not just the torn suffix")
+	}
+}
+
+// TestMetadataNeverOutlivesDataRecords pins the cross-shard causality
+// barrier in windowed (non-fsync-per-append) mode: for pairs of
+// (data-shard record, then metadata record), a crash must never keep a
+// metadata record while losing its earlier data record. The background
+// flusher is disabled (huge GroupWindow) and SegmentBytes is tiny, so
+// the only fsyncs are segment rotations — exactly the path that must
+// run the data-shards-first barrier.
+func TestMetadataNeverOutlivesDataRecords(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{GroupWindow: time.Hour, Shards: 2, SegmentBytes: 512}
+	s, _ := mustOpen(t, dir, opts)
+	// Metadata records are much larger than data records, so shard 0
+	// rotates (= fsyncs) far more often than the data shard — the
+	// adversarial shape: without the rotation barrier, shard 0's latest
+	// rotation would persist metadata whose data records still sit in
+	// the data shard's unsynced buffer.
+	const pairs = 100
+	pad := strings.Repeat("x", 120)
+	for i := 0; i < pairs; i++ {
+		if err := s.AppendGroup("users", 1, []byte(fmt.Sprintf("data-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(2, []byte(fmt.Sprintf("meta-%03d/%s", i, pad))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Crash()
+
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	data := make(map[string]bool)
+	metas := 0
+	for _, r := range rec.Records {
+		switch r.Type {
+		case 1:
+			data[string(r.Payload)] = true
+		case 2:
+			metas++
+			want := "data-" + string(r.Payload[len("meta-"):len("meta-")+3])
+			if !data[want] {
+				t.Fatalf("metadata record %q durable but its data record %q lost", r.Payload[:8], want)
+			}
+		}
+	}
+	if metas == 0 {
+		t.Fatal("no metadata records became durable; rotations never fired and the test exercised nothing")
+	}
+}
+
+// TestManifestMissingDeltaIsError: deleting a checkpoint file the
+// manifest references must fail Open loudly instead of recovering a
+// partial state.
+func TestManifestMissingDeltaIsError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOpts())
+	checkpointOne(t, s, "base", "base-state")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	removed := false
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		var seq int64
+		if parseSeqName(e.Name(), "ckpt-", ".sec", &seq) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+			removed = true
+		}
+	}
+	if !removed {
+		t.Fatal("no checkpoint file written")
+	}
+	if _, _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("Open recovered a checkpoint whose delta file is missing")
+	}
+}
+
+// TestManifestSectionMissingFromDeltaIsError: a manifest naming a
+// section its delta file does not contain is corruption, not a partial
+// load.
+func TestManifestSectionMissingFromDeltaIsError(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, testOpts())
+	checkpointOne(t, s, "base", "base-state")
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the manifest to reference a section that does not exist.
+	var seq int64
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if parseSeqName(e.Name(), "manifest-", ".mf", &seq) {
+			m, err := readManifestFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.sections = append(m.sections, manifestSection{name: "ghost", fileSeq: m.sections[0].fileSeq})
+			if err := writeManifestFile(dir, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, _, err := Open(dir, testOpts()); err == nil {
+		t.Fatal("Open recovered a manifest naming a nonexistent section")
+	}
+}
+
+// TestRecoveryMergesShardsInLSNOrder: single-threaded interleaved
+// appends across three shards must come back in exactly the order they
+// were appended.
+func TestRecoveryMergesShardsInLSNOrder(t *testing.T) {
+	dir := t.TempDir()
+	opts := routedOpts(3)
+	s, _ := mustOpen(t, dir, opts)
+	var want []Record
+	groups := []string{"users", "pages", "", "users", "", "pages"}
+	for i := 0; i < 60; i++ {
+		g := groups[i%len(groups)]
+		r := Record{Type: byte(i%3 + 1), Payload: []byte(fmt.Sprintf("%s/%02d", g, i))}
+		want = append(want, r)
+		if err := s.AppendGroup(g, r.Type, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, rec := mustOpen(t, dir, opts)
+	defer s2.Close()
+	assertRecords(t, rec.Records, want, false)
+}
+
+// TestShardCountChangeAcrossRestart: records written under one shard
+// count must recover when the store reopens with another, and the next
+// checkpoint prunes the orphan shard files.
+func TestShardCountChangeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := mustOpen(t, dir, routedOpts(3))
+	var want []Record
+	for i := 0; i < 30; i++ {
+		g := []string{"users", "pages", ""}[i%3]
+		r := Record{Type: 1, Payload: []byte(fmt.Sprintf("%s-%02d", g, i))}
+		want = append(want, r)
+		if err := s.AppendGroup(g, r.Type, r.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen single-sharded: all three chains must merge back.
+	s2, rec := mustOpen(t, dir, testOpts())
+	assertRecords(t, rec.Records, want, false)
+	// A checkpoint covers the orphan shard files; they must be pruned.
+	checkpointOne(t, s2, "state", "compacted")
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		var seq int64
+		var id int
+		if parseSegName(e.Name(), &id, &seq) && id != 0 {
+			data, _ := os.ReadFile(filepath.Join(dir, e.Name()))
+			if len(data) > 0 {
+				t.Fatalf("orphan shard segment %s survived the checkpoint", e.Name())
+			}
+		}
+	}
+
+	s3, rec3 := mustOpen(t, dir, testOpts())
+	defer s3.Close()
+	if !rec3.Manifest || len(rec3.Records) != 0 {
+		t.Fatalf("post-compaction recovery: manifest=%v records=%d", rec3.Manifest, len(rec3.Records))
+	}
+}

@@ -1,33 +1,58 @@
 package store
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Options tunes a Store. The zero value selects the defaults below.
 type Options struct {
 	// SyncEveryAppend makes Append wait until its record is fsynced.
-	// Concurrent appenders share fsyncs (group commit): one leader syncs
-	// while followers' frames accumulate in the buffer for the next
-	// sync. Off by default: records are fsynced by the group-commit
-	// window instead, trading a bounded post-crash data-loss window
-	// (at most GroupWindow) for an fsync-free hot path.
+	// Concurrent appenders on one shard share fsyncs (group commit): one
+	// leader syncs while followers' frames accumulate in the buffer for
+	// the next sync. Off by default: records are fsynced by the
+	// group-commit window instead, trading a bounded post-crash
+	// data-loss window (at most GroupWindow) for an fsync-free hot path.
 	SyncEveryAppend bool
 	// GroupWindow is the maximum delay between fsyncs of buffered
 	// records (default 2ms).
 	GroupWindow time.Duration
-	// SegmentBytes rotates the WAL to a new segment file past this size
-	// (default 16 MiB).
+	// SegmentBytes rotates a shard's WAL to a new segment file past this
+	// size (default 16 MiB).
 	SegmentBytes int64
-	// SnapshotBytes signals NeedSnapshot after this many WAL bytes since
-	// the last snapshot (default 64 MiB); negative disables the signal.
+	// SnapshotBytes signals NeedSnapshot after this many WAL bytes
+	// (summed across shards) since the last checkpoint (default 64 MiB);
+	// negative disables the signal.
 	SnapshotBytes int64
+	// Shards is the number of independent WAL segment chains. Records
+	// are routed by table-group key: the empty group (metadata) always
+	// lands on shard 0, named groups spread over the rest. Each shard
+	// has its own group-commit clock, so groups on different shards
+	// fsync in parallel. 0 or 1 means a single chain; values above 100
+	// are clamped (the segment filename format holds two shard digits).
+	Shards int
+	// ShardOf overrides the default hash router: it maps a non-empty
+	// group key to a shard index. Returning an out-of-range index (e.g.
+	// -1 for "unknown table") falls back to shard 0. It must be a pure
+	// function, stable across restarts.
+	ShardOf func(group string) int
+	// CompactEvery forces a full checkpoint (every live section
+	// rewritten, superseding all deltas) after this many incremental
+	// checkpoints (default 8). A full checkpoint lets the prune step
+	// reclaim the whole delta chain.
+	CompactEvery int
+	// ChunkBytes is the spill threshold of the streaming checkpoint
+	// encoder: sections are written as chunks of roughly this size, so
+	// checkpoint memory stays bounded regardless of section size
+	// (default 256 KiB).
+	ChunkBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -40,69 +65,184 @@ func (o Options) withDefaults() Options {
 	if o.SnapshotBytes == 0 {
 		o.SnapshotBytes = 64 << 20
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.Shards > 100 {
+		o.Shards = 100 // wal-<shard>- carries two digits: ids 0..99
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = 8
+	}
+	if o.ChunkBytes <= 0 {
+		o.ChunkBytes = 256 << 10
+	}
 	return o
 }
 
-// Record is one typed WAL record.
+// Record is one typed WAL record. LSN is its global log sequence number:
+// unique and totally ordered across shards, assigned at append time.
 type Record struct {
+	LSN     int64
 	Type    byte
 	Payload []byte
 }
 
-// Recovery reports what Open found on disk.
+// Recovery reports what Open found on disk: the newest loadable
+// checkpoint (manifest plus the delta files it references), exposed as
+// named sections, and the merged WAL tail after it.
 type Recovery struct {
-	// Snapshot is the payload of the newest valid snapshot, nil if none.
-	Snapshot []byte
-	// Records is the WAL tail after that snapshot, in append order.
+	// Manifest is true when a checkpoint was loaded; its sections are
+	// read with ReadSection.
+	Manifest bool
+	// Records is the WAL tail after the checkpoint, all shards merged
+	// into global-LSN order.
 	Records []Record
-	// TailCorrupt is true when replay stopped at a torn or corrupt
-	// frame: Records is the consistent prefix before it.
+	// TailCorrupt is true when at least one shard's replay stopped at a
+	// torn or corrupt frame (or an unreachable segment beyond a gap):
+	// Records holds the consistent per-shard prefixes before that.
 	TailCorrupt bool
-	// SnapshotFallback is true when a newer snapshot file existed but
-	// failed validation and an older one was used instead.
+	// SnapshotFallback is true when a newer manifest existed but failed
+	// validation and an older checkpoint was used instead.
 	SnapshotFallback bool
+
+	dir      string
+	sections map[string]sectionRef
+	order    []string
+}
+
+type sectionRef struct {
+	fileSeq int64
+	offset  int64
+}
+
+// SectionNames returns the checkpoint's section names in manifest
+// (declaration) order.
+func (r *Recovery) SectionNames() []string { return r.order }
+
+// HasSection reports whether the checkpoint holds a section.
+func (r *Recovery) HasSection(name string) bool {
+	_, ok := r.sections[name]
+	return ok
+}
+
+// ReadSection reads and validates one section's payload, returning a
+// decoder over it. Sections are read one at a time, so recovery memory
+// is bounded by the largest single section, not the checkpoint.
+func (r *Recovery) ReadSection(name string) (*Decoder, error) {
+	ref, ok := r.sections[name]
+	if !ok {
+		return nil, fmt.Errorf("store: checkpoint has no section %q", name)
+	}
+	payload, err := readSectionPayload(ckptPath(r.dir, ref.fileSeq), ref.offset)
+	if err != nil {
+		return nil, err
+	}
+	return NewDecoder(payload), nil
 }
 
 // ErrCrashed is returned by operations on a store after Crash.
 var ErrCrashed = errors.New("store: store has crashed")
 
-// Store is an open persistence directory: one active WAL segment plus
-// the snapshot history. Safe for concurrent use.
+// Store is an open persistence directory: Options.Shards WAL segment
+// chains plus the manifest-rooted checkpoint history. Safe for
+// concurrent use.
 type Store struct {
 	dir  string
 	opts Options
 
-	mu           sync.Mutex
-	cond         *sync.Cond
-	w            *walWriter
-	seq          int64 // sequence number of the active segment
-	lsn          int64 // total bytes appended
-	synced       int64 // LSN known durable
-	syncing      bool  // a leader is fsyncing outside the lock
-	snapshotting bool  // a WriteSnapshot build is running outside the lock
-	walSince     int64 // WAL bytes since the last snapshot
-	snapped      bool  // NeedSnapshot already signalled for this interval
-	dead         bool
-	closed       bool
+	lsn    atomic.Int64 // global record sequence number
+	shards []*shard
 
+	walSince atomic.Int64 // WAL bytes since the last checkpoint
+	snapped  atomic.Bool  // NeedSnapshot already signalled this interval
 	needSnap chan struct{}
 
+	// ckptMu serializes checkpoints and guards the fields below.
+	ckptMu    sync.Mutex
+	manifest  *manifest
+	ckptSeq   int64
+	sinceFull int
+	lastCkpt  CheckpointStats
+	// orphans maps shard ids outside the active range (a previous run
+	// used more shards) to their highest on-disk segment seq. Their
+	// records were recovered at Open; the next checkpoint covers and
+	// prunes them.
+	orphans map[int]int64
+
+	stateMu sync.Mutex
+	dead    bool
+	closed  bool
+
+	stopOnce  sync.Once
 	flushStop chan struct{}
 	flushDone chan struct{}
 }
 
-func segPath(dir string, seq int64) string {
-	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", seq))
+func parseSeqName(name, prefix, suffix string, seq *int64) bool {
+	if len(name) != len(prefix)+8+len(suffix) ||
+		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
+		return false
+	}
+	n, err := fmt.Sscanf(name[len(prefix):len(prefix)+8], "%d", seq)
+	return err == nil && n == 1
 }
 
-func snapPath(dir string, seq int64) string {
-	return filepath.Join(dir, fmt.Sprintf("snap-%08d.snap", seq))
+// parseSegName parses wal-<shard>-<seq>.log.
+func parseSegName(name string, id *int, seq *int64) bool {
+	if len(name) != len("wal-")+2+1+8+len(".log") || name[:4] != "wal-" || name[6] != '-' ||
+		name[len(name)-4:] != ".log" {
+		return false
+	}
+	var shardID int64
+	n, err := fmt.Sscanf(name[4:6], "%d", &shardID)
+	if err != nil || n != 1 {
+		return false
+	}
+	n, err = fmt.Sscanf(name[7:15], "%d", seq)
+	if err != nil || n != 1 {
+		return false
+	}
+	*id = int(shardID)
+	return true
+}
+
+// errBadWALRecord marks a store-level record parse failure (missing LSN
+// or type byte, or non-monotonic LSN) inside a frame whose checksum
+// validated; recovery treats it exactly like a torn tail.
+var errBadWALRecord = errors.New("store: malformed WAL record")
+
+// truncateFile durably truncates a file to n bytes.
+func truncateFile(path string, n int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(n); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Open opens (creating if needed) a persistence directory, recovers the
-// newest valid snapshot plus the WAL tail after it, and starts a fresh
-// segment for new appends. The possibly-torn previous tail segment is
-// never appended to again.
+// newest valid checkpoint (manifest + base + deltas) plus the merged
+// sharded-WAL tail after it, and starts fresh segments for new appends.
+// Possibly-torn previous tail segments are never appended to again.
+//
+// Recovery layers, in order: the manifest names every live section and
+// the delta file holding it; sections load the checkpointed state; then
+// each shard's WAL tail replays its consistent prefix, all shards merged
+// into global-LSN order. A torn tail on one shard drops only that
+// shard's unsynced suffix (reported via TailCorrupt). A manifest whose
+// referenced delta file is missing is a hard error — loading a partial
+// checkpoint and calling it recovered would be silent data loss — while
+// a corrupt newest manifest or delta falls back to the previous
+// checkpoint.
 func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -112,104 +252,258 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var walSeqs, snapSeqs []int64
-	maxSeq := int64(0)
+	walFiles := make(map[int][]int64)
+	var manifestSeqs []int64
+	maxCkptSeq := int64(0)
 	for _, e := range entries {
 		var seq int64
+		var id int
 		switch {
-		case fileSeq(e.Name(), "wal-", ".log", &seq):
-			walSeqs = append(walSeqs, seq)
-		case fileSeq(e.Name(), "snap-", ".snap", &seq):
-			snapSeqs = append(snapSeqs, seq)
-		default:
-			continue
-		}
-		if seq > maxSeq {
-			maxSeq = seq
+		case parseSegName(e.Name(), &id, &seq):
+			walFiles[id] = append(walFiles[id], seq)
+		case parseSeqName(e.Name(), "manifest-", ".mf", &seq):
+			manifestSeqs = append(manifestSeqs, seq)
+			if seq > maxCkptSeq {
+				maxCkptSeq = seq
+			}
+		case parseSeqName(e.Name(), "ckpt-", ".sec", &seq):
+			if seq > maxCkptSeq {
+				maxCkptSeq = seq
+			}
+		case parseSeqName(e.Name(), "wal-", ".log", &seq), parseSeqName(e.Name(), "snap-", ".snap", &seq):
+			// The pre-sharding layout (wal-<seq>.log + snap-<seq>.snap).
+			// Opening it as an empty store would silently discard the
+			// deployment's history; refuse instead.
+			return nil, nil, fmt.Errorf("store: %s holds the legacy unsharded layout (found %s), which this version cannot read; recover it with the previous release or start a fresh directory", dir, e.Name())
 		}
 	}
-	sort.Slice(walSeqs, func(i, j int) bool { return walSeqs[i] < walSeqs[j] })
-	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] > snapSeqs[j] })
+	sort.Slice(manifestSeqs, func(i, j int) bool { return manifestSeqs[i] > manifestSeqs[j] })
 
-	rec := &Recovery{}
-	snapSeq := int64(-1)
-	var snapErr error
-	for i, seq := range snapSeqs {
-		payload, err := readSnapshotFile(snapPath(dir, seq))
+	rec := &Recovery{dir: dir}
+	var mf *manifest
+	var mfErr error
+	for i, seq := range manifestSeqs {
+		m, err := readManifestFile(manifestPath(dir, seq))
 		if err != nil {
-			snapErr = err
+			mfErr = err
 			continue
 		}
-		rec.Snapshot = payload
-		snapSeq = seq
+		sections, order, err := indexSections(dir, m)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return nil, nil, fmt.Errorf("store: manifest %d references a missing checkpoint file: %w", seq, err)
+			}
+			mfErr = err
+			continue
+		}
+		mf = m
+		rec.Manifest = true
+		rec.sections = sections
+		rec.order = order
 		rec.SnapshotFallback = i > 0
 		break
 	}
-	if rec.Snapshot == nil && snapErr != nil {
-		// Snapshots existed but none validates: refusing to run from a
+	if mf == nil && mfErr != nil {
+		// Checkpoints existed but none validates: refusing to run from a
 		// silently wrong base state beats inventing one.
-		return nil, nil, snapErr
+		return nil, nil, mfErr
 	}
 
-	// Replay the consecutive run of segments after the chosen snapshot.
-	// Segment sequence numbers are allocated densely (a snapshot shares
-	// the number of the segment it finalized), so a missing segment in
-	// the run is a gap — typically segments pruned by a newer snapshot
-	// that later failed validation — and everything past it was appended
-	// against state this recovery does not have. Stopping there keeps
-	// the recovered stream a true prefix; TailCorrupt reports that
-	// later records exist but are unreachable.
-	haveSeg := make(map[int64]bool, len(walSeqs))
-	for _, seq := range walSeqs {
-		haveSeg[seq] = true
+	// Replay each shard's consecutive run of segments after the
+	// checkpoint's per-shard boundary, then merge by global LSN. A
+	// missing segment inside a shard's run is a gap — typically segments
+	// pruned by a newer checkpoint whose manifest later failed
+	// validation — and everything past it was appended against state
+	// this recovery does not have; stopping there keeps each shard's
+	// recovered stream a true prefix.
+	maxLSN := int64(0)
+	if mf != nil {
+		maxLSN = mf.maxLSN
 	}
-	start := snapSeq + 1
-	if snapSeq < 0 && len(walSeqs) > 0 {
-		start = walSeqs[0]
-	}
-	next := start
-	for ; haveSeg[next] && !rec.TailCorrupt; next++ {
-		clean, err := readSegment(segPath(dir, next), func(payload []byte) error {
-			p := make([]byte, len(payload)-1)
-			copy(p, payload[1:])
-			rec.Records = append(rec.Records, Record{Type: payload[0], Payload: p})
-			return nil
-		})
-		if err != nil {
-			return nil, nil, err
+	perShard := make(map[int][]Record)
+	shardIDs := make([]int, 0, len(walFiles))
+	for id, seqs := range walFiles {
+		shardIDs = append(shardIDs, id)
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		bound := int64(-1)
+		if mf != nil {
+			if b, ok := mf.bounds[id]; ok {
+				bound = b
+			}
 		}
-		if !clean {
+		next := bound + 1
+		if bound < 0 {
+			next = seqs[0]
+		}
+		have := make(map[int64]bool, len(seqs))
+		for _, seq := range seqs {
+			have[seq] = true
+		}
+		var recs []Record
+		corrupt := false
+		prevLSN := int64(0)
+		tornSeg, tornLen := int64(-1), int64(0)
+		for have[next] && !corrupt {
+			validLen, clean, err := readSegment(segName(dir, id, next), func(payload []byte) error {
+				lsn, k := binary.Uvarint(payload)
+				if k <= 0 || k >= len(payload) || int64(lsn) <= prevLSN {
+					return errBadWALRecord
+				}
+				prevLSN = int64(lsn)
+				p := make([]byte, len(payload)-k-1)
+				copy(p, payload[k+1:])
+				recs = append(recs, Record{LSN: int64(lsn), Type: payload[k], Payload: p})
+				return nil
+			})
+			if err != nil && !errors.Is(err, errBadWALRecord) {
+				return nil, nil, err
+			}
+			if err != nil || !clean {
+				corrupt = true
+				tornSeg, tornLen = next, validLen
+				break
+			}
+			next++
+		}
+		if !corrupt && seqs[len(seqs)-1] >= next {
+			corrupt = true // unreachable segments beyond a gap
+		}
+		if corrupt {
 			rec.TailCorrupt = true
 		}
+		// A torn frame in the newest segment of a shard's chain is the
+		// ordinary crash tail. Truncate the file to its valid prefix so
+		// the chain stays appendable: without this, records fsynced into
+		// segments started after this recovery would sit beyond the torn
+		// frame and a second recovery would never reach them. A torn
+		// frame with later segments present is different — rotation
+		// fsyncs a segment before starting the next, so that is real
+		// corruption and replay stops without touching the file.
+		if tornSeg >= 0 && tornSeg == seqs[len(seqs)-1] {
+			if err := truncateFile(segName(dir, id, tornSeg), tornLen); err != nil {
+				return nil, nil, fmt.Errorf("store: neutralizing torn tail of shard %d: %w", id, err)
+			}
+		}
+		if prevLSN > maxLSN {
+			maxLSN = prevLSN
+		}
+		perShard[id] = recs
 	}
-	if !rec.TailCorrupt && len(walSeqs) > 0 && walSeqs[len(walSeqs)-1] >= next {
-		rec.TailCorrupt = true // unreachable segments beyond a gap
-	}
+	sort.Ints(shardIDs)
+	rec.Records = mergeByLSN(perShard, shardIDs)
 
 	s := &Store{
 		dir:       dir,
 		opts:      opts,
-		seq:       maxSeq + 1,
+		manifest:  mf,
+		ckptSeq:   maxCkptSeq + 1,
 		needSnap:  make(chan struct{}, 1),
+		orphans:   make(map[int]int64),
 		flushStop: make(chan struct{}),
 		flushDone: make(chan struct{}),
 	}
-	s.cond = sync.NewCond(&s.mu)
-	s.w, err = openSegment(segPath(dir, s.seq))
-	if err != nil {
-		return nil, nil, err
+	s.lsn.Store(maxLSN)
+	for id, seqs := range walFiles {
+		if id >= opts.Shards {
+			s.orphans[id] = seqs[len(seqs)-1]
+		}
+	}
+	s.shards = make([]*shard, opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		start := int64(1)
+		if seqs := walFiles[i]; len(seqs) > 0 {
+			start = seqs[len(seqs)-1] + 1
+		}
+		if mf != nil {
+			if b, ok := mf.bounds[i]; ok && b+1 > start {
+				start = b + 1
+			}
+		}
+		sh, err := newShard(i, dir, opts, start)
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.crash()
+			}
+			return nil, nil, err
+		}
+		s.shards[i] = sh
+	}
+	if opts.Shards > 1 {
+		// Rotating the metadata shard flushes and fsyncs its whole
+		// buffer; sync the data shards first so the rotation cannot make
+		// a metadata record durable ahead of its table records (the same
+		// barrier syncAll enforces on the periodic path).
+		s.shards[0].preRotate = func() error {
+			for i := 1; i < len(s.shards); i++ {
+				sh := s.shards[i]
+				sh.mu.Lock()
+				extent := sh.appended
+				sh.mu.Unlock()
+				if err := sh.syncUpTo(extent, false); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
 	}
 	go s.flusher()
 	return s, rec, nil
 }
 
-func fileSeq(name, prefix, suffix string, seq *int64) bool {
-	if len(name) != len(prefix)+8+len(suffix) ||
-		name[:len(prefix)] != prefix || name[len(name)-len(suffix):] != suffix {
-		return false
+// indexSections validates every checkpoint file a manifest references —
+// frame CRCs, per-section CRCs, trailer counts — and resolves each
+// manifest section to its file offset. A missing file surfaces as
+// os.ErrNotExist; a manifest entry absent from its file is ErrCorrupt.
+func indexSections(dir string, m *manifest) (map[string]sectionRef, []string, error) {
+	offsets := make(map[int64]map[string]int64)
+	for fileSeq := range m.fileRefs() {
+		offs, err := validateSectionFile(ckptPath(dir, fileSeq))
+		if err != nil {
+			return nil, nil, err
+		}
+		offsets[fileSeq] = offs
 	}
-	n, err := fmt.Sscanf(name[len(prefix):len(prefix)+8], "%d", seq)
-	return err == nil && n == 1
+	sections := make(map[string]sectionRef, len(m.sections))
+	order := make([]string, 0, len(m.sections))
+	for _, s := range m.sections {
+		off, ok := offsets[s.fileSeq][s.name]
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: manifest section %q missing from checkpoint %d", ErrCorrupt, s.name, s.fileSeq)
+		}
+		sections[s.name] = sectionRef{fileSeq: s.fileSeq, offset: off}
+		order = append(order, s.name)
+	}
+	return sections, order, nil
+}
+
+// mergeByLSN merges per-shard record streams (each already
+// LSN-monotonic) into one globally ordered stream.
+func mergeByLSN(perShard map[int][]Record, ids []int) []Record {
+	total := 0
+	for _, recs := range perShard {
+		total += len(recs)
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make([]Record, 0, total)
+	idx := make(map[int]int, len(ids))
+	for len(out) < total {
+		best := -1
+		var bestLSN int64
+		for _, id := range ids {
+			i := idx[id]
+			if i >= len(perShard[id]) {
+				continue
+			}
+			if best < 0 || perShard[id][i].LSN < bestLSN {
+				best, bestLSN = id, perShard[id][i].LSN
+			}
+		}
+		out = append(out, perShard[best][idx[best]])
+		idx[best]++
+	}
+	return out
 }
 
 // Dir returns the persistence directory.
@@ -217,120 +511,103 @@ func (s *Store) Dir() string { return s.dir }
 
 // Dead reports whether the store has crashed (Crash was called).
 func (s *Store) Dead() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	return s.dead
 }
 
-// NeedSnapshot signals (at most once per snapshot interval) that the WAL
-// has grown past Options.SnapshotBytes and a checkpoint would bound
+// NeedSnapshot signals (at most once per checkpoint interval) that the
+// WAL has grown past Options.SnapshotBytes and a checkpoint would bound
 // recovery time.
 func (s *Store) NeedSnapshot() <-chan struct{} { return s.needSnap }
 
-// WALBytesSinceSnapshot returns the bytes appended since the last
-// snapshot (or since Open).
-func (s *Store) WALBytesSinceSnapshot() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.walSince
+// WALBytesSinceSnapshot returns the bytes appended across all shards
+// since the last checkpoint (or since Open).
+func (s *Store) WALBytesSinceSnapshot() int64 { return s.walSince.Load() }
+
+// Append writes one typed record to shard 0, the metadata shard. With
+// SyncEveryAppend it returns once the record is durable; otherwise the
+// record becomes durable within GroupWindow.
+func (s *Store) Append(typ byte, payload []byte) error {
+	return s.AppendGroup("", typ, payload)
 }
 
-// Append writes one typed record to the WAL. With SyncEveryAppend it
-// returns once the record is durable; otherwise the record becomes
-// durable within GroupWindow.
-func (s *Store) Append(typ byte, payload []byte) error {
-	frame := make([]byte, 1+len(payload))
-	frame[0] = typ
-	copy(frame[1:], payload)
-
-	s.mu.Lock()
-	if s.dead || s.closed {
-		s.mu.Unlock()
+// AppendGroup writes one typed record to the shard its table-group key
+// routes to. Records within one group always share a shard, so their
+// relative order is preserved by that shard's file order; cross-group
+// order is preserved by the global LSN each record carries.
+func (s *Store) AppendGroup(group string, typ byte, payload []byte) error {
+	sh := s.shards[s.shardOf(group)]
+	sh.mu.Lock()
+	if sh.dead || sh.closed {
+		sh.mu.Unlock()
 		return ErrCrashed
 	}
-	if err := s.w.append(frame); err != nil {
-		s.mu.Unlock()
+	// The LSN is assigned under the shard lock, so each shard's file
+	// order is LSN-monotonic — the invariant recovery's merge relies on.
+	lsn := s.lsn.Add(1)
+	frame := make([]byte, 0, binary.MaxVarintLen64+1+len(payload))
+	frame = binary.AppendUvarint(frame, uint64(lsn))
+	frame = append(frame, typ)
+	frame = append(frame, payload...)
+	target, err := sh.append(frame)
+	if err != nil {
+		sh.mu.Unlock()
 		return err
 	}
 	n := int64(frameHeaderLen + len(frame))
-	s.lsn += n
-	s.walSince += n
-	target := s.lsn
-	if s.opts.SnapshotBytes > 0 && s.walSince >= s.opts.SnapshotBytes && !s.snapped {
-		s.snapped = true
+	since := s.walSince.Add(n)
+	if s.opts.SnapshotBytes > 0 && since >= s.opts.SnapshotBytes &&
+		s.snapped.CompareAndSwap(false, true) {
 		select {
 		case s.needSnap <- struct{}{}:
 		default:
 		}
 	}
-	if s.w.size >= s.opts.SegmentBytes {
-		if err := s.rotateLocked(); err != nil {
-			s.mu.Unlock()
-			return err
-		}
-	}
-	var err error
 	if s.opts.SyncEveryAppend {
-		err = s.waitSyncedLocked(target)
+		err = sh.waitSyncedLocked(target)
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	return err
 }
 
-// waitSyncedLocked blocks until LSN target is durable, acting as the
-// group-commit leader when no sync is in flight. Called with s.mu held.
-func (s *Store) waitSyncedLocked(target int64) error {
-	for s.synced < target {
-		if s.dead || s.closed {
-			return ErrCrashed
-		}
-		if s.syncing {
-			s.cond.Wait()
-			continue
-		}
-		// Leader: flush the shared buffer under the lock (a memory
-		// copy), fsync outside it so followers keep appending frames
-		// that ride the next sync.
-		s.syncing = true
-		lsn := s.lsn
-		if err := s.w.flush(); err != nil {
-			s.syncing = false
-			s.cond.Broadcast()
-			return err
-		}
-		f := s.w.f
-		s.mu.Unlock()
-		err := f.Sync()
-		s.mu.Lock()
-		s.syncing = false
-		if err == nil && lsn > s.synced {
-			s.synced = lsn
-		}
-		s.cond.Broadcast()
-		if err != nil {
+// Sync makes every record appended before the call durable, on every
+// shard.
+func (s *Store) Sync() error { return s.syncAll(false) }
+
+// syncAll is the single durability pass every fsync path shares (Sync,
+// the flusher; segment rotation runs the same barrier via preRotate).
+// It captures the metadata shard's extent first, syncs the data shards,
+// then syncs shard 0 up to the captured extent — as a prefix flush, so
+// nothing beyond it reaches the OS. Why this ordering holds: a metadata
+// record (say, a history action) is appended after the table records it
+// describes; if it falls within shard 0's captured extent, its records
+// fall within the data shards' later-captured extents and are durable
+// by the time shard 0 syncs. A crash anywhere in the pass can therefore
+// never keep a metadata record while losing its prerequisites — the
+// residual window is the harmless inverse (table records durable, their
+// metadata not yet: unattributed row versions, the analog of redo past
+// the commit point).
+func (s *Store) syncAll(quiet bool) error {
+	extents := s.captureExtents()
+	for i := 1; i < len(s.shards); i++ {
+		if err := s.shards[i].syncUpTo(extents[i], quiet); err != nil {
 			return err
 		}
 	}
-	return nil
+	return s.shards[0].syncUpTo(extents[0], quiet)
 }
 
-// Sync makes every appended record durable before returning.
-func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.dead || s.closed {
-		return ErrCrashed
+// captureExtents snapshots every shard's appended byte count, shard 0
+// first (the ordering syncAll's causality argument relies on).
+func (s *Store) captureExtents() []int64 {
+	extents := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		extents[i] = sh.appended
+		sh.mu.Unlock()
 	}
-	return s.waitSyncedLocked(s.lsn)
-}
-
-// syncQuietly is the flusher's periodic fsync.
-func (s *Store) syncQuietly() {
-	s.mu.Lock()
-	if !s.dead && !s.closed && s.synced < s.lsn {
-		_ = s.waitSyncedLocked(s.lsn)
-	}
-	s.mu.Unlock()
+	return extents
 }
 
 func (s *Store) flusher() {
@@ -342,112 +619,227 @@ func (s *Store) flusher() {
 		case <-s.flushStop:
 			return
 		case <-tick.C:
-			s.syncQuietly()
+			_ = s.syncAll(true)
 		}
 	}
 }
 
-// rotateLocked finalizes the active segment and starts the next one.
-// Called with s.mu held and no sync in flight or after waiting one out.
-func (s *Store) rotateLocked() error {
-	for s.syncing {
-		s.cond.Wait()
-	}
-	if s.dead || s.closed {
-		return ErrCrashed
-	}
-	if err := s.w.close(); err != nil {
-		return err
-	}
-	s.synced = s.lsn
-	s.seq++
-	w, err := openSegment(segPath(s.dir, s.seq))
-	if err != nil {
-		return err
-	}
-	s.w = w
-	s.cond.Broadcast()
-	return nil
+// CheckpointStats describes the last checkpoint written.
+type CheckpointStats struct {
+	// Seq is the checkpoint's sequence number.
+	Seq int64
+	// Full is true when every section was rewritten (no deltas carried).
+	Full bool
+	// Written lists the sections written into this checkpoint's delta
+	// file; Kept lists the sections carried forward by reference.
+	Written []string
+	Kept    []string
+	// Bytes is the size of the delta file written.
+	Bytes int64
 }
 
-// WriteSnapshot rotates the WAL, builds a snapshot payload with the
-// given encoder function, atomically installs it, and prunes superseded
-// WAL segments and older snapshots.
+// LastCheckpoint returns statistics for the most recent successful
+// checkpoint of this store instance.
+func (s *Store) LastCheckpoint() CheckpointStats {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.lastCkpt
+}
+
+// CheckpointWriter receives a checkpoint's sections. For every live
+// section the builder either writes it (Section) or carries the
+// previous checkpoint's copy forward (Keep); sections it does neither
+// for cease to exist. Keep fails — forcing a write — when there is no
+// previous checkpoint, when the section is new, or when the store has
+// decided this checkpoint is a full compaction.
+type CheckpointWriter struct {
+	st        *Store
+	fw        *sectionFileWriter
+	fileSeq   int64
+	allowKeep bool
+	prevSecs  map[string]int64
+
+	enc      *Encoder
+	sections []manifestSection
+	written  []string
+	kept     []string
+	err      error
+}
+
+// Section begins a new section and returns its streaming encoder, valid
+// until the next Section call (or the end of the build). The encoder
+// spills chunks of Options.ChunkBytes to disk as it grows, so encoding
+// a section of any size uses bounded memory.
+func (cw *CheckpointWriter) Section(name string) *Encoder {
+	cw.closeSection()
+	if cw.err == nil {
+		if err := cw.fw.begin(name); err != nil {
+			cw.err = err
+		}
+	}
+	cw.sections = append(cw.sections, manifestSection{name: name, fileSeq: cw.fileSeq})
+	cw.written = append(cw.written, name)
+	cw.enc = newStreamEncoder(cw.st.opts.ChunkBytes, func(b []byte) error {
+		if cw.err != nil {
+			return cw.err
+		}
+		if err := cw.fw.chunk(b); err != nil {
+			cw.err = err
+			return err
+		}
+		return nil
+	})
+	return cw.enc
+}
+
+// Keep carries a section forward from the previous checkpoint by
+// reference. It reports false when the caller must write the section
+// instead.
+func (cw *CheckpointWriter) Keep(name string) bool {
+	if !cw.allowKeep {
+		return false
+	}
+	fileSeq, ok := cw.prevSecs[name]
+	if !ok {
+		return false
+	}
+	cw.sections = append(cw.sections, manifestSection{name: name, fileSeq: fileSeq})
+	cw.kept = append(cw.kept, name)
+	return true
+}
+
+func (cw *CheckpointWriter) closeSection() {
+	if cw.enc == nil {
+		return
+	}
+	cw.enc.flush()
+	if err := cw.enc.spillErr(); err != nil && cw.err == nil {
+		cw.err = err
+	}
+	cw.enc = nil
+}
+
+// WriteCheckpoint rotates every WAL shard, streams the sections the
+// build function emits into a new delta file, and atomically installs a
+// manifest referencing them plus any sections carried forward. It then
+// prunes WAL segments, delta files, and manifests the new checkpoint
+// superseded. Incremental checkpoints write only what the builder
+// chooses to; every Options.CompactEvery-th checkpoint refuses Keep,
+// forcing a full rewrite that lets the whole prior delta chain go.
 //
 // The caller must quiesce mutators for the duration of the call: every
-// state change that is WAL-logged must either be fully reflected in the
-// encoded payload or append only after the rotation point. The store
-// lock is NOT held while build runs — the builder typically takes the
-// application's own locks, which concurrent appenders hold while
-// calling Append, so holding the store lock across build would invert
-// that order and deadlock. Appends that race the build (e.g. visit-log
+// state change that is WAL-logged must either be fully reflected in an
+// emitted (or kept) section or append only after the rotation point. No
+// store locks are held while build runs — the builder typically takes
+// the application's own locks, which concurrent appenders hold while
+// calling Append, so holding store locks across build would invert that
+// order and deadlock. Appends that race the build (e.g. visit-log
 // upserts, which are idempotent) land in post-rotation segments and
-// replay over the snapshot.
-func (s *Store) WriteSnapshot(build func(*Encoder) error) error {
-	s.mu.Lock()
-	for s.syncing || s.snapshotting {
-		if s.dead || s.closed {
-			s.mu.Unlock()
-			return ErrCrashed
-		}
-		s.cond.Wait()
-	}
-	if s.dead || s.closed {
-		s.mu.Unlock()
-		return ErrCrashed
-	}
+// replay over the checkpoint.
+func (s *Store) WriteCheckpoint(build func(*CheckpointWriter) error) error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
 	// Rotate first: records appended after this point land in segments
-	// that survive the prune and replay over the new snapshot.
-	if err := s.rotateLocked(); err != nil {
-		s.mu.Unlock()
-		return err
+	// that survive the prune and replay over the new checkpoint. Data
+	// shards rotate (and so fsync) before the metadata shard, keeping
+	// syncAll's causal order; shard 0's preRotate barrier then finds
+	// them already durable.
+	bounds := make(map[int]int64)
+	for i := 1; i < len(s.shards); i++ {
+		fin, err := s.shards[i].rotate()
+		if err != nil {
+			return err
+		}
+		bounds[i] = fin
 	}
-	snapSeq := s.seq - 1 // between the finalized segment and the new one
-	coveredWAL := s.walSince
-	s.snapshotting = true
-	s.mu.Unlock()
-
-	enc := NewEncoder()
-	err := build(enc)
-	if err == nil {
-		err = writeSnapshotFile(snapPath(s.dir, snapSeq), enc.Bytes())
-	}
-
-	s.mu.Lock()
-	s.snapshotting = false
-	if err == nil {
-		// Bytes appended during the build belong to post-rotation
-		// segments the snapshot does not cover; keep counting them.
-		s.walSince -= coveredWAL
-		s.snapped = false
-	}
-	s.cond.Broadcast()
-	s.mu.Unlock()
+	fin, err := s.shards[0].rotate()
 	if err != nil {
 		return err
 	}
+	bounds[0] = fin
+	// Orphan shards (a previous run used more shards): their records
+	// were recovered at Open and are part of the state being
+	// checkpointed, so the checkpoint covers them entirely.
+	for id, maxSeq := range s.orphans {
+		bounds[id] = maxSeq
+	}
+	covered := s.walSince.Load()
+	lsnAt := s.lsn.Load()
+	seq := s.ckptSeq
+	s.ckptSeq++
+	full := s.manifest == nil || s.sinceFull >= s.opts.CompactEvery
 
-	// Prune outside the lock: recovery correctness does not depend on
-	// it, only disk usage does.
-	s.prune(snapSeq)
+	fw, err := newSectionFileWriter(ckptPath(s.dir, seq))
+	if err != nil {
+		return err
+	}
+	cw := &CheckpointWriter{st: s, fw: fw, fileSeq: seq, allowKeep: !full}
+	if !full {
+		cw.prevSecs = make(map[string]int64, len(s.manifest.sections))
+		for _, sec := range s.manifest.sections {
+			cw.prevSecs[sec.name] = sec.fileSeq
+		}
+	}
+	err = build(cw)
+	cw.closeSection()
+	if err == nil {
+		err = cw.err
+	}
+	if err != nil {
+		fw.abort()
+		return err
+	}
+	if err := fw.finish(); err != nil {
+		return err
+	}
+	m := &manifest{seq: seq, maxLSN: lsnAt, bounds: bounds, sections: cw.sections}
+	if err := writeManifestFile(s.dir, m); err != nil {
+		return err
+	}
+	s.manifest = m
+	if len(cw.kept) == 0 {
+		s.sinceFull = 0
+	} else {
+		s.sinceFull++
+	}
+	s.walSince.Add(-covered)
+	s.snapped.Store(false)
+	s.orphans = map[int]int64{}
+	s.lastCkpt = CheckpointStats{
+		Seq: seq, Full: len(cw.kept) == 0,
+		Written: cw.written, Kept: cw.kept, Bytes: fw.off,
+	}
+
+	// Prune outside any append path: recovery correctness does not
+	// depend on it, only disk usage does.
+	s.prune()
 	return nil
 }
 
-// prune removes WAL segments and snapshots superseded by snapshot seq.
-func (s *Store) prune(snapSeq int64) {
+// prune removes WAL segments, checkpoint files, and manifests the
+// current manifest has superseded. Called with ckptMu held.
+func (s *Store) prune() {
+	m := s.manifest
+	refs := m.fileRefs()
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
 	for _, e := range entries {
 		var seq int64
+		var id int
 		switch {
-		case fileSeq(e.Name(), "wal-", ".log", &seq):
-			if seq <= snapSeq {
+		case parseSegName(e.Name(), &id, &seq):
+			if bound, ok := m.bounds[id]; ok && seq <= bound {
 				_ = os.Remove(filepath.Join(s.dir, e.Name()))
 			}
-		case fileSeq(e.Name(), "snap-", ".snap", &seq):
-			if seq < snapSeq {
+		case parseSeqName(e.Name(), "ckpt-", ".sec", &seq):
+			if !refs[seq] && seq < m.seq {
+				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		case parseSeqName(e.Name(), "manifest-", ".mf", &seq):
+			if seq < m.seq {
 				_ = os.Remove(filepath.Join(s.dir, e.Name()))
 			}
 		}
@@ -455,46 +847,46 @@ func (s *Store) prune(snapSeq int64) {
 	_ = syncDir(s.dir)
 }
 
-// Close flushes and fsyncs the WAL and releases the store. Closing a
-// crashed store is a no-op.
+// Close flushes and fsyncs every shard and releases the store. Closing
+// a crashed store is a no-op.
 func (s *Store) Close() error {
-	s.mu.Lock()
+	s.stateMu.Lock()
 	if s.dead || s.closed {
-		s.mu.Unlock()
-		return nil
-	}
-	for s.syncing {
-		s.cond.Wait()
-	}
-	// Re-check after the wait: a concurrent Close or Crash may have won
-	// the race while the lock was released (double-closing flushStop
-	// would panic).
-	if s.dead || s.closed {
-		s.mu.Unlock()
+		s.stateMu.Unlock()
 		return nil
 	}
 	s.closed = true
-	err := s.w.close()
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	close(s.flushStop)
+	s.stateMu.Unlock()
+	// Data shards close (flush + fsync) before the metadata shard, the
+	// same causal order Sync enforces.
+	var firstErr error
+	for i := 1; i < len(s.shards); i++ {
+		if err := s.shards[i].close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := s.shards[0].close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	s.stopOnce.Do(func() { close(s.flushStop) })
 	<-s.flushDone
-	return err
+	return firstErr
 }
 
 // Crash simulates a process crash: user-space buffers are dropped, the
 // files are abandoned as-is, and every subsequent operation fails with
 // ErrCrashed. What recovery will see is exactly what had reached the OS.
 func (s *Store) Crash() {
-	s.mu.Lock()
+	s.stateMu.Lock()
 	if s.dead || s.closed {
-		s.mu.Unlock()
+		s.stateMu.Unlock()
 		return
 	}
 	s.dead = true
-	s.w.abandon()
-	s.cond.Broadcast()
-	s.mu.Unlock()
-	close(s.flushStop)
+	s.stateMu.Unlock()
+	for _, sh := range s.shards {
+		sh.crash()
+	}
+	s.stopOnce.Do(func() { close(s.flushStop) })
 	<-s.flushDone
 }

@@ -24,6 +24,18 @@ func mustOpen(t *testing.T, dir string, opts Options) (*Store, *Recovery) {
 	return s, rec
 }
 
+// checkpointOne writes a one-section checkpoint, the smallest full cut.
+func checkpointOne(t *testing.T, s *Store, name, payload string) {
+	t.Helper()
+	err := s.WriteCheckpoint(func(cw *CheckpointWriter) error {
+		cw.Section(name).String(payload)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+}
+
 func TestCodecRoundtrip(t *testing.T) {
 	enc := NewEncoder()
 	enc.Int(-42)
@@ -74,10 +86,46 @@ func TestCodecRoundtrip(t *testing.T) {
 	}
 }
 
+func TestStreamEncoderSpills(t *testing.T) {
+	var chunks [][]byte
+	enc := newStreamEncoder(16, func(b []byte) error {
+		chunks = append(chunks, append([]byte{}, b...))
+		return nil
+	})
+	for i := 0; i < 100; i++ {
+		enc.Int(int64(i * 7919))
+		enc.String("some payload data")
+	}
+	enc.flush()
+	if err := enc.spillErr(); err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 10 {
+		t.Fatalf("expected many spilled chunks, got %d", len(chunks))
+	}
+	// Reassembled, the stream must decode exactly.
+	var all []byte
+	for _, c := range chunks {
+		all = append(all, c...)
+	}
+	dec := NewDecoder(all)
+	for i := 0; i < 100; i++ {
+		if v := dec.Int(); v != int64(i*7919) {
+			t.Fatalf("Int %d = %d", i, v)
+		}
+		if v := dec.String(); v != "some payload data" {
+			t.Fatalf("String %d = %q", i, v)
+		}
+	}
+	if err := dec.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWALRoundtrip(t *testing.T) {
 	dir := t.TempDir()
 	s, rec := mustOpen(t, dir, testOpts())
-	if rec.Snapshot != nil || len(rec.Records) != 0 {
+	if rec.Manifest || len(rec.Records) != 0 {
 		t.Fatalf("fresh dir recovered %+v", rec)
 	}
 	var want []Record
@@ -117,7 +165,7 @@ func assertRecords(t *testing.T, got, want []Record, prefixOK bool) {
 	}
 }
 
-func TestSnapshotAndTail(t *testing.T) {
+func TestCheckpointAndTail(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir, testOpts())
 	for i := 0; i < 10; i++ {
@@ -125,13 +173,7 @@ func TestSnapshotAndTail(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	err := s.WriteSnapshot(func(enc *Encoder) error {
-		enc.String("snapshot-state")
-		return nil
-	})
-	if err != nil {
-		t.Fatalf("WriteSnapshot: %v", err)
-	}
+	checkpointOne(t, s, "state", "snapshot-state")
 	var tail []Record
 	for i := 0; i < 5; i++ {
 		r := Record{Type: 2, Payload: []byte(fmt.Sprintf("post-%d", i))}
@@ -146,22 +188,27 @@ func TestSnapshotAndTail(t *testing.T) {
 
 	s2, rec := mustOpen(t, dir, testOpts())
 	defer s2.Close()
-	if rec.Snapshot == nil {
-		t.Fatal("no snapshot recovered")
+	if !rec.Manifest {
+		t.Fatal("no checkpoint recovered")
 	}
-	if v := NewDecoder(rec.Snapshot).String(); v != "snapshot-state" {
-		t.Fatalf("snapshot payload = %q", v)
+	dec, err := rec.ReadSection("state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := dec.String(); v != "snapshot-state" {
+		t.Fatalf("section payload = %q", v)
 	}
 	assertRecords(t, rec.Records, tail, false)
 
-	// The pre-snapshot segment was pruned.
+	// The pre-checkpoint segment was pruned.
 	entries, _ := os.ReadDir(dir)
 	for _, e := range entries {
 		var seq int64
-		if fileSeq(e.Name(), "wal-", ".log", &seq) {
+		var id int
+		if parseSegName(e.Name(), &id, &seq) {
 			data, _ := os.ReadFile(filepath.Join(dir, e.Name()))
 			if bytes.Contains(data, []byte("pre-0")) {
-				t.Fatalf("pre-snapshot records survive in %s", e.Name())
+				t.Fatalf("pre-checkpoint records survive in %s", e.Name())
 			}
 		}
 	}
@@ -187,7 +234,8 @@ func TestSegmentRotation(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	for _, e := range entries {
 		var seq int64
-		if fileSeq(e.Name(), "wal-", ".log", &seq) {
+		var id int
+		if parseSegName(e.Name(), &id, &seq) {
 			segs++
 		}
 	}
@@ -225,9 +273,15 @@ func TestGroupCommitConcurrentAppends(t *testing.T) {
 	if len(rec.Records) != writers*per {
 		t.Fatalf("recovered %d records, want %d", len(rec.Records), writers*per)
 	}
-	// Per-writer order must be preserved.
+	// Per-writer order must be preserved, and the merged stream must be
+	// in strictly increasing LSN order.
 	next := make(map[int]int)
+	prevLSN := int64(0)
 	for _, r := range rec.Records {
+		if r.LSN <= prevLSN {
+			t.Fatalf("record LSN %d not increasing after %d", r.LSN, prevLSN)
+		}
+		prevLSN = r.LSN
 		var g, i int
 		if _, err := fmt.Sscanf(string(r.Payload), "w%d-%d", &g, &i); err != nil {
 			t.Fatalf("bad payload %q", r.Payload)
@@ -306,7 +360,8 @@ func TestCorruptionProperty(t *testing.T) {
 	entries, _ := os.ReadDir(orig)
 	for _, e := range entries {
 		var seq int64
-		if fileSeq(e.Name(), "wal-", ".log", &seq) {
+		var id int
+		if parseSegName(e.Name(), &id, &seq) {
 			info, _ := e.Info()
 			if info.Size() > 0 {
 				walFile = e.Name()
@@ -354,18 +409,68 @@ func TestCorruptionProperty(t *testing.T) {
 	}
 }
 
-// TestSnapshotCorruption: a corrupt snapshot must never load. With no
-// older snapshot Open fails; records appended after the corrupt snapshot
-// must not replay over an older base.
+// TestTornTailNeutralized: a torn tail must not poison the chain. After
+// recovering past a torn last segment, records fsynced by the new
+// instance must survive a second recovery — the torn segment is
+// truncated to its valid prefix so later segments stay reachable.
+func TestTornTailNeutralized(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOpts()
+	s, _ := mustOpen(t, dir, opts)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(1, []byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail mid-frame.
+	path := segName(dir, 0, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec := mustOpen(t, dir, opts)
+	if !rec.TailCorrupt || len(rec.Records) != 4 {
+		t.Fatalf("first recovery: corrupt=%v records=%d, want prefix of 4", rec.TailCorrupt, len(rec.Records))
+	}
+	if err := s2.Append(1, []byte("post-recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s3, rec3 := mustOpen(t, dir, opts)
+	defer s3.Close()
+	if rec3.TailCorrupt {
+		t.Fatal("second recovery still reports the neutralized torn tail")
+	}
+	got := make([]string, 0, len(rec3.Records))
+	for _, r := range rec3.Records {
+		got = append(got, string(r.Payload))
+	}
+	want := []string{"old-0", "old-1", "old-2", "old-3", "post-recovery"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("second recovery lost acknowledged records: %v, want %v", got, want)
+	}
+}
+
+// TestSnapshotCorruption: a corrupt checkpoint must never load. With no
+// older checkpoint Open fails; records appended after the corrupt
+// checkpoint must not replay over an older base.
 func TestSnapshotCorruption(t *testing.T) {
 	dir := t.TempDir()
 	s, _ := mustOpen(t, dir, testOpts())
 	if err := s.Append(1, []byte("pre")); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.WriteSnapshot(func(enc *Encoder) error { enc.String("state"); return nil }); err != nil {
-		t.Fatal(err)
-	}
+	checkpointOne(t, s, "state", "state-payload")
 	if err := s.Append(1, []byte("post")); err != nil {
 		t.Fatal(err)
 	}
@@ -373,11 +478,11 @@ func TestSnapshotCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Flip a byte inside the snapshot payload.
+	// Flip a byte inside the checkpoint file's payload.
 	entries, _ := os.ReadDir(dir)
 	for _, e := range entries {
 		var seq int64
-		if fileSeq(e.Name(), "snap-", ".snap", &seq) {
+		if parseSeqName(e.Name(), "ckpt-", ".sec", &seq) {
 			path := filepath.Join(dir, e.Name())
 			data, _ := os.ReadFile(path)
 			data[len(data)-1] ^= 0xff
@@ -387,7 +492,36 @@ func TestSnapshotCorruption(t *testing.T) {
 		}
 	}
 	if _, _, err := Open(dir, testOpts()); err == nil {
-		t.Fatal("Open loaded a corrupt snapshot")
+		t.Fatal("Open loaded a corrupt checkpoint")
+	}
+}
+
+// TestLegacyLayoutRefused: a data directory from the pre-sharding
+// format must refuse to open rather than silently start empty.
+func TestLegacyLayoutRefused(t *testing.T) {
+	for _, name := range []string{"wal-00000001.log", "snap-00000001.snap"} {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("legacy"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(dir, testOpts()); err == nil {
+			t.Fatalf("Open ignored legacy file %s and started empty", name)
+		}
+	}
+}
+
+// TestWALBytesTrackedWithSignalDisabled: SnapshotBytes < 0 disables the
+// NeedSnapshot signal, not the byte accounting.
+func TestWALBytesTrackedWithSignalDisabled(t *testing.T) {
+	opts := testOpts()
+	opts.SnapshotBytes = -1
+	s, _ := mustOpen(t, t.TempDir(), opts)
+	defer s.Close()
+	if err := s.Append(1, []byte("counted")); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WALBytesSinceSnapshot(); got == 0 {
+		t.Fatal("WALBytesSinceSnapshot stuck at 0 with the snapshot signal disabled")
 	}
 }
 
@@ -446,7 +580,7 @@ func FuzzWALSegment(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Skip()
 		}
-		_, _ = readSegment(path, func(payload []byte) error {
+		_, _, _ = readSegment(path, func(payload []byte) error {
 			if len(payload) < 1 {
 				t.Fatal("reader surfaced an empty frame")
 			}

@@ -43,40 +43,48 @@ func appendFrame(w *bufio.Writer, payload []byte) (int64, error) {
 
 // readSegment parses every valid frame of one segment file in order.
 // clean is false when the segment ends in a torn or corrupt tail; the
-// frames returned before that point are still valid.
-func readSegment(path string, fn func(payload []byte) error) (clean bool, err error) {
+// frames consumed before that point are still valid, and validLen is
+// the byte length of that valid prefix (recovery truncates a torn
+// last-of-chain segment to it, so the chain stays appendable). When fn
+// returns an error, validLen covers the frames before the rejected one.
+func readSegment(path string, fn func(payload []byte) error) (validLen int64, clean bool, err error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return false, err
+		return 0, false, err
 	}
 	off := 0
 	for off < len(data) {
 		if len(data)-off < frameHeaderLen {
-			return false, nil // torn header
+			return int64(off), false, nil // torn header
 		}
 		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if n < 1 || n > maxFramePayload || n > len(data)-off-frameHeaderLen {
-			return false, nil // torn or corrupt length
+			return int64(off), false, nil // torn or corrupt length
 		}
 		payload := data[off+frameHeaderLen : off+frameHeaderLen+n]
 		if crc32.Checksum(payload, crcTable) != sum {
-			return false, nil // checksum failure
+			return int64(off), false, nil // checksum failure
 		}
 		if err := fn(payload); err != nil {
-			return true, err
+			return int64(off), true, err
 		}
 		off += frameHeaderLen + n
 	}
-	return true, nil
+	return int64(off), true, nil
 }
 
-// walWriter owns one open segment file.
+// walWriter owns one open segment file. Frames accumulate in an
+// explicit user-space buffer that supports *prefix* flushing: flushTo
+// hands the OS only bytes up to a given extent, which is what lets the
+// store bound exactly which records an fsync can make durable (the
+// cross-shard causality barrier — see Store.syncAll).
 type walWriter struct {
-	path string
-	f    *os.File
-	buf  *bufio.Writer
-	size int64
+	path    string
+	f       *os.File
+	buf     []byte
+	size    int64 // bytes appended to this segment (flushed + buffered)
+	flushed int64 // bytes handed to the OS
 }
 
 func openSegment(path string) (*walWriter, error) {
@@ -84,25 +92,45 @@ func openSegment(path string) (*walWriter, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: creating WAL segment: %w", err)
 	}
-	return &walWriter{path: path, f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &walWriter{path: path, f: f}, nil
 }
 
 // append buffers one frame; it does not flush or sync.
 func (w *walWriter) append(payload []byte) error {
-	n, err := appendFrame(w.buf, payload)
-	if err != nil {
-		return err
-	}
-	w.size += n
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	w.size += int64(frameHeaderLen + len(payload))
 	return nil
 }
 
-// flush pushes buffered frames to the OS.
-func (w *walWriter) flush() error { return w.buf.Flush() }
+// flushTo pushes buffered frames to the OS up to byte extent limit
+// (segment coordinates); bytes past it stay in user space, invisible to
+// any fsync.
+func (w *walWriter) flushTo(limit int64) error {
+	if limit > w.size {
+		limit = w.size
+	}
+	n := limit - w.flushed
+	if n <= 0 {
+		return nil
+	}
+	if _, err := w.f.Write(w.buf[:n]); err != nil {
+		return err
+	}
+	w.buf = w.buf[:copy(w.buf, w.buf[n:])]
+	w.flushed = limit
+	return nil
+}
+
+// flush pushes every buffered frame to the OS.
+func (w *walWriter) flush() error { return w.flushTo(w.size) }
 
 // sync flushes and fsyncs the segment.
 func (w *walWriter) sync() error {
-	if err := w.buf.Flush(); err != nil {
+	if err := w.flush(); err != nil {
 		return err
 	}
 	return w.f.Sync()

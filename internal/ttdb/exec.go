@@ -74,13 +74,16 @@ func (db *DB) lockFor(stmt sqldb.Statement) (*tableMeta, func(), error) {
 // execAt dispatches a statement at an explicit time and generation. The
 // caller holds the locks lockFor would acquire; m is the target table's
 // meta for DML statements. reuse carries the original record during repair
-// re-execution, or nil.
+// re-execution, or nil. Every non-read case marks its table dirty for
+// the incremental checkpointer — before executing, so even a write that
+// fails partway can only over-mark, never leave a mutated table clean.
 func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec := &Record{SQL: stmt.String(), Params: params, Time: t, Gen: gen}
 	switch s := stmt.(type) {
 	case *sqldb.CreateTable:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
+		db.markDirty(s.Table)
 		if err := db.createTable(s); err != nil {
 			return nil, nil, err
 		}
@@ -89,6 +92,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.CreateIndex:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
+		db.markDirty(s.Table)
 		res, err := db.raw.ExecStmt(s, params)
 		if err != nil {
 			return nil, nil, err
@@ -98,6 +102,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.AlterTableAdd:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
+		db.markDirty(s.Table)
 		tm, err := db.meta(s.Table)
 		if err != nil {
 			return nil, nil, err
@@ -112,6 +117,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.DropTable:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
+		db.markDirty(s.Table)
 		res, err := db.raw.ExecStmt(s, params)
 		if err != nil {
 			return nil, nil, err
@@ -124,10 +130,13 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.Select:
 		return db.execSelect(s, params, t, gen, rec, m)
 	case *sqldb.Insert:
+		db.markDirty(s.Table)
 		return db.execInsert(s, params, t, gen, rec, reuse, m)
 	case *sqldb.Update:
+		db.markDirty(s.Table)
 		return db.execUpdate(s, params, t, gen, rec, m)
 	case *sqldb.Delete:
+		db.markDirty(s.Table)
 		return db.execDelete(s, params, t, gen, rec, m)
 	default:
 		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)

@@ -185,12 +185,154 @@ func EncodeSpec(enc *store.Encoder, spec TableSpec) { encodeSpec(enc, spec) }
 
 const stateVersion = 1
 
-// EncodeState serializes the database's complete state — annotations,
-// generation and GC horizons, every table's schema, physical row
-// versions, row-ID allocator, and per-partition version index — for a
-// snapshot. The caller is responsible for quiescing concurrent direct
-// writers; the call itself takes every table lock, so anything running
-// through the normal execution paths serializes with it.
+// EncodeMeta serializes the database's global metadata — the current
+// generation, the GC horizon, and pending table annotations — as one
+// snapshot section. Table contents are encoded separately (EncodeTable),
+// so an incremental checkpoint rewrites only the tables that changed.
+func (db *DB) EncodeMeta(enc *store.Encoder) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	enc.Byte(stateVersion)
+	enc.Int(db.currentGen.Load())
+	enc.Int(db.gcBefore)
+
+	specNames := make([]string, 0, len(db.specs))
+	for name := range db.specs {
+		specNames = append(specNames, name)
+	}
+	sort.Strings(specNames)
+	enc.Uvarint(uint64(len(specNames)))
+	for _, name := range specNames {
+		enc.String(name)
+		encodeSpec(enc, db.specs[name])
+	}
+}
+
+// RestoreMeta rebuilds the global metadata from an EncodeMeta section.
+func (db *DB) RestoreMeta(dec *store.Decoder) error {
+	if v := dec.Byte(); v != stateVersion {
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("ttdb: unsupported snapshot state version %d", v)
+	}
+	db.currentGen.Store(dec.Int())
+	db.gcBefore = dec.Int()
+
+	nSpecs := dec.Count()
+	for i := 0; i < nSpecs; i++ {
+		name := dec.String()
+		db.specs[name] = decodeSpec(dec)
+	}
+	return dec.Err()
+}
+
+// EncodeTable serializes one table's complete state — annotation,
+// augmented schema, physical row versions, row-ID allocator, and
+// per-partition version index — as a self-contained snapshot section.
+// The table's lock is held for the duration; the caller is responsible
+// for quiescing direct writers, the same rule EncodeState had.
+func (db *DB) EncodeTable(enc *store.Encoder, table string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, err := db.lockTable(table)
+	if err != nil {
+		return err
+	}
+	defer m.mu.Unlock()
+	return db.encodeTableLocked(enc, m)
+}
+
+func (db *DB) encodeTableLocked(enc *store.Encoder, m *tableMeta) error {
+	enc.String(m.name)
+	encodeSpec(enc, m.spec)
+	enc.Int(m.nextRowID)
+	enc.Uvarint(uint64(len(m.userCols)))
+	for _, c := range m.userCols {
+		enc.String(c)
+	}
+
+	cols, uniques, err := db.raw.Schema(m.name)
+	if err != nil {
+		return err
+	}
+	enc.Uvarint(uint64(len(cols)))
+	for _, c := range cols {
+		enc.String(c.Name)
+		enc.Byte(byte(c.Type))
+		enc.Bool(c.NotNull)
+		if c.Default != nil {
+			enc.Bool(true)
+			EncodeValue(enc, c.Default.Value)
+		} else {
+			enc.Bool(false)
+		}
+	}
+	enc.Uvarint(uint64(len(uniques)))
+	for _, u := range uniques {
+		enc.String(u.Name)
+		enc.Bool(u.Primary)
+		enc.Uvarint(uint64(len(u.Columns)))
+		for _, c := range u.Columns {
+			enc.String(c)
+		}
+	}
+	idxCols := db.raw.IndexedColumns(m.name)
+	enc.Uvarint(uint64(len(idxCols)))
+	for _, c := range idxCols {
+		enc.String(c)
+	}
+
+	rows, err := db.selectPhysical(m, nil, nil)
+	if err != nil {
+		return err
+	}
+	enc.Uvarint(uint64(len(rows.Columns)))
+	for _, c := range rows.Columns {
+		enc.String(c)
+	}
+	enc.Uvarint(uint64(len(rows.Rows)))
+	for _, row := range rows.Rows {
+		encodeValues(enc, row)
+	}
+
+	parts := make([]Partition, 0, len(m.partIdx))
+	for p := range m.partIdx {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].Column != parts[j].Column {
+			return parts[i].Column < parts[j].Column
+		}
+		return parts[i].Key < parts[j].Key
+	})
+	enc.Uvarint(uint64(len(parts)))
+	for _, p := range parts {
+		enc.String(p.Column)
+		enc.String(p.Key)
+		entries := m.partIdx[p]
+		enc.Uvarint(uint64(len(entries)))
+		for _, e := range entries {
+			EncodeValue(enc, e.rowID)
+			enc.Int(e.t)
+		}
+	}
+	return nil
+}
+
+// RestoreTable rebuilds one table from an EncodeTable section. The
+// database must not already hold the table; RestoreMeta must run first
+// so annotations are in place.
+func (db *DB) RestoreTable(dec *store.Decoder) error {
+	return db.restoreTable(dec)
+}
+
+// EncodeState serializes the database's complete state — metadata plus
+// every table — as one payload: the full (compaction) form of the
+// sectioned codecs above, also used directly by tests. The caller is
+// responsible for quiescing concurrent direct writers; the call itself
+// takes every table lock, so anything running through the normal
+// execution paths serializes with it.
 func (db *DB) EncodeState(enc *store.Encoder) error {
 	metas := db.lockAll()
 	defer db.unlockAll(metas)
@@ -212,78 +354,8 @@ func (db *DB) EncodeState(enc *store.Encoder) error {
 
 	enc.Uvarint(uint64(len(metas))) // metas are sorted by name (lockAll)
 	for _, m := range metas {
-		enc.String(m.name)
-		encodeSpec(enc, m.spec)
-		enc.Int(m.nextRowID)
-		enc.Uvarint(uint64(len(m.userCols)))
-		for _, c := range m.userCols {
-			enc.String(c)
-		}
-
-		cols, uniques, err := db.raw.Schema(m.name)
-		if err != nil {
+		if err := db.encodeTableLocked(enc, m); err != nil {
 			return err
-		}
-		enc.Uvarint(uint64(len(cols)))
-		for _, c := range cols {
-			enc.String(c.Name)
-			enc.Byte(byte(c.Type))
-			enc.Bool(c.NotNull)
-			if c.Default != nil {
-				enc.Bool(true)
-				EncodeValue(enc, c.Default.Value)
-			} else {
-				enc.Bool(false)
-			}
-		}
-		enc.Uvarint(uint64(len(uniques)))
-		for _, u := range uniques {
-			enc.String(u.Name)
-			enc.Bool(u.Primary)
-			enc.Uvarint(uint64(len(u.Columns)))
-			for _, c := range u.Columns {
-				enc.String(c)
-			}
-		}
-		idxCols := db.raw.IndexedColumns(m.name)
-		enc.Uvarint(uint64(len(idxCols)))
-		for _, c := range idxCols {
-			enc.String(c)
-		}
-
-		rows, err := db.selectPhysical(m, nil, nil)
-		if err != nil {
-			return err
-		}
-		enc.Uvarint(uint64(len(rows.Columns)))
-		for _, c := range rows.Columns {
-			enc.String(c)
-		}
-		enc.Uvarint(uint64(len(rows.Rows)))
-		for _, row := range rows.Rows {
-			encodeValues(enc, row)
-		}
-
-		parts := make([]Partition, 0, len(m.partIdx))
-		for p := range m.partIdx {
-			parts = append(parts, p)
-		}
-		sort.Slice(parts, func(i, j int) bool {
-			if parts[i].Column != parts[j].Column {
-				return parts[i].Column < parts[j].Column
-			}
-			return parts[i].Key < parts[j].Key
-		})
-		enc.Uvarint(uint64(len(parts)))
-		for _, p := range parts {
-			enc.String(p.Column)
-			enc.String(p.Key)
-			entries := m.partIdx[p]
-			enc.Uvarint(uint64(len(entries)))
-			for _, e := range entries {
-				EncodeValue(enc, e.rowID)
-				enc.Int(e.t)
-			}
 		}
 	}
 	return nil

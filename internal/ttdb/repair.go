@@ -52,6 +52,7 @@ func (db *DB) FinishRepair() error {
 	}
 	cur := db.currentGen.Add(1)
 	db.inRepair = false
+	db.markAllDirty() // the generation switch rewrites every table's rows
 	// Purge rows invisible from the new current generation onward.
 	for _, m := range metas {
 		del := &sqldb.Delete{
@@ -76,6 +77,7 @@ func (db *DB) AbortRepair() error {
 	}
 	cur := db.currentGen.Load()
 	next := cur + 1
+	db.markAllDirty() // discarding the forked generation mutates rows too
 	for _, m := range metas {
 		// Rows created by repair vanish...
 		del := &sqldb.Delete{
@@ -218,6 +220,7 @@ func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st rep
 	if t <= st.gcBefore {
 		return nil, fmt.Errorf("ttdb: rollback to %d is beyond the GC horizon %d", t, st.gcBefore)
 	}
+	db.markDirty(m.name)
 	next := st.next
 
 	// All versions of this row visible anywhere in the next generation.
@@ -464,6 +467,7 @@ func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, or
 }
 
 func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+	db.markDirty(m.name)
 	dirt := NewPartitionSet()
 	if orig != nil {
 		for _, id := range orig.WriteRowIDs {
@@ -489,6 +493,7 @@ func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st re
 
 // reExecWrite implements two-phase re-execution for UPDATE and DELETE.
 func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+	db.markDirty(m.name) // phases B/C mutate even when the final exec fails
 	next := st.next
 
 	// Phase A: find the rows the new WHERE clause matches at time t in the
@@ -588,6 +593,7 @@ func (db *DB) GC(beforeTime int64) error {
 		return fmt.Errorf("ttdb: GC during repair")
 	}
 	cur := db.currentGen.Load()
+	db.markAllDirty() // GC rewrites every table's physical row set
 	for _, m := range metas {
 		del := &sqldb.Delete{
 			Table: m.name,

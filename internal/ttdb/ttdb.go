@@ -140,6 +140,15 @@ type DB struct {
 
 	gcBefore int64 // versions strictly older than this have been collected
 
+	// dirtyMu guards dirty, the set of tables mutated since the last
+	// checkpoint. It is a leaf lock: taken only for momentary set
+	// updates, under any combination of db.mu and table locks. The
+	// persistence layer snapshots and clears the set at checkpoint time
+	// (TakeDirty) so incremental checkpoints rewrite only changed
+	// tables.
+	dirtyMu sync.Mutex
+	dirty   map[string]bool
+
 	// obs, when set, receives change events. Installed once before use
 	// (SetObserver); read under the locks its callbacks fire under.
 	obs Observer
@@ -153,9 +162,64 @@ func Open(clock *vclock.Clock) *DB {
 		clock:  clock,
 		specs:  make(map[string]TableSpec),
 		tables: make(map[string]*tableMeta),
+		dirty:  make(map[string]bool),
 	}
 	db.currentGen.Store(1)
 	return db
+}
+
+// markDirty records that a table's physical state changed since the
+// last checkpoint. Safe under any lock (dirtyMu is a leaf).
+func (db *DB) markDirty(table string) {
+	if table == "" {
+		return
+	}
+	db.dirtyMu.Lock()
+	db.dirty[table] = true
+	db.dirtyMu.Unlock()
+}
+
+// markAllDirty flags every registered table, for operations that rewrite
+// physical state across the board (generation switches, GC).
+func (db *DB) markAllDirty() {
+	db.tablesMu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		names = append(names, name)
+	}
+	db.tablesMu.RUnlock()
+	db.dirtyMu.Lock()
+	for _, name := range names {
+		db.dirty[name] = true
+	}
+	db.dirtyMu.Unlock()
+}
+
+// TakeDirty atomically returns and clears the set of tables mutated
+// since the last call, sorted. The caller (the persistence layer) must
+// quiesce mutators across the take-encode span — the same rule a
+// checkpoint already imposes — or re-mark the tables with MarkDirty if
+// the checkpoint fails.
+func (db *DB) TakeDirty() []string {
+	db.dirtyMu.Lock()
+	out := make([]string, 0, len(db.dirty))
+	for name := range db.dirty {
+		out = append(out, name)
+	}
+	db.dirty = make(map[string]bool)
+	db.dirtyMu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// MarkDirty re-flags tables, undoing a TakeDirty whose checkpoint
+// failed (also usable by tests to force a section rewrite).
+func (db *DB) MarkDirty(tables ...string) {
+	db.dirtyMu.Lock()
+	for _, t := range tables {
+		db.dirty[t] = true
+	}
+	db.dirtyMu.Unlock()
 }
 
 // Raw returns the underlying storage engine. It is exposed for tests and

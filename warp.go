@@ -94,9 +94,15 @@ type (
 	// TableSpec carries a table's row-ID and partition annotations.
 	TableSpec = ttdb.TableSpec
 
-	// DurabilityOptions tunes the WAL and snapshot store for persistent
-	// deployments (Config.Durability, used by Open).
+	// DurabilityOptions tunes the persistence layer for deployments
+	// created with Open (Config.Durability): group commit, WAL sharding
+	// (Shards/ShardOf), and the incremental checkpoint cadence
+	// (CompactEvery, ChunkBytes). See docs/persistence.md.
 	DurabilityOptions = store.Options
+	// CheckpointStats reports what the last checkpoint wrote
+	// (System.LastCheckpoint): which sections landed in the new delta
+	// file and which were carried forward by manifest reference.
+	CheckpointStats = store.CheckpointStats
 	// RepairIntent describes a repair that was in flight when a previous
 	// instance crashed (System.PendingRepair / ResumeRepair).
 	RepairIntent = core.RepairIntent
