@@ -51,6 +51,7 @@ type Runtime struct {
 	db     *ttdb.DB
 	clock  *vclock.Clock
 	rng    *rand.Rand
+	draws  int64 // values drawn from rng; persisted so restarts resume the stream
 	files  map[string]*sourceFile
 	routes map[string]string
 	runSeq int64
@@ -124,6 +125,41 @@ func (rt *Runtime) SetRunSeqFloor(v int64) {
 	defer rt.mu.Unlock()
 	if v > rt.runSeq {
 		rt.runSeq = v
+	}
+}
+
+// nextRand draws the next value of the runtime's seeded nondeterminism
+// stream, advancing the persistent cursor. Every generator (Token,
+// RandInt) consumes exactly one draw, so a recovered deployment can
+// fast-forward the stream by cursor alone (AdvanceRNGCursor).
+func (rt *Runtime) nextRand() uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.draws++
+	return rt.rng.Uint64()
+}
+
+// RNGCursor reports how many values the runtime's seeded nondeterminism
+// stream has produced. The persistence layer stores it in each
+// checkpoint so a restarted deployment resumes the stream instead of
+// replaying it from the seed — without this, the first post-restart
+// login would regenerate a recovered session's sid and fail its
+// uniqueness check (docs/persistence.md).
+func (rt *Runtime) RNGCursor() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.draws
+}
+
+// AdvanceRNGCursor fast-forwards the seeded stream to the given cursor.
+// Recovery calls it with the checkpointed cursor; positions already
+// passed are left alone.
+func (rt *Runtime) AdvanceRNGCursor(n int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for rt.draws < n {
+		rt.rng.Uint64()
+		rt.draws++
 	}
 }
 
@@ -280,21 +316,20 @@ func (c *Ctx) Now(site string) int64 {
 
 // Token returns a random 16-hex-digit token (the mt_rand/session_start
 // analog, used for session IDs and CSRF challenges). Recorded and
-// replayed.
+// replayed; a fresh draw consumes exactly one position of the runtime's
+// resumable stream.
 func (c *Ctx) Token(site string) string {
 	return c.nondet(site, func() string {
-		c.rt.mu.Lock()
-		defer c.rt.mu.Unlock()
-		return fmt.Sprintf("%016x", c.rt.rng.Uint64())
+		return fmt.Sprintf("%016x", c.rt.nextRand())
 	})
 }
 
-// RandInt returns a nonnegative random int below n. Recorded and replayed.
+// RandInt returns a nonnegative random int below n. Recorded and
+// replayed; a fresh draw consumes exactly one position of the runtime's
+// resumable stream.
 func (c *Ctx) RandInt(site string, n int64) int64 {
 	v := c.nondet(site, func() string {
-		c.rt.mu.Lock()
-		defer c.rt.mu.Unlock()
-		return fmt.Sprintf("%d", c.rt.rng.Int63n(n))
+		return fmt.Sprintf("%d", int64(c.rt.nextRand()%uint64(n)))
 	})
 	var out int64
 	fmt.Sscanf(v, "%d", &out)

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -43,6 +44,13 @@ type Config struct {
 	// paper's time order. 0 means GOMAXPROCS; 1 reproduces the serial
 	// repair engine exactly.
 	RepairWorkers int
+	// TableGranularLocks restores the pre-partition-lock concurrency
+	// model: every database operation takes its whole table's lock and
+	// page-visit replays are globally exclusive. Repair outcomes are
+	// identical either way; the knob exists for comparison benchmarks
+	// (BenchmarkPartitionRepair's baseline) and as an operational escape
+	// hatch. See docs/repair.md.
+	TableGranularLocks bool
 	// Trace, when set, receives a line for every repair-controller step —
 	// the debugging view of what rollback-and-reexecute decided and why.
 	Trace func(format string, args ...any)
@@ -62,6 +70,10 @@ type Warp struct {
 
 	cfg Config
 	rng *rand.Rand
+	// rngDraws counts values drawn from rng (browser seeds); persisted in
+	// core/meta so a recovered deployment resumes the seeded stream
+	// instead of re-issuing recovered client identities.
+	rngDraws int64
 
 	// mu guards the log stores, indexes, queues, and counters below.
 	// suspendMu implements the brief repair cut-over suspension (§4.3):
@@ -99,6 +111,13 @@ type Warp struct {
 	pers          *persister
 	pendingIntent *RepairIntent
 	recovery      RecoveryStats
+
+	// recoveredFileVersions is the file → version-count map the last
+	// checkpoint recorded. The application re-registers its code after
+	// Open (code is not persisted); StaleFiles compares the two so a
+	// recovered deployment detects stale registration instead of
+	// silently replaying with mismatched handlers.
+	recoveredFileVersions map[string]int
 }
 
 // New creates a WARP deployment with a fresh clock, database, runtime, and
@@ -113,6 +132,9 @@ func New(cfg Config) *Warp {
 	}
 	clock := &vclock.Clock{}
 	db := ttdb.Open(clock)
+	if cfg.TableGranularLocks {
+		db.SetTableGranularLocks(true)
+	}
 	return &Warp{
 		Clock:         clock,
 		DB:            db,
@@ -323,9 +345,29 @@ func (w *Warp) insertVisitLogLocked(log *browser.VisitLog) {
 // transport is the WARP server and its extension uploads logs here.
 func (w *Warp) NewBrowser() *browser.Browser {
 	w.mu.Lock()
+	w.rngDraws++
 	rng := rand.New(rand.NewSource(w.rng.Int63()))
 	w.mu.Unlock()
 	return browser.New(w.HandleRequest, w.UploadVisitLog, rng)
+}
+
+// StaleFiles returns the source files whose currently registered version
+// count is behind what the recovered checkpoint recorded — evidence that
+// the application re-registered older code than the deployment was
+// running when it went down (e.g. a retroactive patch not yet
+// re-applied). Repair refuses to run while any file is stale, since
+// re-executing recorded runs through mismatched handlers would silently
+// corrupt the repaired timeline; re-Patch the files (or resume the
+// pending patch intent) to clear them.
+func (w *Warp) StaleFiles() []string {
+	var out []string
+	for f, recorded := range w.recoveredFileVersions {
+		if w.Runtime.FileVersion(f) < recorded {
+			out = append(out, f)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Suspend blocks request processing until Resume: the brief cut-over

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -49,12 +50,33 @@ func openMultiTable(t *testing.T, dir string, n, rowsEach int, dur store.Options
 	return w
 }
 
+// writtenTables returns the distinct tables whose header or row-shard
+// sections the checkpoint rewrote.
 func writtenTables(st store.CheckpointStats) []string {
+	seen := make(map[string]bool)
 	var out []string
 	for _, name := range st.Written {
-		if strings.HasPrefix(name, secTablePrefix) {
-			out = append(out, strings.TrimPrefix(name, secTablePrefix))
+		if !strings.HasPrefix(name, secTablePrefix) {
+			continue
 		}
+		table := strings.TrimPrefix(name, secTablePrefix)
+		if i := strings.Index(table, secShardInfix); i >= 0 {
+			table = table[:i]
+		}
+		if !seen[table] {
+			seen[table] = true
+			out = append(out, table)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writtenSections returns the checkpoint's rewritten section names.
+func writtenSections(st store.CheckpointStats) map[string]bool {
+	out := make(map[string]bool, len(st.Written))
+	for _, name := range st.Written {
+		out[name] = true
 	}
 	return out
 }
@@ -97,7 +119,7 @@ func TestIncrementalCheckpointWritesOnlyDirtyTables(t *testing.T) {
 		t.Fatalf("incremental checkpoint rewrote tables %s, want exactly the 2 dirty ones", got)
 	}
 	for _, name := range st.Kept {
-		if name == secTablePrefix+"t1" || name == secTablePrefix+"t4" {
+		if strings.HasPrefix(name, secTablePrefix+"t1") || strings.HasPrefix(name, secTablePrefix+"t4") {
 			t.Fatalf("dirty section %s was carried forward instead of rewritten", name)
 		}
 	}
@@ -375,4 +397,250 @@ func TestShardCountChangeAcrossRestartAtDeploymentLevel(t *testing.T) {
 	if got := dumpWarp(t, w3); got != want {
 		t.Fatalf("re-sharding broke recovery\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
+}
+
+// TestPartitionGranularDirtyTracking is the dirty-tracking half of the
+// partition-concurrency tentpole: on a partitioned table, touching one
+// partition's row must rewrite that partition's row-shard section (plus
+// the small table header), not the whole table, and the layered state
+// must still recover bit-identically.
+func TestPartitionGranularDirtyTracking(t *testing.T) {
+	dir := t.TempDir()
+	dur := store.Options{SyncEveryAppend: true, Shards: 2, CompactEvery: 100}
+	w, err := Open(dir, Config{Seed: 9, RepairWorkers: 1, Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DB.Annotate("posts", ttdb.TableSpec{RowIDColumn: "id", PartitionColumns: []string{"owner"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.DB.Exec("CREATE TABLE IF NOT EXISTS posts (id INTEGER PRIMARY KEY, owner TEXT, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, _, err := w.DB.Exec("INSERT INTO posts (id, owner, body) VALUES (?, ?, ?)",
+			sqldb.Int(int64(i+1)), sqldb.Text(fmt.Sprintf("u%d", i%16)), sqldb.Text("hello")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	shards := w.DB.ShardCount("posts")
+	if shards < 2 {
+		t.Fatalf("partitioned table has %d shards, want several", shards)
+	}
+
+	// Touch exactly one partition.
+	if _, _, err := w.DB.Exec("UPDATE posts SET body = 'hot' WHERE owner = 'u3'"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.LastCheckpoint()
+	written := writtenSections(st)
+	if !written[secTablePrefix+"posts"] {
+		t.Fatalf("table header not rewritten; written=%v", st.Written)
+	}
+	var shardsWritten int
+	for k := 0; k < shards; k++ {
+		if written[tableShardSection("posts", k)] {
+			shardsWritten++
+		}
+	}
+	if shardsWritten != 1 {
+		t.Fatalf("hot-partition update rewrote %d of %d row shards, want exactly 1 (written=%v)",
+			shardsWritten, shards, st.Written)
+	}
+
+	// Bit-identical recovery through header + mixed kept/rewritten shards.
+	want := dumpWarp(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Config{Seed: 9, RepairWorkers: 1, Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Crash()
+	if got := dumpWarp(t, w2); got != want {
+		t.Fatalf("sharded recovery differs\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRepairCommitMarksSubTableSections: a repair that touches one hot
+// partition must commit through a checkpoint that rewrites a strict
+// subset of the hot table's row shards — the "repair cost scales with
+// the damage" property applied to checkpoint bytes.
+func TestRepairCommitMarksSubTableSections(t *testing.T) {
+	dir := t.TempDir()
+	dur := store.Options{SyncEveryAppend: true, CompactEvery: 100}
+	w, err := Open(dir, Config{Seed: 11, RepairWorkers: 1, Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Crash()
+	if err := w.DB.Annotate("notes", ttdb.TableSpec{RowIDColumn: "id", PartitionColumns: []string{"owner"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.DB.Exec("CREATE TABLE IF NOT EXISTS notes (id INTEGER PRIMARY KEY, owner TEXT, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	handler := func(c *app.Ctx) *httpd.Response {
+		id := c.MustQuery("SELECT COALESCE(MAX(id), 0) + 1 FROM notes").FirstValue()
+		c.MustQuery("INSERT INTO notes (id, owner, body) VALUES (?, ?, ?)",
+			id, sqldb.Text(c.Req.Param("owner")), sqldb.Text(c.Req.Param("body")))
+		return httpd.HTML("ok")
+	}
+	if err := w.Runtime.Register("notes.php", app.Version{Entry: handler}); err != nil {
+		t.Fatal(err)
+	}
+	w.Runtime.Mount("/", "notes.php")
+	for i := 0; i < 24; i++ {
+		resp := w.HandleRequest(httpd.NewRequest("GET",
+			fmt.Sprintf("/?owner=u%d&body=b%d", i%8, i)))
+		if resp.Status != 200 {
+			t.Fatalf("seed failed: %d", resp.Status)
+		}
+	}
+	preAttack := w.Clock.Now()
+	if resp := w.HandleRequest(httpd.NewRequest("GET", "/?owner=u3&body=INJECTED")); resp.Status != 200 {
+		t.Fatalf("attack seed failed: %d", resp.Status)
+	}
+	// Clear dirt so the repair's commit checkpoint reflects only repair.
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	hot := ttdb.Partition{Table: "notes", Column: "owner", Key: sqldb.Text("u3").Key()}
+	if _, err := w.UndoPartition(hot, preAttack+1); err != nil {
+		t.Fatal(err)
+	}
+	st := w.LastCheckpoint()
+	written := writtenSections(st)
+	shards := w.DB.ShardCount("notes")
+	var shardsWritten int
+	for k := 0; k < shards; k++ {
+		if written[tableShardSection("notes", k)] {
+			shardsWritten++
+		}
+	}
+	if shardsWritten == 0 || shardsWritten >= shards {
+		t.Fatalf("partition repair rewrote %d of %d row shards, want a strict non-empty subset (written=%v)",
+			shardsWritten, shards, st.Written)
+	}
+}
+
+// TestRepairPurgeKeepsShardOrderAcrossRestart is the regression test for
+// slot-based shard positions: a repair commit physically purges rows
+// mid-table while rewriting only the repaired partition's shard, so the
+// kept shards' row positions must remain valid. With scan-rank positions
+// they go stale and the restored table's row order permutes.
+func TestRepairPurgeKeepsShardOrderAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	dur := store.Options{SyncEveryAppend: true, CompactEvery: 100}
+	w, err := Open(dir, Config{Seed: 13, RepairWorkers: 1, Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DB.Annotate("notes", ttdb.TableSpec{RowIDColumn: "id", PartitionColumns: []string{"owner"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.DB.Exec("CREATE TABLE IF NOT EXISTS notes (id INTEGER PRIMARY KEY, owner TEXT, body TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	// Ids come from the request (no whole-table MAX read), so each run
+	// touches only its owner's partition and the undo stays contained.
+	handler := func(c *app.Ctx) *httpd.Response {
+		c.MustQuery("INSERT INTO notes (id, owner, body) VALUES (?, ?, ?)",
+			sqldb.Int(atoiTest(c.Req.Param("id"))), sqldb.Text(c.Req.Param("owner")), sqldb.Text(c.Req.Param("body")))
+		return httpd.HTML("ok")
+	}
+	if err := w.Runtime.Register("notes.php", app.Version{Entry: handler}); err != nil {
+		t.Fatal(err)
+	}
+	w.Runtime.Mount("/", "notes.php")
+	nextID := 0
+	seed := func(owner, body string) {
+		t.Helper()
+		nextID++
+		if resp := w.HandleRequest(httpd.NewRequest("GET",
+			fmt.Sprintf("/?owner=%s&body=%s&id=%d", owner, body, nextID))); resp.Status != 200 {
+			t.Fatalf("seed failed: %d", resp.Status)
+		}
+	}
+	for i := 0; i < 24; i++ {
+		seed(fmt.Sprintf("u%d", i%8), fmt.Sprintf("pre-%d", i))
+	}
+	preAttack := w.Clock.Now()
+	seed("u3", "INJECTED")
+	// Post-attack traffic lands rows *after* the attack row both in the
+	// shard the repair will rewrite (owners hash-colliding with u3) and
+	// in shards the checkpoint will keep, so stale positions in kept
+	// sections would permute the merge.
+	shards := w.DB.ShardCount("notes")
+	shardOf := func(owner string) int {
+		h := fnv.New32a()
+		h.Write([]byte(sqldb.Text(owner).Key()))
+		return int(h.Sum32() % uint32(shards))
+	}
+	hotShard := shardOf("u3")
+	colliding, others := 0, 0
+	for i := 0; colliding < 4 || others < 8; i++ {
+		owner := fmt.Sprintf("w%d", i)
+		if shardOf(owner) == hotShard {
+			if colliding >= 4 {
+				continue
+			}
+			colliding++
+		} else {
+			if others >= 8 {
+				continue
+			}
+			others++
+		}
+		seed(owner, fmt.Sprintf("post-%d", i))
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	hot := ttdb.Partition{Table: "notes", Column: "owner", Key: sqldb.Text("u3").Key()}
+	if _, err := w.UndoPartition(hot, preAttack+1); err != nil {
+		t.Fatal(err)
+	}
+	// The commit checkpoint must still be sub-table...
+	st := w.LastCheckpoint()
+	written := writtenSections(st)
+	var shardsWritten int
+	for k := 0; k < shards; k++ {
+		if written[tableShardSection("notes", k)] {
+			shardsWritten++
+		}
+	}
+	if shardsWritten == 0 || shardsWritten >= shards {
+		t.Fatalf("partition repair rewrote %d of %d shards, want a strict non-empty subset", shardsWritten, shards)
+	}
+
+	// ...and the restored state — mixed kept and rewritten shards across
+	// the purge — must match the live instance bit for bit.
+	want := dumpWarp(t, w)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Open(dir, Config{Seed: 13, RepairWorkers: 1, Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Crash()
+	if got := dumpWarp(t, w2); got != want {
+		t.Fatalf("post-repair restart permuted table state\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func atoiTest(s string) int64 {
+	var n int64
+	fmt.Sscanf(s, "%d", &n)
+	return n
 }

@@ -100,15 +100,24 @@ type RecoveryStats struct {
 
 // Checkpoint section names (docs/persistence.md). core/meta and
 // ttdb/meta are small and rewritten every checkpoint; history, visits,
-// and each ttdb table are rewritten only when dirty and carried forward
-// by manifest reference otherwise.
+// each ttdb table header, and each table row shard are rewritten only
+// when dirty and carried forward by manifest reference otherwise. A
+// table is one header section (schema, allocator) plus
+// ttdb.ShardCount(table) row-shard sections, so a repaired hot row
+// rewrites a sub-table section rather than the whole table.
 const (
 	secCoreMeta    = "core/meta"
 	secHistory     = "history"
 	secTTDBMeta    = "ttdb/meta"
 	secVisits      = "core/visits"
 	secTablePrefix = "ttdb/table/"
+	secShardInfix  = "/rows/"
 )
+
+// tableShardSection names one row shard's checkpoint section.
+func tableShardSection(table string, shard int) string {
+	return secTablePrefix + table + secShardInfix + strconv.Itoa(shard)
+}
 
 // persister connects a deployment to its store: it implements both
 // layers' observer interfaces, encoding change events as WAL records.
@@ -159,8 +168,9 @@ func (p *persister) appendGroup(group string, typ byte, payload []byte) {
 // markRepairDirty force-marks the sections a repair rewrites in place —
 // the history graph (superseded flags, extended dependencies) and the
 // visit logs (replayed child visits, merged edits). Called before the
-// repair commit checkpoint; the database's tables mark themselves via
-// the generation switch.
+// repair commit checkpoint; the database's shards mark themselves at
+// partition granularity through the repair operations' lock scopes, so
+// the commit rewrites sub-table sections proportional to the damage.
 func (p *persister) markRepairDirty() {
 	p.mu.Lock()
 	p.histMuts = -1
@@ -341,6 +351,12 @@ func Open(dir string, cfg Config) (*Warp, error) {
 		if err := w.restoreSections(rec); err != nil {
 			return fail(fmt.Errorf("warp: restoring checkpoint: %w", err))
 		}
+		// Restoring compacts tombstones, so the engine's row slots — the
+		// positions row-shard sections are tagged with — are renumbered.
+		// Mark every restored table dirty: the first checkpoint of this
+		// instance rewrites all of its shards with the new numbering, so
+		// carried-forward sections never mix position spaces.
+		w.DB.MarkTableDirty(w.DB.Tables()...)
 	}
 	walHist, walVisits := false, false
 	for i, r := range rec.Records {
@@ -437,17 +453,35 @@ func (w *Warp) restoreSections(rec *store.Recovery) error {
 	if err := w.DB.RestoreMeta(dec); err != nil {
 		return fmt.Errorf("section %s: %w", secTTDBMeta, err)
 	}
+	// Tables restore in two passes: every header (schema + allocator)
+	// first, then every row shard, since a shard can only load into a
+	// table whose header has been restored.
 	for _, name := range rec.SectionNames() {
-		if !strings.HasPrefix(name, secTablePrefix) {
+		if !strings.HasPrefix(name, secTablePrefix) || strings.Contains(name, secShardInfix) {
 			continue
 		}
 		dec, err = read(name)
 		if err != nil {
 			return err
 		}
-		if err := w.DB.RestoreTable(dec); err != nil {
+		if _, err := w.DB.RestoreTableHeader(dec); err != nil {
 			return fmt.Errorf("section %s: %w", name, err)
 		}
+	}
+	for _, name := range rec.SectionNames() {
+		if !strings.HasPrefix(name, secTablePrefix) || !strings.Contains(name, secShardInfix) {
+			continue
+		}
+		dec, err = read(name)
+		if err != nil {
+			return err
+		}
+		if err := w.DB.RestoreTableShard(dec); err != nil {
+			return fmt.Errorf("section %s: %w", name, err)
+		}
+	}
+	if err := w.DB.VerifyRestored(); err != nil {
+		return err
 	}
 	dec, err = read(secVisits)
 	if err != nil {
@@ -564,11 +598,7 @@ func (w *Warp) checkpointQuiesced() error {
 	visitsDirty := p.visitsDirty
 	p.visitsDirty = false
 	p.mu.Unlock()
-	dirtyTables := w.DB.TakeDirty()
-	dirtySet := make(map[string]bool, len(dirtyTables))
-	for _, t := range dirtyTables {
-		dirtySet[t] = true
-	}
+	dirtySet := w.DB.TakeDirty()
 
 	err := p.st.WriteCheckpoint(func(cw *store.CheckpointWriter) error {
 		// The small always-fresh sections: clock, request counters,
@@ -581,12 +611,44 @@ func (w *Warp) checkpointQuiesced() error {
 			w.encodeHistory(cw.Section(secHistory))
 		}
 		for _, table := range w.DB.Tables() {
-			name := secTablePrefix + table
-			if !dirtySet[table] && cw.Keep(name) {
-				continue
+			ds, dirty := dirtySet[table]
+			header := secTablePrefix + table
+			// The header carries the row-ID allocator and the version
+			// index's cross-shard entries, any of which may have moved
+			// with the dirty shards; rewrite it whenever the table was
+			// touched at all.
+			if dirty || !cw.Keep(header) {
+				if err := w.DB.EncodeTableHeader(cw.Section(header), table); err != nil {
+					return err
+				}
 			}
-			if err := w.DB.EncodeTable(cw.Section(name), table); err != nil {
-				return err
+			shards := w.DB.ShardCount(table)
+			dirtyShard := make(map[int]bool, shards)
+			if ds.Whole {
+				for k := 0; k < shards; k++ {
+					dirtyShard[k] = true
+				}
+			} else {
+				for _, k := range ds.Shards {
+					dirtyShard[k] = true
+				}
+			}
+			var need []int
+			for k := 0; k < shards; k++ {
+				name := tableShardSection(table, k)
+				if !dirtyShard[k] && cw.Keep(name) {
+					continue
+				}
+				need = append(need, k)
+			}
+			if len(need) > 0 {
+				// One physical scan emits every rewritten shard.
+				err := w.DB.EncodeTableShards(table, need, func(k int) *store.Encoder {
+					return cw.Section(tableShardSection(table, k))
+				})
+				if err != nil {
+					return err
+				}
 			}
 		}
 		if visitsDirty || !cw.Keep(secVisits) {
@@ -595,7 +657,7 @@ func (w *Warp) checkpointQuiesced() error {
 		return nil
 	})
 	if err != nil {
-		w.DB.MarkDirty(dirtyTables...)
+		w.DB.MarkDirty(dirtySet)
 		p.mu.Lock()
 		p.visitsDirty = p.visitsDirty || visitsDirty
 		p.mu.Unlock()
@@ -675,11 +737,16 @@ func (w *Warp) Crash() {
 // Checkpoint section encoding and recovery
 //
 
-const coreSnapVersion = 2
+// coreSnapVersion 3 added the runtime nondeterminism cursors (so a
+// restart resumes the seeded token/browser-ID streams instead of
+// replaying them — the post-restart login bug) and the file-version map
+// (so a restart detects stale code registration).
+const coreSnapVersion = 3
 
 // encodeCoreMeta serializes the deployment's small always-fresh state:
 // the logical clock, the server-side request counter, the cookie
-// invalidation queue, the conflict queue, and storage accounting.
+// invalidation queue, the conflict queue, storage accounting, the
+// nondeterminism cursors, and the registered file versions.
 func (w *Warp) encodeCoreMeta(enc *store.Encoder) {
 	enc.Uvarint(coreSnapVersion)
 	enc.Int(w.Clock.Now())
@@ -722,6 +789,24 @@ func (w *Warp) encodeCoreMeta(enc *store.Encoder) {
 	} else {
 		enc.Bool(false)
 	}
+
+	// Nondeterminism cursors: where the runtime's seeded token stream and
+	// the deployment's browser-seed stream stand, so a recovered instance
+	// resumes them rather than re-issuing values live sessions already
+	// hold (login → restart → login).
+	enc.Int(w.Runtime.RNGCursor())
+	enc.Int(w.rngDraws)
+
+	// Registered file versions, for stale-code detection after recovery
+	// (the code itself lives outside the database, like the paper's PHP
+	// source tree).
+	files := w.Runtime.Files()
+	sort.Strings(files)
+	enc.Uvarint(uint64(len(files)))
+	for _, f := range files {
+		enc.String(f)
+		enc.Int(int64(w.Runtime.FileVersion(f)))
+	}
 }
 
 func (w *Warp) restoreCoreMeta(dec *store.Decoder) error {
@@ -759,6 +844,21 @@ func (w *Warp) restoreCoreMeta(dec *store.Decoder) error {
 	if dec.Bool() {
 		it := decodeIntent(dec)
 		w.pendingIntent = &it
+	}
+
+	// Resume the nondeterminism streams at their recorded cursors.
+	w.Runtime.AdvanceRNGCursor(dec.Int())
+	browserDraws := dec.Int()
+	for w.rngDraws < browserDraws {
+		w.rng.Int63()
+		w.rngDraws++
+	}
+
+	nFiles := dec.Count()
+	w.recoveredFileVersions = make(map[string]int, nFiles)
+	for i := 0; i < nFiles; i++ {
+		f := dec.String()
+		w.recoveredFileVersions[f] = int(dec.Int())
 	}
 	return dec.Err()
 }

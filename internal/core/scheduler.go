@@ -9,14 +9,24 @@
 // scheduler exploits this: it maintains the same time-ordered heap, but
 // dispatches every item whose dependency footprint does not conflict with
 // an earlier unfinished item to a pool of N workers. Conflicting items
-// retain the paper's strict time order; page-visit replays are exclusive
-// (they thread cookie jars and navigation state across arbitrary runs).
+// retain the paper's strict time order.
+//
+// Page-visit replays are exclusive *per client*: a replay threads one
+// client's cookie jar and navigation state through its runs, so two
+// visits of the same client serialize, while independent clients'
+// visits replay in parallel. A visit's footprint claims the client's
+// cookie node, the visit's subtree of exchange nodes (a replay may
+// cancel or re-serve any of them), and the partition edges of the runs
+// behind those exchanges — so visit replays also order correctly
+// against individual query checks and run re-executions touching the
+// same state. Config.TableGranularLocks restores the old globally
+// exclusive behavior.
 //
 // Footprints are derived from the history graph's dependency edges
-// (Graph.DepsOf), not recomputed from query records, so a work item's
-// conflict set is exactly the partition overlap the graph already indexed.
-// With one worker the scheduler runs the identical serial heap walk the
-// paper describes.
+// (Graph.PartitionDepsOf), not recomputed from query records, so a work
+// item's conflict set is exactly the partition overlap the graph already
+// indexed. With one worker the scheduler runs the identical serial heap
+// walk the paper describes.
 package core
 
 import (
@@ -98,7 +108,11 @@ type footprint struct {
 	nodeReads  map[history.NodeID]bool
 	nodeWrites map[history.NodeID]bool
 	run        history.ActionID
-	exclusive  bool
+	// client is set on visit-replay items: replays of one client's
+	// visits serialize among themselves (they thread the client's cookie
+	// jar and navigation state), independent clients replay in parallel.
+	client    string
+	exclusive bool
 }
 
 // conflicts reports whether two footprints must not be in flight together.
@@ -107,6 +121,9 @@ func (a *footprint) conflicts(b *footprint) bool {
 		return true
 	}
 	if a.run != 0 && a.run == b.run {
+		return true
+	}
+	if a.client != "" && a.client == b.client {
 		return true
 	}
 	if a.writes.Overlaps(b.reads) || a.writes.Overlaps(b.writes) || b.writes.Overlaps(a.reads) {
@@ -383,57 +400,112 @@ func (s *scheduler) nextDispatchable() (*workItem, *footprint) {
 }
 
 // footprintFor derives an item's dependency footprint from the history
-// graph's dependency edges. Visit replays are exclusive: their effects
-// (cookie jars, navigation trees, fresh runs) are not bounded by the
-// graph's partition edges.
+// graph's dependency edges.
 func (s *scheduler) footprintFor(it *workItem) *footprint {
 	if it.kind == workVisitReplay {
-		return &footprint{exclusive: true}
+		return s.visitFootprint(it)
 	}
-	fp := &footprint{
-		reads:      ttdb.NewPartitionSet(),
-		writes:     ttdb.NewPartitionSet(),
-		nodeReads:  make(map[history.NodeID]bool),
-		nodeWrites: make(map[history.NodeID]bool),
-		run:        it.runAction,
-	}
+	fp := newFootprint()
+	fp.run = it.runAction
 	s.addActionDeps(fp, it.action)
 	if it.kind == workRunExec {
-		if act := s.rs.w.Graph.Get(it.action); act != nil {
-			if payload, ok := act.Payload.(*RunPayload); ok {
-				s.rs.w.mu.Lock()
-				qids := append([]history.ActionID{}, payload.QueryActions...)
-				s.rs.w.mu.Unlock()
-				for _, qid := range qids {
-					s.addActionDeps(fp, qid)
-				}
-			}
-		}
+		s.addRunQueryDeps(fp, it.action)
 	}
 	return fp
 }
 
-// addActionDeps folds one action's graph dependency edges into a
-// footprint.
-func (s *scheduler) addActionDeps(fp *footprint, id history.ActionID) {
-	ins, outs := s.rs.w.Graph.DepsOf(id)
-	for _, d := range ins {
-		if name, ok := d.Node.PartitionName(); ok {
-			if p, ok := ttdb.ParsePartition(name); ok {
-				fp.reads.Add(p)
-				continue
-			}
-		}
-		fp.nodeReads[d.Node] = true
+func newFootprint() *footprint {
+	return &footprint{
+		reads:      ttdb.NewPartitionSet(),
+		writes:     ttdb.NewPartitionSet(),
+		nodeReads:  make(map[history.NodeID]bool),
+		nodeWrites: make(map[history.NodeID]bool),
 	}
-	for _, d := range outs {
-		if name, ok := d.Node.PartitionName(); ok {
-			if p, ok := ttdb.ParsePartition(name); ok {
-				fp.writes.Add(p)
-				continue
+}
+
+// visitFootprint claims what one page-visit replay can touch: the
+// client's cookie jar, the visit's subtree of exchanges (replays cancel
+// unmatched children recursively and re-serve any exchange), and the
+// dependency edges of the runs behind those exchanges. Effects outside
+// this set — a patched page navigating somewhere new, a fresh run
+// writing an unclaimed partition — are caught by dirt propagation's
+// fixpoint, the same under-claim safety the cached footprints rely on.
+// With TableGranularLocks the old globally exclusive behavior is kept.
+func (s *scheduler) visitFootprint(it *workItem) *footprint {
+	if s.rs.w.cfg.TableGranularLocks {
+		return &footprint{exclusive: true}
+	}
+	fp := newFootprint()
+	fp.client = it.client
+	fp.nodeWrites[history.CookieNode(it.client)] = true
+
+	w := s.rs.w
+	var runIDs []history.ActionID
+	w.mu.Lock()
+	var walk func(visit int64)
+	walk = func(visit int64) {
+		fp.nodeWrites[history.VisitNode(it.client, visit)] = true
+		if vlog := w.visitByID[it.client][visit]; vlog != nil {
+			for _, tr := range vlog.Requests {
+				node := history.HTTPNode(it.client, visit, tr.RequestID)
+				fp.nodeWrites[node] = true
+				if id, ok := w.runByHTTP[node]; ok {
+					runIDs = append(runIDs, id)
+				}
 			}
 		}
-		fp.nodeWrites[d.Node] = true
+		for _, c := range w.childVisits(it.client, visit) {
+			walk(c.VisitID)
+		}
+	}
+	walk(it.visit)
+	w.mu.Unlock()
+
+	for _, id := range runIDs {
+		s.addActionDeps(fp, id)
+		s.addRunQueryDeps(fp, id)
+	}
+	return fp
+}
+
+// addRunQueryDeps folds the dependency edges of a run's recorded queries
+// into a footprint.
+func (s *scheduler) addRunQueryDeps(fp *footprint, run history.ActionID) {
+	act := s.rs.w.Graph.Get(run)
+	if act == nil {
+		return
+	}
+	payload, ok := act.Payload.(*RunPayload)
+	if !ok {
+		return
+	}
+	s.rs.w.mu.Lock()
+	qids := append([]history.ActionID{}, payload.QueryActions...)
+	s.rs.w.mu.Unlock()
+	for _, qid := range qids {
+		s.addActionDeps(fp, qid)
+	}
+}
+
+// addActionDeps folds one action's graph dependency edges into a
+// footprint, using the graph's pre-split partition-edge view.
+func (s *scheduler) addActionDeps(fp *footprint, id history.ActionID) {
+	pd := s.rs.w.Graph.PartitionDepsOf(id)
+	for _, name := range pd.PartReads {
+		if p, ok := ttdb.ParsePartition(name); ok {
+			fp.reads.Add(p)
+		}
+	}
+	for _, name := range pd.PartWrites {
+		if p, ok := ttdb.ParsePartition(name); ok {
+			fp.writes.Add(p)
+		}
+	}
+	for _, n := range pd.NodeReads {
+		fp.nodeReads[n] = true
+	}
+	for _, n := range pd.NodeWrites {
+		fp.nodeWrites[n] = true
 	}
 }
 

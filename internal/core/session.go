@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -399,6 +400,24 @@ func (w *Warp) UndoPartition(p ttdb.Partition, t int64) (*Report, error) {
 func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictConflictsTo string) (*Report, error) {
 	w.repairMu.Lock()
 	defer w.repairMu.Unlock()
+
+	// A recovered deployment whose application re-registered older code
+	// than the checkpoint recorded must not repair: re-executing recorded
+	// runs through mismatched handlers silently corrupts the repaired
+	// timeline. A retroactive patch of the stale file itself is the fix
+	// and is allowed through.
+	if stale := w.StaleFiles(); len(stale) > 0 {
+		var bad []string
+		for _, f := range stale {
+			if intent.Kind == IntentRetroPatch && f == intent.File {
+				continue
+			}
+			bad = append(bad, f)
+		}
+		if len(bad) > 0 {
+			return nil, fmt.Errorf("warp: stale code registration for %s (recovered deployment runs older versions than recorded); re-apply the newer versions before repairing", strings.Join(bad, ", "))
+		}
+	}
 
 	tStart := time.Now()
 	gen, err := w.DB.BeginRepair()

@@ -99,3 +99,66 @@ func TestDepsAfterAddDeps(t *testing.T) {
 		t.Fatalf("DepsOf(a2) inputs = %v, want 2", in)
 	}
 }
+
+// TestDepsHonorWholeTableOverlap: the action-level dependency API must
+// treat a whole-table partition edge as overlapping every keyed partition
+// of that table, in both directions.
+func TestDepsHonorWholeTableOverlap(t *testing.T) {
+	g := New()
+	keyed := PartitionNode("t/user=a")
+	wild := PartitionNode("t/*")
+	otherTable := PartitionNode("u/*")
+
+	wWild := g.Append(&Action{Kind: KindQuery, Time: 10, Outputs: []Dep{{Node: wild, Time: 10}}})
+	rKeyed := g.Append(&Action{Kind: KindQuery, Time: 20, Inputs: []Dep{{Node: keyed, Time: 20}}})
+	wKeyed := g.Append(&Action{Kind: KindQuery, Time: 30, Outputs: []Dep{{Node: keyed, Time: 30}}})
+	rWild := g.Append(&Action{Kind: KindQuery, Time: 40, Inputs: []Dep{{Node: wild, Time: 40}}})
+	rOther := g.Append(&Action{Kind: KindQuery, Time: 50, Inputs: []Dep{{Node: otherTable, Time: 50}}})
+
+	// A keyed reader depends on an earlier whole-table writer.
+	if got := g.Deps(rKeyed); !reflect.DeepEqual(got, []ActionID{wWild}) {
+		t.Fatalf("Deps(keyed reader) = %v, want [whole-table writer]", got)
+	}
+	// A whole-table reader depends on earlier keyed and wildcard writers.
+	if got := g.Deps(rWild); !reflect.DeepEqual(got, []ActionID{wWild, wKeyed}) {
+		t.Fatalf("Deps(wildcard reader) = %v, want [wild keyed]", got)
+	}
+	// Dependents of the whole-table writer include both later readers.
+	if got := g.Dependents(wWild); !reflect.DeepEqual(got, []ActionID{rKeyed, rWild}) {
+		t.Fatalf("Dependents(wildcard writer) = %v, want both readers", got)
+	}
+	// Dependents of the keyed writer include the wildcard reader.
+	if got := g.Dependents(wKeyed); !reflect.DeepEqual(got, []ActionID{rWild}) {
+		t.Fatalf("Dependents(keyed writer) = %v, want [wildcard reader]", got)
+	}
+	// A different table never overlaps.
+	if got := g.Deps(rOther); len(got) != 0 {
+		t.Fatalf("Deps(other-table reader) = %v, want none", got)
+	}
+}
+
+// TestPartitionDepsOf splits partition edges from plain node edges.
+func TestPartitionDepsOf(t *testing.T) {
+	g := New()
+	id := g.Append(&Action{
+		Kind: KindQuery, Time: 10,
+		Inputs:  []Dep{{Node: PartitionNode("t/user=a"), Time: 10}, {Node: HTTPNode("c", 1, 1), Time: 10}},
+		Outputs: []Dep{{Node: PartitionNode("t/*"), Time: 10}, {Node: CookieNode("c"), Time: 10}},
+	})
+	pd := g.PartitionDepsOf(id)
+	if !reflect.DeepEqual(pd.PartReads, []string{"t/user=a"}) {
+		t.Fatalf("PartReads = %v", pd.PartReads)
+	}
+	if !reflect.DeepEqual(pd.PartWrites, []string{"t/*"}) {
+		t.Fatalf("PartWrites = %v", pd.PartWrites)
+	}
+	if !reflect.DeepEqual(pd.NodeReads, []NodeID{HTTPNode("c", 1, 1)}) {
+		t.Fatalf("NodeReads = %v", pd.NodeReads)
+	}
+	if !reflect.DeepEqual(pd.NodeWrites, []NodeID{CookieNode("c")}) {
+		t.Fatalf("NodeWrites = %v", pd.NodeWrites)
+	}
+	if pd := g.PartitionDepsOf(999); pd.PartReads != nil || pd.NodeReads != nil {
+		t.Fatalf("PartitionDepsOf(unknown) = %+v, want zero", pd)
+	}
+}

@@ -18,6 +18,7 @@ package history
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -42,6 +43,25 @@ func (n NodeID) PartitionName() (string, bool) {
 	}
 	return s[len(prefix):], true
 }
+
+// partitionTable splits a partition node into its table and whether it
+// is the whole-table wildcard. Partition strings are "<table>/*" or
+// "<table>/<column>=<key>" (ttdb.Partition.String); table names are SQL
+// identifiers, so the first "/" is unambiguous.
+func (n NodeID) partitionTable() (table string, whole bool, ok bool) {
+	name, ok := n.PartitionName()
+	if !ok {
+		return "", false, false
+	}
+	i := strings.IndexByte(name, '/')
+	if i <= 0 {
+		return "", false, false
+	}
+	return name[:i], name[i+1:] == "*", true
+}
+
+// wholeTableNode returns the wildcard partition node of a table.
+func wholeTableNode(table string) NodeID { return PartitionNode(table + "/*") }
 
 // HTTPNode returns the node for one HTTP exchange, identified by the
 // browser-assigned ⟨client, visit, request⟩ tuple (§5.1).
@@ -139,6 +159,12 @@ type Graph struct {
 	// approximating the paper's incremental graph loading cost metric.
 	loadedNodes map[NodeID]bool
 
+	// tableNodes indexes every partition node seen on a dependency edge
+	// by its table, so the action-level dependency API can honor
+	// whole-table ↔ keyed-partition overlap (a write to "t/*" depends on
+	// readers of every "t/..." node and vice versa).
+	tableNodes map[string]map[NodeID]bool
+
 	// muts counts structural mutations (appends, restores, dependency
 	// extensions, GC). The persistence layer compares it against the
 	// count at the last checkpoint to decide whether the graph section
@@ -155,8 +181,50 @@ func New() *Graph {
 		readers:     make(map[NodeID][]ActionID),
 		writers:     make(map[NodeID][]ActionID),
 		loadedNodes: make(map[NodeID]bool),
+		tableNodes:  make(map[string]map[NodeID]bool),
 		nextID:      1,
 	}
+}
+
+// indexPartitionNode records a partition node in the per-table index.
+// Caller holds g.mu.
+func (g *Graph) indexPartitionNode(n NodeID) {
+	table, _, ok := n.partitionTable()
+	if !ok {
+		return
+	}
+	byTable := g.tableNodes[table]
+	if byTable == nil {
+		byTable = make(map[NodeID]bool)
+		g.tableNodes[table] = byTable
+	}
+	byTable[n] = true
+}
+
+// relatedPartitionNodes returns the other nodes whose partitions overlap
+// n: the table's wildcard node for a keyed partition, every indexed node
+// of the table for the wildcard. Caller holds g.mu (read side is fine:
+// the index is only grown under the write lock).
+func (g *Graph) relatedPartitionNodes(n NodeID) []NodeID {
+	table, whole, ok := n.partitionTable()
+	if !ok {
+		return nil
+	}
+	if !whole {
+		w := wholeTableNode(table)
+		if g.tableNodes[table][w] {
+			return []NodeID{w}
+		}
+		return nil
+	}
+	var out []NodeID
+	for other := range g.tableNodes[table] {
+		if other != n {
+			out = append(out, other)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // SetObserver installs the graph's change observer (nil to remove).
@@ -179,9 +247,11 @@ func (g *Graph) Append(a *Action) ActionID {
 	g.order = append(g.order, a.ID)
 	for _, d := range a.Inputs {
 		g.readers[d.Node] = append(g.readers[d.Node], a.ID)
+		g.indexPartitionNode(d.Node)
 	}
 	for _, d := range a.Outputs {
 		g.writers[d.Node] = append(g.writers[d.Node], a.ID)
+		g.indexPartitionNode(d.Node)
 	}
 	if g.obs != nil {
 		g.obs.ActionAppended(a)
@@ -207,9 +277,11 @@ func (g *Graph) RestoreAction(a *Action) error {
 	g.order = append(g.order, a.ID)
 	for _, d := range a.Inputs {
 		g.readers[d.Node] = append(g.readers[d.Node], a.ID)
+		g.indexPartitionNode(d.Node)
 	}
 	for _, d := range a.Outputs {
 		g.writers[d.Node] = append(g.writers[d.Node], a.ID)
+		g.indexPartitionNode(d.Node)
 	}
 	if a.ID >= g.nextID {
 		g.nextID = a.ID + 1
@@ -243,6 +315,7 @@ func (g *Graph) AddDeps(id ActionID, inputs, outputs []Dep) {
 		if !have[d] {
 			a.Inputs = append(a.Inputs, d)
 			g.readers[d.Node] = append(g.readers[d.Node], id)
+			g.indexPartitionNode(d.Node)
 		}
 	}
 	have = make(map[Dep]bool, len(a.Outputs))
@@ -253,6 +326,7 @@ func (g *Graph) AddDeps(id ActionID, inputs, outputs []Dep) {
 		if !have[d] {
 			a.Outputs = append(a.Outputs, d)
 			g.writers[d.Node] = append(g.writers[d.Node], id)
+			g.indexPartitionNode(d.Node)
 		}
 	}
 }
@@ -272,6 +346,49 @@ func (g *Graph) DepsOf(id ActionID) (inputs, outputs []Dep) {
 	return append([]Dep{}, a.Inputs...), append([]Dep{}, a.Outputs...)
 }
 
+// PartitionDeps is the dependency-edge view of one action with its
+// partition edges pre-split from its plain node edges: the partition
+// names (ttdb.Partition string forms, parseable with ttdb.ParsePartition)
+// an action reads and writes, and the remaining non-partition nodes
+// (HTTP exchanges, cookies, files). The repair scheduler's frontier
+// builds work-item footprints from this view, so two actions on the same
+// table are admitted concurrently exactly when their partition sets do
+// not overlap.
+type PartitionDeps struct {
+	PartReads  []string
+	PartWrites []string
+	NodeReads  []NodeID
+	NodeWrites []NodeID
+}
+
+// PartitionDepsOf returns an action's dependency edges split into
+// partition edges and plain node edges. Like DepsOf it is safe against a
+// concurrent AddDeps.
+func (g *Graph) PartitionDepsOf(id ActionID) PartitionDeps {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var pd PartitionDeps
+	a := g.actions[id]
+	if a == nil {
+		return pd
+	}
+	for _, d := range a.Inputs {
+		if name, ok := d.Node.PartitionName(); ok {
+			pd.PartReads = append(pd.PartReads, name)
+		} else {
+			pd.NodeReads = append(pd.NodeReads, d.Node)
+		}
+	}
+	for _, d := range a.Outputs {
+		if name, ok := d.Node.PartitionName(); ok {
+			pd.PartWrites = append(pd.PartWrites, name)
+		} else {
+			pd.NodeWrites = append(pd.NodeWrites, d.Node)
+		}
+	}
+	return pd
+}
+
 // Deps returns the distinct actions the given action depends on: every
 // action with an output edge to one of its input nodes at or before its
 // time. The result is in (time, ID) order and excludes the action itself.
@@ -285,13 +402,15 @@ func (g *Graph) Deps(id ActionID) []ActionID {
 	seen := make(map[ActionID]bool)
 	var out []*Action
 	for _, d := range a.Inputs {
-		for _, wid := range g.writers[d.Node] {
-			w := g.actions[wid]
-			if w == nil || wid == id || seen[wid] || w.Time > a.Time {
-				continue
+		for _, node := range append([]NodeID{d.Node}, g.relatedPartitionNodes(d.Node)...) {
+			for _, wid := range g.writers[node] {
+				w := g.actions[wid]
+				if w == nil || wid == id || seen[wid] || w.Time > a.Time {
+					continue
+				}
+				seen[wid] = true
+				out = append(out, w)
 			}
-			seen[wid] = true
-			out = append(out, w)
 		}
 	}
 	return sortedIDs(out)
@@ -313,13 +432,15 @@ func (g *Graph) Dependents(id ActionID) []ActionID {
 	seen := make(map[ActionID]bool)
 	var out []*Action
 	for _, d := range a.Outputs {
-		for _, rid := range g.readers[d.Node] {
-			r := g.actions[rid]
-			if r == nil || rid == id || seen[rid] || r.Time < a.Time {
-				continue
+		for _, node := range append([]NodeID{d.Node}, g.relatedPartitionNodes(d.Node)...) {
+			for _, rid := range g.readers[node] {
+				r := g.actions[rid]
+				if r == nil || rid == id || seen[rid] || r.Time < a.Time {
+					continue
+				}
+				seen[rid] = true
+				out = append(out, r)
 			}
-			seen[rid] = true
-			out = append(out, r)
 		}
 	}
 	return sortedIDs(out)
@@ -444,13 +565,16 @@ func (g *Graph) GC(beforeTime int64) int {
 		// Rebuild indexes without the dead actions.
 		g.readers = make(map[NodeID][]ActionID)
 		g.writers = make(map[NodeID][]ActionID)
+		g.tableNodes = make(map[string]map[NodeID]bool)
 		for _, id := range g.order {
 			a := g.actions[id]
 			for _, d := range a.Inputs {
 				g.readers[d.Node] = append(g.readers[d.Node], a.ID)
+				g.indexPartitionNode(d.Node)
 			}
 			for _, d := range a.Outputs {
 				g.writers[d.Node] = append(g.writers[d.Node], a.ID)
+				g.indexPartitionNode(d.Node)
 			}
 		}
 	}

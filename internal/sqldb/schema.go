@@ -218,6 +218,29 @@ func (db *DB) RowCount(table string) int {
 	return 0
 }
 
+// LiveSlots returns the slot numbers of a table's live rows, in scan
+// order. Slots are stable for the life of a row — inserts append fresh
+// slots and deletes leave tombstones — so a slot is a durable total
+// order over a table's rows that later deletes elsewhere in the table
+// cannot shift. WARP's checkpoint sharding uses it to tag rows with a
+// position that stays valid in checkpoint sections that are carried
+// forward while other rows are purged.
+func (db *DB) LiveSlots(table string) ([]int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tables[table]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", table)
+	}
+	slots := make([]int, 0, t.liveRows)
+	for slot, r := range t.rows {
+		if !r.deleted {
+			slots = append(slots, slot)
+		}
+	}
+	return slots, nil
+}
+
 // TotalRows returns the total number of live rows across all tables. WARP's
 // storage accounting (Table 6) uses this to measure database growth.
 func (db *DB) TotalRows() int {

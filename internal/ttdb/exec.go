@@ -19,19 +19,20 @@ func (db *DB) Exec(src string, params ...sqldb.Value) (*sqldb.Result, *Record, e
 }
 
 // ExecStmt executes a parsed statement under normal execution. Statements
-// on different tables run in parallel; statements on one table serialize
-// on that table's lock, with the timestamp assigned inside the lock so
-// version intervals never interleave.
+// on disjoint partition scopes — different tables, or disjoint lock-column
+// keys of one table — run in parallel; statements on overlapping scopes
+// serialize, with the timestamp assigned inside the scope so version
+// intervals of any one partition never interleave.
 func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Result, *Record, error) {
-	m, unlock, err := db.lockFor(stmt)
+	m, sc, unlock, err := db.lockFor(stmt, params)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer unlock()
 	t := db.clock.Tick()
-	res, rec, err := db.execAt(stmt, params, t, db.currentGen.Load(), nil, m)
-	// Emit the committed mutation while the statement's locks are still
-	// held, so the observer sees per-table events in execution order.
+	res, rec, err := db.execAt(stmt, params, t, db.currentGen.Load(), nil, m, sc)
+	// Emit the committed mutation while the statement's scope is still
+	// held, so the observer sees per-partition events in execution order.
 	// Reads are not emitted (they change nothing), and neither are failed
 	// writes (their only trace is the record the caller logs).
 	if err == nil && rec != nil && rec.Kind != KindRead && db.obs != nil {
@@ -40,19 +41,20 @@ func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Resul
 	return res, rec, err
 }
 
-// lockFor acquires the locks a statement needs: every table lock for DDL,
-// the target table's lock for DML, nothing for table-less selects. It
-// returns the target table's meta (nil for DDL / table-less statements)
-// and the release function.
-func (db *DB) lockFor(stmt sqldb.Statement) (*tableMeta, func(), error) {
+// lockFor acquires the locks a statement needs: every table's whole
+// scope for DDL, the target table's derived partition scope for DML,
+// nothing for table-less selects. It returns the target table's meta
+// (nil for DDL / table-less statements), the scope held, and the
+// release function.
+func (db *DB) lockFor(stmt sqldb.Statement, params []sqldb.Value) (*tableMeta, lockScope, func(), error) {
 	var table string
 	switch s := stmt.(type) {
 	case *sqldb.CreateTable, *sqldb.CreateIndex, *sqldb.AlterTableAdd, *sqldb.DropTable:
 		metas := db.lockAll()
-		return nil, func() { db.unlockAll(metas) }, nil
+		return nil, wholeScope(), func() { db.unlockAll(metas) }, nil
 	case *sqldb.Select:
 		if s.Table == "" {
-			return nil, func() {}, nil
+			return nil, lockScope{}, func() {}, nil
 		}
 		table = s.Table
 	case *sqldb.Insert:
@@ -62,28 +64,158 @@ func (db *DB) lockFor(stmt sqldb.Statement) (*tableMeta, func(), error) {
 	case *sqldb.Delete:
 		table = s.Table
 	default:
-		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
+		return nil, lockScope{}, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
 	}
-	m, err := db.lockTable(table)
+	m, err := db.meta(table)
 	if err != nil {
-		return nil, nil, err
+		return nil, lockScope{}, nil, err
 	}
-	return m, func() { m.mu.Unlock() }, nil
+	sc := m.scopeForStmt(stmt, params)
+	if db.obs != nil && isWriteStmt(stmt) {
+		// A durable deployment logs every normal-execution write as a WAL
+		// record, and replay rebuilds state by re-executing those records
+		// serially in log order — so per-table record order must equal
+		// execution order, which only holds if logged writes on one table
+		// do not interleave. Logged writes therefore take the whole-table
+		// scope; reads keep partition scopes, and repair-generation
+		// re-execution (made durable by its commit checkpoint, not by
+		// records) keeps partition scopes too — the concurrency the
+		// partition lock manager exists for.
+		sc = wholeScope()
+	}
+	sc = m.effectiveScope(db, sc)
+	m.locks.lock(sc)
+	return m, sc, func() { m.locks.unlock(sc) }, nil
+}
+
+// isWriteStmt reports whether a statement mutates table contents.
+func isWriteStmt(stmt sqldb.Statement) bool {
+	switch stmt.(type) {
+	case *sqldb.Insert, *sqldb.Update, *sqldb.Delete:
+		return true
+	}
+	return false
+}
+
+// scopeForStmt derives a statement's partition lock scope from static
+// analysis. The fallback for anything the analysis cannot bound — no
+// usable conjunct over the lock column, a non-constant value, a SET of
+// the lock column itself — is the whole table, the same conservative
+// rule the paper's partition extraction uses (§4.1).
+func (m *tableMeta) scopeForStmt(stmt sqldb.Statement, params []sqldb.Value) lockScope {
+	if m.lockCol == "" {
+		return wholeScope()
+	}
+	switch s := stmt.(type) {
+	case *sqldb.Select:
+		return m.scopeFromWhere(s.Where, params)
+	case *sqldb.Insert:
+		cols := s.Columns
+		if len(cols) == 0 {
+			cols = m.userCols
+		}
+		var keys []string
+		for _, row := range s.Rows {
+			found := false
+			for i, c := range cols {
+				if c != m.lockCol || i >= len(row) {
+					continue
+				}
+				if v, ok := constValueOf(row[i], params); ok {
+					keys = append(keys, v.Key())
+					found = true
+				}
+			}
+			if !found {
+				return wholeScope()
+			}
+		}
+		return keyScope(keys)
+	case *sqldb.Update:
+		for _, a := range s.Set {
+			if a.Column == m.lockCol {
+				// Rewriting the lock column moves rows across partitions;
+				// only the whole-table scope covers both sides.
+				return wholeScope()
+			}
+		}
+		return m.scopeFromWhere(s.Where, params)
+	case *sqldb.Delete:
+		return m.scopeFromWhere(s.Where, params)
+	}
+	return wholeScope()
+}
+
+// scopeFromWhere bounds a WHERE clause to lock-column keys: top-level
+// AND-conjuncts of the form `lockCol = const` or `lockCol IN (consts)`.
+// Anything else is unbounded.
+func (m *tableMeta) scopeFromWhere(where sqldb.Expr, params []sqldb.Value) lockScope {
+	if where == nil {
+		return wholeScope()
+	}
+	var keys []string
+	bounded := false
+	collectConjuncts(where, func(e sqldb.Expr) {
+		switch e := e.(type) {
+		case *sqldb.BinaryExpr:
+			if e.Op != sqldb.OpEq {
+				return
+			}
+			col, v, ok := constEqParts(e, params)
+			if ok && col == m.lockCol {
+				keys = append(keys, v.Key())
+				bounded = true
+			}
+		case *sqldb.InExpr:
+			if e.Not {
+				return
+			}
+			col, ok := e.Expr.(*sqldb.ColumnRef)
+			if !ok || col.Name != m.lockCol {
+				return
+			}
+			var inKeys []string
+			for _, item := range e.List {
+				v, ok := constValueOf(item, params)
+				if !ok {
+					return // non-constant member: cannot bound
+				}
+				inKeys = append(inKeys, v.Key())
+			}
+			keys = append(keys, inKeys...)
+			bounded = true
+		}
+	})
+	if !bounded {
+		return wholeScope()
+	}
+	return keyScope(keys)
+}
+
+// markDirtyStmt marks the shards a statement can touch, derived from
+// the statement's own partition analysis. This is deliberately
+// independent of the lock scope held: a logged write holds the whole
+// table for WAL ordering (lockFor) but still dirties only its own
+// partitions' shards, so checkpoints stay proportional to the write
+// set.
+func (db *DB) markDirtyStmt(m *tableMeta, stmt sqldb.Statement, params []sqldb.Value) {
+	db.markDirtyScope(m, m.effectiveScope(db, m.scopeForStmt(stmt, params)))
 }
 
 // execAt dispatches a statement at an explicit time and generation. The
 // caller holds the locks lockFor would acquire; m is the target table's
-// meta for DML statements. reuse carries the original record during repair
-// re-execution, or nil. Every non-read case marks its table dirty for
-// the incremental checkpointer — before executing, so even a write that
-// fails partway can only over-mark, never leave a mutated table clean.
-func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+// meta for DML statements and sc the scope held. reuse carries the
+// original record during repair re-execution, or nil. Every non-read
+// case marks its statement's shards dirty for the incremental
+// checkpointer — before executing, so even a write that fails partway
+// can only over-mark, never leave a mutated shard clean.
+func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record, m *tableMeta, sc lockScope) (*sqldb.Result, *Record, error) {
 	rec := &Record{SQL: stmt.String(), Params: params, Time: t, Gen: gen}
 	switch s := stmt.(type) {
 	case *sqldb.CreateTable:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
-		db.markDirty(s.Table)
+		db.markDirtyWhole(s.Table)
 		if err := db.createTable(s); err != nil {
 			return nil, nil, err
 		}
@@ -92,7 +224,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.CreateIndex:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
-		db.markDirty(s.Table)
+		db.markDirtyWhole(s.Table)
 		res, err := db.raw.ExecStmt(s, params)
 		if err != nil {
 			return nil, nil, err
@@ -102,7 +234,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.AlterTableAdd:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
-		db.markDirty(s.Table)
+		db.markDirtyWhole(s.Table)
 		tm, err := db.meta(s.Table)
 		if err != nil {
 			return nil, nil, err
@@ -117,7 +249,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.DropTable:
 		rec.Kind = KindDDL
 		rec.Table = s.Table
-		db.markDirty(s.Table)
+		db.markDirtyWhole(s.Table)
 		res, err := db.raw.ExecStmt(s, params)
 		if err != nil {
 			return nil, nil, err
@@ -130,13 +262,13 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 	case *sqldb.Select:
 		return db.execSelect(s, params, t, gen, rec, m)
 	case *sqldb.Insert:
-		db.markDirty(s.Table)
+		db.markDirtyStmt(m, s, params)
 		return db.execInsert(s, params, t, gen, rec, reuse, m)
 	case *sqldb.Update:
-		db.markDirty(s.Table)
+		db.markDirtyStmt(m, s, params)
 		return db.execUpdate(s, params, t, gen, rec, m)
 	case *sqldb.Delete:
-		db.markDirty(s.Table)
+		db.markDirtyStmt(m, s, params)
 		return db.execDelete(s, params, t, gen, rec, m)
 	default:
 		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
@@ -232,7 +364,10 @@ func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, re
 		}
 		if m.synthetic {
 			// Reuse the originally assigned row IDs during repair so row
-			// identity is stable across re-execution.
+			// identity is stable across re-execution. The allocator is
+			// shared by every partition of the table, so it is touched
+			// only under the bookkeeping latch.
+			m.mu.Lock()
 			var rid int64
 			if i < len(reuseIDs) {
 				rid = reuseIDs[i].AsInt()
@@ -246,6 +381,7 @@ func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, re
 				rid = m.nextRowID
 				m.nextRowID++
 			}
+			m.mu.Unlock()
 			aug.Rows[i] = append(aug.Rows[i], sqldb.Lit(sqldb.Int(rid)))
 		}
 		aug.Rows[i] = append(aug.Rows[i],

@@ -21,8 +21,11 @@ type partEntry struct {
 }
 
 // indexVersionEvent records that a row had a version event in the given
-// partitions at time t. Called with the table lock held.
+// partitions at time t. The index is shared by every partition of the
+// table, so it is touched under the bookkeeping latch.
 func (m *tableMeta) indexVersionEvent(ps []Partition, rowID sqldb.Value, t int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.partIdx == nil {
 		m.partIdx = make(map[Partition][]partEntry)
 	}
@@ -32,8 +35,10 @@ func (m *tableMeta) indexVersionEvent(ps []Partition, rowID sqldb.Value, t int64
 }
 
 // rowsSince returns the distinct row IDs with a version event in p at or
-// after since, in a stable order. Called with the table lock held.
+// after since, in a stable order.
 func (m *tableMeta) rowsSince(p Partition, since int64) []sqldb.Value {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	seen := make(map[string]bool)
 	var out []sqldb.Value
 	collect := func(entries []partEntry) {
@@ -72,8 +77,10 @@ func (m *tableMeta) rowsSince(p Partition, since int64) []sqldb.Value {
 
 // pruneIndexBefore drops index entries older than the GC horizon. Entries
 // below the horizon can never satisfy a valid rollback (rollback refuses
-// times at or before the horizon). Called with the table lock held.
+// times at or before the horizon).
 func (m *tableMeta) pruneIndexBefore(beforeTime int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for p, entries := range m.partIdx {
 		keep := entries[:0]
 		for _, e := range entries {
@@ -93,12 +100,22 @@ func (m *tableMeta) pruneIndexBefore(beforeTime int64) {
 // event in partition p at or after time since, via the per-partition
 // version index. Events older than the GC horizon may have been pruned.
 func (db *DB) PartitionRowsSince(p Partition, since int64) ([]sqldb.Value, error) {
-	m, err := db.lockTable(p.Table)
+	m, err := db.meta(p.Table)
 	if err != nil {
 		return nil, err
 	}
-	defer m.mu.Unlock()
+	// The index latch is sufficient for a read-only probe.
 	return m.rowsSince(p, since), nil
+}
+
+// partitionScope derives the lock scope for operating on one partition:
+// the partition's own key when it is on the lock column, the whole table
+// otherwise (other columns cut across the lock column's slices).
+func (m *tableMeta) partitionScope(db *DB, p Partition) lockScope {
+	if !p.IsWholeTable() && p.Column == m.lockCol {
+		return m.effectiveScope(db, keyScope([]string{p.Key}))
+	}
+	return wholeScope()
 }
 
 // RollbackPartition rolls back every row with a version event in partition
@@ -111,18 +128,36 @@ func (db *DB) RollbackPartition(p Partition, t int64) ([]Partition, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := db.lockTable(p.Table)
+	m, err := db.meta(p.Table)
 	if err != nil {
 		return nil, err
 	}
-	defer m.mu.Unlock()
+	sc := m.partitionScope(db, p)
+	// Accumulated across an escalation retry, same as RollbackRows: dirt
+	// from rollbacks completed under the narrow scope must survive.
 	set := NewPartitionSet()
-	for _, id := range m.rowsSince(p, t) {
-		ps, err := db.rollbackRowLocked(m, id, t, st)
+	for {
+		m.locks.lock(sc)
+		err := func() error {
+			for _, id := range m.rowsSince(p, t) {
+				ps, err := db.rollbackRowLocked(m, id, t, st, sc)
+				if err != nil {
+					return err
+				}
+				set.AddAll(ps)
+			}
+			return nil
+		}()
+		m.locks.unlock(sc)
+		if err == errScopeConflict && !sc.whole {
+			// A row in p also has versions outside p's lock-column slice
+			// (its partition column was rewritten): retry whole-table.
+			sc = wholeScope()
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
-		set.AddAll(ps)
+		return set.Slice(), nil
 	}
-	return set.Slice(), nil
 }

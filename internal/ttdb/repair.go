@@ -8,7 +8,7 @@ import (
 
 // repairState snapshots the generation state a repair-side operation runs
 // under: the repair ("next") generation and the GC horizon. Snapshotting
-// it once at operation entry lets the table-locked internals run without
+// it once at operation entry lets the scope-locked internals run without
 // re-acquiring db.mu (the lock ordering forbids that).
 type repairState struct {
 	next     int64
@@ -44,6 +44,12 @@ func (db *DB) BeginRepair() (int64, error) {
 // (WARP's core) is responsible for briefly suspending the web server and
 // draining final requests first (§4.3), and for ensuring all repair workers
 // have completed. Rows visible only to older generations are purged.
+//
+// The purge mutates only rows this repair demoted or created — every one
+// of which was dirty-marked (at partition-shard granularity) by the
+// repair operation that touched it — so the generation switch adds no
+// dirt of its own and a repaired hot row marks a sub-table section, not
+// the whole table (docs/persistence.md).
 func (db *DB) FinishRepair() error {
 	metas := db.lockAll()
 	defer db.unlockAll(metas)
@@ -52,7 +58,6 @@ func (db *DB) FinishRepair() error {
 	}
 	cur := db.currentGen.Add(1)
 	db.inRepair = false
-	db.markAllDirty() // the generation switch rewrites every table's rows
 	// Purge rows invisible from the new current generation onward.
 	for _, m := range metas {
 		del := &sqldb.Delete{
@@ -68,7 +73,8 @@ func (db *DB) FinishRepair() error {
 
 // AbortRepair discards the next generation, restoring the database to the
 // state normal execution sees. WARP uses this when a user-initiated undo
-// would cause conflicts for other users (§5.5).
+// would cause conflicts for other users (§5.5). Like FinishRepair, it
+// mutates only rows repair operations already dirty-marked.
 func (db *DB) AbortRepair() error {
 	metas := db.lockAll()
 	defer db.unlockAll(metas)
@@ -77,7 +83,6 @@ func (db *DB) AbortRepair() error {
 	}
 	cur := db.currentGen.Load()
 	next := cur + 1
-	db.markAllDirty() // discarding the forked generation mutates rows too
 	for _, m := range metas {
 		// Rows created by repair vanish...
 		del := &sqldb.Delete{
@@ -130,6 +135,24 @@ func (db *DB) decodePhysical(m *tableMeta, res *sqldb.Result) []physicalRow {
 		out = append(out, pr)
 	}
 	return out
+}
+
+// checkVersionsInScope verifies that every version's lock-column value
+// falls inside the scope, before anything is mutated. A miss means the
+// operation's statically derived scope was too narrow (a row's partition
+// column was rewritten after the original record, or a uniqueness
+// collision landed in a sibling partition); the entry point retries
+// under the whole-table scope.
+func (db *DB) checkVersionsInScope(m *tableMeta, versions []physicalRow, sc lockScope) error {
+	if sc.whole || m.lockCol == "" {
+		return nil
+	}
+	for _, pr := range versions {
+		if err := sc.check(pr.vals[m.lockCol].Key()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // targetWhere builds a predicate that identifies exactly one physical row
@@ -197,30 +220,54 @@ func (db *DB) deletePhysical(m *tableMeta, pr physicalRow) error {
 	return nil
 }
 
+// scopeForRows derives the lock scope for operating on the given rows:
+// the lock-column keys of every version of every row, from an unlocked
+// pre-scan of the raw engine. The pre-scan may go stale before the scope
+// is acquired; the scope checks inside the locked operation catch that
+// and escalate, so staleness costs a retry, never correctness.
+func (db *DB) scopeForRows(m *tableMeta, rowIDs []sqldb.Value) lockScope {
+	if db.coarseLocks.Load() || m.lockCol == "" || len(rowIDs) == 0 {
+		return wholeScope()
+	}
+	list := make([]sqldb.Expr, len(rowIDs))
+	for i, id := range rowIDs {
+		list[i] = sqldb.Lit(id)
+	}
+	sel := &sqldb.Select{
+		Items: []sqldb.SelectItem{{Expr: sqldb.Col(m.lockCol)}},
+		Table: m.name,
+		Where: &sqldb.InExpr{Expr: sqldb.Col(m.rowIDCol), List: list},
+	}
+	res, err := db.raw.ExecStmt(sel, nil)
+	if err != nil {
+		return wholeScope()
+	}
+	keys := make([]string, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		keys = append(keys, row[0].Key())
+	}
+	return keyScope(keys)
+}
+
 // RollbackRow rolls back a single row (named by row ID) to time t in the
 // repair generation (§4.1): versions from t onward disappear from the next
 // generation, and the version covering t becomes live again. Versions
 // shared with the current generation are preserved for it by demotion.
 // It returns the partitions whose contents changed.
 func (db *DB) RollbackRow(table string, rowID sqldb.Value, t int64) ([]Partition, error) {
-	st, err := db.repairSnapshot()
-	if err != nil {
-		return nil, err
-	}
-	m, err := db.lockTable(table)
-	if err != nil {
-		return nil, err
-	}
-	defer m.mu.Unlock()
-	return db.rollbackRowLocked(m, rowID, t, st)
+	return db.RollbackRows(table, []sqldb.Value{rowID}, t)
 }
 
-// rollbackRowLocked is RollbackRow with the table lock held.
-func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st repairState) ([]Partition, error) {
+// rollbackRowLocked is the per-row rollback, run under a scope covering
+// the row's lock-column keys. Every row it would mutate is verified
+// against the scope before any mutation, so an errScopeConflict return
+// leaves the table untouched by this row's rollback and the caller can
+// retry under a wider scope; a completed rollback re-run under the wider
+// scope is a no-op.
+func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st repairState, sc lockScope) ([]Partition, error) {
 	if t <= st.gcBefore {
 		return nil, fmt.Errorf("ttdb: rollback to %d is beyond the GC horizon %d", t, st.gcBefore)
 	}
-	db.markDirty(m.name)
 	next := st.next
 
 	// All versions of this row visible anywhere in the next generation.
@@ -234,6 +281,9 @@ func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st rep
 		return nil, err
 	}
 	versions := db.decodePhysical(m, res)
+	if err := db.checkVersionsInScope(m, versions, sc); err != nil {
+		return nil, err
+	}
 
 	set := NewPartitionSet()
 	var keep []physicalRow
@@ -243,6 +293,41 @@ func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st rep
 		}
 		if pr.start < t {
 			keep = append(keep, pr)
+		}
+	}
+	// Revive the version covering t, if it was closed; find it before
+	// mutating so the revival's uniqueness colliders can be scope-checked
+	// up front.
+	var latest *physicalRow
+	for i := range keep {
+		if latest == nil || keep[i].start > latest.start {
+			latest = &keep[i]
+		}
+	}
+	revive := latest != nil && latest.end != Infinity && latest.end >= t
+	var colliders []collider
+	if revive {
+		// The revival can collide with a row inserted later under the same
+		// uniqueness key: the §6 case where an INSERT's success changes
+		// during repair. Probe once: the set is verified against the scope
+		// before any mutation, and the same set is resolved after the main
+		// row's versions are cleared (clearing them cannot add or remove
+		// colliders — the probe already excludes the main row).
+		var err error
+		colliders, err = db.revivalColliders(m, *latest, st)
+		if err != nil {
+			return nil, err
+		}
+		for _, other := range colliders {
+			if err := db.checkVersionsInScope(m, other.versions, sc); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	db.markDirtyScope(m, sc)
+	for _, pr := range versions {
+		if pr.start < t {
 			continue
 		}
 		// This version vanishes from the next generation.
@@ -256,19 +341,8 @@ func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st rep
 			}
 		}
 	}
-	// Revive the version covering t, if it was closed.
-	var latest *physicalRow
-	for i := range keep {
-		if latest == nil || keep[i].start > latest.start {
-			latest = &keep[i]
-		}
-	}
-	if latest != nil && latest.end != Infinity && latest.end >= t {
-		// The revival can collide with a row inserted later under the same
-		// uniqueness key: the §6 case where an INSERT's success changes
-		// during repair. The later row is rolled back first (it will fail
-		// when its query re-executes), then the revival proceeds.
-		if err := db.resolveRevivalCollisions(m, *latest, st, set, 0); err != nil {
+	if revive {
+		if err := db.resolveRevivalCollisions(m, colliders, st, set, sc); err != nil {
 			return nil, err
 		}
 		if latest.sGen >= next {
@@ -294,19 +368,24 @@ func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st rep
 	return set.Slice(), nil
 }
 
-// resolveRevivalCollisions rolls back any live next-generation rows that
-// share a uniqueness key with the row about to be revived (§6). Their
-// partitions are added to dirt so the inserts that created them re-execute
-// and observe their changed (now failing) outcome.
-func (db *DB) resolveRevivalCollisions(m *tableMeta, pr physicalRow, st repairState, dirt *PartitionSet, depth int) error {
-	if depth > 8 {
-		return fmt.Errorf("ttdb: table %s: uniqueness collision resolution did not converge", m.name)
-	}
+// collider is one row whose live next-generation version shares a
+// uniqueness key with a row about to be revived.
+type collider struct {
+	rowID    sqldb.Value
+	versions []physicalRow
+}
+
+// revivalColliders probes (read-only) for live next-generation rows that
+// share a uniqueness key with pr, returning each with all of its
+// next-generation-visible versions.
+func (db *DB) revivalColliders(m *tableMeta, pr physicalRow, st repairState) ([]collider, error) {
 	next := st.next
 	_, uniques, err := db.raw.Schema(m.name)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var out []collider
+	seen := make(map[string]bool)
 	for _, u := range uniques {
 		// Build the live-collision probe over the constraint's application
 		// columns (the version columns were appended by createTable).
@@ -336,70 +415,94 @@ func (db *DB) resolveRevivalCollisions(m *tableMeta, pr physicalRow, st repairSt
 			&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(next))})...)
 		res, err := db.selectPhysical(m, where, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, other := range db.decodePhysical(m, res) {
-			if other.rowID.Equal(pr.rowID) {
+			if other.rowID.Equal(pr.rowID) || seen[other.rowID.Key()] {
 				continue
 			}
-			// Roll the colliding row back to before its first appearance:
-			// in the repaired timeline its insert fails.
-			first, err := db.firstStartTime(m, other.rowID, next)
+			seen[other.rowID.Key()] = true
+			vWhere := sqldb.And(
+				sqldb.Eq(m.rowIDCol, other.rowID),
+				&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(next))},
+				&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(next))},
+			)
+			vRes, err := db.selectPhysical(m, vWhere, nil)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			ps, err := db.rollbackRowLocked(m, other.rowID, first, st)
-			if err != nil {
-				return err
-			}
-			dirt.AddAll(ps)
+			out = append(out, collider{rowID: other.rowID, versions: db.decodePhysical(m, vRes)})
 		}
+	}
+	return out, nil
+}
+
+// resolveRevivalCollisions rolls back the probed live next-generation
+// rows that share a uniqueness key with the row about to be revived
+// (§6). Each collider is rolled back to before its first appearance, so
+// in the repaired timeline its insert fails; its own rollback keeps no
+// versions, so it never revives or recurses. The colliders' partitions
+// are added to dirt so the inserts that created them re-execute and
+// observe their changed (now failing) outcome.
+func (db *DB) resolveRevivalCollisions(m *tableMeta, colliders []collider, st repairState, dirt *PartitionSet, sc lockScope) error {
+	for _, other := range colliders {
+		first := int64(0)
+		for i, pr := range other.versions {
+			if i == 0 || pr.start < first {
+				first = pr.start
+			}
+		}
+		ps, err := db.rollbackRowLocked(m, other.rowID, first, st, sc)
+		if err != nil {
+			return err
+		}
+		dirt.AddAll(ps)
 	}
 	return nil
 }
 
-// firstStartTime returns the earliest version start of a row visible in
-// the given generation.
-func (db *DB) firstStartTime(m *tableMeta, rowID sqldb.Value, gen int64) (int64, error) {
-	sel := &sqldb.Select{
-		Items: []sqldb.SelectItem{{Expr: &sqldb.FuncCall{Name: "MIN", Args: []sqldb.Expr{sqldb.Col(ColStartTime)}}}},
-		Table: m.name,
-		Where: sqldb.And(
-			sqldb.Eq(m.rowIDCol, rowID),
-			&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: sqldb.Lit(sqldb.Int(gen))},
-			&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: sqldb.Lit(sqldb.Int(gen))},
-		),
-	}
-	res, err := db.raw.ExecStmt(sel, nil)
-	if err != nil {
-		return 0, err
-	}
-	if res.FirstValue().IsNull() {
-		return 0, fmt.Errorf("ttdb: row %v has no versions in gen %d", rowID, gen)
-	}
-	return res.FirstValue().AsInt(), nil
-}
-
-// RollbackRows rolls back several rows of one table to time t.
+// RollbackRows rolls back several rows of one table to time t. The scope
+// is derived from the rows' own lock-column keys, so rollbacks of rows in
+// disjoint partitions proceed concurrently; a rollback that escapes its
+// derived scope retries under the whole-table scope (completed per-row
+// rollbacks are idempotent, so the retry re-converges).
 func (db *DB) RollbackRows(table string, rowIDs []sqldb.Value, t int64) ([]Partition, error) {
 	st, err := db.repairSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	m, err := db.lockTable(table)
+	m, err := db.meta(table)
 	if err != nil {
 		return nil, err
 	}
-	defer m.mu.Unlock()
+	sc := db.scopeForRows(m, rowIDs)
+	// The set accumulates across an escalation retry: per-row rollbacks
+	// completed in a narrow-scope attempt stay applied (the retry re-runs
+	// them as no-ops), so their dirt — including uniqueness-collider
+	// rollbacks the no-op re-run will not re-probe — must not be lost.
 	set := NewPartitionSet()
-	for _, id := range rowIDs {
-		ps, err := db.rollbackRowLocked(m, id, t, st)
+	for {
+		m.locks.lock(sc)
+		err := func() error {
+			for _, id := range rowIDs {
+				ps, err := db.rollbackRowLocked(m, id, t, st, sc)
+				if err != nil {
+					return err
+				}
+				set.AddAll(ps)
+			}
+			return nil
+		}()
+		m.locks.unlock(sc)
+		if err == errScopeConflict && !sc.whole {
+			sc = wholeScope()
+			continue
+		}
 		if err != nil {
 			return nil, err
 		}
-		set.AddAll(ps)
+		return set.Slice(), nil
 	}
-	return set.Slice(), nil
 }
 
 // ReExec re-executes a query at its original time t in the repair
@@ -421,10 +524,33 @@ func (db *DB) ReExec(src string, params []sqldb.Value, t int64, orig *Record) (*
 	return db.ReExecStmt(stmt, params, t, orig)
 }
 
-// ReExecStmt is ReExec for a parsed statement. Re-executions on different
-// tables run in parallel; the target table's lock is held for the full
-// two-phase span so a re-execution is atomic with respect to other
-// operations on the table.
+// origScope derives the lock-column keys the original record's write set
+// touched — the rows a two-phase re-execution must roll back.
+func origScope(m *tableMeta, orig *Record) lockScope {
+	if orig == nil {
+		return keyScope(nil)
+	}
+	var keys []string
+	for _, p := range orig.WritePartitions {
+		if p.IsWholeTable() {
+			return wholeScope()
+		}
+		if p.Column == m.lockCol {
+			keys = append(keys, p.Key)
+		}
+	}
+	if len(keys) == 0 && len(orig.WriteRowIDs) > 0 {
+		// Rows were written but no lock-column partition recorded:
+		// cannot bound the rollback.
+		return wholeScope()
+	}
+	return keyScope(keys)
+}
+
+// ReExecStmt is ReExec for a parsed statement. Re-executions on disjoint
+// partition scopes — different tables, or disjoint lock-column keys of one
+// table — run in parallel; the scope is held for the full two-phase span
+// so a re-execution is atomic with respect to overlapping operations.
 func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
 	st, err := db.repairSnapshot()
 	if err != nil {
@@ -432,53 +558,71 @@ func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, or
 	}
 	db.clock.AdvanceTo(t)
 
+	run := func(table string, fn func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error)) (*sqldb.Result, *Record, error) {
+		m, err := db.meta(table)
+		if err != nil {
+			return nil, nil, err
+		}
+		sc := m.effectiveScope(db, m.scopeForStmt(stmt, params).merge(origScope(m, orig)))
+		// dirt accumulates across an escalation retry: rollbacks completed
+		// in a narrow-scope attempt stay applied (the retry re-runs them as
+		// no-ops), so their partitions — including uniqueness-collider
+		// rollbacks the no-op re-run will not re-probe — must survive into
+		// the returned record's write set.
+		dirt := NewPartitionSet()
+		for {
+			m.locks.lock(sc)
+			res, rec, err := fn(m, sc, dirt)
+			m.locks.unlock(sc)
+			if err == errScopeConflict && !sc.whole {
+				// The statically derived scope was too narrow (see
+				// locks.go); fall back to the table lock and re-run. No
+				// mutation escaped the narrow scope, and completed row
+				// rollbacks within it are idempotent under the retry.
+				sc = wholeScope()
+				continue
+			}
+			return res, rec, err
+		}
+	}
+
 	switch s := stmt.(type) {
 	case *sqldb.Insert:
-		m, err := db.lockTable(s.Table)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer m.mu.Unlock()
-		return db.reExecInsert(s, params, t, st, orig, m)
+		return run(s.Table, func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+			return db.reExecInsert(s, params, t, st, orig, m, sc, dirt)
+		})
 	case *sqldb.Update:
-		m, err := db.lockTable(s.Table)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer m.mu.Unlock()
-		return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m)
+		return run(s.Table, func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+			return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m, sc, dirt)
+		})
 	case *sqldb.Delete:
-		m, err := db.lockTable(s.Table)
-		if err != nil {
-			return nil, nil, err
-		}
-		defer m.mu.Unlock()
-		return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m)
+		return run(s.Table, func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+			return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m, sc, dirt)
+		})
 	default:
 		// Reads re-execute at their original time; DDL during repair
 		// replays as-is in the shared schema space.
-		m, unlock, err := db.lockFor(stmt)
+		m, sc, unlock, err := db.lockFor(stmt, params)
 		if err != nil {
 			return nil, nil, err
 		}
 		defer unlock()
-		return db.execAt(stmt, params, t, st.next, orig, m)
+		return db.execAt(stmt, params, t, st.next, orig, m, sc)
 	}
 }
 
-func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
-	db.markDirty(m.name)
-	dirt := NewPartitionSet()
+func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+	db.markDirtyScope(m, sc)
 	if orig != nil {
 		for _, id := range orig.WriteRowIDs {
-			ps, err := db.rollbackRowLocked(m, id, t, st)
+			ps, err := db.rollbackRowLocked(m, id, t, st, sc)
 			if err != nil {
 				return nil, nil, err
 			}
 			dirt.AddAll(ps)
 		}
 	}
-	res, rec, err := db.execAt(s, params, t, st.next, orig, m)
+	res, rec, err := db.execAt(s, params, t, st.next, orig, m, sc)
 	if err != nil && rec == nil {
 		return nil, nil, err
 	}
@@ -492,8 +636,8 @@ func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st re
 }
 
 // reExecWrite implements two-phase re-execution for UPDATE and DELETE.
-func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
-	db.markDirty(m.name) // phases B/C mutate even when the final exec fails
+func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+	db.markDirtyScope(m, sc) // phases B/C mutate even when the final exec fails
 	next := st.next
 
 	// Phase A: find the rows the new WHERE clause matches at time t in the
@@ -529,9 +673,8 @@ func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, 
 			all = append(all, row[0])
 		}
 	}
-	dirt := NewPartitionSet()
 	for _, id := range all {
-		ps, err := db.rollbackRowLocked(m, id, t, st)
+		ps, err := db.rollbackRowLocked(m, id, t, st, sc)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -543,7 +686,7 @@ func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, 
 	if err := db.preserveSharedMatches(m, userWhere, params, t, next); err != nil {
 		return nil, nil, err
 	}
-	res, rec, err := db.execAt(stmt, params, t, next, orig, m)
+	res, rec, err := db.execAt(stmt, params, t, next, orig, m, sc)
 	if err != nil && rec == nil {
 		return nil, nil, err
 	}

@@ -28,22 +28,28 @@
 //
 //   - db.mu guards generation/repair/GC state and table annotations;
 //   - db.tablesMu guards the table registry;
-//   - each tableMeta has its own mutex, held for the full multi-statement
-//     span of an operation on that table (an exec, a two-phase
-//     re-execution, a rollback), so repair workers on different tables
-//     proceed in parallel while operations on one table serialize.
+//   - each tableMeta has a partition lock manager (locks.go): an
+//     operation holds a *scope* — a set of keys in the table's lock
+//     column, or the whole table — for the full multi-statement span of
+//     an operation (an exec, a two-phase re-execution, a rollback), so
+//     operations on disjoint partitions of one table proceed in
+//     parallel while operations on overlapping partitions serialize;
+//   - tableMeta.mu is a leaf latch for the table's in-memory
+//     bookkeeping (row-ID allocator, version index), held only for
+//     momentary touches under a scope.
 //
 // DDL, generation switches (FinishRepair/AbortRepair), and GC take every
-// table lock. The acquisition order is db.mu → table locks, and code
-// holding a table lock never acquires db.mu. tablesMu is a leaf: it is
-// taken only for momentary registry reads/writes and is never held across
-// a table-lock (or db.mu) acquisition — which is why createTable and
+// table's whole scope. The acquisition order is db.mu → table scopes, and
+// code holding a table scope never acquires db.mu. tablesMu is a leaf: it
+// is taken only for momentary registry reads/writes and is never held
+// across a scope (or db.mu) acquisition — which is why createTable and
 // DropTable may briefly write-lock it even while lockAll holds every
-// table lock.
+// table's whole scope.
 package ttdb
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -65,6 +71,14 @@ const (
 // Infinity is the "still valid" timestamp/generation marker.
 const Infinity = vclock.Infinity
 
+// defaultRowShards is the number of row shards a partitioned table's
+// checkpoint sections are split into (persist.go): dirty tracking and
+// checkpoint rewrites happen per shard, so a repaired hot row rewrites
+// 1/defaultRowShards of the table instead of all of it. Tables without
+// partition columns use a single shard (their dirt is whole-table
+// anyway).
+const defaultRowShards = 8
+
 // TableSpec carries the per-table annotations the paper requires from the
 // programmer or administrator (§4.1, §8.1): which application column is a
 // stable row ID (empty to let WARP synthesize one) and which columns
@@ -75,17 +89,24 @@ type TableSpec struct {
 	PartitionColumns []string
 }
 
-// tableMeta is the runtime bookkeeping for one augmented table. mu
-// serializes all data operations on the table; repair workers touching
-// different tables run in parallel.
+// tableMeta is the runtime bookkeeping for one augmented table. locks
+// serializes overlapping-scope operations (locks.go); mu is a leaf
+// latch guarding the allocator and version index.
 type tableMeta struct {
 	mu        sync.Mutex
+	locks     *partLocks
 	name      string
 	spec      TableSpec
 	rowIDCol  string // spec.RowIDColumn or ColRowID
 	synthetic bool   // rowIDCol == ColRowID
 	userCols  []string
 	partCols  map[string]bool
+	// lockCol is the designated locking/sharding partition column: the
+	// first declared partition column, or "" when the table has none.
+	// Lock scopes and checkpoint row shards are keyed by this column's
+	// values; dependency analysis still uses every partition column.
+	lockCol   string
+	shards    int
 	nextRowID int64
 
 	// partIdx is the per-partition version index: for every partition, the
@@ -93,6 +114,35 @@ type tableMeta struct {
 	// "find rows touching partition P at or after time T" from a table scan
 	// into an index lookup (see partindex.go). Guarded by mu.
 	partIdx map[Partition][]partEntry
+
+	// restore buffers shard sections until the last one arrives, so rows
+	// re-insert in their original physical scan order regardless of which
+	// shard they live in (persist.go).
+	restore *tableRestore
+}
+
+// tableRestore accumulates a table's row shards during snapshot restore.
+type tableRestore struct {
+	cols     []string
+	rows     []posRow
+	restored int
+}
+
+// posRow is one physical row tagged with its original scan position.
+type posRow struct {
+	pos  uint64
+	vals []sqldb.Value
+}
+
+// shardOfKey maps a lock-column key to the table's row shard that holds
+// it in checkpoints.
+func (m *tableMeta) shardOfKey(key string) int {
+	if m.shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(m.shards))
 }
 
 // Observer receives database change events, in per-table commit order.
@@ -100,10 +150,12 @@ type tableMeta struct {
 // these as WAL records) without reaching into the database's internals;
 // the database is fully usable with no observer set.
 //
-// RecordApplied runs while the mutated table's lock (and, for DDL, the
-// database lock) is still held, so the event order an observer sees per
-// table is exactly the execution order. Implementations must not call
-// back into the DB.
+// RecordApplied runs while the mutated table's lock scope (and, for DDL,
+// the database lock) is still held, so the event order an observer sees
+// per partition is exactly the execution order; events of disjoint
+// partitions of one table may interleave in either order, matching their
+// true concurrency.
+// Implementations must not call back into the DB.
 type Observer interface {
 	// RecordApplied fires after a normal-execution mutation (INSERT,
 	// UPDATE, DELETE, or DDL) commits. Reads are not reported, and
@@ -116,6 +168,22 @@ type Observer interface {
 	// Collected fires after GC discarded row versions older than
 	// beforeTime.
 	Collected(beforeTime int64)
+}
+
+// DirtyShards names the parts of one table mutated since the last
+// checkpoint: the whole table, or a set of row-shard indices.
+type DirtyShards struct {
+	Whole  bool
+	Shards []int
+}
+
+// DirtySet maps table names to their dirty parts.
+type DirtySet map[string]DirtyShards
+
+// dirtyTable is the internal accumulator behind DirtyShards.
+type dirtyTable struct {
+	whole  bool
+	shards map[int]bool
 }
 
 // DB is a time-travel database.
@@ -134,20 +202,25 @@ type DB struct {
 	tables   map[string]*tableMeta
 
 	// currentGen is atomic so exec paths can read it while holding only a
-	// table lock; it changes only under lockAll (FinishRepair).
+	// table scope; it changes only under lockAll (FinishRepair).
 	currentGen atomic.Int64
 	inRepair   bool
 
+	// coarseLocks forces every lock scope to the whole table — the
+	// pre-partition-lock behavior, kept for comparison benchmarks and as
+	// an operational escape hatch (core.Config.TableGranularLocks).
+	coarseLocks atomic.Bool
+
 	gcBefore int64 // versions strictly older than this have been collected
 
-	// dirtyMu guards dirty, the set of tables mutated since the last
-	// checkpoint. It is a leaf lock: taken only for momentary set
-	// updates, under any combination of db.mu and table locks. The
-	// persistence layer snapshots and clears the set at checkpoint time
-	// (TakeDirty) so incremental checkpoints rewrite only changed
-	// tables.
+	// dirtyMu guards dirty, the per-shard set of table slices mutated
+	// since the last checkpoint. It is a leaf lock: taken only for
+	// momentary set updates, under any combination of db.mu and table
+	// scopes. The persistence layer snapshots and clears the set at
+	// checkpoint time (TakeDirty) so incremental checkpoints rewrite
+	// only changed shards.
 	dirtyMu sync.Mutex
-	dirty   map[string]bool
+	dirty   map[string]*dirtyTable
 
 	// obs, when set, receives change events. Installed once before use
 	// (SetObserver); read under the locks its callbacks fire under.
@@ -162,25 +235,63 @@ func Open(clock *vclock.Clock) *DB {
 		clock:  clock,
 		specs:  make(map[string]TableSpec),
 		tables: make(map[string]*tableMeta),
-		dirty:  make(map[string]bool),
+		dirty:  make(map[string]*dirtyTable),
 	}
 	db.currentGen.Store(1)
 	return db
 }
 
-// markDirty records that a table's physical state changed since the
-// last checkpoint. Safe under any lock (dirtyMu is a leaf).
-func (db *DB) markDirty(table string) {
+// SetTableGranularLocks switches the database between partition-granular
+// scopes (default) and the pre-refactor table-granular locking, in which
+// every operation takes its table's whole scope. Flip before concurrent
+// use; partition mode and table mode produce identical states, only
+// concurrency differs.
+func (db *DB) SetTableGranularLocks(coarse bool) { db.coarseLocks.Store(coarse) }
+
+// markDirtyWhole records that a table's physical state changed across
+// shards. Safe under any lock (dirtyMu is a leaf).
+func (db *DB) markDirtyWhole(table string) {
 	if table == "" {
 		return
 	}
 	db.dirtyMu.Lock()
-	db.dirty[table] = true
+	e := db.dirty[table]
+	if e == nil {
+		e = &dirtyTable{}
+		db.dirty[table] = e
+	}
+	e.whole = true
+	db.dirtyMu.Unlock()
+}
+
+// markDirtyScope records the dirt a scoped operation can produce: the
+// row shards of its keys, or the whole table for a whole-table scope.
+// Marked before executing, so even a write that fails partway can only
+// over-mark, never leave a mutated shard clean.
+func (db *DB) markDirtyScope(m *tableMeta, sc lockScope) {
+	if sc.whole {
+		db.markDirtyWhole(m.name)
+		return
+	}
+	db.dirtyMu.Lock()
+	e := db.dirty[m.name]
+	if e == nil {
+		e = &dirtyTable{}
+		db.dirty[m.name] = e
+	}
+	if !e.whole {
+		if e.shards == nil {
+			e.shards = make(map[int]bool)
+		}
+		for _, k := range sc.keys {
+			e.shards[m.shardOfKey(k)] = true
+		}
+	}
 	db.dirtyMu.Unlock()
 }
 
 // markAllDirty flags every registered table, for operations that rewrite
-// physical state across the board (generation switches, GC).
+// physical state across the board (GC).
 func (db *DB) markAllDirty() {
 	db.tablesMu.RLock()
 	names := make([]string, 0, len(db.tables))
@@ -188,38 +299,72 @@ func (db *DB) markAllDirty() {
 		names = append(names, name)
 	}
 	db.tablesMu.RUnlock()
-	db.dirtyMu.Lock()
 	for _, name := range names {
-		db.dirty[name] = true
+		db.markDirtyWhole(name)
 	}
-	db.dirtyMu.Unlock()
 }
 
-// TakeDirty atomically returns and clears the set of tables mutated
-// since the last call, sorted. The caller (the persistence layer) must
+// TakeDirty atomically returns and clears the set of table shards
+// mutated since the last call. The caller (the persistence layer) must
 // quiesce mutators across the take-encode span — the same rule a
-// checkpoint already imposes — or re-mark the tables with MarkDirty if
-// the checkpoint fails.
-func (db *DB) TakeDirty() []string {
+// checkpoint already imposes — or re-mark the set with MarkDirty if the
+// checkpoint fails.
+func (db *DB) TakeDirty() DirtySet {
 	db.dirtyMu.Lock()
-	out := make([]string, 0, len(db.dirty))
-	for name := range db.dirty {
-		out = append(out, name)
+	out := make(DirtySet, len(db.dirty))
+	for name, e := range db.dirty {
+		ds := DirtyShards{Whole: e.whole}
+		if !e.whole {
+			for s := range e.shards {
+				ds.Shards = append(ds.Shards, s)
+			}
+			sort.Ints(ds.Shards)
+		}
+		out[name] = ds
 	}
-	db.dirty = make(map[string]bool)
+	db.dirty = make(map[string]*dirtyTable)
 	db.dirtyMu.Unlock()
-	sort.Strings(out)
 	return out
 }
 
-// MarkDirty re-flags tables, undoing a TakeDirty whose checkpoint
+// MarkDirty re-flags table shards, undoing a TakeDirty whose checkpoint
 // failed (also usable by tests to force a section rewrite).
-func (db *DB) MarkDirty(tables ...string) {
+func (db *DB) MarkDirty(set DirtySet) {
 	db.dirtyMu.Lock()
-	for _, t := range tables {
-		db.dirty[t] = true
+	for name, ds := range set {
+		e := db.dirty[name]
+		if e == nil {
+			e = &dirtyTable{}
+			db.dirty[name] = e
+		}
+		if ds.Whole {
+			e.whole = true
+			continue
+		}
+		if e.shards == nil {
+			e.shards = make(map[int]bool)
+		}
+		for _, s := range ds.Shards {
+			e.shards[s] = true
+		}
 	}
 	db.dirtyMu.Unlock()
+}
+
+// MarkTableDirty flags whole tables (test and recovery convenience).
+func (db *DB) MarkTableDirty(tables ...string) {
+	for _, t := range tables {
+		db.markDirtyWhole(t)
+	}
+}
+
+// ShardCount returns the number of checkpoint row shards of a table.
+func (db *DB) ShardCount(table string) int {
+	m, err := db.meta(table)
+	if err != nil {
+		return 1
+	}
+	return m.shards
 }
 
 // Raw returns the underlying storage engine. It is exposed for tests and
@@ -303,19 +448,8 @@ func (db *DB) meta(table string) (*tableMeta, error) {
 	return m, nil
 }
 
-// lockTable returns the meta for a table with its lock held. The caller
-// must call m.mu.Unlock.
-func (db *DB) lockTable(table string) (*tableMeta, error) {
-	m, err := db.meta(table)
-	if err != nil {
-		return nil, err
-	}
-	m.mu.Lock()
-	return m, nil
-}
-
-// lockAll acquires db.mu plus every table lock in name order, for
-// operations that must exclude all concurrent table activity (DDL,
+// lockAll acquires db.mu plus every table's whole scope in name order,
+// for operations that must exclude all concurrent table activity (DDL,
 // generation switches, GC). Release with unlockAll.
 func (db *DB) lockAll() []*tableMeta {
 	db.mu.Lock()
@@ -329,15 +463,15 @@ func (db *DB) lockAll() []*tableMeta {
 	db.tablesMu.RUnlock()
 	sort.Slice(metas, func(i, j int) bool { return metas[i].name < metas[j].name })
 	for _, m := range metas {
-		m.mu.Lock()
+		m.locks.lock(wholeScope())
 	}
 	return metas
 }
 
-// unlockAll releases the locks acquired by lockAll.
+// unlockAll releases the scopes acquired by lockAll.
 func (db *DB) unlockAll(metas []*tableMeta) {
 	for i := len(metas) - 1; i >= 0; i-- {
-		metas[i].mu.Unlock()
+		metas[i].locks.unlock(wholeScope())
 	}
 	db.mu.Unlock()
 }
@@ -359,12 +493,18 @@ func (db *DB) createTable(ct *sqldb.CreateTable) error {
 	}
 	spec := db.specs[ct.Table]
 	m := &tableMeta{
+		locks:     newPartLocks(),
 		name:      ct.Table,
 		spec:      spec,
 		rowIDCol:  spec.RowIDColumn,
 		partCols:  make(map[string]bool),
 		partIdx:   make(map[Partition][]partEntry),
 		nextRowID: 1,
+		shards:    1,
+	}
+	if len(spec.PartitionColumns) > 0 {
+		m.lockCol = spec.PartitionColumns[0]
+		m.shards = defaultRowShards
 	}
 	aug := ct.Clone().(*sqldb.CreateTable)
 	cols := make(map[string]bool)

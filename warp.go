@@ -31,7 +31,14 @@
 // engine (docs/repair.md): work items whose time-travel partitions are
 // disjoint re-execute concurrently on Config.RepairWorkers workers
 // (default GOMAXPROCS), while conflicting items keep the paper's time
-// order. RepairWorkers = 1 reproduces the paper's serial loop exactly.
+// order. Concurrency is partition-granular end to end — the database
+// locks row ranges by partition key rather than whole tables, the
+// dependency frontier admits same-table items whose partitions do not
+// overlap, and page-visit replays are exclusive only per client — so
+// repairs of one hot table scale across workers too. RepairWorkers = 1
+// reproduces the paper's serial loop exactly;
+// Config.TableGranularLocks restores the coarse pre-partition behavior
+// for comparison.
 //
 // A System wires together the substrates in internal/: the SQL engine
 // (sqldb), the time-travel layer (ttdb), the action history graph
