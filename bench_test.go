@@ -17,6 +17,9 @@ import (
 
 	"warp/internal/bench"
 	"warp/internal/history"
+	"warp/internal/sqldb"
+	"warp/internal/ttdb"
+	"warp/internal/vclock"
 	"warp/internal/workload"
 )
 
@@ -97,6 +100,105 @@ func BenchmarkTable6Overhead(b *testing.B) {
 		b.ReportMetric(rows[1].DuringRepairPerSec, "edit-during-repair/s")
 		b.ReportMetric(rows[1].BrowserBytesPerVisit+rows[1].AppBytesPerVisit+rows[1].DBBytesPerVisit, "edit-log-B/visit")
 	}
+}
+
+// normalExecDB builds the time-travel database BenchmarkNormalExec and
+// the allocation gate share: an annotated, partitioned table seeded
+// with a few hundred rows.
+func normalExecDB(nRows int) *ttdb.DB {
+	db := ttdb.Open(&vclock.Clock{})
+	if err := db.Annotate("posts", ttdb.TableSpec{RowIDColumn: "id", PartitionColumns: []string{"owner"}}); err != nil {
+		panic(err)
+	}
+	if _, _, err := db.Exec("CREATE TABLE posts (id INTEGER PRIMARY KEY, owner TEXT, body TEXT)"); err != nil {
+		panic(err)
+	}
+	for i := 0; i < nRows; i++ {
+		_, _, err := db.Exec("INSERT INTO posts (id, owner, body) VALUES (?, ?, ?)",
+			sqldb.Int(int64(i)), sqldb.Text(fmt.Sprintf("u%d", i%16)), sqldb.Text("seed body"))
+		if err != nil {
+			panic(err)
+		}
+	}
+	return db
+}
+
+// BenchmarkNormalExec measures the normal-operation query fast path in
+// isolation: repeated statement forms through the time-travel layer's
+// statement cache — parse once, plan once, no per-execution
+// re-stringify. Run with -benchmem; the committed baseline gates both
+// ns/op and allocs/op (cmd/benchgate).
+func BenchmarkNormalExec(b *testing.B) {
+	const rows = 256
+	b.Run("read-indexed", func(b *testing.B) {
+		db := normalExecDB(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(int64(i%rows))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-partition", func(b *testing.B) {
+		db := normalExecDB(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec("SELECT id FROM posts WHERE owner = ?", sqldb.Text(fmt.Sprintf("u%d", i%16))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update", func(b *testing.B) {
+		db := normalExecDB(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec("UPDATE posts SET body = ? WHERE id = ?",
+				sqldb.Text("new body"), sqldb.Int(int64(i%rows))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		db := normalExecDB(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, _, err := db.Exec("INSERT INTO posts (id, owner, body) VALUES (?, ?, ?)",
+				sqldb.Int(int64(rows+i)), sqldb.Text("u0"), sqldb.Text("inserted"))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestNormalExecAllocBudget is the in-tree allocation gate for the
+// select fast path: a cached indexed read must stay a small-constant
+// allocation operation (no per-execution parse, clone, stringify, or
+// per-row evaluation contexts). The bound is deliberately loose — it
+// catches order-of-magnitude regressions, while CI's benchgate compares
+// exact allocs/op against the committed baseline.
+func TestNormalExecAllocBudget(t *testing.T) {
+	db := normalExecDB(256)
+	// Warm the statement cache and the compiled plan.
+	if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	i := int64(0)
+	avg := testing.AllocsPerRun(200, func() {
+		i++
+		if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(i%256)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 40
+	if avg > budget {
+		t.Fatalf("cached indexed read costs %.1f allocs/op, budget %d", avg, budget)
+	}
+	t.Logf("cached indexed read: %.1f allocs/op (budget %d)", avg, budget)
 }
 
 // BenchmarkTable7RepairPerformance runs the seven Table 7 rows and reports

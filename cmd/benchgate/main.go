@@ -7,11 +7,12 @@
 //	benchgate -baseline BENCH_BASELINE.json -current BENCH_PR3.json -threshold 0.30
 //
 // The gate fails (exit 1) when any benchmark present in both files got
-// more than threshold slower in ns/op. Benchmarks new in the current
-// run pass by definition; benchmarks that disappeared fail the gate,
-// since silently losing coverage is how regressions hide. The
-// GOMAXPROCS suffix (-8) is stripped so reports compare across runner
-// shapes.
+// more than threshold slower in ns/op — or, when both files carry
+// allocs_per_op (runs with -benchmem), more than threshold more
+// allocations per op. Benchmarks new in the current run pass by
+// definition; benchmarks that disappeared fail the gate, since silently
+// losing coverage is how regressions hide. The GOMAXPROCS suffix (-8)
+// is stripped so reports compare across runner shapes.
 package main
 
 import (
@@ -27,8 +28,9 @@ import (
 
 // Metrics is one benchmark's measured costs.
 type Metrics struct {
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
 // Report is the JSON document benchgate emits and compares.
@@ -123,6 +125,8 @@ func parseBenchOutput(path string) (*Report, error) {
 				ok = true
 			case "B/op":
 				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
 			}
 		}
 		if !ok {
@@ -173,6 +177,26 @@ func gate(base, cur *Report, threshold float64) bool {
 		}
 		fmt.Printf("%-9s%-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
 			verdict, name, b.NsPerOp, c.NsPerOp, (ratio-1)*100)
+		// Allocation regressions gate like time regressions: a benchmark
+		// with a baselined allocs/op may not allocate more than threshold
+		// above it. Benchmarks the baseline never measured with -benchmem
+		// are exempt — but a baselined allocs/op that vanished from the
+		// current run fails, same as a missing benchmark: silently losing
+		// coverage is how regressions hide.
+		if b.AllocsPerOp > 0 && c.AllocsPerOp == 0 {
+			fmt.Printf("MISSING  %-50s baseline %.0f allocs/op, current run lacks -benchmem\n", name, b.AllocsPerOp)
+			pass = false
+		}
+		if b.AllocsPerOp > 0 && c.AllocsPerOp > 0 {
+			aratio := c.AllocsPerOp / b.AllocsPerOp
+			averdict := "ok"
+			if aratio > 1+threshold {
+				averdict = "REGRESSED"
+				pass = false
+			}
+			fmt.Printf("%-9s%-50s %12.0f -> %12.0f allocs/op  (%+.1f%%)\n",
+				averdict, name, b.AllocsPerOp, c.AllocsPerOp, (aratio-1)*100)
+		}
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {

@@ -28,11 +28,18 @@ func main() {
 	users := flag.Int("users", 100, "users for Tables 3 and 7 (paper: 100)")
 	users8 := flag.Int("users8", 1000, "users for Table 8 (paper: 5000)")
 	scale5 := flag.Int("scale5", 100, "workload scale for Table 5")
-	visits6 := flag.Int("visits6", 300, "measured visits per configuration for Table 6")
+	visits6 := flag.Int("visits6", 300, "measured visits per configuration for Table 6 (alias of -table6-visits)")
+	table6Visits := flag.Int("table6-visits", 300, "measured visits per configuration for Table 6")
 	repairWorkers := flag.Int("repair-workers", 0,
 		"parallel repair workers for every repair (0 = GOMAXPROCS, 1 = the paper's serial engine)")
 	flag.Parse()
 	bench.DefaultRepairWorkers = *repairWorkers
+	nVisits6 := *visits6
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "table6-visits" {
+			nVisits6 = *table6Visits
+		}
+	})
 
 	run := func(n int) bool { return *table == 0 || *table == n }
 	fail := func(err error) {
@@ -62,11 +69,25 @@ func main() {
 		fmt.Println(bench.FormatTable5(rows))
 	}
 	if run(6) {
-		rows, err := bench.Table6(*visits6)
+		rows, err := bench.Table6(nVisits6)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(bench.FormatTable6(rows))
+		// The normal-operation overhead trend, spelled out per layer so a
+		// regression is visible outside CI's bench gate: WARP-vs-plain
+		// slowdown plus log bytes per visit by layer (browser / app / db).
+		for _, r := range rows {
+			overhead := 0.0
+			if r.WARPVisitsPerSec > 0 {
+				overhead = (r.NoWARPVisitsPerSec/r.WARPVisitsPerSec - 1) * 100
+			}
+			fmt.Printf("%-9s normal-op overhead %+.1f%%; log B/visit: browser %.0f, app %.0f, db %.0f (total %.0f)\n",
+				r.Workload, overhead,
+				r.BrowserBytesPerVisit, r.AppBytesPerVisit, r.DBBytesPerVisit,
+				r.BrowserBytesPerVisit+r.AppBytesPerVisit+r.DBBytesPerVisit)
+		}
+		fmt.Println()
 		withExt, withoutExt, err := bench.ExtensionOverhead(200)
 		if err != nil {
 			fail(err)

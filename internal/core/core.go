@@ -72,8 +72,12 @@ type Warp struct {
 	rng *rand.Rand
 	// rngDraws counts values drawn from rng (browser seeds); persisted in
 	// core/meta so a recovered deployment resumes the seeded stream
-	// instead of re-issuing recovered client identities.
-	rngDraws int64
+	// instead of re-issuing recovered client identities. Atomic so the
+	// persister's RecordApplied observer — which runs under ttdb lock
+	// scopes and must not take w.mu (core.GC holds w.mu while acquiring
+	// scopes) — can read it when ordering cursor WAL records ahead of
+	// mutation records.
+	rngDraws atomic.Int64
 
 	// mu guards the log stores, indexes, queues, and counters below.
 	// suspendMu implements the brief repair cut-over suspension (§4.3):
@@ -241,6 +245,15 @@ func (w *Warp) HandleRequest(req *httpd.Request) *httpd.Response {
 func (w *Warp) recordRun(rec *app.RunRecord, repaired *bool) history.ActionID {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.pers != nil {
+		// Any fresh Token/RandInt draws this run made advanced the
+		// runtime's nondeterminism cursor; log the new position *before*
+		// the action records below, so on the metadata shard a recovered
+		// action always implies the cursor state that produced its draws
+		// (a hard crash cannot rewind the stream past values durable
+		// state depends on).
+		w.pers.logCursors(w.Runtime.RNGCursor(), w.rngDraws.Load())
+	}
 	httpNode := w.httpNodeFor(rec.Req)
 	runAct := &history.Action{
 		Kind: history.KindAppRun,
@@ -345,9 +358,12 @@ func (w *Warp) insertVisitLogLocked(log *browser.VisitLog) {
 // transport is the WARP server and its extension uploads logs here.
 func (w *Warp) NewBrowser() *browser.Browser {
 	w.mu.Lock()
-	w.rngDraws++
+	draws := w.rngDraws.Add(1)
 	rng := rand.New(rand.NewSource(w.rng.Int63()))
 	w.mu.Unlock()
+	if w.pers != nil {
+		w.pers.logCursors(w.Runtime.RNGCursor(), draws)
+	}
 	return browser.New(w.HandleRequest, w.UploadVisitLog, rng)
 }
 

@@ -41,6 +41,7 @@ const (
 	recVisitLog      byte = 6 // visit-log upload or refresh (upsert)
 	recRepairIntent  byte = 7 // a repair began
 	recRepairEnd     byte = 8 // a repair aborted (commits checkpoint instead)
+	recRNGCursors    byte = 9 // nondeterminism cursor advance (runtime, browser seeds)
 )
 
 // IntentKind classifies repair intents.
@@ -141,6 +142,13 @@ type persister struct {
 	// decide which sections an incremental checkpoint rewrites.
 	histMuts    int64
 	visitsDirty bool
+	// lastCursors tracks, per WAL table group, the nondeterminism
+	// cursor positions already logged *to that group's shard*, so
+	// logCursorsGroup appends only on advance. Per-shard marks matter:
+	// recovery keeps an independent prefix per shard, so each shard's
+	// record stream must be self-consistently preceded by its own cursor
+	// records.
+	lastCursors map[string]cursorMark
 
 	stopOnce sync.Once
 	ckptStop chan struct{}
@@ -157,12 +165,17 @@ func (p *persister) append(typ byte, payload []byte) {
 // to, latching the first failure.
 func (p *persister) appendGroup(group string, typ byte, payload []byte) {
 	if err := p.st.AppendGroup(group, typ, payload); err != nil {
-		p.mu.Lock()
-		if p.failErr == nil {
-			p.failErr = err
-		}
-		p.mu.Unlock()
+		p.latchErr(err)
 	}
+}
+
+// latchErr records the first observer-side WAL append failure.
+func (p *persister) latchErr(err error) {
+	p.mu.Lock()
+	if p.failErr == nil {
+		p.failErr = err
+	}
+	p.mu.Unlock()
 }
 
 // markRepairDirty force-marks the sections a repair rewrites in place —
@@ -216,16 +229,18 @@ func (p *persister) ActionAppended(a *history.Action) {
 			return
 		}
 	}
-	enc := store.NewEncoder()
+	enc := store.GetEncoder()
 	encodeAction(enc, a, nil)
 	p.append(recHistoryAction, enc.Bytes())
+	store.PutEncoder(enc)
 }
 
 // GraphCollected implements history.Observer.
 func (p *persister) GraphCollected(beforeTime int64) {
-	enc := store.NewEncoder()
+	enc := store.GetEncoder()
 	enc.Int(beforeTime)
 	p.append(recGraphGC, enc.Bytes())
+	store.PutEncoder(enc)
 }
 
 // RecordApplied implements ttdb.Observer. Database records are routed
@@ -233,24 +248,28 @@ func (p *persister) GraphCollected(beforeTime int64) {
 // fsync — in parallel; per-table order is preserved by the shard's file
 // order and cross-table order by the global LSN.
 func (p *persister) RecordApplied(rec *ttdb.Record) {
-	enc := store.NewEncoder()
+	p.logCursorsGroup(rec.Table, p.w.Runtime.RNGCursor(), p.w.rngDraws.Load())
+	enc := store.GetEncoder()
 	ttdb.EncodeRecord(enc, rec)
 	p.appendGroup(rec.Table, recTTDBRecord, enc.Bytes())
+	store.PutEncoder(enc)
 }
 
 // TableAnnotated implements ttdb.Observer.
 func (p *persister) TableAnnotated(table string, spec ttdb.TableSpec) {
-	enc := store.NewEncoder()
+	enc := store.GetEncoder()
 	enc.String(table)
 	ttdb.EncodeSpec(enc, spec)
 	p.append(recTTDBAnnotate, enc.Bytes())
+	store.PutEncoder(enc)
 }
 
 // Collected implements ttdb.Observer.
 func (p *persister) Collected(beforeTime int64) {
-	enc := store.NewEncoder()
+	enc := store.GetEncoder()
 	enc.Int(beforeTime)
 	p.append(recTTDBGC, enc.Bytes())
+	store.PutEncoder(enc)
 }
 
 func visitKey(clientID string, visitID int64) string {
@@ -270,9 +289,10 @@ func (p *persister) logVisit(v *browser.VisitLog) {
 	p.loggedVisits[key] = size
 	p.visitsDirty = true
 	p.mu.Unlock()
-	enc := store.NewEncoder()
+	enc := store.GetEncoder()
 	encodeVisitLog(enc, v)
 	p.append(recVisitLog, enc.Bytes())
+	store.PutEncoder(enc)
 }
 
 // syncVisitLogs re-logs every visit log that gained events or requests
@@ -304,6 +324,69 @@ func (p *persister) logIntent(it *RepairIntent) error {
 
 func (p *persister) logRepairEnd() {
 	p.append(recRepairEnd, nil)
+}
+
+// cursorMark is a shard's last-logged nondeterminism cursor positions.
+type cursorMark struct{ rt, br int64 }
+
+// logCursors WAL-logs an advance of the nondeterminism cursors — the
+// runtime's seeded token stream and the deployment's browser-seed
+// stream — on the metadata shard. Checkpoints already persist the
+// cursors (encodeCoreMeta), but a hard crash between checkpoints would
+// otherwise replay the streams' unsynced tail: the first post-crash
+// login would re-issue a recovered session's sid. Records are tiny,
+// emitted only on advance, and replay idempotently (recovery only ever
+// fast-forwards).
+func (p *persister) logCursors(runtimeCursor, browserDraws int64) {
+	p.logCursorsGroup("", runtimeCursor, browserDraws)
+}
+
+// logCursorsGroup logs a cursor advance to one table group's shard,
+// *before* the mutation record that rides behind it (RecordApplied).
+// Within one shard recovery keeps a prefix, so ordering the cursor
+// ahead of the record guarantees any recovered mutation implies the
+// cursor state that existed when it committed — a crash can lose a
+// login's session row together with its cursor advance, but never keep
+// the row while rewinding the stream that issued its sid.
+func (p *persister) logCursorsGroup(group string, runtimeCursor, browserDraws int64) {
+	p.mu.Lock()
+	want := p.lastCursors[group]
+	if runtimeCursor <= want.rt && browserDraws <= want.br {
+		p.mu.Unlock()
+		return
+	}
+	if runtimeCursor > want.rt {
+		want.rt = runtimeCursor
+	}
+	if browserDraws > want.br {
+		want.br = browserDraws
+	}
+	p.mu.Unlock()
+	enc := store.GetEncoder()
+	enc.Int(want.rt)
+	enc.Int(want.br)
+	err := p.st.AppendGroup(group, recRNGCursors, enc.Bytes())
+	store.PutEncoder(enc)
+	if err != nil {
+		// The mark is advanced only on a successful append: a transient
+		// failure here must not let a later mutation record reach the
+		// shard without its preceding cursor record — the next record on
+		// this group retries the cursor first. Concurrent callers may
+		// duplicate a record; replay is monotonic, so duplicates are
+		// harmless.
+		p.latchErr(err)
+		return
+	}
+	p.mu.Lock()
+	last := p.lastCursors[group]
+	if want.rt > last.rt {
+		last.rt = want.rt
+	}
+	if want.br > last.br {
+		last.br = want.br
+	}
+	p.lastCursors[group] = last
+	p.mu.Unlock()
 }
 
 func (p *persister) checkpointLoop() {
@@ -381,6 +464,7 @@ func Open(dir string, cfg Config) (*Warp, error) {
 	p := &persister{
 		w: w, st: st,
 		loggedVisits: make(map[string]int),
+		lastCursors:  make(map[string]cursorMark),
 		ckptStop:     make(chan struct{}),
 		ckptDone:     make(chan struct{}),
 	}
@@ -399,6 +483,7 @@ func Open(dir string, cfg Config) (*Warp, error) {
 		p.loggedVisits[visitKey(v.ClientID, v.VisitID)] = 1 + len(v.Events) + len(v.Requests)
 	}
 	w.mu.Unlock()
+	p.lastCursors[""] = cursorMark{rt: w.Runtime.RNGCursor(), br: w.rngDraws.Load()}
 	w.pers = p
 	w.Graph.SetObserver(p)
 	w.DB.SetObserver(p)
@@ -642,7 +727,10 @@ func (w *Warp) checkpointQuiesced() error {
 				need = append(need, k)
 			}
 			if len(need) > 0 {
-				// One physical scan emits every rewritten shard.
+				// Rows stream from the engine cursor straight into the
+				// section encoders: one cheap counting pass plus one
+				// filtered scan per rewritten shard, never a materialized
+				// result set (internal/ttdb EncodeTableShards).
 				err := w.DB.EncodeTableShards(table, need, func(k int) *store.Encoder {
 					return cw.Section(tableShardSection(table, k))
 				})
@@ -795,7 +883,7 @@ func (w *Warp) encodeCoreMeta(enc *store.Encoder) {
 	// resumes them rather than re-issuing values live sessions already
 	// hold (login → restart → login).
 	enc.Int(w.Runtime.RNGCursor())
-	enc.Int(w.rngDraws)
+	enc.Int(w.rngDraws.Load())
 
 	// Registered file versions, for stale-code detection after recovery
 	// (the code itself lives outside the database, like the paper's PHP
@@ -849,9 +937,9 @@ func (w *Warp) restoreCoreMeta(dec *store.Decoder) error {
 	// Resume the nondeterminism streams at their recorded cursors.
 	w.Runtime.AdvanceRNGCursor(dec.Int())
 	browserDraws := dec.Int()
-	for w.rngDraws < browserDraws {
+	for w.rngDraws.Load() < browserDraws {
 		w.rng.Int63()
-		w.rngDraws++
+		w.rngDraws.Add(1)
 	}
 
 	nFiles := dec.Count()
@@ -1011,6 +1099,20 @@ func (w *Warp) applyWAL(r store.Record) error {
 		return nil
 	case recRepairEnd:
 		w.pendingIntent = nil
+		return nil
+	case recRNGCursors:
+		rtCur := dec.Int()
+		brCur := dec.Int()
+		if err := dec.Err(); err != nil {
+			return err
+		}
+		w.Runtime.AdvanceRNGCursor(rtCur)
+		w.mu.Lock()
+		for w.rngDraws.Load() < brCur {
+			w.rng.Int63()
+			w.rngDraws.Add(1)
+		}
+		w.mu.Unlock()
 		return nil
 	default:
 		return fmt.Errorf("core: unknown WAL record type %d", r.Type)

@@ -174,13 +174,14 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 	matcher := newQueryMatcher(orig.Queries)
 	lastTime := origAct.Time
 	qf := func(sql string, params []sqldb.Value) (*sqldb.Result, *ttdb.Record, error) {
-		stmt, err := sqldb.Parse(sql)
+		cs, err := rs.w.DB.Prepare(sql)
 		if err != nil {
 			return nil, nil, err
 		}
 		// Match against the original run's queries by normalized SQL text
-		// (records store the parsed statement's canonical form).
-		origRec := matcher.match(stmt.String())
+		// (records store the parsed statement's canonical form, which the
+		// cached handle carries without re-rendering).
+		origRec := matcher.match(cs.Canonical())
 		var t int64
 		if origRec != nil {
 			t = origRec.Time
@@ -191,7 +192,7 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 			t = lastTime
 		}
 		t0 := time.Now()
-		res, newRec, err := rs.w.DB.ReExecStmt(stmt, params, t, origRec)
+		res, newRec, err := rs.w.DB.ReExecPrepared(cs, params, t, origRec)
 		rs.tDB.Add(int64(time.Since(t0)))
 		if newRec != nil {
 			lastTime = newRec.Time

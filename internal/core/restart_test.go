@@ -91,6 +91,55 @@ func TestLoginSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestRNGCursorsSurviveCrash: the checkpointed cursors fix restart after
+// a clean Close, but a hard crash between checkpoints used to replay
+// the nondeterminism streams' unsynced tail. Cursor advances are now
+// WAL-logged (recRNGCursors), so recovery after a crash — with no
+// checkpoint ever written — must also resume both streams exactly.
+func TestRNGCursorsSurviveCrash(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 42, RepairWorkers: 1, Durability: store.Options{SyncEveryAppend: true}}
+	w, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loginApp(t, w)
+	resp := w.HandleRequest(httpd.NewRequest("POST", "/login"))
+	if resp.Status != 200 {
+		t.Fatalf("first login failed: %d %s", resp.Status, resp.Body)
+	}
+	firstSid := resp.SetCookies["sid"]
+	firstClient := w.NewBrowser().ClientID
+	w.Crash() // hard crash: WAL tail only, no checkpoint
+
+	w2, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Crash()
+	if w2.Recovery().FromSnapshot {
+		t.Fatal("test expects WAL-only recovery, found a checkpoint")
+	}
+	loginApp(t, w2)
+	resp = w2.HandleRequest(httpd.NewRequest("POST", "/login"))
+	if resp.Status != 200 {
+		t.Fatalf("post-crash login failed: %d %s (cursor WAL records not replayed?)", resp.Status, resp.Body)
+	}
+	if got := resp.SetCookies["sid"]; got == firstSid {
+		t.Fatalf("post-crash login re-issued recovered sid %q", got)
+	}
+	if got := w2.NewBrowser().ClientID; got == firstClient {
+		t.Fatalf("post-crash browser re-issued recovered client ID %q", got)
+	}
+	res, _, err := w2.DB.Exec("SELECT COUNT(*) FROM sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstValue().AsInt() != 2 {
+		t.Fatalf("sessions = %d, want 2", res.FirstValue().AsInt())
+	}
+}
+
 // TestBrowserSeedStreamResumes: browser identities drawn after a restart
 // must not collide with recovered ones (the deployment-level half of the
 // seeded-RNG restart issue).

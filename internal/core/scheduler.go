@@ -167,7 +167,7 @@ type scheduler struct {
 	mu          sync.Mutex
 	cond        *sync.Cond
 	pending     workQueue
-	pendingKeys map[string]bool
+	pendingKeys map[itemKey]bool
 	blocked     []*workItem
 	inflight    map[*workItem]*footprint
 	busy        int
@@ -180,30 +180,38 @@ func newScheduler(rs *session, workers, maxIter int) *scheduler {
 		rs:          rs,
 		workers:     workers,
 		maxIter:     maxIter,
-		pendingKeys: make(map[string]bool),
+		pendingKeys: make(map[itemKey]bool),
 		inflight:    make(map[*workItem]*footprint),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
-func itemKey(it *workItem) string {
-	switch it.kind {
-	case workVisitReplay:
-		return fmt.Sprintf("v:%s/%d", it.client, it.visit)
-	default:
-		return fmt.Sprintf("a:%d:%d", it.kind, it.action)
-	}
+// itemKey is a work item's deduplication identity. A comparable struct
+// (not a formatted string) because dirt propagation probes and inserts
+// keys millions of times during a large repair.
+type itemKey struct {
+	kind   workKind
+	action history.ActionID
+	client string
+	visit  int64
 }
 
-func runKeyOf(run history.ActionID) string {
-	return fmt.Sprintf("a:%d:%d", workRunExec, run)
+func keyOf(it *workItem) itemKey {
+	if it.kind == workVisitReplay {
+		return itemKey{kind: workVisitReplay, client: it.client, visit: it.visit}
+	}
+	return itemKey{kind: it.kind, action: it.action}
+}
+
+func runKeyOf(run history.ActionID) itemKey {
+	return itemKey{kind: workRunExec, action: run}
 }
 
 // push enqueues a work item, deduplicating against identical pending items
 // (navigation-carrying replacements always enter).
 func (s *scheduler) push(it *workItem) {
-	key := itemKey(it)
+	key := keyOf(it)
 	s.mu.Lock()
 	if s.pendingKeys[key] && !it.hasNav {
 		s.mu.Unlock()
@@ -220,7 +228,7 @@ func (s *scheduler) push(it *workItem) {
 
 // isPending reports whether an item with the given key is queued (or
 // blocked awaiting dispatch).
-func (s *scheduler) isPending(key string) bool {
+func (s *scheduler) isPending(key itemKey) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pendingKeys[key]
@@ -257,10 +265,10 @@ func (s *scheduler) drainSerial() error {
 			return fmt.Errorf("warp: repair did not converge after %d steps", s.iterations)
 		}
 		it := heap.Pop(&s.pending).(*workItem)
-		key := itemKey(it)
+		key := keyOf(it)
 		delete(s.pendingKeys, key)
 		s.mu.Unlock()
-		s.rs.tracef("pop t=%d kind=%d key=%s nav=%v", it.time, it.kind, key, it.hasNav)
+		s.rs.tracef("pop t=%d kind=%d key=%+v nav=%v", it.time, it.kind, key, it.hasNav)
 		if err := s.rs.process(it); err != nil {
 			return err
 		}
@@ -319,11 +327,11 @@ func (s *scheduler) drainParallel() error {
 			s.err = fmt.Errorf("warp: repair did not converge after %d steps", s.iterations)
 			break
 		}
-		key := itemKey(it)
+		key := keyOf(it)
 		delete(s.pendingKeys, key)
 		s.inflight[it] = fp
 		s.busy++
-		s.rs.tracef("pop t=%d kind=%d key=%s nav=%v", it.time, it.kind, key, it.hasNav)
+		s.rs.tracef("pop t=%d kind=%d key=%+v nav=%v", it.time, it.kind, key, it.hasNav)
 		work <- it // buffered to s.workers; busy < workers, so never blocks
 	}
 	err := s.err
@@ -515,12 +523,23 @@ func (s *scheduler) addActionDeps(fp *footprint, id history.ActionID) {
 
 func (rs *session) enqueueQuery(a *history.Action) {
 	if p, ok := a.Payload.(*QueryPayload); ok && !p.Superseded.Load() {
+		// Dirt propagation re-offers the same query for every partition it
+		// reads, every time those partitions gain dirt; probe the pending
+		// set before allocating the work item (push re-checks under lock,
+		// so a racing duplicate still deduplicates — it just pays the
+		// allocation).
+		if rs.sched.isPending(itemKey{kind: workQueryCheck, action: a.ID}) {
+			return
+		}
 		rs.sched.push(&workItem{kind: workQueryCheck, time: a.Time, action: a.ID, runAction: p.RunAction})
 	}
 }
 
 func (rs *session) enqueueRun(a *history.Action) {
 	if p, ok := a.Payload.(*RunPayload); ok && !p.Superseded.Load() {
+		if rs.sched.isPending(itemKey{kind: workRunExec, action: a.ID}) {
+			return
+		}
 		rs.sched.push(&workItem{kind: workRunExec, time: a.Time, action: a.ID, runAction: a.ID})
 	}
 }

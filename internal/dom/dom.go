@@ -316,14 +316,18 @@ func (n *Node) render(b *strings.Builder) {
 // equivalent the patched applications use to sanitize output (paper
 // Table 2 fixes).
 func Escape(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-	return r.Replace(s)
+	if !strings.ContainsAny(s, "&<>") {
+		return s
+	}
+	return escapeReplacer.Replace(s)
 }
 
 // EscapeAttr escapes text for use inside a double-quoted attribute.
 func EscapeAttr(s string) string {
-	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
-	return r.Replace(s)
+	if !strings.ContainsAny(s, "&<>\"") {
+		return s
+	}
+	return escapeAttrReplacer.Replace(s)
 }
 
 // Unescape reverses Escape/EscapeAttr for the entities the parser knows.
@@ -331,6 +335,14 @@ func Unescape(s string) string {
 	if !strings.Contains(s, "&") {
 		return s
 	}
-	r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&amp;", "&")
-	return r.Replace(s)
+	return unescapeReplacer.Replace(s)
 }
+
+// The replacers are package-level: a strings.Replacer builds its
+// matching machine once and is safe for concurrent use, and Escape runs
+// for every text node of every rendered page.
+var (
+	escapeReplacer     = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	escapeAttrReplacer = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	unescapeReplacer   = strings.NewReplacer("&lt;", "<", "&gt;", ">", "&quot;", `"`, "&#39;", "'", "&amp;", "&")
+)

@@ -126,7 +126,14 @@ func evalBinary(e *BinaryExpr, ctx *evalCtx) (Value, error) {
 	if err != nil {
 		return Null(), err
 	}
-	switch e.Op {
+	return applyBinary(e.Op, l, r)
+}
+
+// applyBinary applies a non-short-circuit binary operator to two
+// evaluated operands. Shared by the interpreter (evalBinary) and the
+// compiled evaluator (plan.go), so the two paths cannot drift.
+func applyBinary(op BinOp, l, r Value) (Value, error) {
+	switch op {
 	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
 		if l.IsNull() || r.IsNull() {
 			return Null(), nil
@@ -135,7 +142,7 @@ func evalBinary(e *BinaryExpr, ctx *evalCtx) (Value, error) {
 		if !ok {
 			return Null(), nil
 		}
-		switch e.Op {
+		switch op {
 		case OpEq:
 			return Bool(c == 0), nil
 		case OpNe:
@@ -164,7 +171,7 @@ func evalBinary(e *BinaryExpr, ctx *evalCtx) (Value, error) {
 			return Null(), nil
 		}
 		a, b := l.AsInt(), r.AsInt()
-		switch e.Op {
+		switch op {
 		case OpAdd:
 			return Int(a + b), nil
 		case OpSub:
@@ -229,24 +236,30 @@ func evalFunc(e *FuncCall, ctx *evalCtx) (Value, error) {
 		}
 		args[i] = v
 	}
-	switch e.Name {
+	return scalarFunc(e.Name, args)
+}
+
+// scalarFunc applies a non-aggregate function to evaluated arguments.
+// Shared by the interpreter and the compiled evaluator (plan.go).
+func scalarFunc(name string, args []Value) (Value, error) {
+	switch name {
 	case "LOWER":
-		if err := wantArgs(e, 1, args); err != nil {
+		if err := wantArgs(name, 1, args); err != nil {
 			return Null(), err
 		}
 		return Text(strings.ToLower(args[0].AsText())), nil
 	case "UPPER":
-		if err := wantArgs(e, 1, args); err != nil {
+		if err := wantArgs(name, 1, args); err != nil {
 			return Null(), err
 		}
 		return Text(strings.ToUpper(args[0].AsText())), nil
 	case "LENGTH":
-		if err := wantArgs(e, 1, args); err != nil {
+		if err := wantArgs(name, 1, args); err != nil {
 			return Null(), err
 		}
 		return Int(int64(len(args[0].AsText()))), nil
 	case "ABS":
-		if err := wantArgs(e, 1, args); err != nil {
+		if err := wantArgs(name, 1, args); err != nil {
 			return Null(), err
 		}
 		n := args[0].AsInt()
@@ -284,13 +297,13 @@ func evalFunc(e *FuncCall, ctx *evalCtx) (Value, error) {
 		}
 		return Text(s[start:end]), nil
 	default:
-		return Null(), errEval("unknown function %s", e.Name)
+		return Null(), errEval("unknown function %s", name)
 	}
 }
 
-func wantArgs(e *FuncCall, n int, args []Value) error {
+func wantArgs(name string, n int, args []Value) error {
 	if len(args) != n {
-		return errEval("%s takes %d argument(s), got %d", e.Name, n, len(args))
+		return errEval("%s takes %d argument(s), got %d", name, n, len(args))
 	}
 	return nil
 }

@@ -74,19 +74,25 @@ func (r *Result) Fingerprint() uint64 {
 	return h.Sum64()
 }
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement. Parsed statements and
+// their compiled plans are cached per source text in the database's own
+// statement cache, so repeated forms pay the parser and planner once.
 func (db *DB) Exec(src string, params ...Value) (*Result, error) {
-	stmt, err := Parse(src)
+	cs, err := db.stmts.Get(src)
 	if err != nil {
 		return nil, err
 	}
-	return db.ExecStmt(stmt, params)
+	return db.ExecCached(cs, params)
 }
 
 // ExecStmt executes a parsed statement. The statement is not mutated.
 func (db *DB) ExecStmt(stmt Statement, params []Value) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.execStmtLocked(stmt, params)
+}
+
+func (db *DB) execStmtLocked(stmt Statement, params []Value) (*Result, error) {
 	switch s := stmt.(type) {
 	case *CreateTable:
 		return db.execCreateTable(s)
@@ -106,6 +112,47 @@ func (db *DB) ExecStmt(stmt Statement, params []Value) (*Result, error) {
 		return db.execDelete(s, params)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+// ExecCached executes a cached statement, reusing (or building) its
+// compiled plan: column ordinals, the indexable-equality decision, and
+// the compiled WHERE/SET/projection evaluators survive across
+// executions and are invalidated by the DDL epoch. Results are
+// identical to ExecStmt on the same statement.
+func (db *DB) ExecCached(cs *CachedStmt, params []Value) (*Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch s := cs.Stmt.(type) {
+	case *Select:
+		if s.Table == "" {
+			return db.execSelectNoTable(s, params)
+		}
+		p := db.planFor(cs)
+		if p.sel == nil {
+			return nil, fmt.Errorf("sql: no such table %s", s.Table)
+		}
+		return db.runSelect(p.sel.table, s, p.sel, params)
+	case *Update:
+		p := db.planFor(cs)
+		if p.upd == nil {
+			return nil, fmt.Errorf("sql: no such table %s", s.Table)
+		}
+		return db.runUpdate(p.upd.table, s, p.upd, params)
+	case *Delete:
+		p := db.planFor(cs)
+		if p.del == nil {
+			return nil, fmt.Errorf("sql: no such table %s", s.Table)
+		}
+		return db.runDelete(p.del.table, s, p.del, params)
+	case *Insert:
+		p := db.planFor(cs)
+		if p.ins == nil {
+			return nil, fmt.Errorf("sql: no such table %s", s.Table)
+		}
+		return db.runInsert(p.ins.table, s, p.ins, params)
+	default:
+		return db.execStmtLocked(cs.Stmt, params)
 	}
 }
 
@@ -137,6 +184,7 @@ func (db *DB) execCreateTable(s *CreateTable) (*Result, error) {
 		return nil, err
 	}
 	db.tables[s.Table] = t
+	db.bumpEpoch()
 	return &Result{}, nil
 }
 
@@ -163,6 +211,7 @@ func (db *DB) execCreateIndex(s *CreateIndex) (*Result, error) {
 		}
 	}
 	t.indexes[s.Column] = ix
+	db.bumpEpoch()
 	return &Result{}, nil
 }
 
@@ -186,6 +235,7 @@ func (db *DB) execAlterAdd(s *AlterTableAdd) (*Result, error) {
 	for i := range t.rows {
 		t.rows[i].vals = append(t.rows[i].vals, def)
 	}
+	db.bumpEpoch()
 	return &Result{}, nil
 }
 
@@ -197,6 +247,7 @@ func (db *DB) execDropTable(s *DropTable) (*Result, error) {
 		return nil, fmt.Errorf("sql: no such table %s", s.Table)
 	}
 	delete(db.tables, s.Table)
+	db.bumpEpoch()
 	return &Result{}, nil
 }
 
@@ -205,35 +256,30 @@ func (db *DB) execInsert(s *Insert, params []Value) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %s", s.Table)
 	}
-	cols := s.Columns
-	if len(cols) == 0 {
-		cols = t.ColumnNames()
+	return db.runInsert(t, s, db.planInsert(t, s), params)
+}
+
+func (db *DB) runInsert(t *Table, s *Insert, p *insertPlan, params []Value) (*Result, error) {
+	if p.posErr != nil {
+		return nil, p.posErr
 	}
-	colPos := make([]int, len(cols))
-	for i, c := range cols {
-		ci, ok := t.columnPos(c)
-		if !ok {
-			return nil, fmt.Errorf("sql: table %s: no such column %s", s.Table, c)
-		}
-		colPos[i] = ci
-	}
-	ctx := &evalCtx{params: params}
+	colPos := p.colPos
 	res := &Result{Affected: 0}
 	if len(s.Returning) > 0 {
 		res.Columns = append(res.Columns, s.Returning...)
 	}
 	// Pass 1: evaluate and validate every row, so a failure leaves the
 	// table untouched (statements are atomic).
-	newRows := make([][]Value, 0, len(s.Rows))
+	newRows := make([][]Value, 0, len(p.rows))
 	batchKeys := make(map[string]bool)
-	for _, exprRow := range s.Rows {
-		if len(exprRow) != len(cols) {
-			return nil, fmt.Errorf("sql: table %s: %d values for %d columns", s.Table, len(exprRow), len(cols))
+	for _, exprRow := range p.rows {
+		if len(exprRow) != len(colPos) {
+			return nil, fmt.Errorf("sql: table %s: %d values for %d columns", s.Table, len(exprRow), len(colPos))
 		}
 		vals := make([]Value, len(t.Columns))
 		assigned := make([]bool, len(t.Columns))
 		for i, e := range exprRow {
-			v, err := evalExpr(e, ctx)
+			v, err := e(nil, params)
 			if err != nil {
 				return nil, err
 			}
@@ -379,57 +425,46 @@ func (t *Table) projectColumns(cols []string, vals []Value) ([]Value, error) {
 	return out, nil
 }
 
-// candidateSlots returns the row slots a WHERE clause could match, using a
-// hash index when the clause contains an indexed equality conjunct, and all
-// live rows otherwise. The returned slice is sorted ascending.
-func (t *Table) candidateSlots(where Expr, params []Value) []int {
-	if where != nil {
-		if col, key, ok := t.indexableEq(where, params); ok {
-			if ix, exists := t.indexes[col]; exists {
-				return ix.buckets[key] // sorted; may include only live rows
-			}
-		}
-	}
-	slots := make([]int, 0, t.liveRows)
-	for slot, r := range t.rows {
-		if !r.deleted {
-			slots = append(slots, slot)
-		}
-	}
-	return slots
-}
-
-// indexableEq finds a top-level AND-conjunct of the form `col = constant`
-// (literal or parameter) over an indexed column and returns the column and
-// the lookup key. The constant is coerced to the column's declared type so
-// the index lookup agrees with the scan-time comparison semantics (where
-// numeric text equals the number).
-func (t *Table) indexableEq(e Expr, params []Value) (string, string, bool) {
-	switch e := e.(type) {
-	case *BinaryExpr:
-		switch e.Op {
-		case OpAnd:
-			if col, key, ok := t.indexableEq(e.Left, params); ok {
-				return col, key, true
-			}
-			return t.indexableEq(e.Right, params)
-		case OpEq:
-			if col, v, ok := constEq(e, params); ok {
-				if _, indexed := t.indexes[col]; indexed {
-					ci, ok := t.columnPos(col)
-					if !ok {
-						return "", "", false
+// matchSlots returns the slots whose rows satisfy the compiled
+// predicate, visiting the index bucket the plan selected (or every live
+// row). Slots come back sorted ascending: buckets are kept sorted, and
+// the fallback scans in slot order.
+func (t *Table) matchSlots(idx *idxPlan, pred rowPred, params []Value) ([]int, error) {
+	var matched []int
+	if idx != nil {
+		if key, ok := idx.lookupKey(params); ok {
+			if ix, exists := t.indexes[idx.column]; exists {
+				for _, slot := range ix.buckets[key] {
+					r := &t.rows[slot]
+					if r.deleted {
+						continue
 					}
-					cv, ok := coerceToColumn(v, t.Columns[ci].Type)
-					if !ok {
-						return "", "", false // fall back to a scan
+					ok, err := pred(r.vals, params)
+					if err != nil {
+						return nil, err
 					}
-					return col, cv.Key(), true
+					if ok {
+						matched = append(matched, slot)
+					}
 				}
+				return matched, nil
 			}
 		}
 	}
-	return "", "", false
+	for slot := range t.rows {
+		r := &t.rows[slot]
+		if r.deleted {
+			continue
+		}
+		ok, err := pred(r.vals, params)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			matched = append(matched, slot)
+		}
+	}
+	return matched, nil
 }
 
 // coerceToColumn converts a constant to the column's storage type, the
@@ -465,33 +500,6 @@ func coerceToColumn(v Value, kind Kind) (Value, bool) {
 	return v, true
 }
 
-// constEq decomposes `col = const` or `const = col`.
-func constEq(e *BinaryExpr, params []Value) (string, Value, bool) {
-	if col, ok := e.Left.(*ColumnRef); ok {
-		if v, ok := constValue(e.Right, params); ok {
-			return col.Name, v, true
-		}
-	}
-	if col, ok := e.Right.(*ColumnRef); ok {
-		if v, ok := constValue(e.Left, params); ok {
-			return col.Name, v, true
-		}
-	}
-	return "", Null(), false
-}
-
-func constValue(e Expr, params []Value) (Value, bool) {
-	switch e := e.(type) {
-	case *Literal:
-		return e.Value, true
-	case *Param:
-		if e.Index >= 0 && e.Index < len(params) {
-			return params[e.Index], true
-		}
-	}
-	return Null(), false
-}
-
 func (db *DB) execSelect(s *Select, params []Value) (*Result, error) {
 	if s.Table == "" {
 		return db.execSelectNoTable(s, params)
@@ -500,49 +508,34 @@ func (db *DB) execSelect(s *Select, params []Value) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %s", s.Table)
 	}
+	return db.runSelect(t, s, db.planSelect(t, s), params)
+}
 
-	// Gather matching rows.
-	var matched []int
-	for _, slot := range t.candidateSlots(s.Where, params) {
-		r := &t.rows[slot]
-		if r.deleted {
-			continue
-		}
-		okRow, err := rowMatches(t, r.vals, s.Where, params)
-		if err != nil {
-			return nil, err
-		}
-		if okRow {
-			matched = append(matched, slot)
-		}
+func (db *DB) runSelect(t *Table, s *Select, p *selectPlan, params []Value) (*Result, error) {
+	matched, err := t.matchSlots(p.idx, p.where, params)
+	if err != nil {
+		return nil, err
 	}
 
-	if hasAggregates(s.Items) {
+	if p.aggregates {
 		return t.execAggregates(s, matched, params)
 	}
 
-	// Column headers.
-	res := &Result{}
-	for _, it := range s.Items {
-		if it.Star {
-			res.Columns = append(res.Columns, t.ColumnNames()...)
-		} else {
-			res.Columns = append(res.Columns, itemName(it))
-		}
-	}
+	res := &Result{Columns: append([]string(nil), p.columns...)}
 
 	// ORDER BY: evaluate sort keys per row, stable sort by scan order.
-	if len(s.OrderBy) > 0 {
+	if len(p.orderBy) > 0 {
 		type sortRow struct {
 			slot int
 			keys []Value
 		}
 		srs := make([]sortRow, len(matched))
+		keyBuf := make([]Value, len(p.orderBy)*len(matched))
 		for i, slot := range matched {
-			keys := make([]Value, len(s.OrderBy))
-			ctx := t.rowCtx(slot, params)
-			for j, ob := range s.OrderBy {
-				v, err := evalExpr(ob.Expr, ctx)
+			keys := keyBuf[i*len(p.orderBy) : (i+1)*len(p.orderBy) : (i+1)*len(p.orderBy)]
+			vals := t.rows[slot].vals
+			for j, ob := range p.orderBy {
+				v, err := ob(vals, params)
 				if err != nil {
 					return nil, err
 				}
@@ -580,17 +573,19 @@ func (db *DB) execSelect(s *Select, params []Value) (*Result, error) {
 	}
 
 	// Projection.
-	seen := make(map[uint64]bool)
+	var seen map[uint64]bool
+	if s.Distinct {
+		seen = make(map[uint64]bool)
+	}
 	for _, slot := range matched {
 		vals := t.rows[slot].vals
-		out := make([]Value, 0, len(res.Columns))
-		ctx := t.rowCtx(slot, params)
-		for _, it := range s.Items {
-			if it.Star {
+		out := make([]Value, 0, p.nOut)
+		for _, it := range p.items {
+			if it.star {
 				out = append(out, vals...)
 				continue
 			}
-			v, err := evalExpr(it.Expr, ctx)
+			v, err := it.expr(vals, params)
 			if err != nil {
 				return nil, err
 			}
@@ -830,55 +825,24 @@ func (t *Table) rowCtx(slot int, params []Value) *evalCtx {
 	}
 }
 
-func rowMatches(t *Table, vals []Value, where Expr, params []Value) (bool, error) {
-	if where == nil {
-		return true, nil
-	}
-	ctx := &evalCtx{
-		params: params,
-		lookup: func(name string) (Value, bool) {
-			ci, ok := t.colIdx[name]
-			if !ok {
-				return Null(), false
-			}
-			return vals[ci], true
-		},
-	}
-	v, err := evalExpr(where, ctx)
-	if err != nil {
-		return false, err
-	}
-	return v.IsTrue(), nil
-}
-
 func (db *DB) execUpdate(s *Update, params []Value) (*Result, error) {
 	t, ok := db.tables[s.Table]
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %s", s.Table)
 	}
-	setPos := make([]int, len(s.Set))
-	for i, a := range s.Set {
-		ci, ok := t.columnPos(a.Column)
-		if !ok {
-			return nil, fmt.Errorf("sql: table %s: no such column %s", s.Table, a.Column)
-		}
-		setPos[i] = ci
+	return db.runUpdate(t, s, db.planUpdate(t, s), params)
+}
+
+func (db *DB) runUpdate(t *Table, s *Update, p *updatePlan, params []Value) (*Result, error) {
+	if p.setErr != nil {
+		return nil, p.setErr
 	}
+	setPos := p.setPos
 
 	// Two passes: find matches first so that updates do not affect the scan.
-	var matched []int
-	for _, slot := range t.candidateSlots(s.Where, params) {
-		r := &t.rows[slot]
-		if r.deleted {
-			continue
-		}
-		okRow, err := rowMatches(t, r.vals, s.Where, params)
-		if err != nil {
-			return nil, err
-		}
-		if okRow {
-			matched = append(matched, slot)
-		}
+	matched, err := t.matchSlots(p.idx, p.where, params)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{}
@@ -903,9 +867,8 @@ func (db *DB) execUpdate(s *Update, params []Value) (*Result, error) {
 	for _, slot := range matched {
 		oldVals := t.rows[slot].vals
 		newVals := append([]Value(nil), oldVals...)
-		ctx := t.rowCtx(slot, params)
-		for i, a := range s.Set {
-			v, err := evalExpr(a.Expr, ctx)
+		for i, ce := range p.set {
+			v, err := ce(oldVals, params)
 			if err != nil {
 				undo()
 				return nil, err
@@ -944,19 +907,13 @@ func (db *DB) execDelete(s *Delete, params []Value) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: no such table %s", s.Table)
 	}
-	var matched []int
-	for _, slot := range t.candidateSlots(s.Where, params) {
-		r := &t.rows[slot]
-		if r.deleted {
-			continue
-		}
-		okRow, err := rowMatches(t, r.vals, s.Where, params)
-		if err != nil {
-			return nil, err
-		}
-		if okRow {
-			matched = append(matched, slot)
-		}
+	return db.runDelete(t, s, db.planDelete(t, s), params)
+}
+
+func (db *DB) runDelete(t *Table, s *Delete, p *deletePlan, params []Value) (*Result, error) {
+	matched, err := t.matchSlots(p.idx, p.where, params)
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{}
 	if len(s.Returning) > 0 {

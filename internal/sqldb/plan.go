@@ -1,0 +1,587 @@
+package sqldb
+
+import "fmt"
+
+// Compiled statement plans (the normal-operation fast path).
+//
+// The interpreter in eval.go walks the AST once per row, resolving every
+// column reference through the table's name→ordinal map and allocating a
+// fresh evaluation context per row. That is fine for one-off statements
+// but dominates the cost of scans: WARP rewrites every application query
+// into an augmented statement whose WHERE clause carries four extra
+// version conjuncts, all re-interpreted per row.
+//
+// This file compiles an expression once per plan into a tree of
+// closures with column ordinals resolved up front: the per-row path
+// performs no allocation, no map lookups, and no AST dispatch. Plans are
+// built either per statement execution (for the rewritten statements the
+// time-travel layer constructs fresh each call) or once per cached
+// statement (stmtcache.go), in which case they are invalidated by the
+// database's DDL epoch: any CREATE/ALTER/DROP/CREATE INDEX or constraint
+// change bumps the epoch and forces recompilation, so a stale plan can
+// never read renumbered ordinals or a dropped index.
+//
+// Compilation is deliberately lazy about errors: an unknown column or an
+// out-of-range parameter compiles into a closure that fails when (and
+// only when) a row is actually evaluated, preserving the interpreter's
+// behavior on empty scans.
+
+// compiledExpr evaluates a compiled expression against one row of table
+// values (nil for row-less contexts) and the statement parameters.
+type compiledExpr func(row []Value, params []Value) (Value, error)
+
+// rowPred is a compiled WHERE predicate: true means the row matches.
+type rowPred func(row []Value, params []Value) (bool, error)
+
+// compilePred compiles a WHERE clause into a row predicate. A nil clause
+// matches every row.
+func compilePred(t *Table, where Expr) rowPred {
+	if where == nil {
+		return func([]Value, []Value) (bool, error) { return true, nil }
+	}
+	ce := compileExpr(t, where)
+	return func(row, params []Value) (bool, error) {
+		v, err := ce(row, params)
+		if err != nil {
+			return false, err
+		}
+		return v.IsTrue(), nil
+	}
+}
+
+// compileExpr compiles e against t's schema (t may be nil for row-less
+// contexts such as LIMIT expressions).
+func compileExpr(t *Table, e Expr) compiledExpr {
+	switch e := e.(type) {
+	case *Literal:
+		v := e.Value
+		return func([]Value, []Value) (Value, error) { return v, nil }
+	case *Param:
+		idx := e.Index
+		return func(_ []Value, params []Value) (Value, error) {
+			if idx < 0 || idx >= len(params) {
+				return Null(), errEval("parameter %d out of range (%d supplied)", idx+1, len(params))
+			}
+			return params[idx], nil
+		}
+	case *ColumnRef:
+		name := e.Name
+		if t == nil {
+			return func([]Value, []Value) (Value, error) {
+				return Null(), errEval("column %s referenced outside row context", name)
+			}
+		}
+		ci, ok := t.colIdx[name]
+		if !ok {
+			return func([]Value, []Value) (Value, error) {
+				return Null(), errEval("no such column %s", name)
+			}
+		}
+		return func(row []Value, _ []Value) (Value, error) {
+			if row == nil {
+				return Null(), errEval("column %s referenced outside row context", name)
+			}
+			return row[ci], nil
+		}
+	case *UnaryExpr:
+		op := compileExpr(t, e.Operand)
+		switch e.Op {
+		case OpNot:
+			return func(row, params []Value) (Value, error) {
+				v, err := op(row, params)
+				if err != nil || v.IsNull() {
+					return Null(), err
+				}
+				return Bool(!v.IsTrue()), nil
+			}
+		case OpNeg:
+			return func(row, params []Value) (Value, error) {
+				v, err := op(row, params)
+				if err != nil || v.IsNull() {
+					return Null(), err
+				}
+				return Int(-v.AsInt()), nil
+			}
+		}
+		return compileError("unknown unary operator")
+	case *BinaryExpr:
+		l, r := compileExpr(t, e.Left), compileExpr(t, e.Right)
+		switch e.Op {
+		case OpAnd:
+			return func(row, params []Value) (Value, error) {
+				lv, err := l(row, params)
+				if err != nil {
+					return Null(), err
+				}
+				if !lv.IsNull() && !lv.IsTrue() {
+					return Bool(false), nil
+				}
+				rv, err := r(row, params)
+				if err != nil {
+					return Null(), err
+				}
+				if !rv.IsNull() && !rv.IsTrue() {
+					return Bool(false), nil
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return Null(), nil
+				}
+				return Bool(true), nil
+			}
+		case OpOr:
+			return func(row, params []Value) (Value, error) {
+				lv, err := l(row, params)
+				if err != nil {
+					return Null(), err
+				}
+				if lv.IsTrue() {
+					return Bool(true), nil
+				}
+				rv, err := r(row, params)
+				if err != nil {
+					return Null(), err
+				}
+				if rv.IsTrue() {
+					return Bool(true), nil
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return Null(), nil
+				}
+				return Bool(false), nil
+			}
+		}
+		op := e.Op
+		return func(row, params []Value) (Value, error) {
+			lv, err := l(row, params)
+			if err != nil {
+				return Null(), err
+			}
+			rv, err := r(row, params)
+			if err != nil {
+				return Null(), err
+			}
+			return applyBinary(op, lv, rv)
+		}
+	case *InExpr:
+		item := compileExpr(t, e.Expr)
+		list := make([]compiledExpr, len(e.List))
+		for i, le := range e.List {
+			list[i] = compileExpr(t, le)
+		}
+		not := e.Not
+		return func(row, params []Value) (Value, error) {
+			v, err := item(row, params)
+			if err != nil {
+				return Null(), err
+			}
+			if v.IsNull() {
+				return Null(), nil
+			}
+			sawNull := false
+			for _, le := range list {
+				iv, err := le(row, params)
+				if err != nil {
+					return Null(), err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if c, ok := compareValues(v, iv); ok && c == 0 {
+					return Bool(!not), nil
+				}
+			}
+			if sawNull {
+				return Null(), nil
+			}
+			return Bool(not), nil
+		}
+	case *IsNullExpr:
+		item := compileExpr(t, e.Expr)
+		not := e.Not
+		return func(row, params []Value) (Value, error) {
+			v, err := item(row, params)
+			if err != nil {
+				return Null(), err
+			}
+			return Bool(v.IsNull() != not), nil
+		}
+	case *FuncCall:
+		if e.IsAggregate() {
+			// Aggregate selects take the interpreter path (execAggregates);
+			// a compiled row expression must never see one.
+			name := e.Name
+			return func([]Value, []Value) (Value, error) {
+				return Null(), errEval("aggregate %s not allowed here", name)
+			}
+		}
+		args := make([]compiledExpr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = compileExpr(t, a)
+		}
+		name := e.Name
+		buf := make([]Value, len(args))
+		return func(row, params []Value) (Value, error) {
+			for i, a := range args {
+				v, err := a(row, params)
+				if err != nil {
+					return Null(), err
+				}
+				buf[i] = v
+			}
+			return scalarFunc(name, buf)
+		}
+	default:
+		return compileError("unsupported expression %T", e)
+	}
+}
+
+func compileError(format string, args ...any) compiledExpr {
+	err := errEval(format, args...)
+	return func([]Value, []Value) (Value, error) { return Null(), err }
+}
+
+// idxPlan is a pre-compiled indexable-equality decision: the scan can
+// be narrowed to one hash bucket when the WHERE clause contains a
+// top-level AND-conjunct of the form `col = const` (literal or
+// parameter) over an indexed column — the first such conjunct, in
+// left-to-right AND order. The constant is coerced to the column's
+// declared type (coerceToColumn) so the bucket probe agrees with the
+// scan-time comparison semantics; an uncoercible constant falls back to
+// a full scan.
+type idxPlan struct {
+	column   string
+	kind     Kind // declared column type, for coercion
+	hasConst bool
+	constKey string // pre-coerced key when the constant is a literal
+	paramIdx int    // parameter index otherwise
+}
+
+// lookupKey resolves the bucket key for one execution, reporting false
+// when the plan cannot be used (parameter missing or uncoercible) and
+// the scan must fall back to all live rows.
+func (p *idxPlan) lookupKey(params []Value) (string, bool) {
+	if p.hasConst {
+		return p.constKey, true
+	}
+	if p.paramIdx < 0 || p.paramIdx >= len(params) {
+		return "", false
+	}
+	cv, ok := coerceToColumn(params[p.paramIdx], p.kind)
+	if !ok {
+		return "", false
+	}
+	return cv.Key(), true
+}
+
+// planIdxEq finds the first top-level AND-conjunct of the form
+// `col = constant` over an indexed column, splitting the decision
+// (compile time) from the key resolution (execution time) so cached
+// plans skip the AST walk on every execution.
+func (t *Table) planIdxEq(e Expr) *idxPlan {
+	be, ok := e.(*BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch be.Op {
+	case OpAnd:
+		if p := t.planIdxEq(be.Left); p != nil {
+			return p
+		}
+		return t.planIdxEq(be.Right)
+	case OpEq:
+		col, ve, ok := constEqExpr(be)
+		if !ok {
+			return nil
+		}
+		if _, indexed := t.indexes[col]; !indexed {
+			return nil
+		}
+		ci, ok := t.columnPos(col)
+		if !ok {
+			return nil
+		}
+		p := &idxPlan{column: col, kind: t.Columns[ci].Type}
+		switch v := ve.(type) {
+		case *Literal:
+			cv, ok := coerceToColumn(v.Value, p.kind)
+			if !ok {
+				return nil // uncoercible literal: always scan
+			}
+			p.hasConst = true
+			p.constKey = cv.Key()
+		case *Param:
+			p.paramIdx = v.Index
+		}
+		return p
+	}
+	return nil
+}
+
+// constEqExpr decomposes `col = const` where const is a literal or
+// parameter, returning the constant's expression.
+func constEqExpr(e *BinaryExpr) (string, Expr, bool) {
+	if col, ok := e.Left.(*ColumnRef); ok {
+		if isConstExpr(e.Right) {
+			return col.Name, e.Right, true
+		}
+	}
+	if col, ok := e.Right.(*ColumnRef); ok {
+		if isConstExpr(e.Left) {
+			return col.Name, e.Left, true
+		}
+	}
+	return "", nil, false
+}
+
+func isConstExpr(e Expr) bool {
+	switch e.(type) {
+	case *Literal, *Param:
+		return true
+	}
+	return false
+}
+
+//
+// Per-statement plans
+//
+
+// selectPlan is the compiled form of a SELECT over one table.
+type selectPlan struct {
+	table      *Table
+	aggregates bool // fall back to the interpreter's aggregate path
+	where      rowPred
+	idx        *idxPlan
+	columns    []string // result header
+	items      []planItem
+	orderBy    []compiledExpr
+	nOut       int // number of result columns
+}
+
+// planItem is one compiled SELECT-list entry; star items splice the full
+// row.
+type planItem struct {
+	star bool
+	expr compiledExpr
+}
+
+func (db *DB) planSelect(t *Table, s *Select) *selectPlan {
+	p := &selectPlan{table: t, aggregates: hasAggregates(s.Items)}
+	if s.Where != nil {
+		p.idx = t.planIdxEq(s.Where)
+	}
+	p.where = compilePred(t, s.Where)
+	if p.aggregates {
+		return p
+	}
+	for _, it := range s.Items {
+		if it.Star {
+			p.columns = append(p.columns, t.ColumnNames()...)
+			p.items = append(p.items, planItem{star: true})
+			p.nOut += len(t.Columns)
+			continue
+		}
+		p.columns = append(p.columns, itemName(it))
+		p.items = append(p.items, planItem{expr: compileExpr(t, it.Expr)})
+		p.nOut++
+	}
+	for _, ob := range s.OrderBy {
+		p.orderBy = append(p.orderBy, compileExpr(t, ob.Expr))
+	}
+	return p
+}
+
+// updatePlan is the compiled form of an UPDATE.
+type updatePlan struct {
+	table  *Table
+	where  rowPred
+	idx    *idxPlan
+	setPos []int
+	setErr error // unknown SET column (surfaced before any row work)
+	set    []compiledExpr
+}
+
+func (db *DB) planUpdate(t *Table, s *Update) *updatePlan {
+	p := &updatePlan{table: t, setPos: make([]int, len(s.Set)), set: make([]compiledExpr, len(s.Set))}
+	for i, a := range s.Set {
+		ci, ok := t.columnPos(a.Column)
+		if !ok {
+			p.setErr = fmt.Errorf("sql: table %s: no such column %s", s.Table, a.Column)
+			return p
+		}
+		p.setPos[i] = ci
+		p.set[i] = compileExpr(t, a.Expr)
+	}
+	if s.Where != nil {
+		p.idx = t.planIdxEq(s.Where)
+	}
+	p.where = compilePred(t, s.Where)
+	return p
+}
+
+// deletePlan is the compiled form of a DELETE.
+type deletePlan struct {
+	table *Table
+	where rowPred
+	idx   *idxPlan
+}
+
+func (db *DB) planDelete(t *Table, s *Delete) *deletePlan {
+	p := &deletePlan{table: t}
+	if s.Where != nil {
+		p.idx = t.planIdxEq(s.Where)
+	}
+	p.where = compilePred(t, s.Where)
+	return p
+}
+
+// insertPlan is the compiled form of an INSERT: column ordinals resolved
+// and row expressions compiled (they reference no columns, only literals
+// and parameters).
+type insertPlan struct {
+	table  *Table
+	colPos []int
+	posErr error
+	rows   [][]compiledExpr
+}
+
+func (db *DB) planInsert(t *Table, s *Insert) *insertPlan {
+	p := &insertPlan{table: t}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = t.ColumnNames()
+	}
+	p.colPos = make([]int, len(cols))
+	for i, c := range cols {
+		ci, ok := t.columnPos(c)
+		if !ok {
+			p.posErr = fmt.Errorf("sql: table %s: no such column %s", s.Table, c)
+			return p
+		}
+		p.colPos[i] = ci
+	}
+	p.rows = make([][]compiledExpr, len(s.Rows))
+	for i, exprRow := range s.Rows {
+		ce := make([]compiledExpr, len(exprRow))
+		for j, e := range exprRow {
+			ce[j] = compileExpr(nil, e)
+		}
+		p.rows[i] = ce
+	}
+	return p
+}
+
+// CountParams returns the number of positional parameters a statement
+// expects: one past the highest ?-index it references, or 0 for none.
+// Rewriting layers use it to append their own parameters after the
+// application's without colliding.
+func CountParams(stmt Statement) int {
+	max := -1
+	note := func(e Expr) {
+		if n := exprMaxParam(e); n > max {
+			max = n
+		}
+	}
+	switch s := stmt.(type) {
+	case *Select:
+		for _, it := range s.Items {
+			note(it.Expr)
+		}
+		note(s.Where)
+		for _, ob := range s.OrderBy {
+			note(ob.Expr)
+		}
+		note(s.Limit)
+		note(s.Offset)
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				note(e)
+			}
+		}
+	case *Update:
+		for _, a := range s.Set {
+			note(a.Expr)
+		}
+		note(s.Where)
+	case *Delete:
+		note(s.Where)
+	}
+	return max + 1
+}
+
+// exprMaxParam returns the highest parameter index in e, or -1.
+func exprMaxParam(e Expr) int {
+	max := -1
+	up := func(n int) {
+		if n > max {
+			max = n
+		}
+	}
+	switch e := e.(type) {
+	case nil:
+		return -1
+	case *Param:
+		return e.Index
+	case *UnaryExpr:
+		up(exprMaxParam(e.Operand))
+	case *BinaryExpr:
+		up(exprMaxParam(e.Left))
+		up(exprMaxParam(e.Right))
+	case *InExpr:
+		up(exprMaxParam(e.Expr))
+		for _, item := range e.List {
+			up(exprMaxParam(item))
+		}
+	case *IsNullExpr:
+		up(exprMaxParam(e.Expr))
+	case *FuncCall:
+		for _, a := range e.Args {
+			up(exprMaxParam(a))
+		}
+	}
+	return max
+}
+
+// stmtPlan binds a statement's compiled plan to the engine state it was
+// compiled against. It is valid only while the same *DB is at the same
+// DDL epoch; any schema or index change recompiles.
+type stmtPlan struct {
+	db    *DB
+	epoch uint64
+	sel   *selectPlan
+	upd   *updatePlan
+	del   *deletePlan
+	ins   *insertPlan
+}
+
+// planFor returns a valid cached plan for cs against db (which must hold
+// db.mu), compiling and caching one on miss or staleness.
+func (db *DB) planFor(cs *CachedStmt) *stmtPlan {
+	if p := cs.plan.Load(); p != nil && p.db == db && p.epoch == db.epoch {
+		return p
+	}
+	p := &stmtPlan{db: db, epoch: db.epoch}
+	switch s := cs.Stmt.(type) {
+	case *Select:
+		if s.Table != "" {
+			if t, ok := db.tables[s.Table]; ok {
+				p.sel = db.planSelect(t, s)
+			}
+		}
+	case *Update:
+		if t, ok := db.tables[s.Table]; ok {
+			p.upd = db.planUpdate(t, s)
+		}
+	case *Delete:
+		if t, ok := db.tables[s.Table]; ok {
+			p.del = db.planDelete(t, s)
+		}
+	case *Insert:
+		if t, ok := db.tables[s.Table]; ok {
+			p.ins = db.planInsert(t, s)
+		}
+	}
+	cs.plan.Store(p)
+	return p
+}

@@ -15,11 +15,28 @@ import (
 type DB struct {
 	mu     sync.Mutex
 	tables map[string]*Table
+	// epoch counts DDL and constraint changes; compiled statement plans
+	// record the epoch they were built at and recompile when it moves
+	// (plan.go). Guarded by mu.
+	epoch uint64
+	// stmts caches parsed statements and their plans for the text-based
+	// Exec entry point.
+	stmts *StmtCache
 }
 
 // Open returns a new, empty database.
 func Open() *DB {
-	return &DB{tables: make(map[string]*Table)}
+	return &DB{tables: make(map[string]*Table), stmts: NewStmtCache(0)}
+}
+
+// bumpEpoch invalidates every compiled plan. Caller holds mu.
+func (db *DB) bumpEpoch() { db.epoch++ }
+
+// Epoch returns the DDL epoch, for tests asserting plan invalidation.
+func (db *DB) Epoch() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.epoch
 }
 
 // Table holds the schema and rows of one table. Rows occupy stable slots:
@@ -218,29 +235,6 @@ func (db *DB) RowCount(table string) int {
 	return 0
 }
 
-// LiveSlots returns the slot numbers of a table's live rows, in scan
-// order. Slots are stable for the life of a row — inserts append fresh
-// slots and deletes leave tombstones — so a slot is a durable total
-// order over a table's rows that later deletes elsewhere in the table
-// cannot shift. WARP's checkpoint sharding uses it to tag rows with a
-// position that stays valid in checkpoint sections that are carried
-// forward while other rows are purged.
-func (db *DB) LiveSlots(table string) ([]int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tables[table]
-	if !ok {
-		return nil, fmt.Errorf("sql: no such table %s", table)
-	}
-	slots := make([]int, 0, t.liveRows)
-	for slot, r := range t.rows {
-		if !r.deleted {
-			slots = append(slots, slot)
-		}
-	}
-	return slots, nil
-}
-
 // TotalRows returns the total number of live rows across all tables. WARP's
 // storage accounting (Table 6) uses this to measure database growth.
 func (db *DB) TotalRows() int {
@@ -294,6 +288,7 @@ func (db *DB) SetUniques(table string, uniques []UniqueConstraint) error {
 	if !ok {
 		return fmt.Errorf("sql: no such table %s", table)
 	}
+	db.bumpEpoch()
 	old := t.Uniques
 	t.Uniques = uniques
 	if err := t.buildUniqueSets(); err != nil {

@@ -136,7 +136,20 @@ func (v Value) String() string {
 // QuoteString renders s as a single-quoted SQL string literal, doubling
 // embedded quotes.
 func QuoteString(s string) string {
-	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	if !strings.Contains(s, "'") {
+		return "'" + s + "'"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	b.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			b.WriteByte('\'')
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('\'')
+	return b.String()
 }
 
 // Equal reports SQL equality between two values. NULL is not equal to

@@ -21,6 +21,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Encoder builds a binary payload from primitive values: varint-encoded
@@ -41,6 +42,35 @@ type Encoder struct {
 
 // NewEncoder returns an empty in-memory encoder.
 func NewEncoder() *Encoder { return &Encoder{} }
+
+// encPool recycles in-memory encoders for the WAL record hot path:
+// every observer callback encodes one record, and a fresh buffer per
+// record is pure allocation churn since Append copies the payload into
+// its frame before returning.
+var encPool = sync.Pool{New: func() any { return &Encoder{} }}
+
+// maxPooledEncoderBytes drops outsized buffers instead of pooling them,
+// so one huge record cannot pin its buffer forever.
+const maxPooledEncoderBytes = 1 << 18
+
+// GetEncoder returns an empty pooled in-memory encoder. Release it with
+// PutEncoder once its Bytes have been consumed (the WAL append paths
+// copy the payload, so release immediately after Append returns).
+func GetEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+// PutEncoder returns an encoder obtained from GetEncoder to the pool.
+// Streaming encoders and oversized buffers are dropped.
+func PutEncoder(e *Encoder) {
+	if e == nil || e.sink != nil || cap(e.buf) > maxPooledEncoderBytes {
+		return
+	}
+	e.werr = nil
+	encPool.Put(e)
+}
 
 // newStreamEncoder returns an encoder that hands its buffer to sink
 // every time it grows past spill bytes. Bytes must not be used on a

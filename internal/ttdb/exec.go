@@ -10,12 +10,14 @@ import (
 // current logical time, in the current generation, with full versioning
 // and dependency recording. The returned Record is what the caller (the
 // application repair manager) stores in the action history graph.
+// Parsing goes through the statement cache, so a repeated query form is
+// parsed once and its canonical SQL string (Record.SQL) is built once.
 func (db *DB) Exec(src string, params ...sqldb.Value) (*sqldb.Result, *Record, error) {
-	stmt, err := sqldb.Parse(src)
+	cs, err := db.stmts.Get(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return db.ExecStmt(stmt, params)
+	return db.execStmt(cs.Stmt, cs, params)
 }
 
 // ExecStmt executes a parsed statement under normal execution. Statements
@@ -24,13 +26,20 @@ func (db *DB) Exec(src string, params ...sqldb.Value) (*sqldb.Result, *Record, e
 // serialize, with the timestamp assigned inside the scope so version
 // intervals of any one partition never interleave.
 func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Result, *Record, error) {
+	return db.execStmt(stmt, nil, params)
+}
+
+// execStmt is the shared normal-execution path. cs is the statement's
+// cached handle (canonical SQL + rewrite cache), or nil for statements
+// that never passed through the cache.
+func (db *DB) execStmt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sqldb.Value) (*sqldb.Result, *Record, error) {
 	m, sc, unlock, err := db.lockFor(stmt, params)
 	if err != nil {
 		return nil, nil, err
 	}
 	defer unlock()
 	t := db.clock.Tick()
-	res, rec, err := db.execAt(stmt, params, t, db.currentGen.Load(), nil, m, sc)
+	res, rec, err := db.execAt(stmt, cs, params, t, db.currentGen.Load(), nil, m, sc)
 	// Emit the committed mutation while the statement's scope is still
 	// held, so the observer sees per-partition events in execution order.
 	// Reads are not emitted (they change nothing), and neither are failed
@@ -204,13 +213,22 @@ func (db *DB) markDirtyStmt(m *tableMeta, stmt sqldb.Statement, params []sqldb.V
 
 // execAt dispatches a statement at an explicit time and generation. The
 // caller holds the locks lockFor would acquire; m is the target table's
-// meta for DML statements and sc the scope held. reuse carries the
+// meta for DML statements and sc the scope held. cs is the statement's
+// cached handle: its canonical SQL becomes Record.SQL without a
+// re-stringify, and its rewrite cache serves the select fast path; nil
+// falls back to rendering and cloning per execution. reuse carries the
 // original record during repair re-execution, or nil. Every non-read
 // case marks its statement's shards dirty for the incremental
 // checkpointer — before executing, so even a write that fails partway
 // can only over-mark, never leave a mutated shard clean.
-func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, reuse *Record, m *tableMeta, sc lockScope) (*sqldb.Result, *Record, error) {
-	rec := &Record{SQL: stmt.String(), Params: params, Time: t, Gen: gen}
+func (db *DB) execAt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sqldb.Value, t, gen int64, reuse *Record, m *tableMeta, sc lockScope) (*sqldb.Result, *Record, error) {
+	var canonical string
+	if cs != nil {
+		canonical = cs.Canonical()
+	} else {
+		canonical = stmt.String()
+	}
+	rec := &Record{SQL: canonical, Params: params, Time: t, Gen: gen}
 	switch s := stmt.(type) {
 	case *sqldb.CreateTable:
 		rec.Kind = KindDDL
@@ -260,7 +278,7 @@ func (db *DB) execAt(stmt sqldb.Statement, params []sqldb.Value, t, gen int64, r
 		rec.Result = res
 		return res, rec, nil
 	case *sqldb.Select:
-		return db.execSelect(s, params, t, gen, rec, m)
+		return db.execSelect(s, cs, params, t, gen, rec, m)
 	case *sqldb.Insert:
 		db.markDirtyStmt(m, s, params)
 		return db.execInsert(s, params, t, gen, rec, reuse, m)
@@ -290,10 +308,16 @@ func (db *DB) selectPhysical(m *tableMeta, where sqldb.Expr, params []sqldb.Valu
 	return db.raw.ExecStmt(&sqldb.Select{Items: items, Table: m.name, Where: where}, params)
 }
 
-func (db *DB) execSelect(s *sqldb.Select, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+func (db *DB) execSelect(s *sqldb.Select, cs *sqldb.CachedStmt, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindRead
 	if s.Table == "" {
-		res, err := db.raw.ExecStmt(s, params)
+		var res *sqldb.Result
+		var err error
+		if cs != nil {
+			res, err = db.raw.ExecCached(cs, params)
+		} else {
+			res, err = db.raw.ExecStmt(s, params)
+		}
 		if err != nil {
 			return nil, nil, err
 		}
@@ -301,20 +325,26 @@ func (db *DB) execSelect(s *sqldb.Select, params []sqldb.Value, t, gen int64, re
 		return res, rec, nil
 	}
 	rec.Table = s.Table
-	aug := s.Clone().(*sqldb.Select)
-	// Expand * to the application's columns so WARP bookkeeping stays
-	// invisible.
-	var items []sqldb.SelectItem
-	for _, it := range aug.Items {
-		if it.Star {
-			for _, c := range m.userCols {
-				items = append(items, sqldb.SelectItem{Expr: sqldb.Col(c)})
+	// Fast path: a cached handle executes its cached parameterized
+	// augmentation — no clone, no re-derived WHERE, and the raw engine
+	// reuses the compiled plan across executions.
+	if cs != nil {
+		if a := db.augSelectFor(m, s, cs); a != nil && len(params) == a.nStatic {
+			ext := make([]sqldb.Value, a.nStatic+2)
+			copy(ext, params)
+			ext[a.nStatic] = sqldb.Int(t)
+			ext[a.nStatic+1] = sqldb.Int(gen)
+			res, err := db.raw.ExecCached(a.handle, ext)
+			if err != nil {
+				return nil, nil, err
 			}
-			continue
+			rec.ReadPartitions = m.readPartitions(s.Where, params)
+			rec.Result = res
+			return res, rec, nil
 		}
-		items = append(items, it)
 	}
-	aug.Items = items
+	aug := s.Clone().(*sqldb.Select)
+	expandStars(m, aug)
 	aug.Where = sqldb.And(aug.Where, liveWhere(t, gen))
 	res, err := db.raw.ExecStmt(aug, params)
 	if err != nil {

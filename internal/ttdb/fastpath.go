@@ -1,0 +1,80 @@
+package ttdb
+
+// The normal-operation select fast path.
+//
+// The slow path re-derives the augmented statement on every execution:
+// clone the SELECT, expand stars, conjoin liveWhere(t, gen) with fresh
+// literals. Because the literals change every call, the raw engine can
+// never reuse a compiled plan for it. This file caches a *parameterized*
+// augmentation on the statement's cached handle instead: the version
+// predicate reads the visibility time and generation from two trailing
+// parameters, so the augmented statement — and therefore its compiled
+// plan in the raw engine — is reused verbatim across executions. The
+// recorded Record is unchanged: Record.SQL stays the original
+// statement's canonical text and Record.Params the application's
+// parameters.
+//
+// The cache is invalidated by the raw engine's DDL epoch (star
+// expansion depends on the table's user columns, and the engine
+// re-plans on the same signal), and bypassed when the caller's
+// parameter count disagrees with the statement's placeholder count —
+// the slow path preserves the engine's out-of-range diagnostics.
+
+import (
+	"warp/internal/sqldb"
+)
+
+// stmtAug is the cached parameterized augmentation of one SELECT.
+type stmtAug struct {
+	epoch   uint64
+	nStatic int // parameters the original statement expects
+	handle  *sqldb.CachedStmt
+}
+
+// augSelectFor returns the cached augmentation of s, rebuilding it when
+// the engine's DDL epoch moved. Concurrent rebuilds are benign
+// (last-writer wins; both results are equivalent).
+func (db *DB) augSelectFor(m *tableMeta, s *sqldb.Select, cs *sqldb.CachedStmt) *stmtAug {
+	epoch := db.raw.Epoch()
+	if a, ok := cs.Aux().(*stmtAug); ok && a.epoch == epoch {
+		return a
+	}
+	nStatic := sqldb.CountParams(s)
+	aug := s.Clone().(*sqldb.Select)
+	expandStars(m, aug)
+	aug.Where = sqldb.And(aug.Where, liveWhereParams(nStatic))
+	a := &stmtAug{epoch: epoch, nStatic: nStatic, handle: sqldb.NewCachedStmt(aug)}
+	cs.SetAux(a)
+	return a
+}
+
+// expandStars replaces * select items with the application's columns so
+// WARP's bookkeeping columns stay invisible. Shared by the cached fast
+// path and the clone-per-execution slow path (exec.go), which must
+// produce identical column sets. aug must be the caller's own clone.
+func expandStars(m *tableMeta, aug *sqldb.Select) {
+	var items []sqldb.SelectItem
+	for _, it := range aug.Items {
+		if it.Star {
+			for _, c := range m.userCols {
+				items = append(items, sqldb.SelectItem{Expr: sqldb.Col(c)})
+			}
+			continue
+		}
+		items = append(items, it)
+	}
+	aug.Items = items
+}
+
+// liveWhereParams is liveWhere with the visibility time and generation
+// read from parameters n and n+1 instead of baked-in literals.
+func liveWhereParams(n int) sqldb.Expr {
+	tp := &sqldb.Param{Index: n}
+	gp := &sqldb.Param{Index: n + 1}
+	return sqldb.And(
+		&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartTime), Right: tp},
+		&sqldb.BinaryExpr{Op: sqldb.OpGt, Left: sqldb.Col(ColEndTime), Right: tp},
+		&sqldb.BinaryExpr{Op: sqldb.OpLe, Left: sqldb.Col(ColStartGen), Right: gp},
+		&sqldb.BinaryExpr{Op: sqldb.OpGe, Left: sqldb.Col(ColEndGen), Right: gp},
+	)
+}

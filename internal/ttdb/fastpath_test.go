@@ -1,0 +1,184 @@
+package ttdb
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"warp/internal/sqldb"
+	"warp/internal/vclock"
+)
+
+// agreeIndexScan compares an indexed equality lookup with a scan-only
+// rewrite of the same predicate on the raw engine: the page_id index
+// must agree with the table after every maintenance event.
+func agreeIndexScan(t *testing.T, db *DB, v int64, want ...string) {
+	t.Helper()
+	idx, _ := mustExec(t, db, "SELECT content FROM pages WHERE page_id = ?", sqldb.Int(v))
+	scan, _ := mustExec(t, db, "SELECT content FROM pages WHERE NOT (page_id != ?)", sqldb.Int(v))
+	render := func(r *sqldb.Result) []string {
+		var out []string
+		for _, row := range r.Rows {
+			out = append(out, row[0].AsText())
+		}
+		return out
+	}
+	gi, gs := render(idx), render(scan)
+	if fmt.Sprint(gi) != fmt.Sprint(gs) {
+		t.Fatalf("index sees %v, scan sees %v", gi, gs)
+	}
+	if fmt.Sprint(gi) != fmt.Sprint(want) {
+		t.Fatalf("page %d: got %v, want %v", v, gi, want)
+	}
+}
+
+// TestIndexAgreesAfterRollbackReinsert: repair rollback demotes and
+// deletes physical versions and revival re-inserts copies into fresh
+// engine slots; the row-ID hash index must track every step, including
+// the generation-switch purge that removes mid-table slots.
+func TestIndexAgreesAfterRollbackReinsert(t *testing.T) {
+	db := newDB(t)
+	seedPages(t, db)
+	_, recV1 := mustExec(t, db, "UPDATE pages SET content = 'v1' WHERE page_id = 1")
+	mustExec(t, db, "UPDATE pages SET content = 'v2' WHERE page_id = 1")
+	mustExec(t, db, "DELETE FROM pages WHERE page_id = 2")
+
+	if _, err := db.BeginRepair(); err != nil {
+		t.Fatal(err)
+	}
+	// Roll page 1 back to just after v1: versions from v2 on vanish from
+	// the next generation and the v1 version revives via demote +
+	// insertCopy (a fresh slot).
+	if _, err := db.RollbackRow("pages", sqldb.Int(1), recV1.Time+1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-execute an insert during repair so the purge later removes its
+	// rolled-back sibling versions from the middle of the table.
+	if _, _, err := db.ReExec("INSERT INTO pages (page_id, title, editor, content) VALUES (4, 'New', 12, 'fresh')", nil, db.Clock().Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.FinishRepair(); err != nil {
+		t.Fatal(err)
+	}
+
+	agreeIndexScan(t, db, 1, "v1")
+	agreeIndexScan(t, db, 2)
+	agreeIndexScan(t, db, 3, "docs")
+	agreeIndexScan(t, db, 4, "fresh")
+
+	// Post-repair writes keep the index in step with reused row IDs.
+	mustExec(t, db, "INSERT INTO pages (page_id, title, editor, content) VALUES (2, 'Sandbox', 11, 'again')")
+	agreeIndexScan(t, db, 2, "again")
+	mustExec(t, db, "UPDATE pages SET content = 'v3' WHERE page_id = 1")
+	agreeIndexScan(t, db, 1, "v3")
+}
+
+// TestCachedExecAcrossGenerationSwitch: the statement cache must stay
+// semantically invisible across BeginRepair / FinishRepair / AbortRepair
+// — the same cached handles keep answering with the right generation's
+// rows, and the canonical SQL recorded is byte-identical to the
+// uncached rendering.
+func TestCachedExecAcrossGenerationSwitch(t *testing.T) {
+	db := newDB(t)
+	seedPages(t, db)
+	sel := "SELECT content FROM pages WHERE page_id = 1"
+
+	res, rec := mustExec(t, db, sel)
+	if got := res.FirstValue().AsText(); got != "welcome" {
+		t.Fatalf("content = %q", got)
+	}
+	stmt, err := sqldb.Parse(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SQL != stmt.String() {
+		t.Fatalf("cached canonical %q != direct rendering %q", rec.SQL, stmt.String())
+	}
+
+	// Repair rewrites page 1 in the next generation; the cached handle
+	// must keep reading the *current* generation until the switch.
+	if _, err := db.BeginRepair(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ReExec("UPDATE pages SET content = 'repaired' WHERE page_id = 1", nil, db.Clock().Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = mustExec(t, db, sel)
+	if got := res.FirstValue().AsText(); got != "welcome" {
+		t.Fatalf("pre-switch cached read sees %q, want welcome", got)
+	}
+	if err := db.FinishRepair(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = mustExec(t, db, sel)
+	if got := res.FirstValue().AsText(); got != "repaired" {
+		t.Fatalf("post-switch cached read sees %q, want repaired", got)
+	}
+
+	// And across an aborted repair the cached handle must not leak the
+	// discarded generation.
+	if _, err := db.BeginRepair(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := db.ReExec("UPDATE pages SET content = 'discarded' WHERE page_id = 1", nil, db.Clock().Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AbortRepair(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = mustExec(t, db, sel)
+	if got := res.FirstValue().AsText(); got != "repaired" {
+		t.Fatalf("post-abort cached read sees %q, want repaired", got)
+	}
+}
+
+// TestCachedExecRaceWithDDLAndGC mixes cached reads and writes with
+// concurrent DDL (CREATE INDEX / ALTER TABLE) and GC on the time-travel
+// layer; under -race this guards the augmentation cache's epoch
+// protocol end to end.
+func TestCachedExecRaceWithDDLAndGC(t *testing.T) {
+	db := Open(&vclock.Clock{})
+	if err := db.Annotate("notes", TableSpec{RowIDColumn: "id", PartitionColumns: []string{"owner"}}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, "CREATE TABLE notes (id INTEGER PRIMARY KEY, owner TEXT, body TEXT)")
+	for i := 0; i < 8; i++ {
+		mustExec(t, db, "INSERT INTO notes (id, owner, body) VALUES (?, ?, ?)",
+			sqldb.Int(int64(i)), sqldb.Text(fmt.Sprintf("u%d", i%4)), sqldb.Text("b"))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			owner := sqldb.Text(fmt.Sprintf("u%d", g))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := db.Exec("SELECT body FROM notes WHERE owner = ?", owner); err != nil {
+					t.Errorf("cached select: %v", err)
+					return
+				}
+				if _, _, err := db.Exec("UPDATE notes SET body = ? WHERE owner = ?",
+					sqldb.Text(fmt.Sprintf("b%d", i)), owner); err != nil {
+					t.Errorf("cached update: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, "CREATE INDEX IF NOT EXISTS idx_notes_body ON notes (body)")
+		mustExec(t, db, fmt.Sprintf("ALTER TABLE notes ADD COLUMN extra%d INTEGER", i))
+		if err := db.GC(db.Clock().Now() - 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -368,10 +368,12 @@ func (db *DB) encodeTableHeaderLocked(enc *store.Encoder, m *tableMeta) error {
 // EncodeTableShards serializes the given row shards of a table — each
 // shard holds the physical row versions whose lock-column key hashes to
 // it, plus the lock-column version-index entries of the same slice —
-// from a single physical scan, so encoding k dirty shards costs one
-// table scan, not k. sink returns the destination encoder for each
-// shard, in the given order. For tables without partition columns there
-// is a single shard holding every row.
+// streaming rows straight from the engine's cursor into the shard
+// encoders, so no result set is ever materialized and memory stays
+// bounded by the encoders' chunk buffers regardless of table size. sink
+// returns the destination encoder for each shard, in the given order.
+// For tables without partition columns there is a single shard holding
+// every row.
 func (db *DB) EncodeTableShards(table string, shards []int, sink func(shard int) *store.Encoder) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -389,40 +391,47 @@ func (db *DB) encodeTableShardsLocked(m *tableMeta, shards []int, sink func(shar
 			return fmt.Errorf("ttdb: table %s has no shard %d", m.name, shard)
 		}
 	}
-	rows, err := db.selectPhysical(m, nil, nil)
-	if err != nil {
-		return err
-	}
+	cols := db.physicalColumns(m)
 	lockIdx := -1
-	for i, c := range rows.Columns {
+	for i, c := range cols {
 		if c == m.lockCol {
 			lockIdx = i
 		}
 	}
-	// Each row carries its *engine slot* so restore can merge the shards
-	// back into the original row order — recovery must be bit-identical
-	// to the never-crashed state, including scan order. Slots, unlike
-	// scan ranks, stay valid in sections carried forward across later
-	// physical deletes (a repair commit's purge) of rows in other
-	// shards. A restore compacts tombstones and renumbers slots, so Open
-	// re-marks every restored table dirty and the next checkpoint
-	// re-tags all shards consistently (core/persist.go).
-	slots, err := db.raw.LiveSlots(m.name)
+	// Rows stream straight from the engine's cursor into the shard
+	// encoders — no materialized result set, so encoding cost is one
+	// scan and memory stays bounded by the encoders' chunk buffers
+	// regardless of table size. A cheap counting pre-pass supplies each
+	// shard's row-count prefix. Each row carries its *engine slot* so
+	// restore can merge the shards back into the original row order —
+	// recovery must be bit-identical to the never-crashed state,
+	// including scan order. Slots, unlike scan ranks, stay valid in
+	// sections carried forward across later physical deletes (a repair
+	// commit's purge) of rows in other shards. A restore compacts
+	// tombstones and renumbers slots, so Open re-marks every restored
+	// table dirty and the next checkpoint re-tags all shards
+	// consistently (core/persist.go).
+	counts := make([]int, m.shards)
+	var countCols []string
+	if lockIdx >= 0 {
+		countCols = []string{m.lockCol}
+	} else {
+		countCols = []string{} // project nothing: only the row count matters
+	}
+	err := db.raw.ScanTable(m.name, countCols, func(_ int, vals []sqldb.Value) error {
+		s := 0
+		if lockIdx >= 0 {
+			s = m.shardOfKey(vals[0].Key())
+		}
+		counts[s]++
+		return nil
+	})
 	if err != nil {
 		return err
 	}
-	if len(slots) != len(rows.Rows) {
-		return fmt.Errorf("ttdb: table %s: %d slots for %d scanned rows", m.name, len(slots), len(rows.Rows))
-	}
-	byShard := make(map[int][]posRow)
-	for i, row := range rows.Rows {
-		s := 0
-		if lockIdx >= 0 {
-			s = m.shardOfKey(row[lockIdx].Key())
-		}
-		byShard[s] = append(byShard[s], posRow{pos: uint64(slots[i]), vals: row})
-	}
+
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	partsByShard := make(map[int][]Partition)
 	for _, p := range m.sortedPartitions() {
 		s := m.shardOfPartIdx(p)
@@ -431,23 +440,46 @@ func (db *DB) encodeTableShardsLocked(m *tableMeta, shards []int, sink func(shar
 		}
 	}
 
+	// Each shard section must be written contiguously (checkpoint files
+	// hold one open section at a time), so rows stream through one
+	// filtered scan per requested shard. Incremental checkpoints
+	// typically rewrite a single shard; full rewrites trade extra scans
+	// for never materializing the table.
 	for _, shard := range shards {
 		enc := sink(shard)
 		enc.String(m.name)
 		enc.Uvarint(uint64(shard))
-		enc.Uvarint(uint64(len(rows.Columns)))
-		for _, c := range rows.Columns {
+		enc.Uvarint(uint64(len(cols)))
+		for _, c := range cols {
 			enc.String(c)
 		}
-		mine := byShard[shard]
-		enc.Uvarint(uint64(len(mine)))
-		for _, row := range mine {
-			enc.Uvarint(row.pos)
-			encodeValues(enc, row.vals)
+		enc.Uvarint(uint64(counts[shard]))
+		emitted := 0
+		err = db.raw.ScanTable(m.name, cols, func(slot int, vals []sqldb.Value) error {
+			s := 0
+			if lockIdx >= 0 {
+				s = m.shardOfKey(vals[lockIdx].Key())
+			}
+			if s != shard {
+				return nil
+			}
+			emitted++
+			enc.Uvarint(uint64(slot))
+			encodeValues(enc, vals)
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// The count prefix came from a separate pre-pass; a mutation
+		// slipping between the scans (a caller that failed to quiesce
+		// direct writers) must be a hard error here, not a silently
+		// misframed section discovered at recovery.
+		if emitted != counts[shard] {
+			return fmt.Errorf("ttdb: table %s shard %d changed during encode: %d rows emitted, %d counted", m.name, shard, emitted, counts[shard])
 		}
 		m.encodePartIdxEntries(enc, partsByShard[shard])
 	}
-	m.mu.Unlock()
 	return nil
 }
 
@@ -694,18 +726,22 @@ func (db *DB) RestoreState(dec *store.Decoder) error {
 // statement re-executes at its original time and generation, reusing its
 // originally assigned row IDs, which reproduces the exact physical state
 // the original execution created. Records must replay in logged order.
+// Parsing goes through the statement cache — recovery replays thousands
+// of records over a handful of query forms — and the record's own SQL
+// (already canonical) is reused rather than re-rendered.
 func (db *DB) Replay(rec *Record) error {
-	stmt, err := sqldb.Parse(rec.SQL)
+	cs, err := db.stmts.Get(rec.SQL)
 	if err != nil {
 		return fmt.Errorf("ttdb: replaying %q: %w", rec.SQL, err)
 	}
+	stmt := cs.Stmt
 	m, sc, unlock, err := db.lockFor(stmt, rec.Params)
 	if err != nil {
 		return fmt.Errorf("ttdb: replaying %q: %w", rec.SQL, err)
 	}
 	defer unlock()
 	db.clock.AdvanceTo(rec.Time)
-	if _, _, err := db.execAt(stmt, rec.Params, rec.Time, rec.Gen, rec, m, sc); err != nil {
+	if _, _, err := db.execAt(stmt, cs, rec.Params, rec.Time, rec.Gen, rec, m, sc); err != nil {
 		return fmt.Errorf("ttdb: replaying %q: %w", rec.SQL, err)
 	}
 	return nil

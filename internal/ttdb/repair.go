@@ -107,13 +107,31 @@ func (db *DB) AbortRepair() error {
 }
 
 // physicalRow captures one stored version with its bookkeeping columns.
+// The column index is shared across every row of one decode batch, so
+// decoding n versions costs one map, not n.
 type physicalRow struct {
-	vals  map[string]sqldb.Value
+	cols  map[string]int // column name -> position in row (shared)
+	row   []sqldb.Value
 	rowID sqldb.Value
 	start int64
 	end   int64
 	sGen  int64
 	eGen  int64
+}
+
+// val returns the named column's value and whether the column exists.
+func (pr *physicalRow) val(c string) (sqldb.Value, bool) {
+	i, ok := pr.cols[c]
+	if !ok {
+		return sqldb.Value{}, false
+	}
+	return pr.row[i], true
+}
+
+// colVal is val without the presence flag (missing columns read NULL).
+func (pr *physicalRow) colVal(c string) sqldb.Value {
+	v, _ := pr.val(c)
+	return v
 }
 
 func (db *DB) decodePhysical(m *tableMeta, res *sqldb.Result) []physicalRow {
@@ -123,15 +141,12 @@ func (db *DB) decodePhysical(m *tableMeta, res *sqldb.Result) []physicalRow {
 	}
 	out := make([]physicalRow, 0, len(res.Rows))
 	for _, row := range res.Rows {
-		pr := physicalRow{vals: make(map[string]sqldb.Value, len(row))}
-		for c, i := range colOf {
-			pr.vals[c] = row[i]
-		}
-		pr.rowID = pr.vals[m.rowIDCol]
-		pr.start = pr.vals[ColStartTime].AsInt()
-		pr.end = pr.vals[ColEndTime].AsInt()
-		pr.sGen = pr.vals[ColStartGen].AsInt()
-		pr.eGen = pr.vals[ColEndGen].AsInt()
+		pr := physicalRow{cols: colOf, row: row}
+		pr.rowID = pr.colVal(m.rowIDCol)
+		pr.start = pr.colVal(ColStartTime).AsInt()
+		pr.end = pr.colVal(ColEndTime).AsInt()
+		pr.sGen = pr.colVal(ColStartGen).AsInt()
+		pr.eGen = pr.colVal(ColEndGen).AsInt()
 		out = append(out, pr)
 	}
 	return out
@@ -148,7 +163,7 @@ func (db *DB) checkVersionsInScope(m *tableMeta, versions []physicalRow, sc lock
 		return nil
 	}
 	for _, pr := range versions {
-		if err := sc.check(pr.vals[m.lockCol].Key()); err != nil {
+		if err := sc.check(pr.colVal(m.lockCol).Key()); err != nil {
 			return err
 		}
 	}
@@ -191,7 +206,7 @@ func (db *DB) insertCopy(m *tableMeta, pr physicalRow, end int64, sGen, eGen int
 	ins := &sqldb.Insert{Table: m.name, Columns: cols}
 	vals := make([]sqldb.Expr, len(cols))
 	for i, c := range cols {
-		v := pr.vals[c]
+		v := pr.colVal(c)
 		switch c {
 		case ColEndTime:
 			v = sqldb.Int(end)
@@ -288,7 +303,7 @@ func (db *DB) rollbackRowLocked(m *tableMeta, rowID sqldb.Value, t int64, st rep
 	set := NewPartitionSet()
 	var keep []physicalRow
 	for _, pr := range versions {
-		for _, p := range m.rowPartitions(func(c string) sqldb.Value { return pr.vals[c] }) {
+		for _, p := range m.rowPartitions(pr.colVal) {
 			set.Add(p)
 		}
 		if pr.start < t {
@@ -398,7 +413,7 @@ func (db *DB) revivalColliders(m *tableMeta, pr physicalRow, st repairState) ([]
 			case ColStartTime, ColStartGen:
 				usable = false
 			default:
-				v, ok := pr.vals[col]
+				v, ok := pr.val(col)
 				if !ok || v.IsNull() {
 					usable = false
 				} else {
@@ -517,11 +532,18 @@ func (db *DB) RollbackRows(table string, rowIDs []sqldb.Value, t int64) ([]Parti
 // include everything touched by rollback, which the repair controller uses
 // for dependency propagation.
 func (db *DB) ReExec(src string, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
-	stmt, err := sqldb.Parse(src)
+	cs, err := db.stmts.Get(src)
 	if err != nil {
 		return nil, nil, err
 	}
-	return db.ReExecStmt(stmt, params, t, orig)
+	return db.reExecStmt(cs.Stmt, cs, params, t, orig)
+}
+
+// ReExecPrepared is ReExec for a cached statement handle: repair replay
+// re-executes each recorded query without re-parsing or re-stringifying
+// its SQL (the handle carries both the AST and the canonical text).
+func (db *DB) ReExecPrepared(cs *sqldb.CachedStmt, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
+	return db.reExecStmt(cs.Stmt, cs, params, t, orig)
 }
 
 // origScope derives the lock-column keys the original record's write set
@@ -552,6 +574,10 @@ func origScope(m *tableMeta, orig *Record) lockScope {
 // table — run in parallel; the scope is held for the full two-phase span
 // so a re-execution is atomic with respect to overlapping operations.
 func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
+	return db.reExecStmt(stmt, nil, params, t, orig)
+}
+
+func (db *DB) reExecStmt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sqldb.Value, t int64, orig *Record) (*sqldb.Result, *Record, error) {
 	st, err := db.repairSnapshot()
 	if err != nil {
 		return nil, nil, fmt.Errorf("ttdb: ReExec outside repair")
@@ -589,15 +615,15 @@ func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, or
 	switch s := stmt.(type) {
 	case *sqldb.Insert:
 		return run(s.Table, func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
-			return db.reExecInsert(s, params, t, st, orig, m, sc, dirt)
+			return db.reExecInsert(s, cs, params, t, st, orig, m, sc, dirt)
 		})
 	case *sqldb.Update:
 		return run(s.Table, func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
-			return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m, sc, dirt)
+			return db.reExecWrite(stmt, cs, s.Table, s.Where, params, t, st, orig, m, sc, dirt)
 		})
 	case *sqldb.Delete:
 		return run(s.Table, func(m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
-			return db.reExecWrite(stmt, s.Table, s.Where, params, t, st, orig, m, sc, dirt)
+			return db.reExecWrite(stmt, cs, s.Table, s.Where, params, t, st, orig, m, sc, dirt)
 		})
 	default:
 		// Reads re-execute at their original time; DDL during repair
@@ -607,11 +633,11 @@ func (db *DB) ReExecStmt(stmt sqldb.Statement, params []sqldb.Value, t int64, or
 			return nil, nil, err
 		}
 		defer unlock()
-		return db.execAt(stmt, params, t, st.next, orig, m, sc)
+		return db.execAt(stmt, cs, params, t, st.next, orig, m, sc)
 	}
 }
 
-func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+func (db *DB) reExecInsert(s *sqldb.Insert, cs *sqldb.CachedStmt, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
 	db.markDirtyScope(m, sc)
 	if orig != nil {
 		for _, id := range orig.WriteRowIDs {
@@ -622,7 +648,7 @@ func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st re
 			dirt.AddAll(ps)
 		}
 	}
-	res, rec, err := db.execAt(s, params, t, st.next, orig, m, sc)
+	res, rec, err := db.execAt(s, cs, params, t, st.next, orig, m, sc)
 	if err != nil && rec == nil {
 		return nil, nil, err
 	}
@@ -636,7 +662,7 @@ func (db *DB) reExecInsert(s *sqldb.Insert, params []sqldb.Value, t int64, st re
 }
 
 // reExecWrite implements two-phase re-execution for UPDATE and DELETE.
-func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
+func (db *DB) reExecWrite(stmt sqldb.Statement, cs *sqldb.CachedStmt, table string, where sqldb.Expr, params []sqldb.Value, t int64, st repairState, orig *Record, m *tableMeta, sc lockScope, dirt *PartitionSet) (*sqldb.Result, *Record, error) {
 	db.markDirtyScope(m, sc) // phases B/C mutate even when the final exec fails
 	next := st.next
 
@@ -686,7 +712,7 @@ func (db *DB) reExecWrite(stmt sqldb.Statement, table string, where sqldb.Expr, 
 	if err := db.preserveSharedMatches(m, userWhere, params, t, next); err != nil {
 		return nil, nil, err
 	}
-	res, rec, err := db.execAt(stmt, params, t, next, orig, m, sc)
+	res, rec, err := db.execAt(stmt, cs, params, t, next, orig, m, sc)
 	if err != nil && rec == nil {
 		return nil, nil, err
 	}

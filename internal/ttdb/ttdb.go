@@ -194,6 +194,13 @@ type DB struct {
 	raw   *sqldb.DB
 	clock *vclock.Clock
 
+	// stmts is the deployment-wide prepared-statement cache: normal
+	// execution (Exec), WAL replay (Replay), and repair re-execution
+	// (ReExec, core's run replay) all parse through it, so each distinct
+	// query form is parsed once and its canonical SQL — what Record.SQL
+	// carries — is built once.
+	stmts *sqldb.StmtCache
+
 	specs map[string]TableSpec
 
 	// tablesMu guards the tables registry map itself; the per-table locks
@@ -233,6 +240,7 @@ func Open(clock *vclock.Clock) *DB {
 	db := &DB{
 		raw:    sqldb.Open(),
 		clock:  clock,
+		stmts:  sqldb.NewStmtCache(0),
 		specs:  make(map[string]TableSpec),
 		tables: make(map[string]*tableMeta),
 		dirty:  make(map[string]*dirtyTable),
@@ -371,6 +379,17 @@ func (db *DB) ShardCount(table string) int {
 // storage accounting only; going around the rewriting layer on live tables
 // breaks versioning invariants.
 func (db *DB) Raw() *sqldb.DB { return db.raw }
+
+// StmtCache returns the deployment-wide prepared-statement cache, so
+// layers above (the repair controller's run replay) can share parsed
+// handles instead of re-parsing SQL text.
+func (db *DB) StmtCache() *sqldb.StmtCache { return db.stmts }
+
+// Prepare parses src through the statement cache, returning the shared
+// handle. The handle's statement must not be mutated.
+func (db *DB) Prepare(src string) (*sqldb.CachedStmt, error) {
+	return db.stmts.Get(src)
+}
 
 // Clock returns the logical clock shared with the rest of the system.
 func (db *DB) Clock() *vclock.Clock { return db.clock }
