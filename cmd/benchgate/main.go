@@ -152,6 +152,35 @@ func readReport(path string) (*Report, error) {
 	return rep, nil
 }
 
+// family is the top-level benchmark function name: everything before the
+// first sub-benchmark separator.
+func family(name string) string {
+	if i := strings.Index(name, "/"); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// missingFamilies returns the baselined benchmark families with no
+// member at all in the current run, sorted.
+func missingFamilies(base, cur *Report) []string {
+	present := make(map[string]bool)
+	for name := range cur.Benchmarks {
+		present[family(name)] = true
+	}
+	var missing []string
+	seen := make(map[string]bool)
+	for name := range base.Benchmarks {
+		fam := family(name)
+		if !present[fam] && !seen[fam] {
+			seen[fam] = true
+			missing = append(missing, fam)
+		}
+	}
+	sort.Strings(missing)
+	return missing
+}
+
 // gate prints a comparison table and reports whether the current run
 // stays within threshold of the baseline.
 func gate(base, cur *Report, threshold float64) bool {
@@ -202,6 +231,14 @@ func gate(base, cur *Report, threshold float64) bool {
 		if _, ok := base.Benchmarks[name]; !ok {
 			fmt.Printf("NEW      %-50s %12.0f ns/op (no baseline)\n", name, cur.Benchmarks[name].NsPerOp)
 		}
+	}
+	// Family-level coverage: a whole benchmark function vanishing (every
+	// sub-benchmark of one top-level name absent) usually means the CI
+	// regex dropped it, not that one case was renamed — call that out
+	// separately so the fix points at the workflow, not the code.
+	for _, fam := range missingFamilies(base, cur) {
+		fmt.Printf("MISSING  %-50s entire benchmark family absent from current run (check the CI -bench regex)\n", fam)
+		pass = false
 	}
 	if !pass {
 		fmt.Printf("bench gate: regression beyond %.0f%% against baseline\n", threshold*100)

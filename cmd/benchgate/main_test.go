@@ -1,0 +1,67 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkRangeScan/indexed-8": "BenchmarkRangeScan/indexed",
+		"BenchmarkNormalExec/update":   "BenchmarkNormalExec/update",
+		"BenchmarkCheckpoint-16":       "BenchmarkCheckpoint",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMissingFamilies(t *testing.T) {
+	base := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkRangeScan/indexed":  {NsPerOp: 1},
+		"BenchmarkRangeScan/fullscan": {NsPerOp: 1},
+		"BenchmarkNormalExec/update":  {NsPerOp: 1},
+		"BenchmarkCheckpoint":         {NsPerOp: 1},
+	}}
+	cur := &Report{Benchmarks: map[string]Metrics{
+		// RangeScan lost one sub-benchmark but the family survives;
+		// NormalExec and Checkpoint vanished entirely.
+		"BenchmarkRangeScan/indexed": {NsPerOp: 1},
+	}}
+	got := missingFamilies(base, cur)
+	want := []string{"BenchmarkCheckpoint", "BenchmarkNormalExec"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("missingFamilies = %v, want %v", got, want)
+	}
+}
+
+func TestGateFailsOnMissingFamily(t *testing.T) {
+	base := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkRangeScan/indexed": {NsPerOp: 100},
+		"BenchmarkNormalExec/update": {NsPerOp: 100},
+	}}
+	cur := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkRangeScan/indexed": {NsPerOp: 100},
+	}}
+	if gate(base, cur, 0.30) {
+		t.Error("gate passed with an entire baselined family missing")
+	}
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	base := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkRangeScan/indexed": {NsPerOp: 100, AllocsPerOp: 10},
+	}}
+	cur := &Report{Benchmarks: map[string]Metrics{
+		"BenchmarkRangeScan/indexed": {NsPerOp: 120, AllocsPerOp: 12},
+	}}
+	if !gate(base, cur, 0.30) {
+		t.Error("gate failed within threshold")
+	}
+	cur.Benchmarks["BenchmarkRangeScan/indexed"] = Metrics{NsPerOp: 140, AllocsPerOp: 10}
+	if gate(base, cur, 0.30) {
+		t.Error("gate passed a 40% ns/op regression")
+	}
+}

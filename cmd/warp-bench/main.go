@@ -42,6 +42,12 @@ func main() {
 	})
 
 	run := func(n int) bool { return *table == 0 || *table == n }
+	pct := func(hit, total uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(hit) / float64(total)
+	}
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "warp-bench:", err)
 		os.Exit(1)
@@ -86,6 +92,17 @@ func main() {
 				r.Workload, overhead,
 				r.BrowserBytesPerVisit, r.AppBytesPerVisit, r.DBBytesPerVisit,
 				r.BrowserBytesPerVisit+r.AppBytesPerVisit+r.DBBytesPerVisit)
+			// The database fast-path engagement behind the same window:
+			// statement/plan cache hit rates and how many scans rode an
+			// index. Near-zero hit rates or a high full-scan share mean the
+			// overhead above is paying for avoidable recompilation or
+			// materialized scans.
+			e := r.Exec
+			fmt.Printf("%-9s db cache: stmt %.0f%% (%d/%d), plan %.0f%% (%d/%d); scans: %d index, %d full\n",
+				r.Workload,
+				pct(e.StmtCacheHits, e.StmtCacheHits+e.StmtCacheMisses), e.StmtCacheHits, e.StmtCacheHits+e.StmtCacheMisses,
+				pct(e.PlanHits, e.PlanHits+e.PlanMisses), e.PlanHits, e.PlanHits+e.PlanMisses,
+				e.IndexScans, e.FullScans)
 		}
 		fmt.Println()
 		withExt, withoutExt, err := bench.ExtensionOverhead(200)

@@ -28,6 +28,11 @@ type Table6Row struct {
 	BrowserBytesPerVisit float64
 	AppBytesPerVisit     float64
 	DBBytesPerVisit      float64
+
+	// Exec is the database layer's execution-path counters over the WARP
+	// configuration's measurement window: statement-cache/plan hit rates
+	// and index-vs-full scan counts.
+	Exec sqldb.ExecStats
 }
 
 // Table6 measures WARP's normal-operation overhead (§8.5): reading and
@@ -48,11 +53,12 @@ func Table6(visitsPerConfig int) ([]Table6Row, error) {
 
 	// --- WARP: full logging pipeline.
 	for i, editing := range []bool{false, true} {
-		vps, stor, visits, err := warpThroughput(visitsPerConfig, editing, false)
+		vps, stor, visits, exec, err := warpThroughput(visitsPerConfig, editing, false)
 		if err != nil {
 			return nil, err
 		}
 		rows[i].WARPVisitsPerSec = vps
+		rows[i].Exec = exec
 		if visits > 0 {
 			rows[i].BrowserBytesPerVisit = float64(stor.BrowserLogBytes) / float64(visits)
 			rows[i].AppBytesPerVisit = float64(stor.AppLogBytes) / float64(visits)
@@ -62,7 +68,7 @@ func Table6(visitsPerConfig int) ([]Table6Row, error) {
 
 	// --- WARP during concurrent repair (§4.3).
 	for i, editing := range []bool{false, true} {
-		vps, _, _, err := warpThroughput(visitsPerConfig, editing, true)
+		vps, _, _, _, err := warpThroughput(visitsPerConfig, editing, true)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +124,7 @@ func baselineThroughput(visits int) (readVPS, editVPS float64, err error) {
 
 // warpThroughput measures the full WARP pipeline, optionally with a large
 // repair running concurrently.
-func warpThroughput(visits int, editing, duringRepair bool) (float64, core.StorageStats, int, error) {
+func warpThroughput(visits int, editing, duringRepair bool) (float64, core.StorageStats, int, sqldb.ExecStats, error) {
 	var res *workload.Result
 	var err error
 	if duringRepair {
@@ -130,7 +136,7 @@ func warpThroughput(visits int, editing, duringRepair bool) (float64, core.Stora
 		res, err = workload.Run(workload.Config{Users: 6, Seed: 78})
 	}
 	if err != nil {
-		return 0, core.StorageStats{}, 0, err
+		return 0, core.StorageStats{}, 0, sqldb.ExecStats{}, err
 	}
 	w := res.Env.W
 	b := w.NewBrowser()
@@ -138,6 +144,7 @@ func warpThroughput(visits int, editing, duringRepair bool) (float64, core.Stora
 	login(u.Name, b)
 
 	storBefore := w.Storage()
+	execBefore := w.ExecStats()
 	repairDone := make(chan error, 1)
 	if duringRepair {
 		sc, _ := attacks.ByName("Clickjacking")
@@ -161,7 +168,7 @@ func warpThroughput(visits int, editing, duringRepair bool) (float64, core.Stora
 	})
 	if duringRepair {
 		if err := <-repairDone; err != nil {
-			return 0, core.StorageStats{}, 0, err
+			return 0, core.StorageStats{}, 0, sqldb.ExecStats{}, err
 		}
 	}
 	storAfter := w.Storage()
@@ -171,7 +178,8 @@ func warpThroughput(visits int, editing, duringRepair bool) (float64, core.Stora
 		DBLogBytes:      storAfter.DBLogBytes - storBefore.DBLogBytes,
 		DBRowBytes:      storAfter.DBRowBytes - storBefore.DBRowBytes,
 	}
-	return vps, stor, storAfter.PageVisits - storBefore.PageVisits, nil
+	exec := w.ExecStats().Sub(execBefore)
+	return vps, stor, storAfter.PageVisits - storBefore.PageVisits, exec, nil
 }
 
 // login drives the login flow on a fresh browser.

@@ -22,6 +22,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
+	"warp/internal/sqldb"
 	"warp/internal/store"
 	"warp/internal/ttdb"
 	"warp/internal/vclock"
@@ -473,6 +474,15 @@ func (w *Warp) Storage() StorageStats {
 		DBRowBytes:      w.DB.Stats().ApproxBytes,
 		PageVisits:      len(w.visitOrder),
 	}
+}
+
+// ExecStats returns the database layer's execution-path counters:
+// statement-cache and compiled-plan hit rates and index-scan vs
+// full-scan counts. A plan hit-rate near zero means statements are
+// being rebuilt per call; a high full-scan share means the workload's
+// predicates are not riding the indexes.
+func (w *Warp) ExecStats() sqldb.ExecStats {
+	return w.DB.ExecStats()
 }
 
 // GC discards history older than beforeTime from both the database and

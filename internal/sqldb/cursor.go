@@ -27,16 +27,9 @@ func (db *DB) ScanTable(table string, cols []string, fn func(slot int, vals []Va
 		return fmt.Errorf("sql: no such table %s", table)
 	}
 	if cols == nil {
-		for slot := range t.rows {
-			r := &t.rows[slot]
-			if r.deleted {
-				continue
-			}
-			if err := fn(slot, r.vals); err != nil {
-				return err
-			}
-		}
-		return nil
+		return t.store.forEachLive(func(slot int, r *row) error {
+			return fn(slot, r.vals)
+		})
 	}
 	ords := make([]int, len(cols))
 	for i, c := range cols {
@@ -47,17 +40,10 @@ func (db *DB) ScanTable(table string, cols []string, fn func(slot int, vals []Va
 		ords[i] = ci
 	}
 	buf := make([]Value, len(cols))
-	for slot := range t.rows {
-		r := &t.rows[slot]
-		if r.deleted {
-			continue
-		}
+	return t.store.forEachLive(func(slot int, r *row) error {
 		for i, ci := range ords {
 			buf[i] = r.vals[ci]
 		}
-		if err := fn(slot, buf); err != nil {
-			return err
-		}
-	}
-	return nil
+		return fn(slot, buf)
+	})
 }

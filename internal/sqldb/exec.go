@@ -15,6 +15,11 @@ type Result struct {
 	Rows    [][]Value
 	// Affected is the number of rows the statement wrote.
 	Affected int
+
+	// arena, when non-nil, owns the storage behind Rows; set only for
+	// results of the *Owned entry points and reclaimed by PutResult
+	// (resultpool.go).
+	arena *resultArena
 }
 
 // NumRows returns the number of result rows.
@@ -123,6 +128,10 @@ func (db *DB) execStmtLocked(stmt Statement, params []Value) (*Result, error) {
 func (db *DB) ExecCached(cs *CachedStmt, params []Value) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.execCachedLocked(cs, params)
+}
+
+func (db *DB) execCachedLocked(cs *CachedStmt, params []Value) (*Result, error) {
 	switch s := cs.Stmt.(type) {
 	case *Select:
 		if s.Table == "" {
@@ -168,7 +177,7 @@ func (db *DB) execCreateTable(s *CreateTable) (*Result, error) {
 	}
 	t := &Table{
 		Name:    s.Table,
-		indexes: make(map[string]*hashIndex),
+		indexes: make(map[string]*colIndex),
 	}
 	seen := make(map[string]bool)
 	for _, c := range s.Columns {
@@ -204,12 +213,11 @@ func (db *DB) execCreateIndex(s *CreateIndex) (*Result, error) {
 		// An index on the same column is equivalent; treat re-creation as OK.
 		return &Result{}, nil
 	}
-	ix := &hashIndex{column: s.Column, buckets: make(map[string][]int)}
-	for slot, r := range t.rows {
-		if !r.deleted {
-			ix.add(r.vals[ci].Key(), slot)
-		}
-	}
+	ix := newColIndex(s.Column)
+	t.store.forEachLive(func(slot int, r *row) error {
+		ix.add(r.vals[ci], slot)
+		return nil
+	})
 	t.indexes[s.Column] = ix
 	db.bumpEpoch()
 	return &Result{}, nil
@@ -232,9 +240,10 @@ func (db *DB) execAlterAdd(s *AlterTableAdd) (*Result, error) {
 	}
 	t.Columns = append(t.Columns, s.Column)
 	t.rebuildColIdx()
-	for i := range t.rows {
-		t.rows[i].vals = append(t.rows[i].vals, def)
-	}
+	t.store.forEachLive(func(_ int, r *row) error {
+		r.vals = append(r.vals, def)
+		return nil
+	})
 	db.bumpEpoch()
 	return &Result{}, nil
 }
@@ -309,8 +318,7 @@ func (db *DB) runInsert(t *Table, s *Insert, p *insertPlan, params []Value) (*Re
 	}
 	// Pass 2: apply.
 	for _, vals := range newRows {
-		slot := len(t.rows)
-		t.rows = append(t.rows, row{vals: vals})
+		slot := t.store.alloc(vals)
 		t.liveRows++
 		t.indexAdd(slot, vals)
 		res.Affected++
@@ -390,7 +398,7 @@ func IsUniqueViolation(err error) bool {
 func (t *Table) indexAdd(slot int, vals []Value) {
 	for col, ix := range t.indexes {
 		ci := t.colIdx[col]
-		ix.add(vals[ci].Key(), slot)
+		ix.add(vals[ci], slot)
 	}
 	for _, us := range t.uniques {
 		if key, ok := us.keyFor(vals); ok {
@@ -402,7 +410,7 @@ func (t *Table) indexAdd(slot int, vals []Value) {
 func (t *Table) indexRemove(slot int, vals []Value) {
 	for col, ix := range t.indexes {
 		ci := t.colIdx[col]
-		ix.remove(vals[ci].Key(), slot)
+		ix.remove(vals[ci], slot)
 	}
 	for _, us := range t.uniques {
 		if key, ok := us.keyFor(vals); ok {
@@ -426,33 +434,46 @@ func (t *Table) projectColumns(cols []string, vals []Value) ([]Value, error) {
 }
 
 // matchSlots returns the slots whose rows satisfy the compiled
-// predicate, visiting the index bucket the plan selected (or every live
-// row). Slots come back sorted ascending: buckets are kept sorted, and
-// the fallback scans in slot order.
-func (t *Table) matchSlots(idx *idxPlan, pred rowPred, params []Value) ([]int, error) {
-	var matched []int
-	if idx != nil {
-		if key, ok := idx.lookupKey(params); ok {
-			if ix, exists := t.indexes[idx.column]; exists {
-				for _, slot := range ix.buckets[key] {
-					r := &t.rows[slot]
-					if r.deleted {
-						continue
-					}
-					ok, err := pred(r.vals, params)
-					if err != nil {
-						return nil, err
-					}
-					if ok {
-						matched = append(matched, slot)
-					}
-				}
-				return matched, nil
-			}
+// predicate, visiting the index postings the plan selected (or every
+// live row). usedIndex reports whether an index narrowed the scan (for
+// the DB's scan counters); inOrder reports that the slots come back in
+// the requested ORDER BY order, letting the caller skip its sort step.
+// When order is nil — or the plan falls back at execution time — slots
+// come back sorted ascending: postings are kept sorted, and the fallback
+// scans in slot order, so results are identical to a full scan.
+func (t *Table) matchSlots(scan *scanPlan, order *orderIdxPlan, pred rowPred, params []Value) (matched []int, usedIndex, inOrder bool, err error) {
+	if scan != nil {
+		if matched, handled, err := t.indexScan(scan, order, pred, params); handled {
+			return matched, true, order != nil, err
 		}
 	}
-	for slot := range t.rows {
-		r := &t.rows[slot]
+	if order != nil {
+		if matched, handled, err := t.orderedWalk(order, pred, params); handled {
+			return matched, false, true, err
+		}
+	}
+	matched = nil
+	err = t.store.forEachLive(func(slot int, r *row) error {
+		ok, err := pred(r.vals, params)
+		if err != nil {
+			return err
+		}
+		if ok {
+			matched = append(matched, slot)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, false, err
+	}
+	return matched, false, false, nil
+}
+
+// filterSlots appends the slots from one posting list whose rows satisfy
+// pred.
+func (t *Table) filterSlots(slots []int, pred rowPred, params []Value, dst []int) ([]int, error) {
+	for _, slot := range slots {
+		r := t.store.rowAt(slot)
 		if r.deleted {
 			continue
 		}
@@ -461,10 +482,156 @@ func (t *Table) matchSlots(idx *idxPlan, pred rowPred, params []Value) ([]int, e
 			return nil, err
 		}
 		if ok {
-			matched = append(matched, slot)
+			dst = append(dst, slot)
 		}
 	}
-	return matched, nil
+	return dst, nil
+}
+
+// indexScan serves one eq/IN/range plan. handled=false means the plan is
+// unusable this execution (missing index, unresolvable parameter, or an
+// operand that would break probe semantics) and the caller must fall
+// back to scanning.
+func (t *Table) indexScan(scan *scanPlan, order *orderIdxPlan, pred rowPred, params []Value) (matched []int, handled bool, err error) {
+	ix, exists := t.indexes[scan.column]
+	if !exists {
+		return nil, false, nil
+	}
+	switch scan.kind {
+	case scanEq:
+		key, ok := scan.lookupKey(params)
+		if !ok {
+			return nil, false, nil
+		}
+		matched, err = t.filterSlots(ix.buckets[key], pred, params, nil)
+		return matched, true, err
+
+	case scanIn:
+		probes := make([]Value, 0, len(scan.in))
+		for _, c := range scan.in {
+			v, ok := c.resolve(params)
+			if !ok {
+				return nil, false, nil
+			}
+			if c.hasConst {
+				probes = append(probes, v) // pre-coerced at plan time
+				continue
+			}
+			if v.IsNull() {
+				continue // NULL list element never equals a column value
+			}
+			cv, ok := coerceToColumn(v, scan.colKind)
+			if !ok {
+				if scan.colKind == KindInt {
+					continue // non-numeric text can never equal an integer
+				}
+				return nil, false, nil
+			}
+			probes = append(probes, cv)
+		}
+		// Probe in key order and drop duplicate keys, so an ordered IN
+		// yields each group exactly once; descending order reverses the
+		// group walk, not the slot order within a group.
+		sort.SliceStable(probes, func(a, b int) bool {
+			c, _ := compareValues(probes[a], probes[b])
+			return c < 0
+		})
+		if order != nil && order.desc {
+			for i, j := 0, len(probes)-1; i < j; i, j = i+1, j-1 {
+				probes[i], probes[j] = probes[j], probes[i]
+			}
+		}
+		var lastKey string
+		for i, v := range probes {
+			key := v.Key()
+			if i > 0 && key == lastKey {
+				continue
+			}
+			lastKey = key
+			matched, err = t.filterSlots(ix.buckets[key], pred, params, matched)
+			if err != nil {
+				return nil, true, err
+			}
+		}
+		if order == nil {
+			sort.Ints(matched)
+		}
+		return matched, true, nil
+
+	case scanRange:
+		lo, emptyLo, ok := scan.rangeBoundFor(scan.lo, params)
+		if !ok {
+			return nil, false, nil
+		}
+		hi, emptyHi, ok := scan.rangeBoundFor(scan.hi, params)
+		if !ok {
+			return nil, false, nil
+		}
+		if emptyLo || emptyHi {
+			return nil, true, nil // NULL bound: the conjunct is true of no row
+		}
+		if order != nil && order.desc {
+			var groups [][]int
+			ix.ord.ascendRange(lo, hi, func(slots []int) bool {
+				groups = append(groups, slots)
+				return true
+			})
+			for i := len(groups) - 1; i >= 0; i-- {
+				matched, err = t.filterSlots(groups[i], pred, params, matched)
+				if err != nil {
+					return nil, true, err
+				}
+			}
+			return matched, true, nil
+		}
+		ix.ord.ascendRange(lo, hi, func(slots []int) bool {
+			matched, err = t.filterSlots(slots, pred, params, matched)
+			return err == nil
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		if order == nil {
+			sort.Ints(matched)
+		}
+		return matched, true, nil
+	}
+	return nil, false, nil
+}
+
+// orderedWalk enumerates every live row in ORDER BY order through the
+// sort column's ordered index: NULL keys first ascending and last
+// descending, matching the executor's sort rules, and ascending slot
+// order within equal keys, matching the stable sort's tie order.
+func (t *Table) orderedWalk(order *orderIdxPlan, pred rowPred, params []Value) (matched []int, handled bool, err error) {
+	ix, exists := t.indexes[order.column]
+	if !exists {
+		return nil, false, nil
+	}
+	if order.desc {
+		var groups [][]int
+		ix.ord.ascendRange(nil, nil, func(slots []int) bool {
+			groups = append(groups, slots)
+			return true
+		})
+		for i := len(groups) - 1; i >= 0; i-- {
+			matched, err = t.filterSlots(groups[i], pred, params, matched)
+			if err != nil {
+				return nil, true, err
+			}
+		}
+		matched, err = t.filterSlots(ix.ord.nullSlots, pred, params, matched)
+		return matched, true, err
+	}
+	matched, err = t.filterSlots(ix.ord.nullSlots, pred, params, nil)
+	if err != nil {
+		return nil, true, err
+	}
+	ix.ord.ascendRange(nil, nil, func(slots []int) bool {
+		matched, err = t.filterSlots(slots, pred, params, matched)
+		return err == nil
+	})
+	return matched, true, err
 }
 
 // coerceToColumn converts a constant to the column's storage type, the
@@ -512,19 +679,27 @@ func (db *DB) execSelect(s *Select, params []Value) (*Result, error) {
 }
 
 func (db *DB) runSelect(t *Table, s *Select, p *selectPlan, params []Value) (*Result, error) {
-	matched, err := t.matchSlots(p.idx, p.where, params)
+	matched, usedIndex, inOrder, err := t.matchSlots(p.scan, p.orderIdx, p.where, params)
 	if err != nil {
 		return nil, err
 	}
+	db.noteScan(usedIndex)
 
 	if p.aggregates {
 		return t.execAggregates(s, matched, params)
 	}
 
-	res := &Result{Columns: append([]string(nil), p.columns...)}
+	var res *Result
+	if db.ownedExec {
+		res = newPooledResult()
+	} else {
+		res = &Result{}
+	}
+	res.Columns = append([]string(nil), p.columns...)
 
-	// ORDER BY: evaluate sort keys per row, stable sort by scan order.
-	if len(p.orderBy) > 0 {
+	// ORDER BY: evaluate sort keys per row, stable sort by scan order —
+	// unless the index walk already delivered the slots in order.
+	if len(p.orderBy) > 0 && !inOrder {
 		type sortRow struct {
 			slot int
 			keys []Value
@@ -533,7 +708,7 @@ func (db *DB) runSelect(t *Table, s *Select, p *selectPlan, params []Value) (*Re
 		keyBuf := make([]Value, len(p.orderBy)*len(matched))
 		for i, slot := range matched {
 			keys := keyBuf[i*len(p.orderBy) : (i+1)*len(p.orderBy) : (i+1)*len(p.orderBy)]
-			vals := t.rows[slot].vals
+			vals := t.store.rowAt(slot).vals
 			for j, ob := range p.orderBy {
 				v, err := ob(vals, params)
 				if err != nil {
@@ -578,8 +753,8 @@ func (db *DB) runSelect(t *Table, s *Select, p *selectPlan, params []Value) (*Re
 		seen = make(map[uint64]bool)
 	}
 	for _, slot := range matched {
-		vals := t.rows[slot].vals
-		out := make([]Value, 0, p.nOut)
+		vals := t.store.rowAt(slot).vals
+		out := res.appendRow(p.nOut)[:0]
 		for _, it := range p.items {
 			if it.star {
 				out = append(out, vals...)
@@ -591,14 +766,15 @@ func (db *DB) runSelect(t *Table, s *Select, p *selectPlan, params []Value) (*Re
 			}
 			out = append(out, v)
 		}
+		res.Rows[len(res.Rows)-1] = out
 		if s.Distinct {
 			fp := rowFingerprint(out)
 			if seen[fp] {
+				res.dropLastRow()
 				continue
 			}
 			seen[fp] = true
 		}
-		res.Rows = append(res.Rows, out)
 	}
 
 	return applyLimit(res, s, params)
@@ -812,7 +988,7 @@ func (t *Table) evalAggregate(fc *FuncCall, matched []int, params []Value) (Valu
 }
 
 func (t *Table) rowCtx(slot int, params []Value) *evalCtx {
-	vals := t.rows[slot].vals
+	vals := t.store.rowAt(slot).vals
 	return &evalCtx{
 		params: params,
 		lookup: func(name string) (Value, bool) {
@@ -840,10 +1016,11 @@ func (db *DB) runUpdate(t *Table, s *Update, p *updatePlan, params []Value) (*Re
 	setPos := p.setPos
 
 	// Two passes: find matches first so that updates do not affect the scan.
-	matched, err := t.matchSlots(p.idx, p.where, params)
+	matched, usedIndex, _, err := t.matchSlots(p.scan, nil, p.where, params)
 	if err != nil {
 		return nil, err
 	}
+	db.noteScan(usedIndex)
 
 	res := &Result{}
 	if len(s.Returning) > 0 {
@@ -859,13 +1036,14 @@ func (db *DB) runUpdate(t *Table, s *Update, p *updatePlan, params []Value) (*Re
 	undo := func() {
 		for i := len(done) - 1; i >= 0; i-- {
 			a := done[i]
-			t.indexRemove(a.slot, t.rows[a.slot].vals)
-			t.rows[a.slot].vals = a.old
+			r := t.store.rowAt(a.slot)
+			t.indexRemove(a.slot, r.vals)
+			r.vals = a.old
 			t.indexAdd(a.slot, a.old)
 		}
 	}
 	for _, slot := range matched {
-		oldVals := t.rows[slot].vals
+		oldVals := t.store.rowAt(slot).vals
 		newVals := append([]Value(nil), oldVals...)
 		for i, ce := range p.set {
 			v, err := ce(oldVals, params)
@@ -886,7 +1064,7 @@ func (db *DB) runUpdate(t *Table, s *Update, p *updatePlan, params []Value) (*Re
 			undo()
 			return nil, err
 		}
-		t.rows[slot].vals = newVals
+		t.store.rowAt(slot).vals = newVals
 		t.indexAdd(slot, newVals)
 		done = append(done, applied{slot: slot, old: oldVals})
 		res.Affected++
@@ -911,16 +1089,17 @@ func (db *DB) execDelete(s *Delete, params []Value) (*Result, error) {
 }
 
 func (db *DB) runDelete(t *Table, s *Delete, p *deletePlan, params []Value) (*Result, error) {
-	matched, err := t.matchSlots(p.idx, p.where, params)
+	matched, usedIndex, _, err := t.matchSlots(p.scan, nil, p.where, params)
 	if err != nil {
 		return nil, err
 	}
+	db.noteScan(usedIndex)
 	res := &Result{}
 	if len(s.Returning) > 0 {
 		res.Columns = append(res.Columns, s.Returning...)
 	}
 	for _, slot := range matched {
-		vals := t.rows[slot].vals
+		vals := t.store.rowAt(slot).vals
 		if len(s.Returning) > 0 {
 			out, err := t.projectColumns(s.Returning, vals)
 			if err != nil {
@@ -929,8 +1108,7 @@ func (db *DB) runDelete(t *Table, s *Delete, p *deletePlan, params []Value) (*Re
 			res.Rows = append(res.Rows, out)
 		}
 		t.indexRemove(slot, vals)
-		t.rows[slot].deleted = true
-		t.rows[slot].vals = nil
+		t.store.kill(slot)
 		t.liveRows--
 		res.Affected++
 	}

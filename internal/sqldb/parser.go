@@ -701,6 +701,14 @@ func (p *parser) parseComparison() (Expr, error) {
 			}
 			left = in
 			continue
+		case t.kind == tokKeyword && t.text == "BETWEEN":
+			p.advance()
+			rng, err := p.parseBetween(left)
+			if err != nil {
+				return nil, err
+			}
+			left = rng
+			continue
 		case t.kind == tokKeyword && t.text == "NOT":
 			// Lookahead for NOT IN / NOT LIKE.
 			if p.i+1 < len(p.toks) && p.toks[p.i+1].kind == tokKeyword {
@@ -723,6 +731,15 @@ func (p *parser) parseComparison() (Expr, error) {
 					}
 					left = &UnaryExpr{Op: OpNot, Operand: &BinaryExpr{Op: OpLike, Left: left, Right: right}}
 					continue
+				case "BETWEEN":
+					p.advance()
+					p.advance()
+					rng, err := p.parseBetween(left)
+					if err != nil {
+						return nil, err
+					}
+					left = &UnaryExpr{Op: OpNot, Operand: rng}
+					continue
 				}
 			}
 			return left, nil
@@ -736,6 +753,30 @@ func (p *parser) parseComparison() (Expr, error) {
 		}
 		left = &BinaryExpr{Op: op, Left: left, Right: right}
 	}
+}
+
+// parseBetween desugars `expr BETWEEN lo AND hi` into
+// `(expr >= lo AND expr <= hi)` — the planner then serves it as an
+// ordered index range like any other pair of bound conjuncts. The bounds
+// parse at additive precedence so the separating AND is not consumed as
+// a conjunction.
+func (p *parser) parseBetween(left Expr) (Expr, error) {
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryExpr{
+		Op:    OpAnd,
+		Left:  &BinaryExpr{Op: OpGe, Left: left, Right: lo},
+		Right: &BinaryExpr{Op: OpLe, Left: left.CloneExpr(), Right: hi},
+	}, nil
 }
 
 func (p *parser) parseInList(left Expr, not bool) (Expr, error) {

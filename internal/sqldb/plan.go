@@ -241,86 +241,314 @@ func compileError(format string, args ...any) compiledExpr {
 	return func([]Value, []Value) (Value, error) { return Null(), err }
 }
 
-// idxPlan is a pre-compiled indexable-equality decision: the scan can
-// be narrowed to one hash bucket when the WHERE clause contains a
-// top-level AND-conjunct of the form `col = const` (literal or
-// parameter) over an indexed column — the first such conjunct, in
-// left-to-right AND order. The constant is coerced to the column's
-// declared type (coerceToColumn) so the bucket probe agrees with the
-// scan-time comparison semantics; an uncoercible constant falls back to
-// a full scan.
-type idxPlan struct {
-	column   string
-	kind     Kind // declared column type, for coercion
+// scanKind enumerates how a plan narrows the row scan through an index.
+type scanKind uint8
+
+const (
+	scanEq    scanKind = iota // one hash-bucket probe (col = const)
+	scanIn                    // bounded set of bucket probes (col IN (consts))
+	scanRange                 // ordered skip-list walk (<, <=, >, >=, BETWEEN)
+)
+
+// constOrParam is a scan operand fixed at plan time or read from the
+// parameter vector at execution time.
+type constOrParam struct {
 	hasConst bool
-	constKey string // pre-coerced key when the constant is a literal
-	paramIdx int    // parameter index otherwise
+	constVal Value // pre-coerced when hasConst
+	paramIdx int
 }
 
-// lookupKey resolves the bucket key for one execution, reporting false
-// when the plan cannot be used (parameter missing or uncoercible) and
-// the scan must fall back to all live rows.
-func (p *idxPlan) lookupKey(params []Value) (string, bool) {
-	if p.hasConst {
-		return p.constKey, true
+// resolve returns the operand's value for one execution. It reports
+// false when a parameter is missing, which sends the scan to the full
+// fallback path.
+func (c constOrParam) resolve(params []Value) (Value, bool) {
+	if c.hasConst {
+		return c.constVal, true
 	}
-	if p.paramIdx < 0 || p.paramIdx >= len(params) {
+	if c.paramIdx < 0 || c.paramIdx >= len(params) {
+		return Value{}, false
+	}
+	return params[c.paramIdx], true
+}
+
+// scanBound is one side of a range scan.
+type scanBound struct {
+	val  constOrParam
+	incl bool
+}
+
+// scanPlan is a pre-compiled index-access decision: the scan can be
+// narrowed to one hash bucket (`col = const`), a bounded set of buckets
+// (`col IN (c1, …)`), or an ordered key range (`col > c`, `BETWEEN`, …)
+// when the WHERE clause contains a usable top-level AND-conjunct over an
+// indexed column. Constants are checked against the column's declared
+// type (coerceToColumn / range monotonicity rules) so index probes agree
+// with the scan-time comparison semantics; anything uncertain falls back
+// to a full scan at execution, where the compiled predicate — which
+// always re-checks the entire WHERE clause — keeps results identical.
+type scanPlan struct {
+	kind    scanKind
+	column  string
+	colKind Kind // declared column type, for coercion
+	eq      constOrParam
+	in      []constOrParam
+	lo, hi  *scanBound // either may be nil (half-open range)
+}
+
+// orderIdxPlan records that ORDER BY is served by walking the column's
+// ordered index instead of sorting: set only when the single ORDER BY
+// key is an indexed bare column the chosen scan is compatible with.
+type orderIdxPlan struct {
+	column string
+	desc   bool
+}
+
+// lookupKey resolves the bucket key of an equality probe, reporting
+// false when the scan must fall back to all live rows.
+func (p *scanPlan) lookupKey(params []Value) (string, bool) {
+	v, ok := p.eq.resolve(params)
+	if !ok {
 		return "", false
 	}
-	cv, ok := coerceToColumn(params[p.paramIdx], p.kind)
+	if p.eq.hasConst {
+		return v.Key(), true
+	}
+	cv, ok := coerceToColumn(v, p.colKind)
 	if !ok {
 		return "", false
 	}
 	return cv.Key(), true
 }
 
-// planIdxEq finds the first top-level AND-conjunct of the form
-// `col = constant` over an indexed column, splitting the decision
-// (compile time) from the key resolution (execution time) so cached
-// plans skip the AST walk on every execution.
-func (t *Table) planIdxEq(e Expr) *idxPlan {
-	be, ok := e.(*BinaryExpr)
-	if !ok {
-		return nil
+// planScan finds the first usable index-access conjunct in left-to-right
+// AND order, preferring an equality probe over a bounded IN over a key
+// range, splitting the decision (compile time) from operand resolution
+// (execution time) so cached plans skip the AST walk on every execution.
+func (t *Table) planScan(where Expr) *scanPlan {
+	var conjuncts []Expr
+	collectConjuncts(where, &conjuncts)
+	if p := t.planEqConjunct(conjuncts); p != nil {
+		return p
 	}
-	switch be.Op {
-	case OpAnd:
-		if p := t.planIdxEq(be.Left); p != nil {
-			return p
+	if p := t.planInConjunct(conjuncts); p != nil {
+		return p
+	}
+	return t.planRangeConjuncts(conjuncts)
+}
+
+// collectConjuncts flattens top-level ANDs in left-to-right order.
+func collectConjuncts(e Expr, out *[]Expr) {
+	if be, ok := e.(*BinaryExpr); ok && be.Op == OpAnd {
+		collectConjuncts(be.Left, out)
+		collectConjuncts(be.Right, out)
+		return
+	}
+	if e != nil {
+		*out = append(*out, e)
+	}
+}
+
+func (t *Table) planEqConjunct(conjuncts []Expr) *scanPlan {
+	for _, e := range conjuncts {
+		be, ok := e.(*BinaryExpr)
+		if !ok || be.Op != OpEq {
+			continue
 		}
-		return t.planIdxEq(be.Right)
-	case OpEq:
-		col, ve, ok := constEqExpr(be)
+		col, ve, ok := constCmpExpr(be)
 		if !ok {
-			return nil
+			continue
 		}
-		if _, indexed := t.indexes[col]; !indexed {
-			return nil
-		}
-		ci, ok := t.columnPos(col)
+		kind, ok := t.indexedColKind(col)
 		if !ok {
-			return nil
+			continue
 		}
-		p := &idxPlan{column: col, kind: t.Columns[ci].Type}
-		switch v := ve.(type) {
-		case *Literal:
-			cv, ok := coerceToColumn(v.Value, p.kind)
-			if !ok {
-				return nil // uncoercible literal: always scan
-			}
-			p.hasConst = true
-			p.constKey = cv.Key()
-		case *Param:
-			p.paramIdx = v.Index
+		p := &scanPlan{kind: scanEq, column: col, colKind: kind}
+		if !p.eq.bind(ve, kind) {
+			continue // uncoercible literal: this conjunct can only scan
 		}
 		return p
 	}
 	return nil
 }
 
-// constEqExpr decomposes `col = const` where const is a literal or
-// parameter, returning the constant's expression.
-func constEqExpr(e *BinaryExpr) (string, Expr, bool) {
+func (t *Table) planInConjunct(conjuncts []Expr) *scanPlan {
+	for _, e := range conjuncts {
+		in, ok := e.(*InExpr)
+		if ok && !in.Not {
+			if p := t.planIn(in); p != nil {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Table) planIn(in *InExpr) *scanPlan {
+	col, ok := in.Expr.(*ColumnRef)
+	if !ok {
+		return nil
+	}
+	kind, haveIdx := t.indexedColKind(col.Name)
+	if !haveIdx {
+		return nil
+	}
+	p := &scanPlan{kind: scanIn, column: col.Name, colKind: kind}
+	for _, le := range in.List {
+		var c constOrParam
+		switch v := le.(type) {
+		case *Literal:
+			if v.Value.IsNull() {
+				continue // NULL list element never equals a column value
+			}
+			cv, ok := coerceToColumn(v.Value, kind)
+			if !ok {
+				if kind == KindInt {
+					continue // non-numeric text can never equal an integer
+				}
+				return nil // probing would lose matches; scan instead
+			}
+			c = constOrParam{hasConst: true, constVal: cv}
+		case *Param:
+			c = constOrParam{paramIdx: v.Index}
+		default:
+			return nil
+		}
+		p.in = append(p.in, c)
+	}
+	return p
+}
+
+func (t *Table) planRangeConjuncts(conjuncts []Expr) *scanPlan {
+	var p *scanPlan
+	for _, e := range conjuncts {
+		be, ok := e.(*BinaryExpr)
+		if !ok {
+			continue
+		}
+		var lower, incl bool
+		switch be.Op {
+		case OpLt:
+			lower, incl = false, false
+		case OpLe:
+			lower, incl = false, true
+		case OpGt:
+			lower, incl = true, false
+		case OpGe:
+			lower, incl = true, true
+		default:
+			continue
+		}
+		col, ve, ok := constCmpExpr(be)
+		if !ok {
+			continue
+		}
+		if _, isCol := be.Right.(*ColumnRef); isCol {
+			// Reversed operand order (`const < col`) flips the bound side.
+			lower = !lower
+		}
+		kind, haveIdx := t.indexedColKind(col)
+		if !haveIdx {
+			continue
+		}
+		if p == nil {
+			p = &scanPlan{kind: scanRange, column: col, colKind: kind}
+		} else if p.column != col {
+			continue // first range column wins; pred re-checks the rest
+		}
+		var c constOrParam
+		if !c.bindRange(ve, kind) {
+			continue
+		}
+		b := &scanBound{val: c, incl: incl}
+		if lower && p.lo == nil {
+			p.lo = b
+		} else if !lower && p.hi == nil {
+			p.hi = b
+		}
+	}
+	if p == nil || (p.lo == nil && p.hi == nil) {
+		return nil
+	}
+	return p
+}
+
+// bind fixes an equality/IN operand, pre-coercing literals to the
+// column type. False means the operand can never probe the index.
+func (c *constOrParam) bind(e Expr, kind Kind) bool {
+	switch v := e.(type) {
+	case *Literal:
+		cv, ok := coerceToColumn(v.Value, kind)
+		if !ok {
+			return false
+		}
+		c.hasConst = true
+		c.constVal = cv
+	case *Param:
+		c.paramIdx = v.Index
+	default:
+		return false
+	}
+	return true
+}
+
+// bindRange fixes a range bound. Unlike equality probes, a range walk
+// needs the bound's comparison against the stored keys to be monotone in
+// key order, not merely exact: for INTEGER and BOOLEAN columns any
+// non-text bound (and numeric text) compares numerically, which is
+// monotone, so the raw value is kept; for TEXT columns only a TEXT bound
+// preserves lexicographic order (numeric strings compare numerically
+// against other kinds, which interleaves them).
+func (c *constOrParam) bindRange(e Expr, kind Kind) bool {
+	switch v := e.(type) {
+	case *Literal:
+		if kind == KindText && !v.Value.IsNull() && v.Value.Kind != KindText {
+			return false
+		}
+		c.hasConst = true
+		c.constVal = v.Value
+	case *Param:
+		c.paramIdx = v.Index
+	default:
+		return false
+	}
+	return true
+}
+
+// rangeBoundFor resolves one side of a range scan for execution.
+// ok=false aborts to a full scan; empty=true means the bound is NULL and
+// the conjunct cannot be true of any row.
+func (p *scanPlan) rangeBoundFor(b *scanBound, params []Value) (rb *rangeBoundVal, empty, ok bool) {
+	if b == nil {
+		return nil, false, true
+	}
+	v, have := b.val.resolve(params)
+	if !have {
+		return nil, false, false
+	}
+	if v.IsNull() {
+		return nil, true, true
+	}
+	if !b.val.hasConst && p.colKind == KindText && v.Kind != KindText {
+		return nil, false, false // see bindRange: would break monotonicity
+	}
+	return &rangeBoundVal{v: v, incl: b.incl}, false, true
+}
+
+// indexedColKind returns the declared type of col if it is indexed.
+func (t *Table) indexedColKind(col string) (Kind, bool) {
+	if _, indexed := t.indexes[col]; !indexed {
+		return KindNull, false
+	}
+	ci, ok := t.columnPos(col)
+	if !ok {
+		return KindNull, false
+	}
+	return t.Columns[ci].Type, true
+}
+
+// constCmpExpr decomposes `col <op> const` (either operand order) where
+// const is a literal or parameter, returning the constant's expression.
+func constCmpExpr(e *BinaryExpr) (string, Expr, bool) {
 	if col, ok := e.Left.(*ColumnRef); ok {
 		if isConstExpr(e.Right) {
 			return col.Name, e.Right, true
@@ -351,8 +579,9 @@ type selectPlan struct {
 	table      *Table
 	aggregates bool // fall back to the interpreter's aggregate path
 	where      rowPred
-	idx        *idxPlan
-	columns    []string // result header
+	scan       *scanPlan
+	orderIdx   *orderIdxPlan // ORDER BY served by index walk; no sort step
+	columns    []string      // result header
 	items      []planItem
 	orderBy    []compiledExpr
 	nOut       int // number of result columns
@@ -368,12 +597,13 @@ type planItem struct {
 func (db *DB) planSelect(t *Table, s *Select) *selectPlan {
 	p := &selectPlan{table: t, aggregates: hasAggregates(s.Items)}
 	if s.Where != nil {
-		p.idx = t.planIdxEq(s.Where)
+		p.scan = t.planScan(s.Where)
 	}
 	p.where = compilePred(t, s.Where)
 	if p.aggregates {
 		return p
 	}
+	p.orderIdx = t.planOrderIdx(s.OrderBy, p.scan)
 	for _, it := range s.Items {
 		if it.Star {
 			p.columns = append(p.columns, t.ColumnNames()...)
@@ -391,11 +621,35 @@ func (db *DB) planSelect(t *Table, s *Select) *selectPlan {
 	return p
 }
 
+// planOrderIdx decides whether ORDER BY can ride the index walk instead
+// of sorting: the single sort key must be a bare indexed column, and the
+// chosen scan must already enumerate in that column's order — a full
+// scan (upgraded to a full index walk), or an eq/IN/range scan on the
+// same column. Equal keys come back in ascending slot order from the
+// posting lists, exactly the tie order the stable sort produces, so
+// results are bit-identical to the sorting path.
+func (t *Table) planOrderIdx(orderBy []OrderBy, scan *scanPlan) *orderIdxPlan {
+	if len(orderBy) != 1 {
+		return nil
+	}
+	col, ok := orderBy[0].Expr.(*ColumnRef)
+	if !ok {
+		return nil
+	}
+	if _, indexed := t.indexes[col.Name]; !indexed {
+		return nil
+	}
+	if scan != nil && scan.column != col.Name {
+		return nil // scan narrows on another column; sort the survivors
+	}
+	return &orderIdxPlan{column: col.Name, desc: orderBy[0].Desc}
+}
+
 // updatePlan is the compiled form of an UPDATE.
 type updatePlan struct {
 	table  *Table
 	where  rowPred
-	idx    *idxPlan
+	scan   *scanPlan
 	setPos []int
 	setErr error // unknown SET column (surfaced before any row work)
 	set    []compiledExpr
@@ -413,7 +667,7 @@ func (db *DB) planUpdate(t *Table, s *Update) *updatePlan {
 		p.set[i] = compileExpr(t, a.Expr)
 	}
 	if s.Where != nil {
-		p.idx = t.planIdxEq(s.Where)
+		p.scan = t.planScan(s.Where)
 	}
 	p.where = compilePred(t, s.Where)
 	return p
@@ -423,13 +677,13 @@ func (db *DB) planUpdate(t *Table, s *Update) *updatePlan {
 type deletePlan struct {
 	table *Table
 	where rowPred
-	idx   *idxPlan
+	scan  *scanPlan
 }
 
 func (db *DB) planDelete(t *Table, s *Delete) *deletePlan {
 	p := &deletePlan{table: t}
 	if s.Where != nil {
-		p.idx = t.planIdxEq(s.Where)
+		p.scan = t.planScan(s.Where)
 	}
 	p.where = compilePred(t, s.Where)
 	return p
@@ -559,8 +813,10 @@ type stmtPlan struct {
 // db.mu), compiling and caching one on miss or staleness.
 func (db *DB) planFor(cs *CachedStmt) *stmtPlan {
 	if p := cs.plan.Load(); p != nil && p.db == db && p.epoch == db.epoch {
+		db.counters.planHits++
 		return p
 	}
+	db.counters.planMisses++
 	p := &stmtPlan{db: db, epoch: db.epoch}
 	switch s := cs.Stmt.(type) {
 	case *Select:

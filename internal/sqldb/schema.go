@@ -22,6 +22,13 @@ type DB struct {
 	// stmts caches parsed statements and their plans for the text-based
 	// Exec entry point.
 	stmts *StmtCache
+	// counters accumulates plan-cache and scan-path introspection
+	// (stats.go). Guarded by mu: every exec path increments under it.
+	counters execCounters
+	// ownedExec, while true, makes runSelect cut result rows from pooled
+	// arena storage (resultpool.go). Set only by the *Owned entry points,
+	// under mu for the span of one execution.
+	ownedExec bool
 }
 
 // Open returns a new, empty database.
@@ -39,17 +46,18 @@ func (db *DB) Epoch() uint64 {
 	return db.epoch
 }
 
-// Table holds the schema and rows of one table. Rows occupy stable slots:
-// a row's slot never changes, and deleted rows leave tombstones, which keeps
-// index bookkeeping simple and scan order deterministic.
+// Table holds the schema and rows of one table. Rows occupy stable slots
+// in paged storage (pages.go): a row's slot never changes, and deleted
+// rows leave tombstones, which keeps index bookkeeping simple and scan
+// order deterministic.
 type Table struct {
 	Name     string
 	Columns  []ColumnDef
 	Uniques  []UniqueConstraint
 	colIdx   map[string]int
-	rows     []row
+	store    pageStore
 	liveRows int
-	indexes  map[string]*hashIndex
+	indexes  map[string]*colIndex
 	uniques  []*uniqueSet
 }
 
@@ -58,14 +66,23 @@ type row struct {
 	deleted bool
 }
 
-// hashIndex is an equality index on a single column. Buckets keep row slots
-// sorted ascending so scans through an index preserve insertion order.
-type hashIndex struct {
+// colIndex is a dual-structure index on a single column: hash buckets
+// answer equality probes in O(1), and the ordered skip list (ordindex.go)
+// keeps the same postings in key order for range and ORDER BY scans.
+// Both halves keep row slots sorted ascending so scans through an index
+// preserve insertion order among equal keys.
+type colIndex struct {
 	column  string
 	buckets map[string][]int
+	ord     *ordIndex
 }
 
-func (ix *hashIndex) add(key string, slot int) {
+func newColIndex(column string) *colIndex {
+	return &colIndex{column: column, buckets: make(map[string][]int), ord: newOrdIndex()}
+}
+
+func (ix *colIndex) add(v Value, slot int) {
+	key := v.Key()
 	b := ix.buckets[key]
 	// Slots are almost always appended in increasing order; handle the
 	// general case with a binary insert.
@@ -77,9 +94,11 @@ func (ix *hashIndex) add(key string, slot int) {
 	copy(b[i+1:], b[i:])
 	b[i] = slot
 	ix.buckets[key] = b
+	ix.ord.add(v, slot)
 }
 
-func (ix *hashIndex) remove(key string, slot int) {
+func (ix *colIndex) remove(v Value, slot int) {
+	key := v.Key()
 	b := ix.buckets[key]
 	i := sort.SearchInts(b, slot)
 	if i < len(b) && b[i] == slot {
@@ -89,6 +108,7 @@ func (ix *hashIndex) remove(key string, slot int) {
 		} else {
 			ix.buckets[key] = b
 		}
+		ix.ord.remove(v, slot)
 	}
 }
 
@@ -156,10 +176,7 @@ func (t *Table) buildUniqueSets() error {
 		}
 		t.uniques = append(t.uniques, us)
 	}
-	for slot, r := range t.rows {
-		if r.deleted {
-			continue
-		}
+	return t.store.forEachLive(func(slot int, r *row) error {
 		for _, us := range t.uniques {
 			if key, ok := us.keyFor(r.vals); ok {
 				if prev, dup := us.m[key]; dup {
@@ -168,8 +185,8 @@ func (t *Table) buildUniqueSets() error {
 				us.m[key] = slot
 			}
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Tables returns the names of all tables, sorted.
@@ -258,14 +275,12 @@ func (db *DB) ApproxTableBytes(table string) int {
 		return 0
 	}
 	n := 0
-	for _, r := range t.rows {
-		if r.deleted {
-			continue
-		}
+	t.store.forEachLive(func(_ int, r *row) error {
 		for _, v := range r.vals {
 			n += 9 + len(v.Str) // kind byte + 8-byte scalar + text payload
 		}
-	}
+		return nil
+	})
 	return n
 }
 

@@ -284,10 +284,10 @@ func (db *DB) execAt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sqldb.
 		return db.execInsert(s, params, t, gen, rec, reuse, m)
 	case *sqldb.Update:
 		db.markDirtyStmt(m, s, params)
-		return db.execUpdate(s, params, t, gen, rec, m)
+		return db.execUpdate(s, cs, params, t, gen, rec, m)
 	case *sqldb.Delete:
 		db.markDirtyStmt(m, s, params)
-		return db.execDelete(s, params, t, gen, rec, m)
+		return db.execDelete(s, cs, params, t, gen, rec, m)
 	default:
 		return nil, nil, fmt.Errorf("ttdb: unsupported statement %T", stmt)
 	}
@@ -300,12 +300,18 @@ func (db *DB) physicalColumns(m *tableMeta) []string {
 
 // selectPhysical reads full physical rows matching where, in scan order.
 func (db *DB) selectPhysical(m *tableMeta, where sqldb.Expr, params []sqldb.Value) (*sqldb.Result, error) {
+	return db.raw.ExecStmt(db.physicalSelect(m, where), params)
+}
+
+// physicalSelect builds the statement selectPhysical executes: full
+// physical rows matching where, in scan order.
+func (db *DB) physicalSelect(m *tableMeta, where sqldb.Expr) *sqldb.Select {
 	cols := db.physicalColumns(m)
 	items := make([]sqldb.SelectItem, len(cols))
 	for i, c := range cols {
 		items[i] = sqldb.SelectItem{Expr: sqldb.Col(c)}
 	}
-	return db.raw.ExecStmt(&sqldb.Select{Items: items, Table: m.name, Where: where}, params)
+	return &sqldb.Select{Items: items, Table: m.name, Where: where}
 }
 
 func (db *DB) execSelect(s *sqldb.Select, cs *sqldb.CachedStmt, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
@@ -330,11 +336,7 @@ func (db *DB) execSelect(s *sqldb.Select, cs *sqldb.CachedStmt, params []sqldb.V
 	// reuses the compiled plan across executions.
 	if cs != nil {
 		if a := db.augSelectFor(m, s, cs); a != nil && len(params) == a.nStatic {
-			ext := make([]sqldb.Value, a.nStatic+2)
-			copy(ext, params)
-			ext[a.nStatic] = sqldb.Int(t)
-			ext[a.nStatic+1] = sqldb.Int(gen)
-			res, err := db.raw.ExecCached(a.handle, ext)
+			res, err := db.raw.ExecCached(a.handle, extParams(params, a.nStatic, t, gen))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -419,10 +421,7 @@ func (db *DB) execInsert(s *sqldb.Insert, params []sqldb.Value, t, gen int64, re
 			sqldb.Lit(sqldb.Int(gen)), sqldb.Lit(sqldb.Int(Infinity)))
 	}
 	nApp := len(s.Returning)
-	aug.Returning = append(append([]string{}, s.Returning...), m.rowIDCol)
-	for col := range m.partCols {
-		aug.Returning = append(aug.Returning, col)
-	}
+	aug.Returning = returningWithMeta(m, s.Returning)
 	res, err := db.raw.ExecStmt(aug, params)
 	if err != nil {
 		if sqldb.IsUniqueViolation(err) {
@@ -509,7 +508,7 @@ func stripResult(res *sqldb.Result, appReturning []string, nApp int, affected in
 	return out
 }
 
-func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+func (db *DB) execUpdate(s *sqldb.Update, cs *sqldb.CachedStmt, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindUpdate
 	rec.Table = s.Table
 	setCols := make([]string, len(s.Set))
@@ -521,17 +520,17 @@ func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, re
 	}
 	rec.ReadPartitions = m.readPartitions(s.Where, params)
 
-	var userWhere sqldb.Expr
-	if s.Where != nil {
-		userWhere = s.Where.CloneExpr()
-	}
-	live := sqldb.And(userWhere, liveWhere(t, gen))
+	runSel, runUpd := db.updatePhases(s, cs, params, t, gen, m)
 
-	// Phase 1: capture the old versions of every matched row.
-	oldRows, err := db.selectPhysical(m, live, params)
+	// Phase 1: capture the old versions of every matched row. The result
+	// is consumed within this call (partition recording copies values,
+	// phase 3 re-inserts them), so its pooled row storage is released on
+	// every exit path.
+	oldRows, err := runSel()
 	if err != nil {
 		return nil, nil, err
 	}
+	defer sqldb.PutResult(oldRows)
 	if len(oldRows.Rows) == 0 {
 		rec.Result = &sqldb.Result{Affected: 0, Columns: append([]string{}, s.Returning...)}
 		return rec.Result, rec, nil
@@ -539,15 +538,8 @@ func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, re
 	db.recordOldPartitions(m, rec, oldRows)
 
 	// Phase 2: update the live versions in place, bumping start_time.
-	aug := s.Clone().(*sqldb.Update)
-	aug.Set = append(aug.Set, sqldb.Assignment{Column: ColStartTime, Expr: sqldb.Lit(sqldb.Int(t))})
-	aug.Where = live
 	nApp := len(s.Returning)
-	aug.Returning = append(append([]string{}, s.Returning...), m.rowIDCol)
-	for col := range m.partCols {
-		aug.Returning = append(aug.Returning, col)
-	}
-	res, err := db.raw.ExecStmt(aug, params)
+	res, err := runUpd()
 	if err != nil {
 		if sqldb.IsUniqueViolation(err) {
 			rec.ErrText = err.Error()
@@ -563,6 +555,35 @@ func (db *DB) execUpdate(s *sqldb.Update, params []sqldb.Value, t, gen int64, re
 	}
 	rec.Result = stripResult(res, s.Returning, nApp, res.Affected)
 	return rec.Result, rec, nil
+}
+
+// updatePhases returns the executors of an UPDATE's first two phases:
+// the cached parameterized augmentation when the statement has a cached
+// handle and the caller's parameter count matches, and per-execution
+// literal-baked clones otherwise (the slow path preserves the engine's
+// parameter diagnostics).
+func (db *DB) updatePhases(s *sqldb.Update, cs *sqldb.CachedStmt, params []sqldb.Value, t, gen int64, m *tableMeta) (runSel, runUpd func() (*sqldb.Result, error)) {
+	if cs != nil {
+		if a := db.augUpdateFor(m, s, cs); len(params) == a.nStatic {
+			ext := extParams(params, a.nStatic, t, gen)
+			return func() (*sqldb.Result, error) { return db.raw.ExecCachedOwned(a.sel, ext) },
+				func() (*sqldb.Result, error) { return db.raw.ExecCached(a.upd, ext) }
+		}
+	}
+	var userWhere sqldb.Expr
+	if s.Where != nil {
+		userWhere = s.Where.CloneExpr()
+	}
+	live := sqldb.And(userWhere, liveWhere(t, gen))
+	runSel = func() (*sqldb.Result, error) { return db.raw.ExecStmtOwned(db.physicalSelect(m, live), params) }
+	runUpd = func() (*sqldb.Result, error) {
+		aug := s.Clone().(*sqldb.Update)
+		aug.Set = append(aug.Set, sqldb.Assignment{Column: ColStartTime, Expr: sqldb.Lit(sqldb.Int(t))})
+		aug.Where = live
+		aug.Returning = returningWithMeta(m, s.Returning)
+		return db.raw.ExecStmt(aug, params)
+	}
+	return runSel, runUpd
 }
 
 // recordOldPartitions adds the pre-write partition values of the matched
@@ -622,29 +643,35 @@ func (db *DB) insertHistorical(m *tableMeta, oldRows *sqldb.Result, t int64, ove
 	return err
 }
 
-func (db *DB) execDelete(s *sqldb.Delete, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
+func (db *DB) execDelete(s *sqldb.Delete, cs *sqldb.CachedStmt, params []sqldb.Value, t, gen int64, rec *Record, m *tableMeta) (*sqldb.Result, *Record, error) {
 	rec.Kind = KindDelete
 	rec.Table = s.Table
 	rec.ReadPartitions = m.readPartitions(s.Where, params)
 
-	var userWhere sqldb.Expr
-	if s.Where != nil {
-		userWhere = s.Where.CloneExpr()
-	}
-	live := sqldb.And(userWhere, liveWhere(t, gen))
-
 	// Deleting is closing the version interval (§4.2): set end_time = t.
-	aug := &sqldb.Update{
-		Table: s.Table,
-		Set:   []sqldb.Assignment{{Column: ColEndTime, Expr: sqldb.Lit(sqldb.Int(t))}},
-		Where: live,
-	}
 	nApp := len(s.Returning)
-	aug.Returning = append(append([]string{}, s.Returning...), m.rowIDCol)
-	for col := range m.partCols {
-		aug.Returning = append(aug.Returning, col)
+	var res *sqldb.Result
+	var err error
+	ran := false
+	if cs != nil {
+		if a := db.augDeleteFor(m, s, cs); len(params) == a.nStatic {
+			res, err = db.raw.ExecCached(a.upd, extParams(params, a.nStatic, t, gen))
+			ran = true
+		}
 	}
-	res, err := db.raw.ExecStmt(aug, params)
+	if !ran {
+		var userWhere sqldb.Expr
+		if s.Where != nil {
+			userWhere = s.Where.CloneExpr()
+		}
+		aug := &sqldb.Update{
+			Table:     s.Table,
+			Set:       []sqldb.Assignment{{Column: ColEndTime, Expr: sqldb.Lit(sqldb.Int(t))}},
+			Where:     sqldb.And(userWhere, liveWhere(t, gen)),
+			Returning: returningWithMeta(m, s.Returning),
+		}
+		res, err = db.raw.ExecStmt(aug, params)
+	}
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,68 @@
+package ttdb
+
+import (
+	"warp/internal/sqldb"
+)
+
+// Plan introspection through the rewriting layer. ttdb.Explain describes
+// the raw-engine access plan a statement actually executes with under
+// normal operation — after the liveWhere augmentation — so an operator
+// can see whether an application predicate still rides an index once
+// the four version-interval conjuncts are attached.
+
+// Explain describes the augmented access plan of one application
+// statement. An UPDATE renders both executed phases (the capture select
+// and the in-place update) separated by "; "; a DELETE renders as the
+// interval-closing UPDATE it executes as.
+func (db *DB) Explain(src string) (string, error) {
+	cs, err := db.stmts.Get(src)
+	if err != nil {
+		return "", err
+	}
+	switch s := cs.Stmt.(type) {
+	case *sqldb.Select:
+		if s.Table == "" {
+			return db.raw.ExplainCached(cs)
+		}
+		m, err := db.meta(s.Table)
+		if err != nil {
+			return "", err
+		}
+		return db.raw.ExplainCached(db.augSelectFor(m, s, cs).handle)
+	case *sqldb.Update:
+		m, err := db.meta(s.Table)
+		if err != nil {
+			return "", err
+		}
+		a := db.augUpdateFor(m, s, cs)
+		sel, err := db.raw.ExplainCached(a.sel)
+		if err != nil {
+			return "", err
+		}
+		upd, err := db.raw.ExplainCached(a.upd)
+		if err != nil {
+			return "", err
+		}
+		return sel + "; " + upd, nil
+	case *sqldb.Delete:
+		m, err := db.meta(s.Table)
+		if err != nil {
+			return "", err
+		}
+		return db.raw.ExplainCached(db.augDeleteFor(m, s, cs).upd)
+	default:
+		return db.raw.ExplainCached(cs)
+	}
+}
+
+// ExecStats merges the deployment-wide statement cache's counters with
+// the raw engine's plan and scan counters. The rewriting layer never
+// round-trips SQL text through the engine's own cache, so the statement
+// counters reported here are effectively the deployment cache's.
+func (db *DB) ExecStats() sqldb.ExecStats {
+	st := db.raw.ExecStats()
+	h, m := db.stmts.Stats()
+	st.StmtCacheHits += h
+	st.StmtCacheMisses += m
+	return st
+}

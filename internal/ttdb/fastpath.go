@@ -48,6 +48,95 @@ func (db *DB) augSelectFor(m *tableMeta, s *sqldb.Select, cs *sqldb.CachedStmt) 
 	return a
 }
 
+// updateAug is the cached parameterized augmentation of one UPDATE: the
+// phase-1 capture select and the phase-2 in-place update. Both read the
+// visibility time and generation from the two trailing parameters, and
+// phase 2's start_time bump reads the same time parameter, so one
+// extended parameter slice drives both phases.
+type updateAug struct {
+	epoch   uint64
+	nStatic int
+	sel     *sqldb.CachedStmt // phase 1: capture old physical versions
+	upd     *sqldb.CachedStmt // phase 2: in-place update, start_time bumped
+}
+
+// deleteAug is the cached parameterized augmentation of one DELETE —
+// the interval-closing UPDATE it executes as (end_time = t, §4.2).
+type deleteAug struct {
+	epoch   uint64
+	nStatic int
+	upd     *sqldb.CachedStmt
+}
+
+// augUpdateFor returns the cached augmentation of an UPDATE, rebuilding
+// it when the engine's DDL epoch moved (the phase-1 capture column set
+// depends on the table's columns). Concurrent rebuilds are benign.
+func (db *DB) augUpdateFor(m *tableMeta, s *sqldb.Update, cs *sqldb.CachedStmt) *updateAug {
+	epoch := db.raw.Epoch()
+	if a, ok := cs.Aux().(*updateAug); ok && a.epoch == epoch {
+		return a
+	}
+	n := sqldb.CountParams(s)
+	sel := db.physicalSelect(m, liveCloneWhere(s.Where, n))
+	upd := s.Clone().(*sqldb.Update)
+	upd.Set = append(upd.Set, sqldb.Assignment{Column: ColStartTime, Expr: &sqldb.Param{Index: n}})
+	upd.Where = liveCloneWhere(s.Where, n)
+	upd.Returning = returningWithMeta(m, s.Returning)
+	a := &updateAug{epoch: epoch, nStatic: n,
+		sel: sqldb.NewCachedStmt(sel), upd: sqldb.NewCachedStmt(upd)}
+	cs.SetAux(a)
+	return a
+}
+
+// augDeleteFor returns the cached augmentation of a DELETE, rebuilding
+// it when the engine's DDL epoch moved.
+func (db *DB) augDeleteFor(m *tableMeta, s *sqldb.Delete, cs *sqldb.CachedStmt) *deleteAug {
+	epoch := db.raw.Epoch()
+	if a, ok := cs.Aux().(*deleteAug); ok && a.epoch == epoch {
+		return a
+	}
+	n := sqldb.CountParams(s)
+	upd := &sqldb.Update{
+		Table:     s.Table,
+		Set:       []sqldb.Assignment{{Column: ColEndTime, Expr: &sqldb.Param{Index: n}}},
+		Where:     liveCloneWhere(s.Where, n),
+		Returning: returningWithMeta(m, s.Returning),
+	}
+	a := &deleteAug{epoch: epoch, nStatic: n, upd: sqldb.NewCachedStmt(upd)}
+	cs.SetAux(a)
+	return a
+}
+
+// liveCloneWhere conjoins a fresh clone of an application WHERE with the
+// parameterized visibility predicate.
+func liveCloneWhere(where sqldb.Expr, n int) sqldb.Expr {
+	var w sqldb.Expr
+	if where != nil {
+		w = where.CloneExpr()
+	}
+	return sqldb.And(w, liveWhereParams(n))
+}
+
+// extParams appends the visibility time and generation to the
+// application's parameters, matching liveWhereParams(n)'s placeholders.
+func extParams(params []sqldb.Value, n int, t, gen int64) []sqldb.Value {
+	ext := make([]sqldb.Value, n+2)
+	copy(ext, params)
+	ext[n] = sqldb.Int(t)
+	ext[n+1] = sqldb.Int(gen)
+	return ext
+}
+
+// returningWithMeta is the application's RETURNING list plus the row-ID
+// and partition columns every write path appends for fillWriteInfo.
+func returningWithMeta(m *tableMeta, app []string) []string {
+	ret := append(append([]string{}, app...), m.rowIDCol)
+	for col := range m.partCols {
+		ret = append(ret, col)
+	}
+	return ret
+}
+
 // expandStars replaces * select items with the application's columns so
 // WARP's bookkeeping columns stay invisible. Shared by the cached fast
 // path and the clone-per-execution slow path (exec.go), which must

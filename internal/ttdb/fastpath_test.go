@@ -32,6 +32,31 @@ func agreeIndexScan(t *testing.T, db *DB, v int64, want ...string) {
 	}
 }
 
+// agreeOrderedScan compares a range + ORDER BY query served by the
+// ordered index with a rewrite the planner cannot index (a NOT-wrapped
+// bound and an ORDER BY expression force the scan-and-sort path): both
+// must see the same rows in the same order after every maintenance
+// event, including repair's slot reuse.
+func agreeOrderedScan(t *testing.T, db *DB, lo int64, want ...string) {
+	t.Helper()
+	idx, _ := mustExec(t, db, "SELECT content FROM pages WHERE page_id >= ? ORDER BY page_id", sqldb.Int(lo))
+	scan, _ := mustExec(t, db, "SELECT content FROM pages WHERE NOT (page_id < ?) ORDER BY page_id + 0", sqldb.Int(lo))
+	render := func(r *sqldb.Result) []string {
+		var out []string
+		for _, row := range r.Rows {
+			out = append(out, row[0].AsText())
+		}
+		return out
+	}
+	gi, gs := render(idx), render(scan)
+	if fmt.Sprint(gi) != fmt.Sprint(gs) {
+		t.Fatalf("ordered index sees %v, scan-and-sort sees %v", gi, gs)
+	}
+	if fmt.Sprint(gi) != fmt.Sprint(want) {
+		t.Fatalf("range from %d: got %v, want %v", lo, gi, want)
+	}
+}
+
 // TestIndexAgreesAfterRollbackReinsert: repair rollback demotes and
 // deletes physical versions and revival re-inserts copies into fresh
 // engine slots; the row-ID hash index must track every step, including
@@ -65,12 +90,15 @@ func TestIndexAgreesAfterRollbackReinsert(t *testing.T) {
 	agreeIndexScan(t, db, 2)
 	agreeIndexScan(t, db, 3, "docs")
 	agreeIndexScan(t, db, 4, "fresh")
+	agreeOrderedScan(t, db, 1, "v1", "docs", "fresh")
 
 	// Post-repair writes keep the index in step with reused row IDs.
 	mustExec(t, db, "INSERT INTO pages (page_id, title, editor, content) VALUES (2, 'Sandbox', 11, 'again')")
 	agreeIndexScan(t, db, 2, "again")
+	agreeOrderedScan(t, db, 2, "again", "docs", "fresh")
 	mustExec(t, db, "UPDATE pages SET content = 'v3' WHERE page_id = 1")
 	agreeIndexScan(t, db, 1, "v3")
+	agreeOrderedScan(t, db, 1, "v3", "again", "docs", "fresh")
 }
 
 // TestCachedExecAcrossGenerationSwitch: the statement cache must stay
@@ -129,6 +157,109 @@ func TestCachedExecAcrossGenerationSwitch(t *testing.T) {
 	res, _ = mustExec(t, db, sel)
 	if got := res.FirstValue().AsText(); got != "repaired" {
 		t.Fatalf("post-abort cached read sees %q, want repaired", got)
+	}
+}
+
+// TestCachedWriteAugmentation: UPDATE and DELETE build one parameterized
+// augmentation per DDL epoch — repeated writes through the statement
+// cache keep hitting the same raw-engine handles, DDL rebuilds them (the
+// phase-1 capture column set depends on the table's columns), and the
+// cached path leaves the same state and history as the slow path would.
+func TestCachedWriteAugmentation(t *testing.T) {
+	db := newDB(t)
+	seedPages(t, db)
+
+	upd := "UPDATE pages SET content = ? WHERE page_id = ?"
+	mustExec(t, db, upd, sqldb.Text("a"), sqldb.Int(1))
+	cs, err := db.Prepare(upd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, ok := cs.Aux().(*updateAug)
+	if !ok {
+		t.Fatalf("update aux = %T, want *updateAug", cs.Aux())
+	}
+	mustExec(t, db, upd, sqldb.Text("b"), sqldb.Int(1))
+	if a2 := cs.Aux().(*updateAug); a2 != a1 {
+		t.Fatal("update augmentation rebuilt without a DDL epoch change")
+	}
+	res, _ := mustExec(t, db, "SELECT content FROM pages WHERE page_id = 1")
+	if got := res.FirstValue().AsText(); got != "b" {
+		t.Fatalf("content = %q, want b", got)
+	}
+	// Both cached updates must have gone through the full three phases:
+	// original version plus one closed historical version per update.
+	raw, err := db.Raw().Exec("SELECT content FROM pages WHERE page_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.NumRows() != 3 {
+		t.Fatalf("physical versions = %d, want 3", raw.NumRows())
+	}
+
+	// DDL moves the epoch: the cached handles must rebuild so the new
+	// column participates in the phase-1 capture.
+	mustExec(t, db, "ALTER TABLE pages ADD COLUMN views INTEGER")
+	mustExec(t, db, upd, sqldb.Text("c"), sqldb.Int(1))
+	if a3 := cs.Aux().(*updateAug); a3 == a1 {
+		t.Fatal("update augmentation survived a DDL epoch change")
+	}
+
+	del := "DELETE FROM pages WHERE page_id = ?"
+	mustExec(t, db, del, sqldb.Int(2))
+	dcs, err := db.Prepare(del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, ok := dcs.Aux().(*deleteAug)
+	if !ok {
+		t.Fatalf("delete aux = %T, want *deleteAug", dcs.Aux())
+	}
+	mustExec(t, db, del, sqldb.Int(3))
+	if d2 := dcs.Aux().(*deleteAug); d2 != d1 {
+		t.Fatal("delete augmentation rebuilt without a DDL epoch change")
+	}
+	res, _ = mustExec(t, db, "SELECT page_id FROM pages ORDER BY page_id")
+	if res.NumRows() != 1 || res.FirstValue().AsInt() != 1 {
+		t.Fatalf("post-delete visible rows = %v", res.Rows)
+	}
+	// Deletes close intervals, they do not remove versions.
+	raw, err = db.Raw().Exec("SELECT page_id FROM pages WHERE page_id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.NumRows() != 1 {
+		t.Fatalf("deleted row's physical versions = %d, want 1", raw.NumRows())
+	}
+}
+
+// TestExplainThroughAugmentation: the rewriting layer's Explain shows
+// the plans the augmented statements execute with — application
+// predicates keep riding the row-ID/partition indexes (equality, range,
+// and index-served ORDER BY) after the liveWhere conjuncts attach.
+func TestExplainThroughAugmentation(t *testing.T) {
+	db := newDB(t)
+	seedPages(t, db)
+	cases := []struct{ src, want string }{
+		{"SELECT content FROM pages WHERE page_id = ?",
+			"select(pages) scan=index-eq(page_id)"},
+		{"SELECT content FROM pages WHERE page_id >= ? ORDER BY page_id",
+			"select(pages) scan=index-range(page_id lo..+inf) order=index(page_id)"},
+		{"SELECT content FROM pages ORDER BY title DESC",
+			"select(pages) scan=full order=index-desc(title)"},
+		{"UPDATE pages SET content = 'x' WHERE page_id = 1",
+			"select(pages) scan=index-eq(page_id); update(pages) scan=index-eq(page_id)"},
+		{"DELETE FROM pages WHERE page_id = 1",
+			"update(pages) scan=index-eq(page_id)"},
+	}
+	for _, c := range cases {
+		got, err := db.Explain(c.src)
+		if err != nil {
+			t.Fatalf("Explain(%q): %v", c.src, err)
+		}
+		if got != c.want {
+			t.Errorf("Explain(%q) = %q, want %q", c.src, got, c.want)
+		}
 	}
 }
 

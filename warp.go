@@ -79,6 +79,9 @@ type (
 	Timing = core.Timing
 	// StorageStats is the per-layer log storage accounting.
 	StorageStats = core.StorageStats
+	// ExecStats is the database layer's execution-path counters:
+	// statement-cache/plan hit rates and index-vs-full scan counts.
+	ExecStats = sqldb.ExecStats
 
 	// Version is one version of an application source file.
 	Version = app.Version
