@@ -17,6 +17,7 @@ import (
 
 	"warp/internal/bench"
 	"warp/internal/history"
+	"warp/internal/obs"
 	"warp/internal/sqldb"
 	"warp/internal/ttdb"
 	"warp/internal/vclock"
@@ -182,45 +183,90 @@ func BenchmarkNormalExec(b *testing.B) {
 // catches order-of-magnitude regressions, while CI's benchgate compares
 // exact allocs/op against the committed baseline.
 func TestNormalExecAllocBudget(t *testing.T) {
-	db := normalExecDB(256)
-	// Warm the statement cache and the compiled plan.
-	if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(1)); err != nil {
-		t.Fatal(err)
-	}
-	i := int64(0)
-	avg := testing.AllocsPerRun(200, func() {
-		i++
-		if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(i%256)); err != nil {
+	measure := func(t *testing.T, label string) {
+		db := normalExecDB(256)
+		// Warm the statement cache and the compiled plan.
+		if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(1)); err != nil {
 			t.Fatal(err)
 		}
-	})
-	const budget = 40
-	if avg > budget {
-		t.Fatalf("cached indexed read costs %.1f allocs/op, budget %d", avg, budget)
-	}
-	t.Logf("cached indexed read: %.1f allocs/op (budget %d)", avg, budget)
+		i := int64(0)
+		avg := testing.AllocsPerRun(200, func() {
+			i++
+			if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(i%256)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const budget = 40
+		if avg > budget {
+			t.Fatalf("%s: cached indexed read costs %.1f allocs/op, budget %d", label, avg, budget)
+		}
+		t.Logf("%s: cached indexed read: %.1f allocs/op (budget %d)", label, avg, budget)
 
-	// The write fast path: a cached indexed UPDATE reuses its
-	// parameterized augmentation (no clone or re-derived WHERE) and its
-	// phase-1 capture read draws row storage from the result pool, so it
-	// too must stay a small-constant allocation operation.
-	if _, _, err := db.Exec("UPDATE posts SET body = ? WHERE id = ?",
-		sqldb.Text("w"), sqldb.Int(1)); err != nil {
-		t.Fatal(err)
-	}
-	i = 0
-	avg = testing.AllocsPerRun(200, func() {
-		i++
+		// The write fast path: a cached indexed UPDATE reuses its
+		// parameterized augmentation (no clone or re-derived WHERE) and its
+		// phase-1 capture read draws row storage from the result pool, so it
+		// too must stay a small-constant allocation operation.
 		if _, _, err := db.Exec("UPDATE posts SET body = ? WHERE id = ?",
-			sqldb.Text("w"), sqldb.Int(i%256)); err != nil {
+			sqldb.Text("w"), sqldb.Int(1)); err != nil {
 			t.Fatal(err)
 		}
-	})
-	const updateBudget = 160
-	if avg > updateBudget {
-		t.Fatalf("cached indexed update costs %.1f allocs/op, budget %d", avg, updateBudget)
+		i = 0
+		avg = testing.AllocsPerRun(200, func() {
+			i++
+			if _, _, err := db.Exec("UPDATE posts SET body = ? WHERE id = ?",
+				sqldb.Text("w"), sqldb.Int(i%256)); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const updateBudget = 160
+		if avg > updateBudget {
+			t.Fatalf("%s: cached indexed update costs %.1f allocs/op, budget %d", label, avg, updateBudget)
+		}
+		t.Logf("%s: cached indexed update: %.1f allocs/op (budget %d)", label, avg, updateBudget)
 	}
-	t.Logf("cached indexed update: %.1f allocs/op (budget %d)", avg, updateBudget)
+	measure(t, "plain")
+	// The instrumented fast path (docs/observability.md) must fit the
+	// SAME budgets: histogram observation is three atomic adds and shape
+	// classification is a field store, so enabling obs adds clock reads
+	// but zero allocations.
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	measure(t, "instrumented")
+}
+
+// BenchmarkInstrumentedExec is BenchmarkNormalExec's read and write
+// fast paths with observability enabled (docs/observability.md): the
+// per-plan-shape latency histograms record every execution. The gate is
+// overhead — the instrumented ns/op must stay within a few percent of
+// the plain benchmark (two clock reads plus three atomic adds per exec)
+// with identical allocs/op; benchgate holds both against the baseline.
+func BenchmarkInstrumentedExec(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+	const rows = 256
+	b.Run("read-indexed", func(b *testing.B) {
+		db := normalExecDB(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec("SELECT body FROM posts WHERE id = ?", sqldb.Int(int64(i%rows))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update", func(b *testing.B) {
+		db := normalExecDB(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := db.Exec("UPDATE posts SET body = ? WHERE id = ?",
+				sqldb.Text("new body"), sqldb.Int(int64(i%rows))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // rangeScanDB builds the plain SQL engine BenchmarkRangeScan and

@@ -19,9 +19,45 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"warp/internal/bench"
+	"warp/internal/obs"
 )
+
+// fmtDur renders a histogram duration at display resolution (the
+// buckets are power-of-two wide, so sub-permille digits are noise).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+	return d.String()
+}
+
+// printHistograms renders every populated latency histogram — the
+// per-plan-shape exec latencies, lock waits, WAL append/fsync,
+// checkpoint sections, request handling, and repair items — as a
+// quantile table (docs/observability.md).
+func printHistograms(snap obs.Snapshot) {
+	fmt.Println("Latency histograms (per phase):")
+	fmt.Printf("  %-52s %10s %10s %10s %10s %10s %10s\n",
+		"metric", "count", "mean", "p50", "p95", "p99", "max")
+	for _, h := range snap.Histograms {
+		if h.Hist.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-52s %10d %10s %10s %10s %10s %10s\n",
+			h.Name, h.Hist.Count,
+			fmtDur(h.Hist.Mean()), fmtDur(h.Hist.Quantile(0.50)),
+			fmtDur(h.Hist.Quantile(0.95)), fmtDur(h.Hist.Quantile(0.99)),
+			fmtDur(h.Hist.Max()))
+	}
+}
 
 func main() {
 	table := flag.Int("table", 0, "table to regenerate (3-8); 0 = all")
@@ -32,8 +68,14 @@ func main() {
 	table6Visits := flag.Int("table6-visits", 300, "measured visits per configuration for Table 6")
 	repairWorkers := flag.Int("repair-workers", 0,
 		"parallel repair workers for every repair (0 = GOMAXPROCS, 1 = the paper's serial engine)")
+	metrics := flag.Bool("metrics", true,
+		"print the per-phase latency histogram table after the runs")
 	flag.Parse()
 	bench.DefaultRepairWorkers = *repairWorkers
+	// Run instrumented so the histogram table below has data; the bench
+	// numbers themselves absorb the (few-percent) instrumentation cost,
+	// matching how a real deployment runs (warp-server also enables obs).
+	obs.SetEnabled(true)
 	nVisits6 := *visits6
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "table6-visits" {
@@ -126,5 +168,9 @@ func main() {
 		}
 		fmt.Println(bench.FormatTable7(
 			fmt.Sprintf("Table 8: Repair performance, %d-user workload (paper: 5,000).", *users8), rows))
+	}
+
+	if *metrics {
+		printHistograms(obs.Default.Snapshot())
 	}
 }

@@ -1,10 +1,18 @@
 // Command warp-server runs GoWiki under WARP on a real net/http server,
 // so the system can be driven from an actual browser. Administrative
-// endpoints expose repair:
+// endpoints expose repair and observability:
 //
-//	GET  /warp/status                  — log storage and conflict queue
+//	GET  /warp/status                  — storage, conflict queue, exec
+//	                                     counters, last checkpoint (JSON)
+//	GET  /warp/metrics                 — Prometheus text exposition of
+//	                                     every registered metric
 //	POST /warp/patch?kind=Stored+XSS   — retroactively apply a Table 2 patch
 //	POST /warp/undo?client=C&visit=N   — undo a past page visit
+//
+// With -debug-addr a second listener serves expvar (/debug/vars) and
+// pprof (/debug/pprof/); with -slow-query every statement and repair
+// action slower than the threshold is logged with its canonical SQL,
+// plan shape, and duration. See docs/observability.md.
 //
 // With -data the deployment is durable (docs/persistence.md): the
 // history graph and time-travel database are WAL-logged and snapshotted
@@ -19,10 +27,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -30,7 +41,9 @@ import (
 	"time"
 
 	"warp"
+	"warp/internal/core"
 	"warp/internal/httpd"
+	"warp/internal/obs"
 	"warp/internal/sqldb"
 	"warp/internal/webapp/wiki"
 )
@@ -46,7 +59,23 @@ func main() {
 		"full (compacting) checkpoint after this many incremental ones (0 = store default of 8)")
 	syncEvery := flag.Bool("sync-every-append", false,
 		"fsync every WAL append (leader/follower group commit) instead of the windowed default")
+	debugAddr := flag.String("debug-addr", "",
+		"second listen address serving expvar (/debug/vars) and pprof (/debug/pprof/); empty disables")
+	slowQuery := flag.Duration("slow-query", 0,
+		"log statements and repair actions slower than this threshold (0 disables)")
 	flag.Parse()
+
+	// A server deployment always runs instrumented: the histograms are
+	// zero-alloc atomic adds, and /warp/metrics needs them populated.
+	obs.SetEnabled(true)
+	if *slowQuery > 0 {
+		sqldb.SetSlowQueryLog(*slowQuery, func(stmt string, shape sqldb.ExecShape, d time.Duration) {
+			log.Printf("slow query shape=%s dur=%s sql=%s", shape, d, stmt)
+		})
+		core.SetSlowRepairLog(*slowQuery, func(item string, d time.Duration) {
+			log.Printf("slow repair action dur=%s item=%s", d, item)
+		})
+	}
 
 	cfg := warp.Config{Seed: 2026, RepairWorkers: *repairWorkers}
 	cfg.Durability.Shards = *walShards
@@ -113,9 +142,33 @@ func main() {
 	mux.Handle("/", &httpd.Adapter{Handler: sys.HandleRequest})
 	mux.HandleFunc("/warp/status", func(w http.ResponseWriter, r *http.Request) {
 		st := sys.Storage()
-		fmt.Fprintf(w, "page visits logged: %d\nbrowser log: %d B\napp log: %d B\ndb log: %d B\nconflicts queued: %d\n",
-			st.PageVisits, st.BrowserLogBytes, st.AppLogBytes, st.DBLogBytes, len(sys.Conflicts()))
+		status := struct {
+			PageVisits      int                  `json:"page_visits"`
+			BrowserLogBytes int                  `json:"browser_log_bytes"`
+			AppLogBytes     int                  `json:"app_log_bytes"`
+			DBLogBytes      int                  `json:"db_log_bytes"`
+			DBRowBytes      int                  `json:"db_row_bytes"`
+			ConflictsQueued int                  `json:"conflicts_queued"`
+			ExecStats       warp.ExecStats       `json:"exec_stats"`
+			LastCheckpoint  warp.CheckpointStats `json:"last_checkpoint"`
+		}{
+			PageVisits:      st.PageVisits,
+			BrowserLogBytes: st.BrowserLogBytes,
+			AppLogBytes:     st.AppLogBytes,
+			DBLogBytes:      st.DBLogBytes,
+			DBRowBytes:      st.DBRowBytes,
+			ConflictsQueued: len(sys.Conflicts()),
+			ExecStats:       sys.ExecStats(),
+			LastCheckpoint:  sys.LastCheckpoint(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(status); err != nil {
+			log.Printf("encoding /warp/status: %v", err)
+		}
 	})
+	mux.Handle("/warp/metrics", obs.Handler())
 	mux.HandleFunc("/warp/patch", func(w http.ResponseWriter, r *http.Request) {
 		kind := r.URL.Query().Get("kind")
 		v, ok := app.VulnerabilityByKind(kind)
@@ -140,6 +193,22 @@ func main() {
 		}
 		fmt.Fprintln(w, "visit undone:", rep.String())
 	})
+
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.Handle("/debug/vars", expvar.Handler())
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("debug endpoints (expvar, pprof) on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	// On shutdown, stop accepting requests before closing the store:
 	// a request served after Close would be acknowledged but never

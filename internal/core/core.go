@@ -17,11 +17,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"warp/internal/app"
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
+	"warp/internal/obs"
 	"warp/internal/sqldb"
 	"warp/internal/store"
 	"warp/internal/ttdb"
@@ -117,6 +119,11 @@ type Warp struct {
 	pendingIntent *RepairIntent
 	recovery      RecoveryStats
 
+	// lastRepairTrace is the phase trace of the current (or most recent)
+	// repair session; set only while obs is enabled. Atomic so Metrics
+	// can read it live while a repair runs.
+	lastRepairTrace atomic.Pointer[obs.Trace]
+
 	// recoveredFileVersions is the file → version-count map the last
 	// checkpoint recorded. The application re-registers its code after
 	// Open (code is not persisted); StaleFiles compares the two so a
@@ -209,6 +216,17 @@ func (w *Warp) httpNodeForReplay(req *httpd.Request) history.NodeID {
 // finishing repair cuts over (§4.3) but otherwise run concurrently with
 // repair.
 func (w *Warp) HandleRequest(req *httpd.Request) *httpd.Response {
+	requestsTotal.Inc()
+	if !obs.Enabled() {
+		return w.handleRequest(req)
+	}
+	start := time.Now()
+	resp := w.handleRequest(req)
+	requestHist.Observe(time.Since(start))
+	return resp
+}
+
+func (w *Warp) handleRequest(req *httpd.Request) *httpd.Response {
 	w.suspendMu.RLock()
 	defer w.suspendMu.RUnlock()
 
@@ -325,6 +343,7 @@ func (w *Warp) UploadVisitLog(log *browser.VisitLog) {
 	if log.ClientID == "" {
 		return
 	}
+	visitLogsTotal.Inc()
 	log.Time = w.Clock.Now()
 	w.insertVisitLogLocked(log)
 	if w.pers != nil {
@@ -483,6 +502,29 @@ func (w *Warp) Storage() StorageStats {
 // predicates are not riding the indexes.
 func (w *Warp) ExecStats() sqldb.ExecStats {
 	return w.DB.ExecStats()
+}
+
+// Metrics is the deployment-wide observability snapshot: the engine's
+// execution counters, every registered obs metric (latency histograms,
+// progress gauges, throughput counters across sqldb/ttdb/store/core),
+// and — when obs is enabled and a repair has run — the phase trace of
+// the current or most recent repair session.
+type Metrics struct {
+	Exec   sqldb.ExecStats
+	Obs    obs.Snapshot
+	Repair *obs.TraceSnapshot
+}
+
+// Metrics snapshots the deployment's observability state. Safe to call
+// at any time, including while a repair is running — the repair trace
+// reflects live phase progress.
+func (w *Warp) Metrics() Metrics {
+	m := Metrics{Exec: w.ExecStats(), Obs: obs.Default.Snapshot()}
+	if tr := w.lastRepairTrace.Load(); tr != nil {
+		s := tr.Snapshot()
+		m.Repair = &s
+	}
+	return m
 }
 
 // GC discards history older than beforeTime from both the database and

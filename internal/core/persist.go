@@ -54,6 +54,19 @@ const (
 	IntentUndoPartition IntentKind = 3
 )
 
+// String names the intent kind (repair trace and log labels).
+func (k IntentKind) String() string {
+	switch k {
+	case IntentRetroPatch:
+		return "retro_patch"
+	case IntentUndoVisit:
+		return "undo_visit"
+	case IntentUndoPartition:
+		return "undo_partition"
+	}
+	return "unknown"
+}
+
 // RepairIntent is the durable description of a repair request, logged
 // when the repair begins. If the process dies mid-repair, Open surfaces
 // the intent through PendingRepair and ResumeRepair re-runs it against

@@ -276,7 +276,9 @@ func (rs *session) rollbackWrite(rec *ttdb.Record) error {
 	}
 	rs.tracef("rollback write t=%d table=%s rows=%d sql=%.60s", rec.Time, rec.Table, len(rec.WriteRowIDs), rec.SQL)
 	t0 := time.Now()
+	sp := rs.obsTrace.Begin("rollback")
 	dirt, err := rs.w.DB.RollbackRows(rec.Table, rec.WriteRowIDs, rec.Time)
+	sp.End()
 	rs.tDB.Add(int64(time.Since(t0)))
 	if err != nil {
 		return err

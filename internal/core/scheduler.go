@@ -223,6 +223,7 @@ func (s *scheduler) push(it *workItem) {
 	s.mu.Lock()
 	heap.Push(&s.pending, it)
 	s.mu.Unlock()
+	actionsRemaining.Add(1)
 	s.cond.Broadcast()
 }
 
@@ -268,8 +269,9 @@ func (s *scheduler) drainSerial() error {
 		key := keyOf(it)
 		delete(s.pendingKeys, key)
 		s.mu.Unlock()
+		actionsRemaining.Add(-1)
 		s.rs.tracef("pop t=%d kind=%d key=%+v nav=%v", it.time, it.kind, key, it.hasNav)
-		if err := s.rs.process(it); err != nil {
+		if err := s.rs.processTimed(it); err != nil {
 			return err
 		}
 	}
@@ -292,7 +294,7 @@ func (s *scheduler) drainParallel() error {
 				s.mu.Unlock()
 				var err error
 				if !stopped {
-					err = s.rs.process(it)
+					err = s.rs.processTimed(it)
 				}
 				s.complete(it, err)
 			}
@@ -331,6 +333,7 @@ func (s *scheduler) drainParallel() error {
 		delete(s.pendingKeys, key)
 		s.inflight[it] = fp
 		s.busy++
+		actionsRemaining.Add(-1)
 		s.rs.tracef("pop t=%d kind=%d key=%+v nav=%v", it.time, it.kind, key, it.hasNav)
 		work <- it // buffered to s.workers; busy < workers, so never blocks
 	}

@@ -14,6 +14,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
+	"warp/internal/obs"
 	"warp/internal/store"
 	"warp/internal/ttdb"
 )
@@ -61,6 +62,11 @@ type session struct {
 
 	traceMu sync.Mutex
 	trace   func(format string, args ...any)
+
+	// obsTrace is the session's phase trace (frontier / replay /
+	// rollback / commit spans); nil when obs is disabled — every Trace
+	// method is nil-safe.
+	obsTrace *obs.Trace
 
 	// timing, in nanoseconds; atomic because workers account concurrently.
 	tInit    atomic.Int64
@@ -377,7 +383,9 @@ func (w *Warp) UndoPartition(p ttdb.Partition, t int64) (*Report, error) {
 		}
 		// Belt and braces: roll the partition itself back via the version
 		// index, so even writes whose records lost their row IDs are undone.
+		sp := rs.obsTrace.Begin("rollback")
 		dirt, err := w.DB.RollbackPartition(p, t)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -420,6 +428,17 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 	}
 
 	tStart := time.Now()
+	repairsTotal.Inc()
+	repairActive.Set(1)
+	defer repairActive.Set(0)
+	actionsReplayed.Set(0)
+	actionsRemaining.Set(0)
+	var tr *obs.Trace
+	if obs.Enabled() {
+		tr = obs.NewTrace("repair:" + intent.Kind.String())
+		w.lastRepairTrace.Store(tr)
+		defer tr.Finish()
+	}
 	gen, err := w.DB.BeginRepair()
 	if err != nil {
 		return nil, err
@@ -438,11 +457,18 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 		}
 	}
 	rs := w.newSession(gen)
-	if err := seed(rs); err != nil {
+	rs.obsTrace = tr
+	sp := tr.Begin("frontier")
+	err = seed(rs)
+	sp.End()
+	if err != nil {
 		abort()
 		return nil, err
 	}
-	if err := rs.sched.drain(); err != nil {
+	sp = tr.Begin("replay")
+	err = rs.sched.drain()
+	sp.End()
+	if err != nil {
 		abort()
 		return nil, err
 	}
@@ -459,7 +485,10 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 		if rs.sched.pendingLen() == 0 {
 			break
 		}
-		if err := rs.sched.drain(); err != nil {
+		sp = tr.Begin("replay")
+		err = rs.sched.drain()
+		sp.End()
+		if err != nil {
 			abort()
 			return nil, err
 		}
@@ -483,6 +512,8 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 		}
 	}
 
+	commitSpan := tr.Begin("commit")
+	defer commitSpan.End()
 	if err := w.DB.FinishRepair(); err != nil {
 		return nil, err
 	}

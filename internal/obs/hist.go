@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every latency histogram.
+//
+// Buckets are log2-spaced over nanoseconds: bucket i holds observations
+// whose nanosecond value has bit length i — bucket 0 is exactly 0ns,
+// bucket i (i ≥ 1) covers [2^(i-1), 2^i). Fixed log-spaced buckets make
+// Observe a single shift-free index computation (bits.Len64), keep
+// snapshots mergeable by plain addition, and bound quantile error to
+// one bucket (a factor of 2) at any scale from nanoseconds to minutes.
+const NumBuckets = 64
+
+// bucketOf returns the bucket index for a nanosecond value.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns)) // ≤ 63 for any int64
+}
+
+// BucketUpper returns bucket i's inclusive upper bound in nanoseconds
+// (0 for bucket 0, 2^i − 1 otherwise).
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(uint64(1)<<uint(i)) - 1
+}
+
+// bucketLower returns bucket i's inclusive lower bound in nanoseconds.
+func bucketLower(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return int64(uint64(1) << uint(i-1))
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// writers. Observe is three atomic adds — no locks, no allocation — so
+// it can sit on the exec hot path. The zero value is usable.
+type Histogram struct {
+	name    string
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.sum.Add(uint64(ns))
+	h.count.Add(1)
+}
+
+// Name returns the histogram's registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Snapshot returns a point-in-time copy of the histogram. Concurrent
+// Observe calls may land between field reads; the snapshot is
+// internally consistent to within those in-flight observations (Count
+// can trail the bucket total by the writers mid-Observe).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is an immutable copy of a histogram's state. Snapshots
+// merge (across workers, shards, or time slices) by plain addition and
+// subtract to bracket a measurement window.
+type HistSnapshot struct {
+	Count   uint64
+	Sum     uint64 // nanoseconds
+	Buckets [NumBuckets]uint64
+}
+
+// Merge folds another snapshot into s.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Sub returns the per-bucket difference s − prev, for measurements over
+// a window bracketed by two snapshots of the same histogram.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	out := s
+	out.Count -= prev.Count
+	out.Sum -= prev.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] -= prev.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the observed durations.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / s.Count)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the observed
+// durations, linearly interpolated within the containing bucket. The
+// result is exact to bucket resolution: it falls within the same
+// power-of-two bucket as the true order statistic, i.e. within a factor
+// of 2.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the order statistic we want.
+	rank := uint64(q*float64(s.Count-1)) + 1
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketLower(i), BucketUpper(i)
+			// Position of the target rank within this bucket, in (0, 1].
+			f := float64(rank-cum) / float64(n)
+			return time.Duration(lo) + time.Duration(f*float64(hi-lo))
+		}
+		cum += n
+	}
+	// Unreachable when Count equals the bucket total; be safe under
+	// racing writers.
+	return s.Max()
+}
+
+// Max returns the upper bound of the highest non-empty bucket: an upper
+// estimate of the largest observation, exact to bucket resolution.
+func (s HistSnapshot) Max() time.Duration {
+	for i := NumBuckets - 1; i >= 0; i-- {
+		if s.Buckets[i] != 0 {
+			return time.Duration(BucketUpper(i))
+		}
+	}
+	return 0
+}

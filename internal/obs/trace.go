@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTraceSpans caps the per-trace span list so a long repair cannot
+// grow the recorder without bound; once full, spans still aggregate
+// into per-phase totals but the detailed list stops growing and
+// Dropped counts the overflow.
+const maxTraceSpans = 2048
+
+// Trace records the phases of one multi-phase operation (a repair
+// session): named spans with start/duration, per-phase aggregates, and
+// a bounded detail list. Begin/End are cheap (one mutex; no allocation
+// once the phase exists) but are meant for phase granularity, not
+// per-row work — per-item latency belongs in a Histogram.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	phases  map[string]*phaseAgg
+	order   []string
+	open    int
+	dropped uint64
+	done    bool
+	end     time.Time
+}
+
+type phaseAgg struct {
+	count uint64
+	total time.Duration
+	max   time.Duration
+}
+
+// NewTrace starts a trace for the named operation.
+func NewTrace(name string) *Trace {
+	return &Trace{
+		name:   name,
+		start:  time.Now(),
+		phases: make(map[string]*phaseAgg),
+	}
+}
+
+// Span is an open span handle; call End exactly once.
+type Span struct {
+	t     *Trace
+	phase string
+	start time.Time
+}
+
+// Begin opens a span for the named phase. Safe on a nil trace (returns
+// an inert span), so instrumented code can run with tracing off.
+func (t *Trace) Begin(phase string) Span {
+	if t == nil {
+		return Span{}
+	}
+	t.mu.Lock()
+	t.open++
+	t.mu.Unlock()
+	return Span{t: t, phase: phase, start: time.Now()}
+}
+
+// End closes the span, folding its duration into the phase aggregate
+// and, space permitting, the detail list.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	d := time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	t.open--
+	agg := t.phases[s.phase]
+	if agg == nil {
+		agg = &phaseAgg{}
+		t.phases[s.phase] = agg
+		t.order = append(t.order, s.phase)
+	}
+	agg.count++
+	agg.total += d
+	if d > agg.max {
+		agg.max = d
+	}
+	if len(t.spans) < maxTraceSpans {
+		t.spans = append(t.spans, SpanRecord{
+			Phase: s.phase,
+			Start: s.start.Sub(t.start),
+			Dur:   d,
+		})
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Finish marks the trace complete; later Snapshot calls report a fixed
+// total duration.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// SpanRecord is one completed span: phase name, offset from the trace
+// start, and duration.
+type SpanRecord struct {
+	Phase string
+	Start time.Duration
+	Dur   time.Duration
+}
+
+// PhaseStat aggregates every span of one phase.
+type PhaseStat struct {
+	Phase string
+	Count uint64
+	Total time.Duration
+	Max   time.Duration
+}
+
+// TraceSnapshot is a point-in-time copy of a trace: phase aggregates in
+// first-seen order plus the bounded span list.
+type TraceSnapshot struct {
+	Name    string
+	Started time.Time
+	Total   time.Duration // elapsed so far, or final once finished
+	Done    bool
+	Open    int // spans begun but not yet ended
+	Dropped uint64
+	Phases  []PhaseStat
+	Spans   []SpanRecord
+}
+
+// Snapshot copies the trace's current state; safe while spans are still
+// being recorded, and on a nil trace (returns a zero snapshot).
+func (t *Trace) Snapshot() TraceSnapshot {
+	if t == nil {
+		return TraceSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TraceSnapshot{
+		Name:    t.name,
+		Started: t.start,
+		Done:    t.done,
+		Open:    t.open,
+		Dropped: t.dropped,
+		Phases:  make([]PhaseStat, 0, len(t.order)),
+		Spans:   append([]SpanRecord(nil), t.spans...),
+	}
+	if t.done {
+		s.Total = t.end.Sub(t.start)
+	} else {
+		s.Total = time.Since(t.start)
+	}
+	for _, phase := range t.order {
+		agg := t.phases[phase]
+		s.Phases = append(s.Phases, PhaseStat{Phase: phase, Count: agg.count, Total: agg.total, Max: agg.max})
+	}
+	return s
+}
+
+// Phase returns the named phase's aggregate from the snapshot (zero
+// when absent).
+func (s TraceSnapshot) Phase(name string) PhaseStat {
+	for _, p := range s.Phases {
+		if p.Phase == name {
+			return p
+		}
+	}
+	return PhaseStat{Phase: name}
+}

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // Result is the outcome of executing a statement. For SELECT (and for
@@ -92,9 +93,19 @@ func (db *DB) Exec(src string, params ...Value) (*Result, error) {
 
 // ExecStmt executes a parsed statement. The statement is not mutated.
 func (db *DB) ExecStmt(stmt Statement, params []Value) (*Result, error) {
+	if !timedExec() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execStmtLocked(stmt, params)
+	}
+	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execStmtLocked(stmt, params)
+	db.lastShape = ShapeOther
+	res, err := db.execStmtLocked(stmt, params)
+	shape := db.lastShape
+	db.mu.Unlock()
+	observeExec(start, shape, nil, stmt)
+	return res, err
 }
 
 func (db *DB) execStmtLocked(stmt Statement, params []Value) (*Result, error) {
@@ -126,9 +137,19 @@ func (db *DB) execStmtLocked(stmt Statement, params []Value) (*Result, error) {
 // executions and are invalidated by the DDL epoch. Results are
 // identical to ExecStmt on the same statement.
 func (db *DB) ExecCached(cs *CachedStmt, params []Value) (*Result, error) {
+	if !timedExec() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return db.execCachedLocked(cs, params)
+	}
+	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.execCachedLocked(cs, params)
+	db.lastShape = ShapeOther
+	res, err := db.execCachedLocked(cs, params)
+	shape := db.lastShape
+	db.mu.Unlock()
+	observeExec(start, shape, cs, nil)
+	return res, err
 }
 
 func (db *DB) execCachedLocked(cs *CachedStmt, params []Value) (*Result, error) {
@@ -272,6 +293,7 @@ func (db *DB) runInsert(t *Table, s *Insert, p *insertPlan, params []Value) (*Re
 	if p.posErr != nil {
 		return nil, p.posErr
 	}
+	db.lastShape = ShapeInsert
 	colPos := p.colPos
 	res := &Result{Affected: 0}
 	if len(s.Returning) > 0 {
@@ -684,6 +706,7 @@ func (db *DB) runSelect(t *Table, s *Select, p *selectPlan, params []Value) (*Re
 		return nil, err
 	}
 	db.noteScan(usedIndex)
+	db.lastShape = selectShape(p.scan, usedIndex)
 
 	if p.aggregates {
 		return t.execAggregates(s, matched, params)
@@ -1021,6 +1044,7 @@ func (db *DB) runUpdate(t *Table, s *Update, p *updatePlan, params []Value) (*Re
 		return nil, err
 	}
 	db.noteScan(usedIndex)
+	db.lastShape = ShapeUpdate
 
 	res := &Result{}
 	if len(s.Returning) > 0 {
@@ -1094,6 +1118,7 @@ func (db *DB) runDelete(t *Table, s *Delete, p *deletePlan, params []Value) (*Re
 		return nil, err
 	}
 	db.noteScan(usedIndex)
+	db.lastShape = ShapeDelete
 	res := &Result{}
 	if len(s.Returning) > 0 {
 		res.Columns = append(res.Columns, s.Returning...)

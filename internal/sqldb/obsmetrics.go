@@ -1,0 +1,141 @@
+package sqldb
+
+import (
+	"sync/atomic"
+	"time"
+
+	"warp/internal/obs"
+)
+
+// Exec latency instrumentation. The engine classifies every execution
+// by plan shape — statement type plus, for SELECTs, the access path the
+// scan actually took — and records its latency into one fixed-bucket
+// histogram per shape. The shape is recorded as a plain field store in
+// the run* executors (always on, sub-nanosecond); the clock reads and
+// histogram writes happen only at the four exported entry points and
+// only when obs.Enabled() or a slow-query threshold arms them, so the
+// uninstrumented fast path pays a single atomic load per exec.
+
+// ExecShape classifies one statement execution for latency accounting.
+type ExecShape uint8
+
+const (
+	// ShapeOther covers DDL, no-table SELECTs, and statements that fail
+	// before reaching an executor.
+	ShapeOther ExecShape = iota
+	// ShapeSelectEq is a SELECT served by a single hash-index probe.
+	ShapeSelectEq
+	// ShapeSelectIn is a SELECT served by a bounded set of index probes.
+	ShapeSelectIn
+	// ShapeSelectRange is a SELECT served by an ordered index walk.
+	ShapeSelectRange
+	// ShapeSelectFull is a SELECT that visited every live row.
+	ShapeSelectFull
+	// ShapeInsert, ShapeUpdate, ShapeDelete are the write statements.
+	ShapeInsert
+	ShapeUpdate
+	ShapeDelete
+
+	numExecShapes
+)
+
+// String returns the shape's metric label.
+func (s ExecShape) String() string {
+	switch s {
+	case ShapeSelectEq:
+		return "select_eq"
+	case ShapeSelectIn:
+		return "select_in"
+	case ShapeSelectRange:
+		return "select_range"
+	case ShapeSelectFull:
+		return "select_full"
+	case ShapeInsert:
+		return "insert"
+	case ShapeUpdate:
+		return "update"
+	case ShapeDelete:
+		return "delete"
+	default:
+		return "other"
+	}
+}
+
+// execHists holds one registered histogram per shape, indexed by the
+// shape value so the hot path observes without a map lookup or
+// allocation.
+var execHists = func() [numExecShapes]*obs.Histogram {
+	var a [numExecShapes]*obs.Histogram
+	for s := ExecShape(0); s < numExecShapes; s++ {
+		a[s] = obs.NewHistogram(`warp_sqldb_exec_seconds{shape="` + s.String() + `"}`)
+	}
+	return a
+}()
+
+// selectShape maps a SELECT's executed access path to its shape.
+func selectShape(sp *scanPlan, usedIndex bool) ExecShape {
+	if !usedIndex || sp == nil {
+		return ShapeSelectFull
+	}
+	switch sp.kind {
+	case scanEq:
+		return ShapeSelectEq
+	case scanIn:
+		return ShapeSelectIn
+	case scanRange:
+		return ShapeSelectRange
+	}
+	return ShapeSelectFull
+}
+
+// SlowQueryFunc receives one over-threshold statement: its canonical
+// SQL, executed plan shape, and wall-clock duration (inclusive of the
+// engine-mutex wait).
+type SlowQueryFunc func(stmt string, shape ExecShape, d time.Duration)
+
+var (
+	slowQueryNs atomic.Int64
+	slowQueryFn atomic.Pointer[SlowQueryFunc]
+)
+
+// SetSlowQueryLog arms slow-statement logging engine-wide: every
+// execution slower than threshold is reported to fn. A zero threshold
+// (or nil fn) disarms it.
+func SetSlowQueryLog(threshold time.Duration, fn SlowQueryFunc) {
+	if threshold <= 0 || fn == nil {
+		slowQueryNs.Store(0)
+		slowQueryFn.Store(nil)
+		return
+	}
+	slowQueryFn.Store(&fn)
+	slowQueryNs.Store(int64(threshold))
+}
+
+// timedExec reports whether the entry points should read the clock.
+func timedExec() bool {
+	return obs.Enabled() || slowQueryNs.Load() > 0
+}
+
+// observeExec records one timed execution: histogram by shape, plus the
+// slow-query hook. The statement text is only materialized on the slow
+// path (stmt.String() allocates; cs.canonical does not).
+func observeExec(start time.Time, shape ExecShape, cs *CachedStmt, stmt Statement) {
+	d := time.Since(start)
+	execHists[shape].Observe(d)
+	ns := slowQueryNs.Load()
+	if ns <= 0 || int64(d) < ns {
+		return
+	}
+	fp := slowQueryFn.Load()
+	if fp == nil {
+		return
+	}
+	text := ""
+	switch {
+	case cs != nil:
+		text = cs.canonical
+	case stmt != nil:
+		text = stmt.String()
+	}
+	(*fp)(text, shape, d)
+}

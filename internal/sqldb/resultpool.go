@@ -1,6 +1,9 @@
 package sqldb
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Result row storage pooling for the exec path. A SELECT allocates one
 // []Value per row plus the Rows header; on the rewriting layer's hot
@@ -114,19 +117,43 @@ func PutResult(res *Result) {
 // rows are cut from pooled storage, and the caller must hand the result
 // to PutResult once fully consumed.
 func (db *DB) ExecCachedOwned(cs *CachedStmt, params []Value) (*Result, error) {
+	if !timedExec() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		db.ownedExec = true
+		defer func() { db.ownedExec = false }()
+		return db.execCachedLocked(cs, params)
+	}
+	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.ownedExec = true
-	defer func() { db.ownedExec = false }()
-	return db.execCachedLocked(cs, params)
+	db.lastShape = ShapeOther
+	res, err := db.execCachedLocked(cs, params)
+	shape := db.lastShape
+	db.ownedExec = false
+	db.mu.Unlock()
+	observeExec(start, shape, cs, nil)
+	return res, err
 }
 
 // ExecStmtOwned is ExecStmt returning an owned result; see
 // ExecCachedOwned.
 func (db *DB) ExecStmtOwned(stmt Statement, params []Value) (*Result, error) {
+	if !timedExec() {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		db.ownedExec = true
+		defer func() { db.ownedExec = false }()
+		return db.execStmtLocked(stmt, params)
+	}
+	start := time.Now()
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.ownedExec = true
-	defer func() { db.ownedExec = false }()
-	return db.execStmtLocked(stmt, params)
+	db.lastShape = ShapeOther
+	res, err := db.execStmtLocked(stmt, params)
+	shape := db.lastShape
+	db.ownedExec = false
+	db.mu.Unlock()
+	observeExec(start, shape, nil, stmt)
+	return res, err
 }

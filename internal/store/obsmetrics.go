@@ -1,0 +1,52 @@
+package store
+
+import (
+	"os"
+	"time"
+
+	"warp/internal/obs"
+)
+
+// Durability-path instrumentation (docs/observability.md). The byte and
+// operation counters are unconditional atomic adds on paths that are
+// already syscall-bound; the latency histograms read the clock only
+// when obs is enabled.
+var (
+	// walAppendHist observes AppendGroup latency as the caller sees it —
+	// frame encode, shard append, and (under SyncEveryAppend) the
+	// group-commit wait.
+	walAppendHist = obs.NewHistogram("warp_store_wal_append_seconds")
+	// walFsyncHist observes each physical WAL fsync (group-commit leader
+	// syncs and prefix-flush syncs alike).
+	walFsyncHist = obs.NewHistogram("warp_store_wal_fsync_seconds")
+	// walAppends / walAppendBytes count appended records and their
+	// framed bytes.
+	walAppends     = obs.NewCounter("warp_store_wal_appends_total")
+	walAppendBytes = obs.NewCounter("warp_store_wal_append_bytes_total")
+	// walFsyncs counts physical WAL fsyncs.
+	walFsyncs = obs.NewCounter("warp_store_wal_fsyncs_total")
+	// ckptHist observes whole-checkpoint duration (rotation, build,
+	// manifest install, prune); ckptSectionHist observes each section the
+	// builder streams (encode + chunk spill).
+	ckptHist        = obs.NewHistogram("warp_store_checkpoint_seconds")
+	ckptSectionHist = obs.NewHistogram("warp_store_checkpoint_section_seconds")
+	// ckptTotal / ckptBytes count completed checkpoints and their delta
+	// bytes.
+	ckptTotal = obs.NewCounter("warp_store_checkpoints_total")
+	ckptBytes = obs.NewCounter("warp_store_checkpoint_bytes_total")
+)
+
+// timedSync is the shared physical-fsync wrapper for the WAL shard sync
+// paths.
+func timedSync(f *os.File) error {
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
+	err := f.Sync()
+	walFsyncs.Inc()
+	if !start.IsZero() {
+		walFsyncHist.Observe(time.Since(start))
+	}
+	return err
+}

@@ -97,7 +97,7 @@ func (sh *shard) waitSyncedLocked(target int64) error {
 		}
 		f := sh.w.f
 		sh.mu.Unlock()
-		err := f.Sync()
+		err := timedSync(f)
 		sh.mu.Lock()
 		sh.syncing = false
 		if err == nil && appended > sh.synced {
@@ -146,7 +146,7 @@ func (sh *shard) syncUpTo(target int64, quiet bool) error {
 		durable := sh.segBase + sh.w.flushed
 		f := sh.w.f
 		sh.mu.Unlock()
-		err := f.Sync()
+		err := timedSync(f)
 		sh.mu.Lock()
 		sh.syncing = false
 		if err == nil && durable > sh.synced {

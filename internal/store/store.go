@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"warp/internal/obs"
 )
 
 // Options tunes a Store. The zero value selects the defaults below.
@@ -537,6 +539,10 @@ func (s *Store) Append(typ byte, payload []byte) error {
 // relative order is preserved by that shard's file order; cross-group
 // order is preserved by the global LSN each record carries.
 func (s *Store) AppendGroup(group string, typ byte, payload []byte) error {
+	var start time.Time
+	if obs.Enabled() {
+		start = time.Now()
+	}
 	sh := s.shards[s.shardOf(group)]
 	sh.mu.Lock()
 	if sh.dead || sh.closed {
@@ -568,6 +574,11 @@ func (s *Store) AppendGroup(group string, typ byte, payload []byte) error {
 		err = sh.waitSyncedLocked(target)
 	}
 	sh.mu.Unlock()
+	walAppends.Inc()
+	walAppendBytes.Add(uint64(n))
+	if !start.IsZero() {
+		walAppendHist.Observe(time.Since(start))
+	}
 	return err
 }
 
@@ -660,6 +671,7 @@ type CheckpointWriter struct {
 	prevSecs  map[string]int64
 
 	enc      *Encoder
+	secStart time.Time // start of the section being streamed (obs)
 	sections []manifestSection
 	written  []string
 	kept     []string
@@ -672,6 +684,9 @@ type CheckpointWriter struct {
 // a section of any size uses bounded memory.
 func (cw *CheckpointWriter) Section(name string) *Encoder {
 	cw.closeSection()
+	if obs.Enabled() {
+		cw.secStart = time.Now()
+	}
 	if cw.err == nil {
 		if err := cw.fw.begin(name); err != nil {
 			cw.err = err
@@ -717,6 +732,10 @@ func (cw *CheckpointWriter) closeSection() {
 		cw.err = err
 	}
 	cw.enc = nil
+	if !cw.secStart.IsZero() {
+		ckptSectionHist.Observe(time.Since(cw.secStart))
+		cw.secStart = time.Time{}
+	}
 }
 
 // WriteCheckpoint rotates every WAL shard, streams the sections the
@@ -737,6 +756,10 @@ func (cw *CheckpointWriter) closeSection() {
 // upserts, which are idempotent) land in post-rotation segments and
 // replay over the checkpoint.
 func (s *Store) WriteCheckpoint(build func(*CheckpointWriter) error) error {
+	var startedAt time.Time
+	if obs.Enabled() {
+		startedAt = time.Now()
+	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
 
@@ -814,6 +837,11 @@ func (s *Store) WriteCheckpoint(build func(*CheckpointWriter) error) error {
 	// Prune outside any append path: recovery correctness does not
 	// depend on it, only disk usage does.
 	s.prune()
+	ckptTotal.Inc()
+	ckptBytes.Add(uint64(fw.off))
+	if !startedAt.IsZero() {
+		ckptHist.Observe(time.Since(startedAt))
+	}
 	return nil
 }
 

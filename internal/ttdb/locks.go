@@ -42,6 +42,9 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
+
+	"warp/internal/obs"
 )
 
 // errScopeConflict reports that an operation holding a keyed partition
@@ -115,19 +118,39 @@ func (l *partLocks) lock(s lockScope) {
 	defer l.mu.Unlock()
 	if s.whole {
 		l.wholeWait++
-		for l.whole || len(l.held) > 0 {
-			l.cond.Wait()
+		if l.whole || len(l.held) > 0 {
+			var start time.Time
+			if obs.Enabled() {
+				start = time.Now()
+			}
+			for l.whole || len(l.held) > 0 {
+				l.cond.Wait()
+			}
+			if !start.IsZero() {
+				lockWaitHist.Observe(time.Since(start))
+			}
 		}
 		l.wholeWait--
 		l.whole = true
+		wholeTableLocks.Add(1)
 		return
 	}
-	for !l.available(s) {
-		l.cond.Wait()
+	if !l.available(s) {
+		var start time.Time
+		if obs.Enabled() {
+			start = time.Now()
+		}
+		for !l.available(s) {
+			l.cond.Wait()
+		}
+		if !start.IsZero() {
+			lockWaitHist.Observe(time.Since(start))
+		}
 	}
 	for _, k := range s.keys {
 		l.held[k] = true
 	}
+	partitionsLocked.Add(int64(len(s.keys)))
 }
 
 // available reports whether a keyed scope could be taken right now.
@@ -149,10 +172,12 @@ func (l *partLocks) unlock(s lockScope) {
 	l.mu.Lock()
 	if s.whole {
 		l.whole = false
+		wholeTableLocks.Add(-1)
 	} else {
 		for _, k := range s.keys {
 			delete(l.held, k)
 		}
+		partitionsLocked.Add(-int64(len(s.keys)))
 	}
 	l.mu.Unlock()
 	l.cond.Broadcast()

@@ -152,6 +152,7 @@ func (db *DB) RollbackPartition(p Partition, t int64) ([]Partition, error) {
 		if err == errScopeConflict && !sc.whole {
 			// A row in p also has versions outside p's lock-column slice
 			// (its partition column was rewritten): retry whole-table.
+			scopeEscalations.Inc()
 			sc = wholeScope()
 			continue
 		}

@@ -510,6 +510,7 @@ func (db *DB) RollbackRows(table string, rowIDs []sqldb.Value, t int64) ([]Parti
 		}()
 		m.locks.unlock(sc)
 		if err == errScopeConflict && !sc.whole {
+			scopeEscalations.Inc()
 			sc = wholeScope()
 			continue
 		}
@@ -605,6 +606,7 @@ func (db *DB) reExecStmt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sq
 				// locks.go); fall back to the table lock and re-run. No
 				// mutation escaped the narrow scope, and completed row
 				// rollbacks within it are idempotent under the retry.
+				scopeEscalations.Inc()
 				sc = wholeScope()
 				continue
 			}

@@ -82,6 +82,11 @@ type (
 	// ExecStats is the database layer's execution-path counters:
 	// statement-cache/plan hit rates and index-vs-full scan counts.
 	ExecStats = sqldb.ExecStats
+	// Metrics is the deployment-wide observability snapshot
+	// (System.Metrics): exec counters, every registered latency
+	// histogram / counter / gauge, and the live repair phase trace. See
+	// docs/observability.md.
+	Metrics = core.Metrics
 
 	// Version is one version of an application source file.
 	Version = app.Version
