@@ -435,6 +435,51 @@ func BenchmarkPartitionRepair(b *testing.B) {
 	b.Run("table-locked", func(b *testing.B) { run(b, 4, true) })
 }
 
+// BenchmarkOnlineRepair is the headline number for online repair
+// (docs/repair.md "Online repair"): one client keeps issuing paced
+// requests against its own partition while a repair drains, and the
+// benchmark reports that client's p99 and worst stall mid-repair next
+// to its idle p99. The "online" run coexists with the repair
+// (admission gate + SLO throttle, suspension only for the final commit
+// window); the "stop-the-world" run restores Config.ExclusiveRepair,
+// so its max-stall-ms approaches repair-ms — the suspension online
+// repair removes. TestOnlineRepairMatchesExclusive holds the two
+// configurations to identical final database contents.
+func BenchmarkOnlineRepair(b *testing.B) {
+	const (
+		clients = 16
+		pages   = 3
+		workers = 4
+		latency = 1500 * time.Microsecond
+		slo     = 10 * time.Millisecond
+	)
+	run := func(b *testing.B, exclusive bool) {
+		var liveP99, idleP99, stall, repair, reqs float64
+		for i := 0; i < b.N; i++ {
+			res, err := bench.OnlineRepair(clients, pages, workers, latency, exclusive, slo)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if want := clients * (pages + 1); res.Report.PageVisitsReplayed != want {
+				b.Fatalf("visits replayed = %d, want %d", res.Report.PageVisitsReplayed, want)
+			}
+			liveP99 += float64(res.LiveP99.Microseconds()) / 1000
+			idleP99 += float64(res.IdleP99.Microseconds()) / 1000
+			stall += float64(res.MaxStall.Microseconds()) / 1000
+			repair += float64(res.RepairTime.Microseconds()) / 1000
+			reqs += float64(res.LiveRequests)
+		}
+		n := float64(b.N)
+		b.ReportMetric(liveP99/n, "live-p99-ms")
+		b.ReportMetric(idleP99/n, "idle-p99-ms")
+		b.ReportMetric(stall/n, "max-stall-ms")
+		b.ReportMetric(repair/n, "repair-ms")
+		b.ReportMetric(reqs/n, "live-reqs")
+	}
+	b.Run("online", func(b *testing.B) { run(b, false) })
+	b.Run("stop-the-world", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkExtensionOverhead measures browser page-load cost with and
 // without the WARP extension (§8.5 inline: negligible).
 func BenchmarkExtensionOverhead(b *testing.B) {

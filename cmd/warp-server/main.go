@@ -3,11 +3,24 @@
 // endpoints expose repair and observability:
 //
 //	GET  /warp/status                  — storage, conflict queue, exec
-//	                                     counters, last checkpoint (JSON)
+//	                                     counters, last checkpoint, and
+//	                                     live repair progress (JSON)
 //	GET  /warp/metrics                 — Prometheus text exposition of
 //	                                     every registered metric
 //	POST /warp/patch?kind=Stored+XSS   — retroactively apply a Table 2 patch
+//	                                     (synchronous; response carries the
+//	                                     repair report)
+//	POST /warp/repair?kind=Stored+XSS  — the same patch, applied
+//	                                     asynchronously: returns 202
+//	                                     immediately and the repair runs
+//	                                     online while the server keeps
+//	                                     serving; progress via /warp/status
 //	POST /warp/undo?client=C&visit=N   — undo a past page visit
+//
+// Repairs run online by default (docs/repair.md "Online repair"): live
+// requests keep executing on partitions the repair has not claimed, and
+// -repair-slo paces repair workers against a live p99 target.
+// -exclusive-repair restores the paper's stop-the-world suspension.
 //
 // With -debug-addr a second listener serves expvar (/debug/vars) and
 // pprof (/debug/pprof/); with -slow-query every statement and repair
@@ -37,6 +50,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"sync"
 	"syscall"
 	"time"
 
@@ -63,6 +77,10 @@ func main() {
 		"second listen address serving expvar (/debug/vars) and pprof (/debug/pprof/); empty disables")
 	slowQuery := flag.Duration("slow-query", 0,
 		"log statements and repair actions slower than this threshold (0 disables)")
+	repairSLO := flag.Duration("repair-slo", 0,
+		"live-request p99 target an online repair throttles its workers against (0 disables the governor)")
+	exclusiveRepair := flag.Bool("exclusive-repair", false,
+		"suspend normal execution for the whole repair (the paper's stop-the-world behavior) instead of repairing online")
 	flag.Parse()
 
 	// A server deployment always runs instrumented: the histograms are
@@ -77,7 +95,10 @@ func main() {
 		})
 	}
 
-	cfg := warp.Config{Seed: 2026, RepairWorkers: *repairWorkers}
+	cfg := warp.Config{
+		Seed: 2026, RepairWorkers: *repairWorkers,
+		RepairSLO: *repairSLO, ExclusiveRepair: *exclusiveRepair,
+	}
 	cfg.Durability.Shards = *walShards
 	cfg.Durability.CompactEvery = *compactEvery
 	cfg.Durability.SyncEveryAppend = *syncEvery
@@ -138,10 +159,46 @@ func main() {
 		}
 	}
 
+	// asyncRepair tracks the one repair POST /warp/repair may have in
+	// flight; /warp/status reports its progress.
+	var asyncRepair struct {
+		sync.Mutex
+		running    bool
+		kind       string
+		started    time.Time
+		lastKind   string
+		lastResult string
+		lastError  string
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", &httpd.Adapter{Handler: sys.HandleRequest})
 	mux.HandleFunc("/warp/status", func(w http.ResponseWriter, r *http.Request) {
 		st := sys.Storage()
+		type repairStatus struct {
+			InRepair   bool                `json:"in_repair"`
+			Kind       string              `json:"kind,omitempty"`
+			ElapsedMS  int64               `json:"elapsed_ms,omitempty"`
+			LastKind   string              `json:"last_kind,omitempty"`
+			LastResult string              `json:"last_result,omitempty"`
+			LastError  string              `json:"last_error,omitempty"`
+			Trace      *warp.TraceSnapshot `json:"trace,omitempty"`
+		}
+		rst := repairStatus{InRepair: sys.DB.InRepair()}
+		asyncRepair.Lock()
+		if asyncRepair.running {
+			rst.Kind = asyncRepair.kind
+			rst.ElapsedMS = time.Since(asyncRepair.started).Milliseconds()
+		}
+		rst.LastKind = asyncRepair.lastKind
+		rst.LastResult = asyncRepair.lastResult
+		rst.LastError = asyncRepair.lastError
+		asyncRepair.Unlock()
+		if rst.InRepair {
+			// The phase trace reflects live progress (frontier / replay /
+			// rollback / commit spans) while the session runs.
+			rst.Trace = sys.Metrics().Repair
+		}
 		status := struct {
 			PageVisits      int                  `json:"page_visits"`
 			BrowserLogBytes int                  `json:"browser_log_bytes"`
@@ -151,6 +208,7 @@ func main() {
 			ConflictsQueued int                  `json:"conflicts_queued"`
 			ExecStats       warp.ExecStats       `json:"exec_stats"`
 			LastCheckpoint  warp.CheckpointStats `json:"last_checkpoint"`
+			Repair          repairStatus         `json:"repair"`
 		}{
 			PageVisits:      st.PageVisits,
 			BrowserLogBytes: st.BrowserLogBytes,
@@ -160,6 +218,7 @@ func main() {
 			ConflictsQueued: len(sys.Conflicts()),
 			ExecStats:       sys.ExecStats(),
 			LastCheckpoint:  sys.LastCheckpoint(),
+			Repair:          rst,
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -182,6 +241,42 @@ func main() {
 			return
 		}
 		fmt.Fprintln(w, "retroactive patch applied:", rep.String())
+	})
+	mux.HandleFunc("/warp/repair", func(w http.ResponseWriter, r *http.Request) {
+		kind := r.URL.Query().Get("kind")
+		v, ok := app.VulnerabilityByKind(kind)
+		if !ok || v.File == "" {
+			http.Error(w, "unknown vulnerability kind", http.StatusBadRequest)
+			return
+		}
+		asyncRepair.Lock()
+		if asyncRepair.running {
+			asyncRepair.Unlock()
+			http.Error(w, "a repair is already running; watch /warp/status", http.StatusConflict)
+			return
+		}
+		asyncRepair.running = true
+		asyncRepair.kind = kind
+		asyncRepair.started = time.Now()
+		asyncRepair.Unlock()
+		go func() {
+			rep, err := sys.RetroPatch(v.File, v.Patch)
+			asyncRepair.Lock()
+			asyncRepair.running = false
+			asyncRepair.lastKind = kind
+			if err != nil {
+				asyncRepair.lastError = err.Error()
+				asyncRepair.lastResult = ""
+				log.Printf("async repair %q failed: %v", kind, err)
+			} else {
+				asyncRepair.lastError = ""
+				asyncRepair.lastResult = rep.String()
+				log.Printf("async repair %q done: %s", kind, rep.String())
+			}
+			asyncRepair.Unlock()
+		}()
+		w.WriteHeader(http.StatusAccepted)
+		fmt.Fprintln(w, "repair started; watch /warp/status for progress")
 	})
 	mux.HandleFunc("/warp/undo", func(w http.ResponseWriter, r *http.Request) {
 		client := r.URL.Query().Get("client")

@@ -54,6 +54,20 @@ type Config struct {
 	// (BenchmarkPartitionRepair's baseline) and as an operational escape
 	// hatch. See docs/repair.md.
 	TableGranularLocks bool
+	// RepairSLO is the live-request p99 latency target an online repair
+	// paces itself against: a throttle governor samples the
+	// warp_core_request_seconds histogram while repair runs and sheds
+	// repair-worker concurrency whenever live p99 exceeds the target
+	// (throttle.go). 0 disables the governor; the governor also needs
+	// obs enabled to see the histogram.
+	RepairSLO time.Duration
+	// ExclusiveRepair restores the paper's stop-the-world behavior:
+	// the deployment suspends for the whole repair instead of only the
+	// final generation-switch commit window. The repair outcome is
+	// identical either way (TestOnlineRepairMatchesExclusive); the knob
+	// is the baseline for BenchmarkOnlineRepair and an operational
+	// escape hatch. See docs/repair.md.
+	ExclusiveRepair bool
 	// Trace, when set, receives a line for every repair-controller step —
 	// the debugging view of what rollback-and-reexecute decided and why.
 	Trace func(format string, args ...any)
@@ -123,6 +137,11 @@ type Warp struct {
 	// repair session; set only while obs is enabled. Atomic so Metrics
 	// can read it live while a repair runs.
 	lastRepairTrace atomic.Pointer[obs.Trace]
+
+	// admission is the live-write admission gate of the currently running
+	// online repair (admission.go), nil outside repair. Atomic because
+	// every request loads it on its query path.
+	admission atomic.Pointer[admissionGate]
 
 	// recoveredFileVersions is the file → version-count map the last
 	// checkpoint recorded. The application re-registers its code after
@@ -247,7 +266,7 @@ func (w *Warp) handleRequest(req *httpd.Request) *httpd.Response {
 	if !ok {
 		return httpd.NotFound("no route for " + req.Path)
 	}
-	rec, err := w.Runtime.Run(file, req, nil, nil)
+	rec, err := w.Runtime.Run(file, req, w.liveQueryFunc(), nil)
 	if err != nil {
 		return httpd.ServerError(err.Error())
 	}

@@ -33,6 +33,22 @@ var (
 	// repairItemHist observes per-work-item processing time (query
 	// check, run re-execution, or visit replay).
 	repairItemHist = obs.NewHistogram("warp_core_repair_item_seconds")
+
+	// Online-repair seam metrics (admission.go, replay.go, throttle.go).
+	// liveWritesQueued counts live writes that hit the admission gate
+	// with a footprint conflicting an in-flight repair item;
+	// liveWritesWaiting is how many are waiting right now.
+	liveWritesQueued  = obs.NewCounter("warp_core_live_writes_queued_total")
+	liveWritesWaiting = obs.NewGauge("warp_core_live_writes_waiting")
+	// liveWritesMerged counts live writes the replay loop reconciled with
+	// a concurrent repair by three-way merge; mergeConflicts counts
+	// merges that fell back to last-writer-wins.
+	liveWritesMerged = obs.NewCounter("warp_core_live_writes_merged_total")
+	mergeConflicts   = obs.NewCounter("warp_core_live_merge_conflicts_total")
+	// throttleLevel is the repair-worker concurrency cap the SLO governor
+	// currently imposes; equal to RepairWorkers when unthrottled, 0 when
+	// no governor runs.
+	throttleLevel = obs.NewGauge("warp_core_repair_throttle_workers")
 )
 
 // SlowRepairFunc receives one over-threshold repair work item: a short

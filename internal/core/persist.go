@@ -841,8 +841,10 @@ func (w *Warp) Crash() {
 // coreSnapVersion 3 added the runtime nondeterminism cursors (so a
 // restart resumes the seeded token/browser-ID streams instead of
 // replaying them — the post-restart login bug) and the file-version map
-// (so a restart detects stale code registration).
-const coreSnapVersion = 3
+// (so a restart detects stale code registration). Version 4 extended
+// the embedded query-record encoding with the UPDATE pre-image fields
+// online repair merges against.
+const coreSnapVersion = 4
 
 // encodeCoreMeta serializes the deployment's small always-fresh state:
 // the logical clock, the server-side request counter, the cookie

@@ -13,6 +13,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/history"
 	"warp/internal/httpd"
+	"warp/internal/merge"
 	"warp/internal/sqldb"
 	"warp/internal/ttdb"
 )
@@ -38,6 +39,7 @@ func (rs *session) processQuery(it *workItem) error {
 	rec := payload.Rec
 
 	oldOutcome := rec.Outcome()
+	rec.Params = rs.mergeLiveText(rec, rec.Params)
 	rs.tracef("qcheck t=%d kind=%s sql=%.60s", rec.Time, rec.Kind, rec.SQL)
 	t0 := time.Now()
 	_, newRec, err := rs.w.DB.ReExec(rec.SQL, rec.Params, rec.Time, origForReExec(rec))
@@ -68,11 +70,75 @@ func (rs *session) processQuery(it *workItem) error {
 	if newRec.Outcome() != oldOutcome {
 		// The query's observable result changed: the application run that
 		// issued it may behave differently (§4, §7).
+		rs.passChanges.Add(1)
 		if runAct := rs.w.Graph.Get(payload.RunAction); runAct != nil {
 			rs.enqueueRun(runAct)
 		}
 	}
 	return nil
+}
+
+// mergeLiveText reconciles a live write logged during this repair with
+// a concurrent repair of the same row (docs/repair.md "Online repair").
+// When the record is a mergeable UPDATE — one row, one text column —
+// and the repair generation holds a different value for that row than
+// the one the live writer overwrote, the two edits are three-way merged
+// (the live write's pre-image as base, the repaired value as theirs,
+// the live parameter as ours) and the merged text replaces the write's
+// parameter. The merge is computed once and memoized per write
+// (session.mergedLive): the owning run's replay re-derives the raw
+// request parameters on every pass, so without the memo the merged and
+// raw values would alternate and the fixpoint could not converge. A
+// conflicting merge keeps the live write unchanged: last-writer-wins,
+// the same outcome exclusive repair would produce by replaying the
+// write after the repaired state. Records from before the session never
+// merge, so repair of historical timelines is untouched.
+func (rs *session) mergeLiveText(orig *ttdb.Record, params []sqldb.Value) []sqldb.Value {
+	if orig == nil || orig.Time <= rs.liveSince {
+		return params
+	}
+	info, ok := rs.w.DB.MergeableUpdate(orig)
+	if !ok || info.ParamIdx >= len(params) || params[info.ParamIdx].Kind != sqldb.KindText {
+		return params
+	}
+	key := fmt.Sprintf("%s\x00%s\x00%d", orig.Table, orig.WriteRowIDs[0].Key(), orig.Time)
+	rs.mu.Lock()
+	merged, seen := rs.mergedLive[key]
+	rs.mu.Unlock()
+	if !seen {
+		if !orig.HasPreImage {
+			return params
+		}
+		theirs, ok := rs.w.DB.RepairValueBefore(info, orig.WriteRowIDs[0], orig.Time)
+		if !ok {
+			return params
+		}
+		base, ours := orig.PreImage, params[info.ParamIdx].Str
+		if theirs == base || theirs == ours {
+			// The repair did not change the row the live writer saw (or
+			// both sides agree): the write as recorded is already correct.
+			return params
+		}
+		var clean bool
+		merged, clean = merge.Merge(base, theirs, ours)
+		if !clean {
+			mergeConflicts.Inc()
+			rs.tracef("merge conflict t=%d table=%s row kept live value", orig.Time, orig.Table)
+			return params
+		}
+		rs.mu.Lock()
+		if prev, dup := rs.mergedLive[key]; dup {
+			merged = prev // another worker merged first; keep its result
+		} else {
+			rs.mergedLive[key] = merged
+		}
+		rs.mu.Unlock()
+		liveWritesMerged.Inc()
+		rs.tracef("merged live write t=%d table=%s", orig.Time, orig.Table)
+	}
+	out := append([]sqldb.Value{}, params...)
+	out[info.ParamIdx] = sqldb.Text(merged)
+	return out
 }
 
 // origForReExec passes the original record for write re-execution (two-
@@ -185,6 +251,10 @@ func (rs *session) executeRun(origAct *history.Action, req *httpd.Request) (*htt
 		var t int64
 		if origRec != nil {
 			t = origRec.Time
+			// A replayed live write re-derives its raw request parameters;
+			// re-apply (or compute) the three-way merge with the repaired
+			// row so the run-level replay preserves both sides too.
+			params = rs.mergeLiveText(origRec, params)
 		} else {
 			// A brand-new query: give it a fresh slot just after the
 			// previous query of this run (the clock strides leave room).

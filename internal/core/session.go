@@ -74,6 +74,26 @@ type session struct {
 	tBrowser atomic.Int64
 	tDB      atomic.Int64
 	tApp     atomic.Int64
+
+	// liveSince is the logical time the session started: records with a
+	// later time were logged by live traffic while this repair ran, the
+	// only writes the online merge path (replay.go) may touch.
+	liveSince int64
+
+	// mergedLive memoizes, per merged live write (table/row/time), the
+	// three-way-merged text. The merge is computed once, against the live
+	// write's original pre-image; every later re-execution of the same
+	// write — query-level or via its run's replay, which re-derives the
+	// raw request parameters — applies the memoized text, so the fixpoint
+	// converges on the merged value instead of oscillating.
+	mergedLive map[string]string
+
+	// passChanges counts state changes observed during the current
+	// fixpoint pass: dirt-map entries created or lowered, and query
+	// outcomes that changed on re-execution. A pass that drains with
+	// zero changes re-executed deterministic, already-converged work, so
+	// the fixpoint loop stops instead of burning its full pass budget.
+	passChanges atomic.Int64
 }
 
 // servedEntry caches the outcome of re-serving one HTTP exchange during
@@ -113,6 +133,7 @@ func (w *Warp) newSession(gen int64) *session {
 		doneVisits:   make(map[string]bool),
 		doneRuns:     make(map[history.ActionID]bool),
 		doneQueries:  make(map[history.ActionID]bool),
+		mergedLive:   make(map[string]string),
 		trace:        w.cfg.Trace,
 	}
 	rs.sched = newScheduler(rs, workers,
@@ -177,6 +198,7 @@ func (rs *session) addDirt(parts []ttdb.Partition, from int64) {
 	for _, p := range parts {
 		if old, ok := rs.dirt[p]; !ok || from < old {
 			rs.dirt[p] = from
+			rs.passChanges.Add(1)
 		}
 	}
 	rs.mu.Unlock()
@@ -252,6 +274,32 @@ func (rs *session) dirtyAt(parts []ttdb.Partition, t int64) bool {
 			return true
 		}
 		if dt, ok := rs.dirt[ttdb.WholeTable(p.Table)]; ok && dt <= t {
+			return true
+		}
+	}
+	return false
+}
+
+// claimed reports whether any of the partitions is dirty in the repair
+// generation at all — once dirtied, a partition stays claimed by the
+// repair until the final commit. The admission gate paces live writes
+// into claimed partitions.
+func (rs *session) claimed(parts []ttdb.Partition) bool {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for _, p := range parts {
+		if p.IsWholeTable() {
+			for dp := range rs.dirt {
+				if dp.Table == p.Table {
+					return true
+				}
+			}
+			continue
+		}
+		if _, ok := rs.dirt[p]; ok {
+			return true
+		}
+		if _, ok := rs.dirt[ttdb.WholeTable(p.Table)]; ok {
 			return true
 		}
 	}
@@ -458,6 +506,38 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 	}
 	rs := w.newSession(gen)
 	rs.obsTrace = tr
+	rs.liveSince = w.Clock.Now()
+
+	// Suspension policy (docs/repair.md "Online repair"): by default the
+	// deployment keeps serving while repair runs — live writes pass
+	// through the admission gate, which queues them briefly when their
+	// partition footprint collides with an in-flight repair item — and
+	// the exclusive suspension shrinks to the final commit window below.
+	// Config.ExclusiveRepair restores the paper's stop-the-world span.
+	exclusive := w.cfg.ExclusiveRepair
+	suspended := false
+	suspend := func() {
+		if !suspended {
+			w.Suspend()
+			suspended = true
+		}
+	}
+	defer func() {
+		if suspended {
+			w.Resume()
+		}
+	}()
+	if exclusive {
+		suspend()
+	} else {
+		w.admission.Store(&admissionGate{w: w, rs: rs, sched: rs.sched})
+		defer w.admission.Store(nil)
+		if w.cfg.RepairSLO > 0 && obs.Enabled() {
+			gov := startThrottle(rs.sched, w.cfg.RepairSLO)
+			defer gov.halt()
+		}
+	}
+
 	sp := tr.Begin("frontier")
 	err = seed(rs)
 	sp.End()
@@ -465,19 +545,48 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 		abort()
 		return nil, err
 	}
-	sp = tr.Begin("replay")
-	err = rs.sched.drain()
-	sp.End()
-	if err != nil {
+	drainPass := func() error {
+		rs.passChanges.Store(0)
+		sp = tr.Begin("replay")
+		err := rs.sched.drain()
+		sp.End()
+		return err
+	}
+	if err := drainPass(); err != nil {
 		abort()
 		return nil, err
 	}
 
-	// Drain (§4.3): briefly suspend normal operation, re-propagate all
-	// dirt so requests logged during repair on repaired partitions are
-	// re-applied, and process to fixpoint.
-	w.Suspend()
-	defer w.Resume()
+	// Catch-up (online repair): re-propagate dirt and drain while the
+	// deployment is still serving, so writes logged by live traffic
+	// during the bulk replay are folded into the repair generation
+	// before anything suspends. Each converged pass shrinks the racing
+	// window; the suspended pass below closes it.
+	if !exclusive {
+		for pass := 0; pass < 4; pass++ {
+			for p, t := range rs.dirtSnapshot() {
+				rs.propagate(p, t)
+			}
+			if rs.sched.pendingLen() == 0 {
+				break
+			}
+			if err := drainPass(); err != nil {
+				abort()
+				return nil, err
+			}
+			if rs.passChanges.Load() == 0 {
+				break
+			}
+		}
+	}
+
+	// Commit window (§4.3): briefly suspend normal operation,
+	// re-propagate all dirt so requests logged during repair on repaired
+	// partitions are re-applied, and process to fixpoint. A pass that
+	// drains without a single dirt or outcome change re-executed only
+	// deterministic, already-converged work, so the loop stops there
+	// rather than spending its full pass budget on identical re-drains.
+	suspend()
 	for pass := 0; pass < 8; pass++ {
 		for p, t := range rs.dirtSnapshot() {
 			rs.propagate(p, t)
@@ -485,12 +594,12 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 		if rs.sched.pendingLen() == 0 {
 			break
 		}
-		sp = tr.Begin("replay")
-		err = rs.sched.drain()
-		sp.End()
-		if err != nil {
+		if err := drainPass(); err != nil {
 			abort()
 			return nil, err
+		}
+		if rs.passChanges.Load() == 0 {
+			break
 		}
 	}
 

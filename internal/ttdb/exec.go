@@ -92,7 +92,7 @@ func (db *DB) lockFor(stmt sqldb.Statement, params []sqldb.Value) (*tableMeta, l
 		// partition lock manager exists for.
 		sc = wholeScope()
 	}
-	sc = m.effectiveScope(db, sc)
+	sc = db.maybeCoalesce(m, m.effectiveScope(db, sc))
 	m.locks.lock(sc)
 	return m, sc, func() { m.locks.unlock(sc) }, nil
 }
@@ -536,6 +536,7 @@ func (db *DB) execUpdate(s *sqldb.Update, cs *sqldb.CachedStmt, params []sqldb.V
 		return rec.Result, rec, nil
 	}
 	db.recordOldPartitions(m, rec, oldRows)
+	db.capturePreImage(m, s, rec, oldRows)
 
 	// Phase 2: update the live versions in place, bumping start_time.
 	nApp := len(s.Returning)
@@ -584,6 +585,27 @@ func (db *DB) updatePhases(s *sqldb.Update, cs *sqldb.CachedStmt, params []sqldb
 		return db.raw.ExecStmt(aug, params)
 	}
 	return runSel, runUpd
+}
+
+// capturePreImage records the overwritten value of a mergeable UPDATE:
+// exactly one matched row, exactly one SET column, and a text value in
+// that column before the write. The pre-image is the merge base online
+// repair needs to reconcile a live write with a concurrently repaired
+// value; anything wider than one row/column has no well-defined base, so
+// it is simply not captured and such writes queue instead of merging.
+func (db *DB) capturePreImage(m *tableMeta, s *sqldb.Update, rec *Record, oldRows *sqldb.Result) {
+	if len(s.Set) != 1 || len(oldRows.Rows) != 1 {
+		return
+	}
+	for i, c := range oldRows.Columns {
+		if c == s.Set[0].Column {
+			if v := oldRows.Rows[0][i]; v.Kind == sqldb.KindText {
+				rec.PreImage = v.Str
+				rec.HasPreImage = true
+			}
+			return
+		}
+	}
 }
 
 // recordOldPartitions adds the pre-write partition values of the matched

@@ -1,0 +1,130 @@
+package ttdb
+
+// Online-repair support (docs/repair.md "Online repair"): the database
+// half of the core's partition-scoped coexistence. During repair, live
+// writes keep executing in the current generation; the core's admission
+// gate needs each statement's partition footprint to decide whether a
+// write collides with the repair frontier, and the replay loop needs a
+// way to three-way merge a mergeable live UPDATE with the repaired value
+// of the same row instead of letting last-writer-wins discard one side.
+
+import (
+	"warp/internal/sqldb"
+)
+
+// StmtPartitions derives the partition footprint of one SQL statement
+// without executing it: the partitions an admission gate compares
+// against in-flight repair work. It reports the touched partitions,
+// whether the statement is a write, and a parse error if any. A nil
+// partition slice with ok=true means the statement's footprint could
+// not be bounded (DDL, unpartitionable WHERE) and must be treated as
+// conflicting with everything on its table; DDL returns wide=true with
+// no table.
+func (db *DB) StmtPartitions(src string, params []sqldb.Value) (parts []Partition, isWrite bool, err error) {
+	cs, err := db.stmts.Get(src)
+	if err != nil {
+		return nil, false, err
+	}
+	var table string
+	switch s := cs.Stmt.(type) {
+	case *sqldb.Select:
+		table = s.Table
+	case *sqldb.Insert:
+		table = s.Table
+		isWrite = true
+	case *sqldb.Update:
+		table = s.Table
+		isWrite = true
+	case *sqldb.Delete:
+		table = s.Table
+		isWrite = true
+	default:
+		// DDL: footprint is every table; callers treat nil as "wide".
+		return nil, true, nil
+	}
+	if table == "" {
+		return nil, false, nil
+	}
+	m, err := db.meta(table)
+	if err != nil {
+		return nil, isWrite, err
+	}
+	sc := m.scopeForStmt(cs.Stmt, params)
+	if sc.whole || m.lockCol == "" {
+		return []Partition{WholeTable(table)}, isWrite, nil
+	}
+	parts = make([]Partition, 0, len(sc.keys))
+	for _, k := range sc.keys {
+		parts = append(parts, Partition{Table: table, Column: m.lockCol, Key: k})
+	}
+	return parts, isWrite, nil
+}
+
+// UpdateMergeInfo locates the mergeable text of a single-row UPDATE: the
+// one SET column and the parameter index carrying its new value.
+type UpdateMergeInfo struct {
+	Table    string
+	Column   string
+	ParamIdx int
+}
+
+// MergeableUpdate reports whether a recorded write has the shape online
+// repair can three-way merge: a successful single-row UPDATE of exactly
+// one SET column whose new value arrived as a text parameter. The
+// caller additionally requires a captured pre-image (the merge base)
+// the first time it merges; the shape check alone also matches the
+// re-recorded form of an already-merged write, which is how a memoized
+// merge finds its parameter slot on later re-executions. Everything
+// else falls back to the replay loop's last-writer-wins re-execution.
+func (db *DB) MergeableUpdate(rec *Record) (UpdateMergeInfo, bool) {
+	if rec.Kind != KindUpdate || rec.ErrText != "" || len(rec.WriteRowIDs) != 1 {
+		return UpdateMergeInfo{}, false
+	}
+	cs, err := db.stmts.Get(rec.SQL)
+	if err != nil {
+		return UpdateMergeInfo{}, false
+	}
+	upd, ok := cs.Stmt.(*sqldb.Update)
+	if !ok || len(upd.Set) != 1 {
+		return UpdateMergeInfo{}, false
+	}
+	p, ok := upd.Set[0].Expr.(*sqldb.Param)
+	if !ok || p.Index >= len(rec.Params) || rec.Params[p.Index].Kind != sqldb.KindText {
+		return UpdateMergeInfo{}, false
+	}
+	return UpdateMergeInfo{Table: rec.Table, Column: upd.Set[0].Column, ParamIdx: p.Index}, true
+}
+
+// RepairValueBefore reads the repaired value of the row a mergeable
+// UPDATE wrote, as of just before the update's logical time, in the
+// repair generation — the "their side" of the three-way merge (the
+// pre-image is the base, the live parameter is "ours"). Returns ok=false
+// outside repair, when the row has no version live at that point in the
+// repair generation, or when the value is not text.
+func (db *DB) RepairValueBefore(info UpdateMergeInfo, rowID sqldb.Value, t int64) (string, bool) {
+	st, err := db.repairSnapshot()
+	if err != nil {
+		return "", false
+	}
+	m, err := db.meta(info.Table)
+	if err != nil {
+		return "", false
+	}
+	sc := m.effectiveScope(db, db.scopeForRows(m, []sqldb.Value{rowID}))
+	m.locks.lock(sc)
+	defer m.locks.unlock(sc)
+	sel := &sqldb.Select{
+		Items: []sqldb.SelectItem{{Expr: sqldb.Col(info.Column)}},
+		Table: m.name,
+		Where: sqldb.And(sqldb.Eq(m.rowIDCol, rowID), liveWhere(t-1, st.next)),
+	}
+	res, err := db.raw.ExecStmt(sel, nil)
+	if err != nil || len(res.Rows) != 1 {
+		return "", false
+	}
+	v := res.Rows[0][0]
+	if v.Kind != sqldb.KindText {
+		return "", false
+	}
+	return v.Str, true
+}

@@ -148,6 +148,8 @@ func EncodeRecord(enc *store.Encoder, r *Record) {
 	encodeValues(enc, r.WriteRowIDs)
 	encodeResult(enc, r.Result)
 	enc.String(r.ErrText)
+	enc.Bool(r.HasPreImage)
+	enc.String(r.PreImage)
 }
 
 // DecodeRecord reads a query record.
@@ -165,6 +167,8 @@ func DecodeRecord(dec *store.Decoder) *Record {
 	r.WriteRowIDs = decodeValues(dec)
 	r.Result = decodeResult(dec)
 	r.ErrText = dec.String()
+	r.HasPreImage = dec.Bool()
+	r.PreImage = dec.String()
 	return r
 }
 

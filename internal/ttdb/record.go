@@ -62,6 +62,14 @@ type Record struct {
 	// outcome (for example a uniqueness violation, §6).
 	Result  *sqldb.Result
 	ErrText string
+
+	// PreImage is the overwritten text value of a single-row,
+	// single-column UPDATE — the merge base online repair uses to
+	// three-way merge a live write logged during repair against the
+	// repaired value of the same row (docs/repair.md). HasPreImage
+	// distinguishes a captured empty string from "not captured".
+	PreImage    string
+	HasPreImage bool
 }
 
 // IsWrite reports whether the record is a database mutation.

@@ -261,7 +261,7 @@ func (db *DB) scopeForRows(m *tableMeta, rowIDs []sqldb.Value) lockScope {
 	for _, row := range res.Rows {
 		keys = append(keys, row[0].Key())
 	}
-	return keyScope(keys)
+	return db.maybeCoalesce(m, keyScope(keys))
 }
 
 // RollbackRow rolls back a single row (named by row ID) to time t in the
@@ -590,7 +590,7 @@ func (db *DB) reExecStmt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sq
 		if err != nil {
 			return nil, nil, err
 		}
-		sc := m.effectiveScope(db, m.scopeForStmt(stmt, params).merge(origScope(m, orig)))
+		sc := db.maybeCoalesce(m, m.effectiveScope(db, m.scopeForStmt(stmt, params).merge(origScope(m, orig))))
 		// dirt accumulates across an escalation retry: rollbacks completed
 		// in a narrow-scope attempt stay applied (the retry re-runs them as
 		// no-ops), so their partitions — including uniqueness-collider

@@ -277,7 +277,9 @@ func (db *DB) markDirtyWhole(table string) {
 // Marked before executing, so even a write that fails partway can only
 // over-mark, never leave a mutated shard clean.
 func (db *DB) markDirtyScope(m *tableMeta, sc lockScope) {
-	if sc.whole {
+	if sc.whole || len(sc.ranges) > 0 {
+		// A coalesced range cannot enumerate its shards, so it dirties the
+		// whole table — the conservative trade coalescing already accepts.
 		db.markDirtyWhole(m.name)
 		return
 	}

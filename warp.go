@@ -63,6 +63,7 @@ import (
 	"warp/internal/browser"
 	"warp/internal/core"
 	"warp/internal/httpd"
+	"warp/internal/obs"
 	"warp/internal/sqldb"
 	"warp/internal/store"
 	"warp/internal/ttdb"
@@ -87,6 +88,9 @@ type (
 	// histogram / counter / gauge, and the live repair phase trace. See
 	// docs/observability.md.
 	Metrics = core.Metrics
+	// TraceSnapshot is a point-in-time copy of a repair's phase trace
+	// (Metrics.Repair) — safe to read while the repair is still running.
+	TraceSnapshot = obs.TraceSnapshot
 
 	// Version is one version of an application source file.
 	Version = app.Version
