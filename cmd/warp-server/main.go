@@ -7,6 +7,11 @@
 //	                                     live repair progress (JSON)
 //	GET  /warp/metrics                 — Prometheus text exposition of
 //	                                     every registered metric
+//	GET  /warp/health                  — ok/degraded, the last storage
+//	                                     fault, and background scrub
+//	                                     progress (JSON; 503 once the
+//	                                     deployment degrades to
+//	                                     read-only)
 //	POST /warp/patch?kind=Stored+XSS   — retroactively apply a Table 2 patch
 //	                                     (synchronous; response carries the
 //	                                     repair report)
@@ -73,6 +78,8 @@ func main() {
 		"full (compacting) checkpoint after this many incremental ones (0 = store default of 8)")
 	syncEvery := flag.Bool("sync-every-append", false,
 		"fsync every WAL append (leader/follower group commit) instead of the windowed default")
+	scrubInterval := flag.Duration("scrub-interval", 0,
+		"background storage scrub period re-verifying sealed WAL segments and checkpoint files (0 disables; ignored without -data)")
 	debugAddr := flag.String("debug-addr", "",
 		"second listen address serving expvar (/debug/vars) and pprof (/debug/pprof/); empty disables")
 	slowQuery := flag.Duration("slow-query", 0,
@@ -102,6 +109,7 @@ func main() {
 	cfg.Durability.Shards = *walShards
 	cfg.Durability.CompactEvery = *compactEvery
 	cfg.Durability.SyncEveryAppend = *syncEvery
+	cfg.Durability.ScrubInterval = *scrubInterval
 	var sys *warp.System
 	var err error
 	if *data != "" {
@@ -228,6 +236,37 @@ func main() {
 		}
 	})
 	mux.Handle("/warp/metrics", obs.Handler())
+	mux.HandleFunc("/warp/health", func(w http.ResponseWriter, r *http.Request) {
+		h := sys.Health()
+		status := "ok"
+		code := http.StatusOK
+		if h.Degraded {
+			// Degraded deployments still serve reads, but a load balancer
+			// health check should see them as unhealthy for writes.
+			status = "degraded"
+			code = http.StatusServiceUnavailable
+		}
+		body := struct {
+			Status           string           `json:"status"`
+			DegradedCause    string           `json:"degraded_cause,omitempty"`
+			DegradedSince    *time.Time       `json:"degraded_since,omitempty"`
+			LastStorageFault string           `json:"last_storage_fault,omitempty"`
+			Scrub            *warp.ScrubStats `json:"scrub,omitempty"`
+		}{Status: status, DegradedCause: h.DegradedCause, LastStorageFault: h.LastStorageFault}
+		if h.Degraded {
+			body.DegradedSince = &h.DegradedSince
+		}
+		if h.Scrub.Passes > 0 || len(h.Scrub.Quarantined) > 0 {
+			body.Scrub = &h.Scrub
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(body); err != nil {
+			log.Printf("encoding /warp/health: %v", err)
+		}
+	})
 	mux.HandleFunc("/warp/patch", func(w http.ResponseWriter, r *http.Request) {
 		kind := r.URL.Query().Get("kind")
 		v, ok := app.VulnerabilityByKind(kind)

@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"net/url"
 	"strings"
+	"sync"
 
 	"warp/internal/dom"
 	"warp/internal/httpd"
@@ -104,6 +105,42 @@ type VisitLog struct {
 	Events       []Event
 	Requests     []RequestTrace
 	Blocked      bool // frame load was refused (X-Frame-Options)
+
+	// mu guards Events and Requests, which the browser grows in place
+	// after the log was uploaded (the in-process §5.2 model: the server
+	// holds the shared object and re-reads it on periodic re-sync). The
+	// persistence layer's background checkpoints can encode the log
+	// concurrently with a page load, so growth and encode serialize
+	// through Lock/Unlock.
+	mu sync.Mutex
+}
+
+// Lock takes the log's growth lock; see the mu field.
+func (v *VisitLog) Lock() { v.mu.Lock() }
+
+// Unlock releases the log's growth lock.
+func (v *VisitLog) Unlock() { v.mu.Unlock() }
+
+// ReplaceWith copies src's contents into v in place, preserving v's
+// pointer identity (and lock): recovery's visit-log upsert refreshes
+// the object the per-client stores already hold. src must not be
+// shared with a live browser.
+func (v *VisitLog) ReplaceWith(src *VisitLog) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.ClientID = src.ClientID
+	v.VisitID = src.VisitID
+	v.ParentVisit = src.ParentVisit
+	v.IsFrame = src.IsFrame
+	v.URL = src.URL
+	v.Method = src.Method
+	v.FormEncoded = src.FormEncoded
+	v.Cookies = src.Cookies
+	v.Time = src.Time
+	v.AttackerHTML = src.AttackerHTML
+	v.Events = src.Events
+	v.Requests = src.Requests
+	v.Blocked = src.Blocked
 }
 
 // ApproxLogBytes estimates the uploaded log size (Table 6 accounting).
@@ -218,6 +255,7 @@ func (p *Page) roundTrip(method, rawURL string, form url.Values) (*httpd.Respons
 	for _, k := range resp.ClearCookies {
 		delete(p.Browser.cookies, k)
 	}
+	p.Log.Lock()
 	p.Log.Requests = append(p.Log.Requests, RequestTrace{
 		RequestID:   requestID,
 		Method:      method,
@@ -226,6 +264,7 @@ func (p *Page) roundTrip(method, rawURL string, form url.Values) (*httpd.Respons
 		ReqFP:       req.Fingerprint(),
 		RespFP:      resp.Fingerprint(),
 	})
+	p.Log.Unlock()
 	return resp, req
 }
 
@@ -345,7 +384,9 @@ func (b *Browser) OpenAttackerPage(pageURL, html string) *Page {
 // record appends an event to the visit log.
 func (p *Page) record(e Event) {
 	if p.Browser.HasExtension {
+		p.Log.Lock()
 		p.Log.Events = append(p.Log.Events, e)
+		p.Log.Unlock()
 	}
 }
 

@@ -49,6 +49,12 @@ type admissionGate struct {
 // queryFunc is the app.QueryFunc handleRequest injects while a repair is
 // online: admission check, then the normal-execution Exec path.
 func (g *admissionGate) queryFunc(sql string, params []sqldb.Value) (*sqldb.Result, *ttdb.Record, error) {
+	// A deployment that degraded mid-repair refuses the write before the
+	// admission wait: the database's write gate would reject it anyway,
+	// and there is no point pacing a statement that cannot execute.
+	if err := g.w.degradedErr(); err != nil {
+		return nil, nil, err
+	}
 	g.admit(sql, params)
 	return g.w.DB.Exec(sql, params...)
 }

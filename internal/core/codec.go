@@ -354,6 +354,10 @@ func decodeAction(dec *store.Decoder, g *history.Graph) (*history.Action, *Query
 }
 
 func encodeVisitLog(enc *store.Encoder, v *browser.VisitLog) {
+	// The live browser grows Events/Requests in place; a background
+	// (fault-fence) checkpoint can encode the shared log mid-page-load.
+	v.Lock()
+	defer v.Unlock()
 	enc.String(v.ClientID)
 	enc.Int(v.VisitID)
 	enc.Int(v.ParentVisit)

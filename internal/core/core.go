@@ -143,6 +143,11 @@ type Warp struct {
 	// every request loads it on its query path.
 	admission atomic.Pointer[admissionGate]
 
+	// degraded is the terminal storage-fault record of a deployment in
+	// degraded read-only mode (degraded.go), nil while healthy. Atomic
+	// because write paths test it without taking Warp.mu.
+	degraded atomic.Pointer[degradedState]
+
 	// recoveredFileVersions is the file → version-count map the last
 	// checkpoint recorded. The application re-registers its code after
 	// Open (code is not persisted); StaleFiles compares the two so a

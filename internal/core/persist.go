@@ -18,6 +18,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -293,7 +294,9 @@ func visitKey(clientID string, visitID int64) string {
 // w.mu, which orders visit records against each other.
 func (p *persister) logVisit(v *browser.VisitLog) {
 	key := visitKey(v.ClientID, v.VisitID)
+	v.Lock()
 	size := 1 + len(v.Events) + len(v.Requests)
+	v.Unlock()
 	p.mu.Lock()
 	if p.loggedVisits[key] == size {
 		p.mu.Unlock()
@@ -410,7 +413,36 @@ func (p *persister) checkpointLoop() {
 			return
 		case <-p.st.NeedSnapshot():
 			_ = p.w.Checkpoint()
+		case <-p.st.FaultSignal():
+			p.fence()
 		}
+	}
+}
+
+// fence responds to a storage fault (store.FaultSignal): it attempts
+// one checkpoint, which — if the fault was transient (a poisoned
+// segment the shard already rotated past, a scrubbed-out corrupt file)
+// — re-secures the entire in-memory state under a fresh recovery root
+// and absolves the fault. If the checkpoint itself fails, the storage
+// can no longer accept writes and the deployment degrades to read-only
+// mode (degraded.go) instead of acknowledging writes it may lose.
+func (p *persister) fence() {
+	if p.w.Degraded() {
+		return
+	}
+	err := p.w.Checkpoint()
+	if err != nil {
+		// One retry: the first attempt may itself have consumed a
+		// transient fault (a poisoned fsync mid-checkpoint). A second
+		// failure means the storage really cannot take a checkpoint.
+		err = p.w.Checkpoint()
+	}
+	if err != nil {
+		cause := p.st.LastFault()
+		if cause == nil {
+			cause = err
+		}
+		p.w.enterDegraded(cause)
 	}
 }
 
@@ -668,6 +700,9 @@ func (w *Warp) Checkpoint() error {
 	if w.pers == nil {
 		return nil
 	}
+	if err := w.degradedErr(); err != nil {
+		return err
+	}
 	w.repairMu.Lock()
 	defer w.repairMu.Unlock()
 	w.Suspend()
@@ -793,6 +828,9 @@ func (w *Warp) FlushLogs() error {
 	if w.pers == nil {
 		return nil
 	}
+	if err := w.degradedErr(); err != nil {
+		return err
+	}
 	w.pers.syncVisitLogs()
 	if err := w.pers.st.Sync(); err != nil {
 		return err
@@ -803,7 +841,9 @@ func (w *Warp) FlushLogs() error {
 // Close checkpoints and releases the store. In-memory deployments and
 // crashed stores close as no-ops. A WAL write failure latched by an
 // observer callback that the final checkpoint could not absolve is
-// returned here.
+// returned here. A degraded deployment closes without the final
+// checkpoint (the storage already refused one) and returns ErrDegraded
+// with the original cause.
 func (w *Warp) Close() error {
 	if w.pers == nil {
 		return nil
@@ -812,7 +852,17 @@ func (w *Warp) Close() error {
 	if w.pers.st.Dead() {
 		return w.pers.st.Close()
 	}
-	if err := w.Checkpoint(); err != nil {
+	if err := w.degradedErr(); err != nil {
+		_ = w.pers.st.Close()
+		return err
+	}
+	err := w.Checkpoint()
+	if err != nil && !errors.Is(err, ErrDegraded) {
+		// The attempt may have consumed a transient fault; retry once
+		// before giving up (the same policy as the fault fence).
+		err = w.Checkpoint()
+	}
+	if err != nil {
 		_ = w.pers.st.Close()
 		return err
 	}
@@ -1146,7 +1196,7 @@ func (w *Warp) restoreVisitLog(v *browser.VisitLog) {
 	}
 	if existing := w.visitByID[v.ClientID][v.VisitID]; existing != nil {
 		w.browserLogBytes += v.ApproxLogBytes() - existing.ApproxLogBytes()
-		*existing = *v
+		existing.ReplaceWith(v)
 		return
 	}
 	w.insertVisitLogLocked(v)

@@ -457,6 +457,13 @@ func (w *Warp) repair(intent *RepairIntent, seed func(*session) error, restrictC
 	w.repairMu.Lock()
 	defer w.repairMu.Unlock()
 
+	// A degraded deployment refuses repair outright: repair rewrites
+	// history and must end with a durable commit checkpoint, which the
+	// failed storage cannot provide.
+	if err := w.degradedErr(); err != nil {
+		return nil, err
+	}
+
 	// A recovered deployment whose application re-registered older code
 	// than the checkpoint recorded must not repair: re-executing recorded
 	// runs through mismatched handlers silently corrupts the repaired

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"warp/internal/store/storefs"
 )
 
 // writeSections writes one checkpoint: dirty sections get fresh
@@ -289,7 +290,7 @@ func FuzzSnapshotSection(f *testing.F) {
 	seed := func(sections map[string]string) []byte {
 		dir := f.TempDir()
 		path := filepath.Join(dir, "seed.sec")
-		w, err := newSectionFileWriter(path)
+		w, err := newSectionFileWriter(storefs.OS, path)
 		if err != nil {
 			f.Fatal(err)
 		}
@@ -317,13 +318,13 @@ func FuzzSnapshotSection(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Skip()
 		}
-		offsets, err := validateSectionFile(path)
+		offsets, err := validateSectionFile(storefs.OS, path)
 		if err != nil {
 			return // rejecting is always allowed
 		}
 		// Everything the walker accepted must read back cleanly.
 		for name, off := range offsets {
-			if _, err := readSectionPayload(path, off); err != nil {
+			if _, err := readSectionPayload(storefs.OS, path, off); err != nil {
 				t.Fatalf("validated section %q failed to read: %v", name, err)
 			}
 		}

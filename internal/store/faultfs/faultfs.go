@@ -1,0 +1,285 @@
+// Package faultfs is an error-injecting storefs.FS for fault testing.
+// It wraps an inner filesystem (usually storefs.OS), assigns every I/O
+// operation a global 1-based index, and consults a rule list before
+// forwarding each operation. Rules can fail exactly the Nth operation
+// (the error-at-every-op sweep), fail every operation from an index on
+// (a dying disk), fail operations by kind or path substring (every
+// fsync, ENOSPC on every write), or corrupt the data a read returns
+// (a bit-rotted sector).
+//
+// Injected errors wrap ErrInjected so tests can tell an injected fault
+// from a real one.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+
+	"warp/internal/store/storefs"
+)
+
+// ErrInjected is the base of every injected error.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// ErrNoSpace is a convenience ENOSPC wrapping ErrInjected.
+var ErrNoSpace = fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC)
+
+// Op kinds, one per storefs.FS / storefs.File operation faultfs counts.
+const (
+	OpOpen     = "open"
+	OpRead     = "read"     // File.Read
+	OpReadFile = "readfile" // FS.ReadFile
+	OpReadDir  = "readdir"
+	OpWrite    = "write"
+	OpSync     = "sync"
+	OpSyncDir  = "syncdir"
+	OpRename   = "rename"
+	OpRemove   = "remove"
+	OpMkdir    = "mkdir"
+	OpTruncate = "truncate"
+)
+
+// Op describes one I/O operation about to execute.
+type Op struct {
+	// N is the operation's global 1-based index.
+	N int64
+	// Kind is one of the Op* constants.
+	Kind string
+	// Path is the file or directory operated on.
+	Path string
+}
+
+// Rule inspects an operation and returns a non-nil error to inject a
+// failure (the inner operation does not run), or nil to let it pass.
+type Rule func(op Op) error
+
+// FS is the fault-injecting filesystem. The zero value is not usable;
+// call New.
+type FS struct {
+	inner storefs.FS
+
+	mu      sync.Mutex
+	ops     int64
+	rules   []Rule
+	corrupt []corruptRule
+}
+
+type corruptRule struct {
+	substr string
+	flip   func(data []byte)
+}
+
+// New wraps inner (storefs.OS when nil) with fault injection. A fresh
+// FS injects nothing; it only counts operations until rules are added.
+func New(inner storefs.FS) *FS {
+	if inner == nil {
+		inner = storefs.OS
+	}
+	return &FS{inner: inner}
+}
+
+// OpCount returns how many operations have executed (or been failed)
+// so far. A counting pass over a workload yields the sweep bound.
+func (f *FS) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// AddRule installs an arbitrary injection rule.
+func (f *FS) AddRule(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append(f.rules, r)
+}
+
+// Clear removes every rule (the counter keeps running).
+func (f *FS) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = nil
+	f.corrupt = nil
+}
+
+// FailOp fails exactly operation #n with err.
+func (f *FS) FailOp(n int64, err error) {
+	f.AddRule(func(op Op) error {
+		if op.N == n {
+			return fmt.Errorf("%w: op %d (%s %s): %w", ErrInjected, op.N, op.Kind, op.Path, err)
+		}
+		return nil
+	})
+}
+
+// FailFrom fails every operation with index >= n with err: the
+// persistent-failure (dying disk) model.
+func (f *FS) FailFrom(n int64, err error) {
+	f.AddRule(func(op Op) error {
+		if op.N >= n {
+			return fmt.Errorf("%w: op %d (%s %s): %w", ErrInjected, op.N, op.Kind, op.Path, err)
+		}
+		return nil
+	})
+}
+
+// FailKind fails every operation of the given kind whose path contains
+// pathSubstr (empty matches all paths). FailKind(OpSync, "", err) is
+// the fsyncgate scenario; FailKind(OpWrite, "", ErrNoSpace) is a full
+// disk.
+func (f *FS) FailKind(kind, pathSubstr string, err error) {
+	f.AddRule(func(op Op) error {
+		if op.Kind == kind && (pathSubstr == "" || strings.Contains(op.Path, pathSubstr)) {
+			return fmt.Errorf("%w: op %d (%s %s): %w", ErrInjected, op.N, op.Kind, op.Path, err)
+		}
+		return nil
+	})
+}
+
+// CorruptReads flips one bit in the middle of every ReadFile (and
+// File.Read) whose path contains pathSubstr: the bit-rot model. The
+// underlying file is untouched.
+func (f *FS) CorruptReads(pathSubstr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corrupt = append(f.corrupt, corruptRule{substr: pathSubstr, flip: func(data []byte) {
+		if len(data) > 0 {
+			data[len(data)/2] ^= 0x40
+		}
+	}})
+}
+
+// op assigns the next index and consults the rules.
+func (f *FS) op(kind, path string) error {
+	f.mu.Lock()
+	f.ops++
+	o := Op{N: f.ops, Kind: kind, Path: path}
+	rules := f.rules
+	f.mu.Unlock()
+	for _, r := range rules {
+		if err := r(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeCorrupt applies read-corruption rules to data in place.
+func (f *FS) maybeCorrupt(path string, data []byte) {
+	f.mu.Lock()
+	rules := f.corrupt
+	f.mu.Unlock()
+	for _, r := range rules {
+		if r.substr == "" || strings.Contains(path, r.substr) {
+			r.flip(data)
+		}
+	}
+}
+
+func (f *FS) OpenFile(name string, flag int, perm os.FileMode) (storefs.File, error) {
+	if err := f.op(OpOpen, name); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, path: name, inner: inner}, nil
+}
+
+func (f *FS) ReadFile(name string) ([]byte, error) {
+	if err := f.op(OpReadFile, name); err != nil {
+		return nil, err
+	}
+	data, err := f.inner.ReadFile(name)
+	if err == nil {
+		f.maybeCorrupt(name, data)
+	}
+	return data, err
+}
+
+func (f *FS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.op(OpReadDir, name); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(name)
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	if err := f.op(OpRename, newpath); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FS) Remove(name string) error {
+	if err := f.op(OpRemove, name); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.op(OpMkdir, path); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FS) SyncDir(dir string) error {
+	if err := f.op(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// file wraps one open file with fault injection. Reads, writes, syncs,
+// and truncates count as operations; Seek, Stat, and Close do not (the
+// store's correctness never depends on their failure).
+type file struct {
+	fs    *FS
+	path  string
+	inner storefs.File
+}
+
+func (w *file) Read(p []byte) (int, error) {
+	if err := w.fs.op(OpRead, w.path); err != nil {
+		return 0, err
+	}
+	n, err := w.inner.Read(p)
+	if n > 0 {
+		w.fs.maybeCorrupt(w.path, p[:n])
+	}
+	return n, err
+}
+
+func (w *file) Write(p []byte) (int, error) {
+	if err := w.fs.op(OpWrite, w.path); err != nil {
+		return 0, err
+	}
+	return w.inner.Write(p)
+}
+
+func (w *file) Sync() error {
+	if err := w.fs.op(OpSync, w.path); err != nil {
+		return err
+	}
+	return w.inner.Sync()
+}
+
+func (w *file) Truncate(size int64) error {
+	if err := w.fs.op(OpTruncate, w.path); err != nil {
+		return err
+	}
+	return w.inner.Truncate(size)
+}
+
+func (w *file) Seek(offset int64, whence int) (int64, error) {
+	return w.inner.Seek(offset, whence)
+}
+
+func (w *file) Stat() (os.FileInfo, error) { return w.inner.Stat() }
+func (w *file) Close() error               { return w.inner.Close() }

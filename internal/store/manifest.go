@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"warp/internal/store/storefs"
 )
 
 // A manifest is the root of one checkpoint: it names every live section
@@ -105,9 +107,9 @@ func (m *manifest) fileRefs() map[int64]bool {
 // renamed into place, so a crash mid-write leaves the old file or the
 // new one — never a half-written file that validates.
 
-func writeBlobFile(path string, magic [8]byte, payload []byte) error {
+func writeBlobFile(fs storefs.FS, path string, magic [8]byte, payload []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	f, err := fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
@@ -130,14 +132,14 @@ func writeBlobFile(path string, magic [8]byte, payload []byte) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := fs.Rename(tmp, path); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return fs.SyncDir(filepath.Dir(path))
 }
 
-func readBlobFile(path string, magic [8]byte) ([]byte, error) {
-	data, err := os.ReadFile(path)
+func readBlobFile(fs storefs.FS, path string, magic [8]byte) ([]byte, error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -156,24 +158,14 @@ func readBlobFile(path string, magic [8]byte) ([]byte, error) {
 	return payload, nil
 }
 
-func writeManifestFile(dir string, m *manifest) error {
-	return writeBlobFile(manifestPath(dir, m.seq), manifestMagic, m.encode())
+func writeManifestFile(fs storefs.FS, dir string, m *manifest) error {
+	return writeBlobFile(fs, manifestPath(dir, m.seq), manifestMagic, m.encode())
 }
 
-func readManifestFile(path string) (*manifest, error) {
-	payload, err := readBlobFile(path, manifestMagic)
+func readManifestFile(fs storefs.FS, path string) (*manifest, error) {
+	payload, err := readBlobFile(fs, path, manifestMagic)
 	if err != nil {
 		return nil, err
 	}
 	return decodeManifest(payload)
-}
-
-// syncDir fsyncs a directory so renames and removals are durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
 }

@@ -1,10 +1,10 @@
 package store
 
 import (
-	"os"
 	"time"
 
 	"warp/internal/obs"
+	"warp/internal/store/storefs"
 )
 
 // Durability-path instrumentation (docs/observability.md). The byte and
@@ -36,9 +36,35 @@ var (
 	ckptBytes = obs.NewCounter("warp_store_checkpoint_bytes_total")
 )
 
+// Failure-path instrumentation (docs/persistence.md "Failure model"):
+// exhausted-retry errors by operation, retries, fsync poisonings, and
+// the scrubber's progress.
+var (
+	// ioErr* count I/O errors that survived the retry policy (or are
+	// never retried, like fsync), by operation.
+	ioErrWrite   = obs.NewCounter(`warp_store_io_errors_total{op="write"}`)
+	ioErrSync    = obs.NewCounter(`warp_store_io_errors_total{op="sync"}`)
+	ioErrSyncDir = obs.NewCounter(`warp_store_io_errors_total{op="syncdir"}`)
+	ioErrOpen    = obs.NewCounter(`warp_store_io_errors_total{op="open"}`)
+	ioErrCkpt    = obs.NewCounter(`warp_store_io_errors_total{op="checkpoint"}`)
+	// ioRetries counts transient I/O failures absorbed by a retry.
+	ioRetries = obs.NewCounter("warp_store_io_retries_total")
+	// fsyncPoisoned counts segments sealed by the fsync-poisoning rule.
+	fsyncPoisoned = obs.NewCounter("warp_store_fsync_poisoned_total")
+	// scrub progress: completed passes, files and bytes verified, files
+	// found corrupt, and the current quarantine population.
+	scrubPasses      = obs.NewCounter("warp_store_scrub_passes_total")
+	scrubFiles       = obs.NewCounter("warp_store_scrub_files_total")
+	scrubBytes       = obs.NewCounter("warp_store_scrub_bytes_total")
+	scrubCorrupt     = obs.NewCounter("warp_store_scrub_corrupt_total")
+	quarantinedGauge = obs.NewGauge("warp_store_quarantined_files")
+	faultsReported   = obs.NewCounter("warp_store_faults_total")
+)
+
 // timedSync is the shared physical-fsync wrapper for the WAL shard sync
-// paths.
-func timedSync(f *os.File) error {
+// paths. A failed fsync counts as an io error here (it is never
+// retried — the caller poisons the segment instead).
+func timedSync(f storefs.File) error {
 	var start time.Time
 	if obs.Enabled() {
 		start = time.Now()
@@ -47,6 +73,9 @@ func timedSync(f *os.File) error {
 	walFsyncs.Inc()
 	if !start.IsZero() {
 		walFsyncHist.Observe(time.Since(start))
+	}
+	if err != nil {
+		ioErrSync.Inc()
 	}
 	return err
 }

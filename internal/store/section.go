@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"warp/internal/store/storefs"
 )
 
 // Checkpoint (delta) file format. A checkpoint file holds one or more
@@ -52,8 +54,9 @@ func ckptPath(dir string, seq int64) string {
 
 // sectionFileWriter streams sections into one checkpoint file.
 type sectionFileWriter struct {
+	fs   storefs.FS
 	path string // final path (written as path+".tmp" until finish)
-	f    *os.File
+	f    storefs.File
 	bw   *bufio.Writer
 	off  int64 // bytes written so far
 
@@ -65,12 +68,12 @@ type sectionFileWriter struct {
 	count int
 }
 
-func newSectionFileWriter(path string) (*sectionFileWriter, error) {
-	f, err := os.OpenFile(path+".tmp", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+func newSectionFileWriter(fs storefs.FS, path string) (*sectionFileWriter, error) {
+	f, err := fs.OpenFile(path+".tmp", os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &sectionFileWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	w := &sectionFileWriter{fs: fs, path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
 	if _, err := w.bw.Write(sectionMagic[:]); err != nil {
 		f.Close()
 		return nil, err
@@ -142,20 +145,21 @@ func (w *sectionFileWriter) finish() error {
 		return err
 	}
 	if err := w.f.Close(); err != nil {
-		os.Remove(w.path + ".tmp")
+		w.fs.Remove(w.path + ".tmp")
 		return err
 	}
-	if err := os.Rename(w.path+".tmp", w.path); err != nil {
-		os.Remove(w.path + ".tmp")
+	if err := w.fs.Rename(w.path+".tmp", w.path); err != nil {
+		w.fs.Remove(w.path + ".tmp")
 		return err
 	}
-	return syncDir(filepath.Dir(w.path))
+	return w.fs.SyncDir(filepath.Dir(w.path))
 }
 
-// abort discards the temp file.
+// abort discards the temp file. A failed Remove is tolerable: Open
+// deletes orphaned .tmp files, and nothing ever references one.
 func (w *sectionFileWriter) abort() {
 	w.f.Close()
-	os.Remove(w.path + ".tmp")
+	_ = w.fs.Remove(w.path + ".tmp")
 }
 
 // sectionEvents receives a checkpoint file's contents in order. Chunk
@@ -178,8 +182,8 @@ var errStopWalk = errors.New("store: stop walk")
 // count. Any structural defect is ErrCorrupt: checkpoint files are
 // installed atomically, so unlike WAL segments a short or damaged file
 // is never a legitimate torn tail.
-func walkSectionFile(path string, from int64, ev sectionEvents) error {
-	f, err := os.Open(path)
+func walkSectionFile(fs storefs.FS, path string, from int64, ev sectionEvents) error {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -325,10 +329,10 @@ func walkSectionFile(path string, from int64, ev sectionEvents) error {
 
 // readSectionPayload reads and validates one section's payload starting
 // at the given begin-frame offset.
-func readSectionPayload(path string, offset int64) ([]byte, error) {
+func readSectionPayload(fs storefs.FS, path string, offset int64) ([]byte, error) {
 	var out []byte
 	started := false
-	err := walkSectionFile(path, offset, sectionEvents{
+	err := walkSectionFile(fs, path, offset, sectionEvents{
 		begin: func(string, int64) error {
 			if started {
 				return errStopWalk
@@ -354,9 +358,9 @@ func readSectionPayload(path string, offset int64) ([]byte, error) {
 // validateSectionFile walks a whole checkpoint file, checking every
 // frame and section checksum in bounded memory, and returns each
 // section's begin-frame offset for later direct reads.
-func validateSectionFile(path string) (map[string]int64, error) {
+func validateSectionFile(fs storefs.FS, path string) (map[string]int64, error) {
 	offsets := make(map[string]int64)
-	err := walkSectionFile(path, 0, sectionEvents{
+	err := walkSectionFile(fs, path, 0, sectionEvents{
 		begin: func(name string, off int64) error {
 			offsets[name] = off
 			return nil

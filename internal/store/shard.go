@@ -5,6 +5,8 @@ import (
 	"hash/fnv"
 	"path/filepath"
 	"sync"
+
+	"warp/internal/store/storefs"
 )
 
 // A shard is one independent WAL segment chain with its own group-commit
@@ -17,10 +19,25 @@ import (
 // record carries a global LSN assigned under its shard's lock, each
 // shard's file order is LSN-monotonic, and recovery merges the per-shard
 // streams back into global-LSN order (see Open).
+//
+// Failure model (docs/persistence.md "Failure model"): write errors
+// retry inside walWriter under the store's retry policy; a *failed
+// fsync* is poisonous and never retried. After fsync failure the kernel
+// may silently have dropped the dirty pages, so a later successful
+// fsync of the same file proves nothing about them — the shard
+// therefore seals the segment (close without sync, never trust it
+// again), bumps its poison epoch so every waiter blocked on that
+// segment's durability gets an error instead of a false ack, and starts
+// a fresh segment for subsequent appends. The store is notified through
+// onFault; the deployment layer reacts with a fence checkpoint that
+// re-secures the in-memory state the sealed segment failed to make
+// durable (internal/core).
 type shard struct {
-	id   int
-	dir  string
-	opts Options
+	id    int
+	dir   string
+	opts  Options
+	fs    storefs.FS
+	retry retryPolicy
 
 	// preRotate, when set, runs before the active segment is finalized
 	// (which flushes and fsyncs every buffered frame). The store sets it
@@ -29,6 +46,14 @@ type shard struct {
 	// records it describes. Called with mu held; it may take other
 	// shards' locks (the only place shard locks nest, shard 0 → data).
 	preRotate func() error
+	// onFault reports a storage fault (exhausted write retries, fsync
+	// poisoning, a broken segment chain) to the store. May be called
+	// with mu held.
+	onFault func(error)
+	// onSeal records a segment sealed by fsync poisoning: its tail is
+	// of unknown durability, so the scrubber must not flag a torn tail
+	// there as corruption.
+	onSeal func(path string)
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -38,14 +63,30 @@ type shard struct {
 	appended int64 // bytes appended to this shard
 	synced   int64 // bytes known durable
 	syncing  bool  // a group-commit leader is fsyncing outside the lock
-	dead     bool
-	closed   bool
+	// epoch increments on every fsync poisoning. A durability waiter
+	// captures the epoch at entry; seeing it change means the segment
+	// holding its record was sealed with the record's durability
+	// unknown, and the wait fails with poisonErr rather than falsely
+	// acking. (The error can be spuriously pessimistic for a record
+	// synced just before the poison — the safe direction.)
+	epoch     int64
+	poisonErr error
+	// broken latches when a replacement segment cannot be opened: the
+	// shard can accept no further appends, and only a checkpoint (or
+	// degraded mode) can carry the deployment from here.
+	broken error
+	dead   bool
+	closed bool
 }
 
 func newShard(id int, dir string, opts Options, startSeq int64) (*shard, error) {
-	sh := &shard{id: id, dir: dir, opts: opts, seq: startSeq}
+	sh := &shard{
+		id: id, dir: dir, opts: opts, seq: startSeq,
+		fs:    opts.FS,
+		retry: retryPolicy{attempts: opts.RetryAttempts, backoff: opts.RetryBackoff},
+	}
 	sh.cond = sync.NewCond(&sh.mu)
-	w, err := openSegment(segName(dir, id, startSeq))
+	w, err := openSegment(sh.fs, segName(dir, id, startSeq), sh.retry)
 	if err != nil {
 		return nil, err
 	}
@@ -59,6 +100,9 @@ func newShard(id int, dir string, opts Options, startSeq int64) (*shard, error) 
 func (sh *shard) append(frame []byte) (target int64, err error) {
 	if sh.dead || sh.closed {
 		return 0, ErrCrashed
+	}
+	if sh.broken != nil {
+		return 0, sh.broken
 	}
 	if err := sh.w.append(frame); err != nil {
 		return 0, err
@@ -77,9 +121,19 @@ func (sh *shard) append(frame []byte) (target int64, err error) {
 // the shard's group-commit leader when no sync is in flight. Called with
 // sh.mu held.
 func (sh *shard) waitSyncedLocked(target int64) error {
-	for sh.synced < target {
+	epoch := sh.epoch
+	for {
 		if sh.dead || sh.closed {
 			return ErrCrashed
+		}
+		if sh.broken != nil {
+			return sh.broken
+		}
+		if sh.epoch != epoch {
+			return sh.poisonErr
+		}
+		if sh.synced >= target {
+			return nil
 		}
 		if sh.syncing {
 			sh.cond.Wait()
@@ -93,6 +147,7 @@ func (sh *shard) waitSyncedLocked(target int64) error {
 		if err := sh.w.flush(); err != nil {
 			sh.syncing = false
 			sh.cond.Broadcast()
+			sh.fault(err)
 			return err
 		}
 		f := sh.w.f
@@ -100,15 +155,15 @@ func (sh *shard) waitSyncedLocked(target int64) error {
 		err := timedSync(f)
 		sh.mu.Lock()
 		sh.syncing = false
-		if err == nil && appended > sh.synced {
+		if err != nil {
+			sh.poisonLocked(err)
+			return sh.poisonErr
+		}
+		if appended > sh.synced {
 			sh.synced = appended
 		}
 		sh.cond.Broadcast()
-		if err != nil {
-			return err
-		}
 	}
-	return nil
 }
 
 // syncUpTo makes records up to byte extent target durable WITHOUT
@@ -119,12 +174,22 @@ func (sh *shard) waitSyncedLocked(target int64) error {
 func (sh *shard) syncUpTo(target int64, quiet bool) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	epoch := sh.epoch
 	for {
 		if sh.dead || sh.closed {
 			if quiet {
 				return nil
 			}
 			return ErrCrashed
+		}
+		if sh.broken != nil {
+			if quiet {
+				return nil
+			}
+			return sh.broken
+		}
+		if sh.epoch != epoch {
+			return sh.poisonErr
 		}
 		if sh.synced >= target {
 			return nil
@@ -141,6 +206,7 @@ func (sh *shard) syncUpTo(target int64, quiet bool) error {
 		if err := sh.w.flushTo(limit - sh.segBase); err != nil {
 			sh.syncing = false
 			sh.cond.Broadcast()
+			sh.fault(err)
 			return err
 		}
 		durable := sh.segBase + sh.w.flushed
@@ -149,20 +215,60 @@ func (sh *shard) syncUpTo(target int64, quiet bool) error {
 		err := timedSync(f)
 		sh.mu.Lock()
 		sh.syncing = false
-		if err == nil && durable > sh.synced {
+		if err != nil {
+			sh.poisonLocked(err)
+			return sh.poisonErr
+		}
+		if durable > sh.synced {
 			sh.synced = durable
 		}
 		sh.cond.Broadcast()
-		if err != nil {
-			return err
-		}
+	}
+}
+
+// poisonLocked applies the fsync-poisoning rule after a failed fsync:
+// seal the active segment (close the descriptor without another sync
+// attempt — its flushed-but-unsynced suffix is of unknown durability
+// and must never be trusted), bump the poison epoch so blocked waiters
+// error out instead of false-acking, and open a fresh segment for
+// subsequent appends. Buffered-but-unflushed frames are dropped with
+// the seal; the deployment's fault fence re-secures their state from
+// memory with a checkpoint. Called with sh.mu held and syncing false.
+func (sh *shard) poisonLocked(cause error) {
+	fsyncPoisoned.Inc()
+	sh.epoch++
+	sh.poisonErr = fmt.Errorf("store: shard %d: fsync failed, segment %s sealed: %w",
+		sh.id, filepath.Base(sh.w.path), cause)
+	sh.w.abandon()
+	if sh.onSeal != nil {
+		sh.onSeal(sh.w.path)
+	}
+	sh.segBase = sh.appended
+	sh.synced = sh.appended
+	sh.seq++
+	w, err := openSegment(sh.fs, segName(sh.dir, sh.id, sh.seq), sh.retry)
+	if err != nil {
+		sh.broken = fmt.Errorf("store: shard %d: no replacement segment after fsync failure: %w", sh.id, err)
+	} else {
+		sh.w = w
+	}
+	sh.fault(sh.poisonErr)
+	sh.cond.Broadcast()
+}
+
+// fault reports a storage fault to the store, if wired.
+func (sh *shard) fault(err error) {
+	if sh.onFault != nil {
+		sh.onFault(err)
 	}
 }
 
 // rotateLocked finalizes the active segment and starts the next one.
 // Called with sh.mu held; waits out an in-flight sync first. Finalizing
 // flushes and fsyncs everything buffered, so the preRotate barrier (if
-// any) runs first.
+// any) runs first. A finalize failure poisons the segment — the close
+// path ends in an fsync, so a failed close leaves the same
+// unknown-durability tail a failed group-commit fsync does.
 func (sh *shard) rotateLocked() error {
 	for sh.syncing {
 		sh.cond.Wait()
@@ -170,20 +276,26 @@ func (sh *shard) rotateLocked() error {
 	if sh.dead || sh.closed {
 		return ErrCrashed
 	}
+	if sh.broken != nil {
+		return sh.broken
+	}
 	if sh.preRotate != nil {
 		if err := sh.preRotate(); err != nil {
 			return err
 		}
 	}
 	if err := sh.w.close(); err != nil {
-		return err
+		sh.poisonLocked(err)
+		return sh.poisonErr
 	}
 	sh.synced = sh.appended
 	sh.segBase = sh.appended
 	sh.seq++
-	w, err := openSegment(segName(sh.dir, sh.id, sh.seq))
+	w, err := openSegment(sh.fs, segName(sh.dir, sh.id, sh.seq), sh.retry)
 	if err != nil {
-		return err
+		sh.broken = fmt.Errorf("store: shard %d: no segment after rotation: %w", sh.id, err)
+		sh.fault(sh.broken)
+		return sh.broken
 	}
 	sh.w = w
 	sh.cond.Broadcast()
@@ -202,6 +314,15 @@ func (sh *shard) rotate() (finalized int64, err error) {
 	return sh.seq - 1, nil
 }
 
+// activeSegment returns the path of the segment currently accepting
+// appends (the scrubber must skip it: its tail is legitimately torn
+// until the next sync).
+func (sh *shard) activeSegment() string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.w.path
+}
+
 // close flushes, fsyncs, and releases the shard.
 func (sh *shard) close() error {
 	sh.mu.Lock()
@@ -216,7 +337,19 @@ func (sh *shard) close() error {
 		return nil
 	}
 	sh.closed = true
-	err := sh.w.close()
+	if sh.broken != nil {
+		sh.w.abandon()
+		sh.cond.Broadcast()
+		return sh.broken
+	}
+	var err error
+	if sh.synced == sh.appended {
+		// Nothing unsynced: skip the redundant final fsync so a disk
+		// that died after the last real sync cannot fail a clean close.
+		err = sh.w.closeFd()
+	} else {
+		err = sh.w.close()
+	}
 	sh.cond.Broadcast()
 	return err
 }

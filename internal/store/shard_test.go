@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 	"time"
+	"warp/internal/store/storefs"
 )
 
 // routerFor opens a store with a custom router that knows two groups
@@ -249,12 +250,12 @@ func TestManifestSectionMissingFromDeltaIsError(t *testing.T) {
 	entries, _ := os.ReadDir(dir)
 	for _, e := range entries {
 		if parseSeqName(e.Name(), "manifest-", ".mf", &seq) {
-			m, err := readManifestFile(filepath.Join(dir, e.Name()))
+			m, err := readManifestFile(storefs.OS, filepath.Join(dir, e.Name()))
 			if err != nil {
 				t.Fatal(err)
 			}
 			m.sections = append(m.sections, manifestSection{name: "ghost", fileSeq: m.sections[0].fileSeq})
-			if err := writeManifestFile(dir, m); err != nil {
+			if err := writeManifestFile(storefs.OS, dir, m); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -7,11 +7,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"warp/internal/obs"
+	"warp/internal/store/storefs"
 )
 
 // Options tunes a Store. The zero value selects the defaults below.
@@ -55,6 +57,22 @@ type Options struct {
 	// checkpoint memory stays bounded regardless of section size
 	// (default 256 KiB).
 	ChunkBytes int
+	// FS is the filesystem the store runs on; nil selects the real OS
+	// filesystem. Tests substitute an error-injecting implementation
+	// (internal/store/faultfs) to exercise the failure model.
+	FS storefs.FS
+	// RetryAttempts is the total number of tries a transient write or
+	// segment-create error gets before surfacing (default 3). Fsync is
+	// never retried — see the fsync-poisoning rule (shard.go).
+	RetryAttempts int
+	// RetryBackoff is the initial backoff between retries, doubling up
+	// to a 50ms cap (default 1ms).
+	RetryBackoff time.Duration
+	// ScrubInterval starts a background scrubber that re-verifies the
+	// CRCs of cold WAL segments and live checkpoint files at this
+	// period, quarantining corrupt files (docs/persistence.md "Failure
+	// model"). 0 disables the scrubber; ScrubNow remains available.
+	ScrubInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +96,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ChunkBytes <= 0 {
 		o.ChunkBytes = 256 << 10
+	}
+	if o.FS == nil {
+		o.FS = storefs.OS
+	}
+	if o.RetryAttempts <= 0 {
+		o.RetryAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
 	}
 	return o
 }
@@ -109,6 +136,7 @@ type Recovery struct {
 	SnapshotFallback bool
 
 	dir      string
+	fs       storefs.FS
 	sections map[string]sectionRef
 	order    []string
 }
@@ -136,7 +164,7 @@ func (r *Recovery) ReadSection(name string) (*Decoder, error) {
 	if !ok {
 		return nil, fmt.Errorf("store: checkpoint has no section %q", name)
 	}
-	payload, err := readSectionPayload(ckptPath(r.dir, ref.fileSeq), ref.offset)
+	payload, err := readSectionPayload(r.fs, ckptPath(r.dir, ref.fileSeq), ref.offset)
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +180,7 @@ var ErrCrashed = errors.New("store: store has crashed")
 type Store struct {
 	dir  string
 	opts Options
+	fs   storefs.FS
 
 	lsn    atomic.Int64 // global record sequence number
 	shards []*shard
@@ -176,9 +205,74 @@ type Store struct {
 	dead    bool
 	closed  bool
 
+	// faultMu guards the storage-fault latch. A fault is any storage
+	// error that escaped the retry policy: an fsync poisoning, an
+	// exhausted write retry, a checkpoint that could not be written, or
+	// scrubber-detected corruption. Faults are reported once per
+	// signal-channel slot; the deployment layer (internal/core) listens
+	// on FaultSignal and responds with a fence checkpoint or degraded
+	// mode.
+	faultMu   sync.Mutex
+	lastFault error
+	faultCh   chan struct{}
+	// sealedTorn records segments sealed by fsync poisoning: their
+	// tails are legitimately torn, so the scrubber must not flag them.
+	sealedTorn map[string]bool
+	// quarantined records files the scrubber found corrupt; prune
+	// renames them to <name>.quarantine instead of deleting so an
+	// operator can inspect them (scrub.go).
+	quarantined map[string]bool
+
 	stopOnce  sync.Once
 	flushStop chan struct{}
 	flushDone chan struct{}
+	scrubStop chan struct{}
+	scrubDone chan struct{}
+	scrubMu   sync.Mutex
+	scrubStat ScrubStats
+}
+
+// reportFault latches a storage fault and signals FaultSignal (capacity
+// one: concurrent faults coalesce). ErrCrashed and closed-store errors
+// are not faults.
+func (s *Store) reportFault(err error) {
+	if err == nil || errors.Is(err, ErrCrashed) {
+		return
+	}
+	faultsReported.Inc()
+	s.faultMu.Lock()
+	s.lastFault = err
+	s.faultMu.Unlock()
+	select {
+	case s.faultCh <- struct{}{}:
+	default:
+	}
+}
+
+// LastFault returns the most recent storage fault, or nil.
+func (s *Store) LastFault() error {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.lastFault
+}
+
+// FaultSignal delivers one signal per outstanding storage fault. The
+// deployment layer listens and responds with a fence checkpoint
+// (re-securing in-memory state the WAL failed to) or, if that fails
+// too, degraded read-only mode.
+func (s *Store) FaultSignal() <-chan struct{} { return s.faultCh }
+
+// markSealedTorn records an fsync-poisoned segment for the scrubber.
+func (s *Store) markSealedTorn(path string) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	s.sealedTorn[filepath.Base(path)] = true
+}
+
+func (s *Store) isSealedTorn(name string) bool {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.sealedTorn[name]
 }
 
 func parseSeqName(name, prefix, suffix string, seq *int64) bool {
@@ -215,8 +309,8 @@ func parseSegName(name string, id *int, seq *int64) bool {
 var errBadWALRecord = errors.New("store: malformed WAL record")
 
 // truncateFile durably truncates a file to n bytes.
-func truncateFile(path string, n int64) error {
-	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+func truncateFile(fs storefs.FS, path string, n int64) error {
+	f, err := fs.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		return err
 	}
@@ -247,19 +341,31 @@ func truncateFile(path string, n int64) error {
 // checkpoint.
 func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	opts = opts.withDefaults()
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fs := opts.FS
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
 	}
 	walFiles := make(map[int][]int64)
 	var manifestSeqs []int64
 	maxCkptSeq := int64(0)
+	tmpCleaned := false
 	for _, e := range entries {
 		var seq int64
 		var id int
+		// Orphaned temp files are leftovers of a checkpoint or manifest
+		// write that died before its rename: never referenced by
+		// anything, safe to delete, and deleting them keeps a failed
+		// checkpoint from slowly filling the disk with garbage.
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := fs.Remove(filepath.Join(dir, e.Name())); err == nil {
+				tmpCleaned = true
+			}
+			continue
+		}
 		switch {
 		case parseSegName(e.Name(), &id, &seq):
 			walFiles[id] = append(walFiles[id], seq)
@@ -280,17 +386,20 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		}
 	}
 	sort.Slice(manifestSeqs, func(i, j int) bool { return manifestSeqs[i] > manifestSeqs[j] })
+	if tmpCleaned {
+		_ = fs.SyncDir(dir)
+	}
 
-	rec := &Recovery{dir: dir}
+	rec := &Recovery{dir: dir, fs: fs}
 	var mf *manifest
 	var mfErr error
 	for i, seq := range manifestSeqs {
-		m, err := readManifestFile(manifestPath(dir, seq))
+		m, err := readManifestFile(fs, manifestPath(dir, seq))
 		if err != nil {
 			mfErr = err
 			continue
 		}
-		sections, order, err := indexSections(dir, m)
+		sections, order, err := indexSections(fs, dir, m)
 		if err != nil {
 			if errors.Is(err, os.ErrNotExist) {
 				return nil, nil, fmt.Errorf("store: manifest %d references a missing checkpoint file: %w", seq, err)
@@ -346,7 +455,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		prevLSN := int64(0)
 		tornSeg, tornLen := int64(-1), int64(0)
 		for have[next] && !corrupt {
-			validLen, clean, err := readSegment(segName(dir, id, next), func(payload []byte) error {
+			validLen, clean, err := readSegment(fs, segName(dir, id, next), func(payload []byte) error {
 				lsn, k := binary.Uvarint(payload)
 				if k <= 0 || k >= len(payload) || int64(lsn) <= prevLSN {
 					return errBadWALRecord
@@ -382,7 +491,7 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		// fsyncs a segment before starting the next, so that is real
 		// corruption and replay stops without touching the file.
 		if tornSeg >= 0 && tornSeg == seqs[len(seqs)-1] {
-			if err := truncateFile(segName(dir, id, tornSeg), tornLen); err != nil {
+			if err := truncateFile(fs, segName(dir, id, tornSeg), tornLen); err != nil {
 				return nil, nil, fmt.Errorf("store: neutralizing torn tail of shard %d: %w", id, err)
 			}
 		}
@@ -395,14 +504,18 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 	rec.Records = mergeByLSN(perShard, shardIDs)
 
 	s := &Store{
-		dir:       dir,
-		opts:      opts,
-		manifest:  mf,
-		ckptSeq:   maxCkptSeq + 1,
-		needSnap:  make(chan struct{}, 1),
-		orphans:   make(map[int]int64),
-		flushStop: make(chan struct{}),
-		flushDone: make(chan struct{}),
+		dir:         dir,
+		opts:        opts,
+		fs:          fs,
+		manifest:    mf,
+		ckptSeq:     maxCkptSeq + 1,
+		needSnap:    make(chan struct{}, 1),
+		orphans:     make(map[int]int64),
+		faultCh:     make(chan struct{}, 1),
+		sealedTorn:  make(map[string]bool),
+		quarantined: make(map[string]bool),
+		flushStop:   make(chan struct{}),
+		flushDone:   make(chan struct{}),
 	}
 	s.lsn.Store(maxLSN)
 	for id, seqs := range walFiles {
@@ -428,6 +541,8 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 			}
 			return nil, nil, err
 		}
+		sh.onFault = s.reportFault
+		sh.onSeal = s.markSealedTorn
 		s.shards[i] = sh
 	}
 	if opts.Shards > 1 {
@@ -449,6 +564,11 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 		}
 	}
 	go s.flusher()
+	if opts.ScrubInterval > 0 {
+		s.scrubStop = make(chan struct{})
+		s.scrubDone = make(chan struct{})
+		go s.scrubber()
+	}
 	return s, rec, nil
 }
 
@@ -456,10 +576,10 @@ func Open(dir string, opts Options) (*Store, *Recovery, error) {
 // frame CRCs, per-section CRCs, trailer counts — and resolves each
 // manifest section to its file offset. A missing file surfaces as
 // os.ErrNotExist; a manifest entry absent from its file is ErrCorrupt.
-func indexSections(dir string, m *manifest) (map[string]sectionRef, []string, error) {
+func indexSections(fs storefs.FS, dir string, m *manifest) (map[string]sectionRef, []string, error) {
 	offsets := make(map[int64]map[string]int64)
 	for fileSeq := range m.fileRefs() {
-		offs, err := validateSectionFile(ckptPath(dir, fileSeq))
+		offs, err := validateSectionFile(fs, ckptPath(dir, fileSeq))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -559,6 +679,7 @@ func (s *Store) AppendGroup(group string, typ byte, payload []byte) error {
 	target, err := sh.append(frame)
 	if err != nil {
 		sh.mu.Unlock()
+		s.reportFault(err)
 		return err
 	}
 	n := int64(frameHeaderLen + len(frame))
@@ -793,8 +914,10 @@ func (s *Store) WriteCheckpoint(build func(*CheckpointWriter) error) error {
 	s.ckptSeq++
 	full := s.manifest == nil || s.sinceFull >= s.opts.CompactEvery
 
-	fw, err := newSectionFileWriter(ckptPath(s.dir, seq))
+	fw, err := newSectionFileWriter(s.fs, ckptPath(s.dir, seq))
 	if err != nil {
+		ioErrCkpt.Inc()
+		s.reportFault(err)
 		return err
 	}
 	cw := &CheckpointWriter{st: s, fw: fw, fileSeq: seq, allowKeep: !full}
@@ -810,14 +933,27 @@ func (s *Store) WriteCheckpoint(build func(*CheckpointWriter) error) error {
 		err = cw.err
 	}
 	if err != nil {
+		// The abort path removes the temp file; the final ckpt-*.sec
+		// name never existed, so the prior manifest and its deltas
+		// remain the recovery root untouched. cw.err is a chunk-spill
+		// I/O failure (e.g. ENOSPC) and counts as a storage fault;
+		// build's own errors are the application's.
 		fw.abort()
+		if cw.err != nil {
+			ioErrCkpt.Inc()
+			s.reportFault(cw.err)
+		}
 		return err
 	}
 	if err := fw.finish(); err != nil {
+		ioErrCkpt.Inc()
+		s.reportFault(err)
 		return err
 	}
 	m := &manifest{seq: seq, maxLSN: lsnAt, bounds: bounds, sections: cw.sections}
-	if err := writeManifestFile(s.dir, m); err != nil {
+	if err := writeManifestFile(s.fs, s.dir, m); err != nil {
+		ioErrCkpt.Inc()
+		s.reportFault(err)
 		return err
 	}
 	s.manifest = m
@@ -846,13 +982,31 @@ func (s *Store) WriteCheckpoint(build func(*CheckpointWriter) error) error {
 }
 
 // prune removes WAL segments, checkpoint files, and manifests the
-// current manifest has superseded. Called with ckptMu held.
+// current manifest has superseded. Files the scrubber quarantined are
+// renamed to <name>.quarantine instead of deleted — the parse loop at
+// Open ignores the suffix, so a quarantined file can never rejoin
+// recovery, but an operator can still inspect it. Called with ckptMu
+// held.
 func (s *Store) prune() {
 	m := s.manifest
 	refs := m.fileRefs()
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
+	}
+	drop := func(name string) {
+		path := filepath.Join(s.dir, name)
+		s.faultMu.Lock()
+		quarantined := s.quarantined[name]
+		delete(s.quarantined, name)
+		delete(s.sealedTorn, name)
+		s.faultMu.Unlock()
+		if quarantined {
+			if s.fs.Rename(path, path+".quarantine") == nil {
+				return
+			}
+		}
+		_ = s.fs.Remove(path)
 	}
 	for _, e := range entries {
 		var seq int64
@@ -860,19 +1014,19 @@ func (s *Store) prune() {
 		switch {
 		case parseSegName(e.Name(), &id, &seq):
 			if bound, ok := m.bounds[id]; ok && seq <= bound {
-				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+				drop(e.Name())
 			}
 		case parseSeqName(e.Name(), "ckpt-", ".sec", &seq):
 			if !refs[seq] && seq < m.seq {
-				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+				drop(e.Name())
 			}
 		case parseSeqName(e.Name(), "manifest-", ".mf", &seq):
 			if seq < m.seq {
-				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+				drop(e.Name())
 			}
 		}
 	}
-	_ = syncDir(s.dir)
+	_ = s.fs.SyncDir(s.dir)
 }
 
 // Close flushes and fsyncs every shard and releases the store. Closing
@@ -898,7 +1052,21 @@ func (s *Store) Close() error {
 	}
 	s.stopOnce.Do(func() { close(s.flushStop) })
 	<-s.flushDone
+	s.stopScrubber()
 	return firstErr
+}
+
+// stopScrubber stops the background scrub loop, if one was started.
+func (s *Store) stopScrubber() {
+	if s.scrubStop == nil {
+		return
+	}
+	select {
+	case <-s.scrubStop:
+	default:
+		close(s.scrubStop)
+	}
+	<-s.scrubDone
 }
 
 // Crash simulates a process crash: user-space buffers are dropped, the
@@ -917,4 +1085,5 @@ func (s *Store) Crash() {
 	}
 	s.stopOnce.Do(func() { close(s.flushStop) })
 	<-s.flushDone
+	s.stopScrubber()
 }

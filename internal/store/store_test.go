@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 	"time"
+	"warp/internal/store/storefs"
 )
 
 func testOpts() Options {
@@ -556,7 +557,7 @@ func FuzzWALSegment(f *testing.F) {
 		for _, r := range records {
 			dir := f.TempDir()
 			path := filepath.Join(dir, "seg")
-			w, err := openSegment(path)
+			w, err := openSegment(storefs.OS, path, retryPolicy{attempts: 1, backoff: time.Millisecond})
 			if err != nil {
 				f.Fatal(err)
 			}
@@ -580,7 +581,7 @@ func FuzzWALSegment(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Skip()
 		}
-		_, _, _ = readSegment(path, func(payload []byte) error {
+		_, _, _ = readSegment(storefs.OS, path, func(payload []byte) error {
 			if len(payload) < 1 {
 				t.Fatal("reader surfaced an empty frame")
 			}

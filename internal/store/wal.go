@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+	"time"
+
+	"warp/internal/store/storefs"
 )
 
 // WAL frame layout: a fixed header followed by the payload.
@@ -47,8 +51,8 @@ func appendFrame(w *bufio.Writer, payload []byte) (int64, error) {
 // the byte length of that valid prefix (recovery truncates a torn
 // last-of-chain segment to it, so the chain stays appendable). When fn
 // returns an error, validLen covers the frames before the rejected one.
-func readSegment(path string, fn func(payload []byte) error) (validLen int64, clean bool, err error) {
-	data, err := os.ReadFile(path)
+func readSegment(fs storefs.FS, path string, fn func(payload []byte) error) (validLen int64, clean bool, err error) {
+	data, err := fs.ReadFile(path)
 	if err != nil {
 		return 0, false, err
 	}
@@ -74,6 +78,37 @@ func readSegment(path string, fn func(payload []byte) error) (validLen int64, cl
 	return int64(off), true, nil
 }
 
+// retryPolicy is the transient-I/O retry schedule (Options.RetryAttempts
+// / RetryBackoff): attempts tries total, with capped exponential backoff
+// between them. Only writes and file creation retry — an fsync failure
+// is never retried (see the fsync-poisoning rule in shard.go), and
+// checkpoint-file errors abort the checkpoint instead, because the
+// fault-fence checkpoint is their retry.
+type retryPolicy struct {
+	attempts int
+	backoff  time.Duration
+}
+
+// maxRetryBackoff caps the exponential backoff between retries.
+const maxRetryBackoff = 50 * time.Millisecond
+
+// do runs op under the policy.
+func (r retryPolicy) do(op func() error) error {
+	backoff := r.backoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= r.attempts {
+			return err
+		}
+		ioRetries.Inc()
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxRetryBackoff {
+			backoff = maxRetryBackoff
+		}
+	}
+}
+
 // walWriter owns one open segment file. Frames accumulate in an
 // explicit user-space buffer that supports *prefix* flushing: flushTo
 // hands the OS only bytes up to a given extent, which is what lets the
@@ -81,18 +116,40 @@ func readSegment(path string, fn func(payload []byte) error) (validLen int64, cl
 // cross-shard causality barrier — see Store.syncAll).
 type walWriter struct {
 	path    string
-	f       *os.File
+	f       storefs.File
+	retry   retryPolicy
 	buf     []byte
 	size    int64 // bytes appended to this segment (flushed + buffered)
 	flushed int64 // bytes handed to the OS
 }
 
-func openSegment(path string) (*walWriter, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+// openSegment creates a fresh segment file and makes its directory
+// entry durable: without the parent-directory fsync, a crash after
+// records were fsynced *into* the file could still lose the file
+// itself, exactly the hole the manifest/section rename paths already
+// close with syncDir. Creation retries under the policy (a transient
+// failure here would otherwise kill an append or rotation).
+func openSegment(fs storefs.FS, path string, retry retryPolicy) (*walWriter, error) {
+	var f storefs.File
+	err := retry.do(func() error {
+		var err error
+		f, err = fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+		return err
+	})
 	if err != nil {
+		ioErrOpen.Inc()
 		return nil, fmt.Errorf("store: creating WAL segment: %w", err)
 	}
-	return &walWriter{path: path, f: f}, nil
+	// The directory fsync retries too: unlike a data fsync, nothing has
+	// been appended (let alone acked) into the just-created empty file,
+	// so there are no maybe-dropped dirty pages for a retry to lie
+	// about — the fsync-poisoning rule starts with the first record.
+	if err := retry.do(func() error { return fs.SyncDir(filepath.Dir(path)) }); err != nil {
+		ioErrSyncDir.Inc()
+		f.Close()
+		return nil, fmt.Errorf("store: syncing WAL directory after segment create: %w", err)
+	}
+	return &walWriter{path: path, f: f, retry: retry}, nil
 }
 
 // append buffers one frame; it does not flush or sync.
@@ -108,32 +165,56 @@ func (w *walWriter) append(payload []byte) error {
 
 // flushTo pushes buffered frames to the OS up to byte extent limit
 // (segment coordinates); bytes past it stay in user space, invisible to
-// any fsync.
+// any fsync. Transient write errors retry with backoff; a short write
+// advances the flushed extent by exactly the bytes the OS accepted
+// before retrying the remainder, so a retry can never write a byte
+// twice.
 func (w *walWriter) flushTo(limit int64) error {
 	if limit > w.size {
 		limit = w.size
 	}
-	n := limit - w.flushed
-	if n <= 0 {
-		return nil
+	attempt := 1
+	backoff := w.retry.backoff
+	for w.flushed < limit {
+		n := limit - w.flushed
+		k, err := w.f.Write(w.buf[:n])
+		if k > 0 {
+			w.buf = w.buf[:copy(w.buf, w.buf[k:])]
+			w.flushed += int64(k)
+			if err == nil {
+				continue
+			}
+			attempt = 1 // progress resets the clock
+			backoff = w.retry.backoff
+		}
+		if err != nil {
+			if attempt >= w.retry.attempts {
+				ioErrWrite.Inc()
+				return err
+			}
+			attempt++
+			ioRetries.Inc()
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > maxRetryBackoff {
+				backoff = maxRetryBackoff
+			}
+		}
 	}
-	if _, err := w.f.Write(w.buf[:n]); err != nil {
-		return err
-	}
-	w.buf = w.buf[:copy(w.buf, w.buf[n:])]
-	w.flushed = limit
 	return nil
 }
 
 // flush pushes every buffered frame to the OS.
 func (w *walWriter) flush() error { return w.flushTo(w.size) }
 
-// sync flushes and fsyncs the segment.
+// sync flushes and fsyncs the segment. The fsync itself is never
+// retried: after a failed fsync the kernel may have dropped the dirty
+// pages, so a later "successful" fsync proves nothing about them
+// (the fsyncgate rule). Callers treat the failure as poisonous.
 func (w *walWriter) sync() error {
 	if err := w.flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	return timedSync(w.f)
 }
 
 // close finalizes the segment: flush, fsync, close.
@@ -145,7 +226,14 @@ func (w *walWriter) close() error {
 	return w.f.Close()
 }
 
+// closeFd closes the file without a final flush or fsync, for callers
+// that know every appended byte is already durable (shard close when
+// synced == appended): skipping the redundant fsync means a clean close
+// cannot be failed by a disk that died after the last real sync.
+func (w *walWriter) closeFd() error { return w.f.Close() }
+
 // abandon closes the file descriptor without flushing user-space
-// buffers: the crash simulation. Buffered frames are lost exactly as
-// they would be in a real crash.
+// buffers: the crash simulation, and the sealing step of fsync
+// poisoning. Buffered frames are lost exactly as they would be in a
+// real crash.
 func (w *walWriter) abandon() { _ = w.f.Close() }

@@ -33,6 +33,13 @@ func (db *DB) ExecStmt(stmt sqldb.Statement, params []sqldb.Value) (*sqldb.Resul
 // cached handle (canonical SQL + rewrite cache), or nil for statements
 // that never passed through the cache.
 func (db *DB) execStmt(stmt sqldb.Statement, cs *sqldb.CachedStmt, params []sqldb.Value) (*sqldb.Result, *Record, error) {
+	if gate := db.writeGate.Load(); gate != nil {
+		if _, isRead := stmt.(*sqldb.Select); !isRead {
+			if err := (*gate)(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
 	m, sc, unlock, err := db.lockFor(stmt, params)
 	if err != nil {
 		return nil, nil, err

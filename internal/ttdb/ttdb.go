@@ -232,6 +232,12 @@ type DB struct {
 	// obs, when set, receives change events. Installed once before use
 	// (SetObserver); read under the locks its callbacks fire under.
 	obs Observer
+
+	// writeGate, when set, is consulted before any normal-execution
+	// write statement runs; a non-nil return refuses the statement
+	// without executing it. Reads are never gated. Installed by the
+	// persistence layer when the deployment degrades to read-only mode.
+	writeGate atomic.Pointer[func() error]
 }
 
 // Open creates a time-travel database over a fresh storage engine, sharing
@@ -413,6 +419,19 @@ func (db *DB) SetObserver(o Observer) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.obs = o
+}
+
+// SetWriteGate installs (or, with nil, removes) the write gate: a
+// check every normal-execution write statement must pass before it
+// runs. A non-nil return refuses the statement with that error. Reads
+// and repair-generation re-execution are not gated — the gate protects
+// durability of new writes, and repair entry is refused upstream.
+func (db *DB) SetWriteGate(gate func() error) {
+	if gate == nil {
+		db.writeGate.Store(nil)
+		return
+	}
+	db.writeGate.Store(&gate)
 }
 
 // Annotate declares the row ID column and partition columns for a table,

@@ -127,6 +127,13 @@ type (
 	RepairIntent = core.RepairIntent
 	// RecoveryStats summarizes what Open recovered from disk.
 	RecoveryStats = core.RecoveryStats
+	// Health is the deployment's operational snapshot (System.Health):
+	// degraded-mode status, the last storage fault, and the background
+	// scrubber's progress. Served by warp-server's GET /warp/health.
+	Health = core.Health
+	// ScrubStats is the background storage scrubber's cumulative
+	// progress (Health.Scrub). See docs/persistence.md "Failure model".
+	ScrubStats = store.ScrubStats
 
 	// Value is a dynamically typed SQL value.
 	Value = sqldb.Value
@@ -151,6 +158,12 @@ var (
 
 // FullReplay is the complete browser re-execution configuration.
 var FullReplay = browser.FullReplay
+
+// ErrDegraded is returned (wrapped, with the storage cause) by every
+// write path of a deployment that entered degraded read-only mode after
+// an unrecoverable storage fault. See docs/persistence.md "Failure
+// model".
+var ErrDegraded = core.ErrDegraded
 
 // Repair intent kinds (RepairIntent.Kind).
 const (
